@@ -1,0 +1,73 @@
+"""QUAL-1..3 -- the paper's per-policy verdicts, asserted on both scenarios.
+
+Sec. VI-B / VII: "Policy 1, based on the sensible routing, is more suitable
+for less-heterogeneous environments ...  when heterogeneity is very high,
+the quickest convergence and the most stable results are provided by
+Policy 2 ...  Exploration approaches, such as Policy 3, are similarly
+valid, yet they can suffer more from their intrinsic randomness."
+"""
+
+import numpy as np
+
+from repro.core import get_policy
+from repro.experiments.reporting import assessment_table
+from repro.experiments.runner import paper_shape_holds
+
+
+def test_qual1_policy1_diverges(benchmark, figure3_results, figure4_results):
+    """QUAL-1: Policy 1's RMTTFs do not converge under heterogeneity."""
+    for results in (figure3_results, figure4_results):
+        a1 = results["sensible-routing"].assessment
+        a2 = results["available-resources"].assessment
+        assert a1.rmttf_spread > 3 * a2.rmttf_spread
+        assert a1.rmttf_spread > 0.25
+
+    # timed unit: one policy step at scale (1000 regions, vectorised)
+    policy = get_policy("sensible-routing", min_fraction=0.0)
+    prev = np.full(1000, 1e-3)
+    rmttf = np.random.default_rng(0).uniform(100, 1000, 1000)
+    benchmark(policy.compute, prev, rmttf, 100.0)
+
+
+def test_qual2_policy2_wins(benchmark, figure3_results, figure4_results):
+    """QUAL-2: Policy 2 converges fastest with the most stable RMTTF."""
+    for results in (figure3_results, figure4_results):
+        checks = paper_shape_holds(results)
+        assert checks["policy2_converges"], checks
+        assert checks["policy2_fastest"], checks
+        assert checks["policy2_most_stable"], checks
+
+    policy = get_policy("available-resources", min_fraction=0.0)
+    prev = np.full(1000, 1e-3)
+    rmttf = np.random.default_rng(0).uniform(100, 1000, 1000)
+    benchmark(policy.compute, prev, rmttf, 100.0)
+
+
+def test_qual3_policy3_converges_less_stably(
+    benchmark, figure3_results, figure4_results
+):
+    """QUAL-3: Policy 3 converges but does not beat Policy 2's stability."""
+    for results in (figure3_results, figure4_results):
+        a2 = results["available-resources"].assessment
+        a3 = results["exploration"].assessment
+        assert a3.converged
+        assert a3.rmttf_spread >= a2.rmttf_spread * 0.95
+
+    policy = get_policy("exploration", min_fraction=0.0)
+    prev = np.full(1000, 1e-3)
+    rmttf = np.random.default_rng(0).uniform(100, 1000, 1000)
+    benchmark(policy.compute, prev, rmttf, 100.0)
+
+
+def test_verdict_tables(benchmark, figure3_results, figure4_results):
+    """Print the quantified verdict tables for both figures."""
+    for tag, results in (
+        ("Figure 3 (2 regions)", figure3_results),
+        ("Figure 4 (3 regions)", figure4_results),
+    ):
+        print(f"\n=== {tag} ===")
+        print(assessment_table([r.assessment for r in results.values()]))
+    benchmark(
+        assessment_table,
+        [r.assessment for r in figure3_results.values()],
+    )

@@ -1,0 +1,107 @@
+"""DES-FIG3 -- the Figure 3 comparison at full request granularity.
+
+The figure benches run the fluid era model; this bench re-runs the same
+two-region deployment with per-request discrete events (individual
+browsers, queueing, per-completion anomaly injection) and checks that the
+paper's verdicts are *not* artefacts of the fluid approximation:
+
+* Policy 1 still stabilises the regions' RMTTF apart;
+* Policies 2 and 3 still converge them;
+* the SLA still holds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import get_policy
+from repro.core.des_loop import DesControlLoop
+from repro.pcam import OracleRttfPredictor, VirtualMachine
+from repro.sim import M3_MEDIUM, PRIVATE_SMALL, RngRegistry
+from repro.workload import AnomalyInjector, BrowserPopulation
+
+
+def build_loop(policy_name, seed=5, eras=0):
+    rngs = RngRegistry(seed=seed)
+
+    def pool(name, itype, n):
+        return [
+            VirtualMachine(
+                f"{name}/vm{i}",
+                itype,
+                AnomalyInjector(rngs.child(f"{name}{i}").stream("a")),
+            )
+            for i in range(n)
+        ]
+
+    regions = {
+        "region1": (pool("region1", M3_MEDIUM, 6),
+                    BrowserPopulation(n_clients=120), 4),
+        "region3": (pool("region3", PRIVATE_SMALL, 4),
+                    BrowserPopulation(n_clients=72), 3),
+    }
+    loop = DesControlLoop(
+        regions,
+        get_policy(policy_name),
+        OracleRttfPredictor(),
+        rngs,
+        rttf_threshold_s=240.0,
+    )
+    if eras:
+        loop.run(eras)
+    return loop
+
+
+def tail_spread(loop):
+    tails = [
+        s.tail_fraction(0.3).mean()
+        for s in loop.traces.matching("rmttf/").values()
+    ]
+    return (max(tails) - min(tails)) / float(np.mean(tails))
+
+
+def test_des_policy_verdicts(benchmark):
+    """Request-level reproduction of the Fig. 3 policy ordering."""
+    spreads = {}
+    rts = {}
+    for policy in ("sensible-routing", "available-resources", "exploration"):
+        loop = build_loop(policy, eras=120)
+        spreads[policy] = tail_spread(loop)
+        rts[policy] = float(
+            np.mean(
+                [
+                    s.tail_fraction(0.5).mean()
+                    for s in loop.traces.matching("response_time/").values()
+                ]
+            )
+        )
+    print("\nrequest-level Figure 3 verdicts:")
+    for policy in spreads:
+        print(
+            f"  {policy:<22} rmttf-spread={spreads[policy]:6.3f} "
+            f"rt={rts[policy] * 1000:6.1f}ms"
+        )
+    assert spreads["sensible-routing"] > 0.25
+    assert spreads["available-resources"] < 0.08
+    assert spreads["exploration"] < 0.12
+    assert all(rt < 1.0 for rt in rts.values())
+
+    benchmark(lambda: build_loop("available-resources", eras=8))
+
+
+def test_des_and_fluid_agree_on_policy2_split(benchmark, figure3_results):
+    """Both models route Policy 2 to (approximately) the same fractions."""
+    loop = build_loop("available-resources", eras=120)
+    des_f1 = loop.traces.series("fraction/region1").tail_fraction(0.3).mean()
+    fluid_f1 = (
+        figure3_results["available-resources"]
+        .traces.series("fraction/region1-ireland")
+        .tail_fraction(0.3)
+        .mean()
+    )
+    print(
+        f"\nPolicy 2 region1 fraction: DES={des_f1:.3f} fluid={fluid_f1:.3f}"
+    )
+    assert des_f1 == pytest.approx(fluid_f1, abs=0.08)
+    benchmark(lambda: build_loop("sensible-routing", eras=8))
+
+

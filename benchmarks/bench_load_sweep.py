@@ -1,0 +1,44 @@
+"""LOAD -- the client-count sweep of Sec. VI-A's [16, 512] interval.
+
+Asserts the physics the whole study rests on: steady RMTTF falls
+monotonically with offered load (anomalies accumulate with requests), the
+SLA holds across the moderate range, and the deployment saturates at the
+top of the paper's interval.
+"""
+
+import numpy as np
+
+from repro.experiments.load_sweep import run_load_sweep, sweep_table
+
+
+def test_load_sweep(benchmark):
+    points = run_load_sweep(
+        client_counts=(16, 64, 128, 256, 512), eras=120, seed=7
+    )
+    print("\n" + sweep_table(points))
+
+    # RMTTF monotone decreasing while the system is healthy
+    healthy = [p for p in points if p.sla_met]
+    rmttfs = [p.mean_rmttf_s for p in healthy]
+    assert all(a > b for a, b in zip(rmttfs, rmttfs[1:])), rmttfs
+    # the SLA holds through the moderate range...
+    assert all(p.sla_met for p in points if p.clients_region1 <= 256)
+    # ...and rejuvenation activity grows with load
+    rejuv = [p.rejuvenations for p in points[:4]]
+    assert rejuv == sorted(rejuv), rejuv
+
+    benchmark(
+        lambda: run_load_sweep(client_counts=(64,), eras=30, seed=7)
+    )
+
+
+def test_policy2_convergence_across_loads(benchmark):
+    """Policy 2 equalises regions at every healthy load level."""
+    points = run_load_sweep(
+        client_counts=(32, 128, 256), eras=120, seed=11
+    )
+    for p in points:
+        assert p.rmttf_spread < 0.1, p
+    benchmark(
+        lambda: run_load_sweep(client_counts=(32,), eras=30, seed=11)
+    )

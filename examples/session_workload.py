@@ -1,0 +1,86 @@
+"""TPC-W session workload: navigation chains driving a request-level region.
+
+Shows the full workload fidelity chain:
+
+1. calibrate the TPC-W navigation Markov chain to each standard mix's
+   browse/order split;
+2. inspect the stationary interaction frequencies and the conversion
+   (buy) rate;
+3. drive a request-level DES region with session-following browsers and
+   compare the measured interaction mix and response times across the
+   browsing / shopping / ordering mixes.
+
+Run with::
+
+    python examples/session_workload.py
+"""
+
+from repro.pcam import DesRegion, VirtualMachine
+from repro.sim import M3_MEDIUM, RngRegistry, Simulator
+from repro.workload import AnomalyInjector, BrowserPopulation, SessionChain
+from repro.workload.tpcw import BROWSE_CLASS, RequestType
+
+
+def run_mix(name: str, browse_fraction: float, seed: int = 5):
+    chain = SessionChain.for_mix(name, browse_fraction)
+    rngs = RngRegistry(seed=seed)
+    vms = []
+    for i in range(6):
+        vm = VirtualMachine(
+            f"{name}/vm{i}",
+            M3_MEDIUM,
+            AnomalyInjector(rngs.child(f"vm{i}").stream("a")),
+        )
+        vm.activate()
+        vms.append(vm)
+    region = DesRegion(
+        Simulator(),
+        vms,
+        BrowserPopulation(n_clients=48),
+        rngs.stream("des"),
+        session_chain=chain,
+    )
+    stats = region.run(1800.0)
+    return chain, region, stats
+
+
+def main() -> None:
+    print("TPC-W session chains calibrated to the three standard mixes:\n")
+    rows = []
+    for name, bf in (("browsing", 0.95), ("shopping", 0.80), ("ordering", 0.50)):
+        chain, region, stats = run_mix(name, bf)
+        counts = region.interaction_counts
+        total = sum(counts.values())
+        browse = sum(
+            c for k, c in counts.items() if RequestType(k) in BROWSE_CLASS
+        )
+        buys = counts.get(RequestType.BUY_CONFIRM.value, 0)
+        rows.append(
+            (
+                name,
+                bf,
+                browse / total,
+                chain.buy_rate(),
+                buys / total,
+                stats.mean_response_time() * 1000,
+                stats.p95_response_time() * 1000,
+            )
+        )
+    print(
+        f"{'mix':<10} {'target':>7} {'measured':>9} {'buy(chain)':>11} "
+        f"{'buy(DES)':>9} {'mean rt':>9} {'p95 rt':>9}"
+    )
+    for name, bf, measured, buy_c, buy_d, rt, p95 in rows:
+        print(
+            f"{name:<10} {bf:>7.2f} {measured:>9.3f} {buy_c:>11.4f} "
+            f"{buy_d:>9.4f} {rt:>7.1f}ms {p95:>7.1f}ms"
+        )
+    print(
+        "\nheavier order paths (Buy Confirm x4 demand) push the ordering "
+        "mix's\nresponse times above the browsing mix's -- the demand "
+        "structure the\nfluid model summarises with one mean."
+    )
+
+
+if __name__ == "__main__":
+    main()

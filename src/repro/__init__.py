@@ -1,0 +1,46 @@
+"""repro -- reproduction of "Proactive Cloud Management for Highly
+Heterogeneous Multi-Cloud Infrastructures" (Pellegrini, Di Sanzo, Avresky,
+IPDPSW 2016).
+
+The package implements the complete ACM Framework stack:
+
+* :mod:`repro.sim` -- deterministic discrete-event simulation substrate;
+* :mod:`repro.workload` -- TPC-W-like workload with anomaly injection;
+* :mod:`repro.ml` -- the F2PM failure-prediction toolchain (six regression
+  models built from scratch on NumPy, Lasso feature selection, CV);
+* :mod:`repro.pcam` -- proactive VM management (monitoring, RTTF
+  prediction, rejuvenation, local balancing);
+* :mod:`repro.overlay` -- controller overlay with latency routing and
+  failure-tolerant leader election;
+* :mod:`repro.core` -- the paper's contribution: RMTTF aggregation
+  (Eq. 1), the three load-balancing policies (Eqs. 2-9), the global
+  forward plan, autoscaling, and the MAPE control loop;
+* :mod:`repro.experiments` -- the harness that regenerates Figures 3-4
+  and the qualitative policy verdicts.
+
+Top-level convenience re-exports cover the 90 % use case::
+
+    from repro import AcmManager, RegionSpec
+
+    manager = AcmManager(
+        regions=[RegionSpec("eu", "m3.medium", 6, 4, clients=160)],
+        policy="available-resources",
+        seed=7,
+    )
+    manager.run(eras=100)
+"""
+
+from repro.core.manager import AcmManager, RegionSpec
+from repro.core.metrics import PolicyAssessment, assess_policy_run
+from repro.core.policy import get_policy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcmManager",
+    "RegionSpec",
+    "PolicyAssessment",
+    "assess_policy_run",
+    "get_policy",
+    "__version__",
+]

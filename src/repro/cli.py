@@ -1,0 +1,272 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro fig3 [--eras N] [--seed S] [--predictor oracle|rep-tree]
+    python -m repro fig4 [--eras N] [--seed S] [--predictor oracle|rep-tree]
+    python -m repro compare --regions 2|3 [--policies p1,p2,...]
+    python -m repro models          # F2PM model-selection table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    from repro.experiments import run_figure3
+    from repro.experiments.figure3 import report_figure3
+
+    print(report_figure3(run_figure3(args.eras, args.seed, args.predictor)))
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.experiments import run_figure4
+    from repro.experiments.figure4 import report_figure4
+
+    print(report_figure4(run_figure4(args.eras, args.seed, args.predictor)))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        compare_policies,
+        three_region_scenario,
+        two_region_scenario,
+    )
+    from repro.experiments.reporting import assessment_table
+
+    scenario = (
+        two_region_scenario() if args.regions == 2 else three_region_scenario()
+    )
+    policies = tuple(args.policies.split(","))
+    results = compare_policies(
+        scenario,
+        policies=policies,
+        eras=args.eras,
+        seed=args.seed,
+        predictor=args.predictor,
+    )
+    print(f"scenario: {scenario.name}")
+    print(assessment_table([r.assessment for r in results.values()]))
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.ml import F2PMToolchain
+    from repro.pcam.monitor import ProfilingHarness
+    from repro.pcam.vm import VirtualMachine
+    from repro.sim.instances import get_instance_type
+    from repro.sim.rng import RngRegistry
+    from repro.workload.anomalies import AnomalyInjector
+
+    rngs = RngRegistry(seed=args.seed)
+    itype = get_instance_type(args.instance_type)
+    counter = {"n": 0}
+
+    def factory():
+        counter["n"] += 1
+        name = f"cli-prof/{counter['n']}"
+        return VirtualMachine(
+            name, itype, AnomalyInjector(rngs.child(name).stream("a"))
+        )
+
+    harness = ProfilingHarness(factory, sample_period_s=10.0)
+    print(f"profiling {itype.name} to failure ...")
+    ds = harness.collect(
+        [4.0, 8.0, 14.0, 22.0], runs_per_rate=3, rng=rngs.stream("prof")
+    )
+    print(f"dataset: {len(ds)} samples")
+    tc = F2PMToolchain(max_features=8, cv_folds=5)
+    comparison = tc.compare(ds, np.random.default_rng(args.seed))
+    print(f"selected features: {', '.join(comparison.selected_features)}")
+    print(comparison.table())
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.experiments import run_figure3, run_figure4
+
+    runner = run_figure3 if args.figure == "fig3" else run_figure4
+    results = runner(args.eras, args.seed, args.predictor)
+    for policy, result in results.items():
+        path = f"{args.prefix}_{args.figure}_{policy}.csv"
+        result.traces.to_csv(path)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_plot(args: argparse.Namespace) -> int:
+    from repro.experiments import run_figure3, run_figure4
+    from repro.experiments.svgplot import render_figure
+
+    runner = run_figure3 if args.figure == "fig3" else run_figure4
+    results = runner(args.eras, args.seed, args.predictor)
+    written = render_figure(results, args.figure, args.prefix)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.report_bundle import reproduce_all
+
+    manifest = reproduce_all(
+        args.out, eras=args.eras, seed=args.seed, predictor=args.predictor
+    )
+    print(f"report : {manifest.report_path}")
+    print(f"CSVs   : {len(manifest.csv_files)}")
+    print(f"SVGs   : {len(manifest.svg_files)}")
+    print(
+        "verdict:",
+        "all paper-shape checks PASS"
+        if manifest.all_checks_pass
+        else "CHECK FAILURES -- see the report",
+    )
+    return 0 if manifest.all_checks_pass else 1
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.planner import recommend_pool
+
+    plan = recommend_pool(
+        args.instance_type,
+        args.rate,
+        target_rmttf_s=args.target,
+        rejuvenation_time_s=args.rejuvenation_time,
+        rttf_threshold_s=args.threshold,
+    )
+    print(
+        f"{plan.instance_type} @ {plan.request_rate:.1f} req/s, "
+        f"target RMTTF {plan.target_rmttf_s:.0f}s:"
+    )
+    print(
+        f"  ACTIVE {plan.active_vms} + STANDBY {plan.standby_vms} "
+        f"(total {plan.total_vms})"
+    )
+    print(
+        f"  expected RMTTF {plan.expected_rmttf_s:.0f}s at "
+        f"{plan.expected_utilisation:.0%} utilisation"
+    )
+    return 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from repro.experiments import run_figure3, run_figure4
+    from repro.experiments.runner import paper_shape_holds
+
+    runner = run_figure3 if args.figure == "fig3" else run_figure4
+    seeds = [int(s) for s in args.seeds.split(",")]
+    all_pass = True
+    for seed in seeds:
+        checks = paper_shape_holds(
+            runner(args.eras, seed, args.predictor)
+        )
+        verdicts = " ".join(
+            f"{k}={'PASS' if v else 'FAIL'}" for k, v in checks.items()
+        )
+        print(f"seed {seed:>5}: {verdicts}")
+        all_pass = all_pass and all(checks.values())
+    print("overall:", "ALL PASS" if all_pass else "SOME FAILURES")
+    return 0 if all_pass else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ACM Framework reproduction experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--eras", type=int, default=240)
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument(
+            "--predictor",
+            default="oracle",
+            help="'oracle' or an F2PM model name ('rep-tree', 'm5p', ...)",
+        )
+
+    p3 = sub.add_parser("fig3", help="reproduce Figure 3 (two regions)")
+    common(p3)
+    p3.set_defaults(func=_cmd_fig3)
+
+    p4 = sub.add_parser("fig4", help="reproduce Figure 4 (three regions)")
+    common(p4)
+    p4.set_defaults(func=_cmd_fig4)
+
+    pc = sub.add_parser("compare", help="compare policies on a scenario")
+    common(pc)
+    pc.add_argument("--regions", type=int, choices=(2, 3), default=3)
+    pc.add_argument(
+        "--policies",
+        default="sensible-routing,available-resources,exploration,uniform",
+    )
+    pc.set_defaults(func=_cmd_compare)
+
+    pe = sub.add_parser(
+        "export", help="dump a figure's series to CSV for external plotting"
+    )
+    common(pe)
+    pe.add_argument("figure", choices=("fig3", "fig4"))
+    pe.add_argument("--prefix", default="acm_traces")
+    pe.set_defaults(func=_cmd_export)
+
+    pp = sub.add_parser(
+        "plot", help="render a figure's series as standalone SVG charts"
+    )
+    common(pp)
+    pp.add_argument("figure", choices=("fig3", "fig4"))
+    pp.add_argument("--prefix", default="acm_figure")
+    pp.set_defaults(func=_cmd_plot)
+
+    prr = sub.add_parser(
+        "reproduce",
+        help="run both figures and write the full artefact bundle",
+    )
+    common(prr)
+    prr.add_argument("--out", default="results")
+    prr.set_defaults(func=_cmd_reproduce)
+
+    pl = sub.add_parser(
+        "plan", help="capacity planning: size a pool for a target RMTTF"
+    )
+    pl.add_argument("--instance-type", default="m3.medium")
+    pl.add_argument("--rate", type=float, required=True,
+                    help="expected request rate (req/s)")
+    pl.add_argument("--target", type=float, required=True,
+                    help="target RMTTF in seconds")
+    pl.add_argument("--rejuvenation-time", type=float, default=120.0)
+    pl.add_argument("--threshold", type=float, default=240.0)
+    pl.set_defaults(func=_cmd_plan)
+
+    pr = sub.add_parser(
+        "robustness",
+        help="run the paper-shape checks across several seeds",
+    )
+    common(pr)
+    pr.add_argument("figure", choices=("fig3", "fig4"))
+    pr.add_argument("--seeds", default="7,11,23")
+    pr.set_defaults(func=_cmd_robustness)
+
+    pm = sub.add_parser("models", help="F2PM model-selection table")
+    pm.add_argument("--seed", type=int, default=7)
+    pm.add_argument("--instance-type", default="m3.medium")
+    pm.set_defaults(func=_cmd_models)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Baseline policies the paper's three are measured against.
+
+Not part of the paper's comparison, but needed to quantify it: ``uniform``
+shows what *no* MTTF awareness does under heterogeneity, and
+``static-weights`` is the best *non-adaptive* policy (fractions fixed to
+known capacity shares), which Policy 2 should approach dynamically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policy import Policy, register_policy
+
+
+@register_policy
+class UniformPolicy(Policy):
+    """Equal split across regions, ignoring all feedback."""
+
+    name = "uniform"
+
+    def _compute(
+        self,
+        prev_fractions: np.ndarray,
+        rmttf: np.ndarray,
+        global_rate: float,
+    ) -> np.ndarray:
+        return np.full(prev_fractions.size, 1.0 / prev_fractions.size)
+
+
+@register_policy
+class StaticWeightsPolicy(Policy):
+    """Fixed fractions proportional to configured weights.
+
+    Instantiate with the regions' nameplate capacities to get the oracle
+    static split: ``StaticWeightsPolicy(weights=[330, 312, 160])``.
+    """
+
+    name = "static-weights"
+
+    def __init__(
+        self, weights: list[float] | np.ndarray, min_fraction: float = 1e-3
+    ) -> None:
+        super().__init__(min_fraction=min_fraction)
+        w = np.asarray(weights, dtype=float)
+        if w.ndim != 1 or w.size == 0:
+            raise ValueError("weights must be a non-empty 1-D vector")
+        if np.any(w < 0) or w.sum() <= 0:
+            raise ValueError("weights must be non-negative and sum > 0")
+        self.weights = w
+
+    def _compute(
+        self,
+        prev_fractions: np.ndarray,
+        rmttf: np.ndarray,
+        global_rate: float,
+    ) -> np.ndarray:
+        if self.weights.size != prev_fractions.size:
+            raise ValueError(
+                f"policy configured for {self.weights.size} regions, "
+                f"got {prev_fractions.size}"
+            )
+        return self.weights.copy()

@@ -1,0 +1,343 @@
+"""The ACM closed control loop -- Sec. V, Figure 2, Algorithms 1-3.
+
+One era of the loop walks the four states:
+
+* **Monitor** -- client populations offer load to their region's LB; the
+  global forward plan routes arrivals to processing regions; each VMC
+  serves its batch (features are collected inside
+  :meth:`~repro.pcam.vmc.VirtualMachineController.process_era`).
+* **Analyze** (Algorithm 1) -- every VMC predicts its local RMTTF with the
+  ML models and actuates PCAM locally; slave VMCs send ``lastRMTTF_i`` to
+  the leader over the overlay message bus; the leader folds each report
+  into Eq. (1).
+* **Plan** (Algorithm 2, leader only) -- ``POLICY()`` computes the new
+  ``f_i^t`` from the previous fractions and the RMTTF vector; the leader
+  sends each slave its fraction.
+* **Execute** (Algorithm 3) -- the new fractions are installed in the load
+  balancers (a fresh forward plan); if the autoscaler is enabled, regions
+  whose predicted response time exceeds the threshold ADDVMS.
+
+Partitions are handled the way a real deployment degrades: a slave that
+cannot reach the leader keeps serving with its last installed fraction, and
+the leader plans with the slave's last known RMTTF.
+
+Forwarded (non-local) requests pay the overlay round-trip latency on top of
+the processing time, so plan thrash shows up as measurable response-time
+overhead -- the effect the paper attributes to Policy 1's oscillations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.autoscale import Autoscaler
+from repro.core.forward_plan import ForwardPlan, build_forward_plan
+from repro.core.policy import Policy
+from repro.core.rmttf import RmttfAggregator
+from repro.overlay.election import LeaderElection
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.routing import NoRouteError, Router
+from repro.pcam.vmc import EraReport, VirtualMachineController
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import TraceRecorder
+from repro.workload.browsers import BrowserPopulation
+
+
+@dataclass(frozen=True, slots=True)
+class ControlLoopConfig:
+    """Control-loop tuning.
+
+    Parameters
+    ----------
+    era_s:
+        Length of one Monitor/Analyze/Plan/Execute cycle in simulated
+        seconds.
+    beta:
+        EWMA weight of Eq. (1).
+    stochastic_arrivals:
+        Poisson arrival counts and multinomial routing when True;
+        deterministic mean-field counts when False (used by tests).
+    autoscale:
+        Enable the Sec. V reactive pool resizing.
+    """
+
+    era_s: float = 30.0
+    beta: float = 0.5
+    stochastic_arrivals: bool = True
+    autoscale: bool = False
+
+    def __post_init__(self) -> None:
+        if self.era_s <= 0:
+            raise ValueError("era_s must be positive")
+        if not 0.0 <= self.beta <= 1.0:
+            raise ValueError("beta must be in [0, 1]")
+
+
+@dataclass(slots=True)
+class EraSummary:
+    """Global outcome of one control era (one row of the figures' series)."""
+
+    era: int
+    time: float
+    fractions: dict[str, float]
+    rmttf: dict[str, float]
+    response_time_s: float
+    per_region_response_s: dict[str, float]
+    forwarded_fraction: float
+    leader: str
+    total_requests: int
+    rejuvenations: int
+    failures: int
+    active_vms: dict[str, int]
+
+
+class AcmControlLoop:
+    """The full multi-region closed loop.
+
+    Parameters
+    ----------
+    vmcs:
+        Region name -> controller.  Region order is the sorted key order.
+    populations:
+        Region name -> the browser population whose clients connect to
+        that region's LB (must cover exactly the same regions).
+    policy:
+        The ``POLICY()`` implementation to run at the leader.
+    rngs:
+        Root RNG registry (streams: ``arrivals``, ``routing``).
+    overlay:
+        Controller overlay; defaults to a full mesh with uniform 20 ms
+        links.  Used for leader election and forwarding latency.
+    config:
+        Loop tuning.
+    autoscaler:
+        Optional custom autoscaler (implies ``config.autoscale``).
+    """
+
+    def __init__(
+        self,
+        vmcs: dict[str, VirtualMachineController],
+        populations: dict[str, BrowserPopulation],
+        policy: Policy,
+        rngs: RngRegistry,
+        overlay: OverlayNetwork | None = None,
+        config: ControlLoopConfig | None = None,
+        autoscaler: Autoscaler | None = None,
+    ) -> None:
+        if not vmcs:
+            raise ValueError("need at least one region")
+        if set(vmcs) != set(populations):
+            raise ValueError(
+                f"regions {sorted(vmcs)} and populations "
+                f"{sorted(populations)} must match"
+            )
+        self.regions: list[str] = sorted(vmcs)
+        self.vmcs = vmcs
+        self.populations = populations
+        self.policy = policy
+        self.config = config or ControlLoopConfig()
+        self.rngs = rngs
+        self.overlay = overlay or self._default_overlay()
+        self.router = Router(self.overlay)
+        self.election = LeaderElection(self.overlay)
+        self.aggregator = RmttfAggregator(self.config.beta)
+        self.autoscaler = autoscaler or (
+            Autoscaler() if self.config.autoscale else None
+        )
+        self.traces = TraceRecorder()
+        self.fractions = policy.initial_fractions(len(self.regions))
+        self.era_index = 0
+        self.summaries: list[EraSummary] = []
+        # clients' most recent observed response time, per arrival region
+        self._client_rt: dict[str, float] = {r: 0.0 for r in self.regions}
+        self._arrival_rng = rngs.stream("arrivals")
+        self._routing_rng = rngs.stream("routing")
+
+    def _default_overlay(self) -> OverlayNetwork:
+        pairs = {}
+        for i, a in enumerate(self.regions):
+            for b in self.regions[i + 1 :]:
+                pairs[(a, b)] = 20.0
+        net = OverlayNetwork()
+        for r in self.regions:
+            net.add_node(r)
+        for (a, b), lat in pairs.items():
+            net.add_link(a, b, lat)
+        return net
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (start of the next era)."""
+        return self.era_index * self.config.era_s
+
+    def current_leader(self) -> str:
+        """Leader of the component containing the first live region."""
+        for r in self.regions:
+            if self.overlay.is_alive(r):
+                return self.election.elect(r, now=self.now)
+        raise RuntimeError("all region controllers are down")
+
+    # ------------------------------------------------------------------ #
+    # one era
+    # ------------------------------------------------------------------ #
+
+    def run_era(self) -> EraSummary:
+        """Advance the loop by one Monitor/Analyze/Plan/Execute cycle."""
+        cfg = self.config
+        dt = cfg.era_s
+        now = self.now
+        n = len(self.regions)
+
+        # ---- Monitor: offered load and the forward plan ---------------- #
+        rates = np.array(
+            [
+                self.populations[r].offered_rate(self._client_rt[r])
+                for r in self.regions
+            ]
+        )
+        lam = float(rates.sum())
+        if lam <= 0:
+            raise RuntimeError("no offered load: all populations empty")
+        arrival_fractions = rates / lam
+        plan = build_forward_plan(
+            self.regions, arrival_fractions, self.fractions
+        )
+
+        if cfg.stochastic_arrivals:
+            arrivals = self._arrival_rng.poisson(rates * dt).astype(int)
+            routed = plan.route_counts(arrivals, rng=self._routing_rng)
+        else:
+            arrivals = np.round(rates * dt).astype(int)
+            routed = plan.route_counts(arrivals)
+        processed = routed.sum(axis=0)
+
+        # ---- Monitor/Analyze: serve the era, predict local RMTTF ------- #
+        reports: dict[str, EraReport] = {}
+        for j, region in enumerate(self.regions):
+            reports[region] = self.vmcs[region].process_era(
+                int(processed[j]), dt, now
+            )
+
+        # clients of arrival region i see the plan-weighted response time,
+        # plus the overlay round-trip for remotely served requests
+        per_region_rt: dict[str, float] = {}
+        for i, region in enumerate(self.regions):
+            rt = 0.0
+            for j, target in enumerate(self.regions):
+                share = plan.matrix[i, j]
+                if share <= 0:
+                    continue
+                extra = 0.0
+                if i != j:
+                    try:
+                        extra = 2.0 * self.router.latency(region, target) / 1000.0
+                    except NoRouteError:
+                        extra = 0.5  # timeout-and-retry penalty
+                rt += share * (reports[target].response_time_s + extra)
+            per_region_rt[region] = rt
+            self._client_rt[region] = rt
+
+        # ---- Analyze (leader side): collect reports over the overlay --- #
+        leader = self.current_leader()
+        received: dict[str, float] = {}
+        for region in self.regions:
+            if region == leader or self.router.reachable(region, leader):
+                received[region] = reports[region].last_rmttf
+        self.aggregator.update_all(received)
+        rmttf_vec = np.array(
+            [
+                self.aggregator.current(r)
+                if r in self.aggregator.snapshot()
+                else reports[r].last_rmttf
+                for r in self.regions
+            ]
+        )
+
+        # ---- Plan (Algorithm 2, leader only) ---------------------------- #
+        self.fractions = self.policy.compute(self.fractions, rmttf_vec, lam)
+
+        # ---- Execute (Algorithm 3) -------------------------------------- #
+        if self.autoscaler is not None:
+            for j, region in enumerate(self.regions):
+                self.autoscaler.apply(
+                    self.vmcs[region], reports[region], float(rmttf_vec[j])
+                )
+
+        # ---- bookkeeping ------------------------------------------------ #
+        total_requests = int(processed.sum())
+        served_weights = np.maximum(processed, 1)
+        global_rt = float(
+            sum(
+                reports[r].response_time_s * served_weights[j]
+                for j, r in enumerate(self.regions)
+            )
+            / served_weights.sum()
+        )
+        summary = EraSummary(
+            era=self.era_index,
+            time=now,
+            fractions={
+                r: float(self.fractions[j])
+                for j, r in enumerate(self.regions)
+            },
+            rmttf={
+                r: float(rmttf_vec[j]) for j, r in enumerate(self.regions)
+            },
+            response_time_s=global_rt,
+            per_region_response_s=per_region_rt,
+            forwarded_fraction=plan.forwarded_fraction(),
+            leader=leader,
+            total_requests=total_requests,
+            rejuvenations=sum(
+                rep.rejuvenations_triggered for rep in reports.values()
+            ),
+            failures=sum(rep.failures for rep in reports.values()),
+            active_vms={r: reports[r].n_active for r in self.regions},
+        )
+        self._record(summary)
+        self.summaries.append(summary)
+        self.era_index += 1
+        return summary
+
+    def run(self, n_eras: int) -> list[EraSummary]:
+        """Run ``n_eras`` control cycles; returns their summaries."""
+        if n_eras < 1:
+            raise ValueError("n_eras must be >= 1")
+        return [self.run_era() for _ in range(n_eras)]
+
+    def set_policy(self, policy: Policy) -> None:
+        """Switch the leader's ``POLICY()`` at runtime.
+
+        The paper fixes the policy at configuration time; switching
+        mid-run is a natural extension ("modify the deploy at runtime in
+        case the workload conditions change", Sec. II).  The installed
+        fractions carry over, so the new policy starts from the current
+        operating point rather than from uniform.
+        """
+        if policy.initial_fractions(len(self.regions)).shape != (
+            len(self.regions),
+        ):
+            raise ValueError("policy incompatible with region count")
+        self.policy = policy
+
+    # ------------------------------------------------------------------ #
+
+    def _record(self, s: EraSummary) -> None:
+        t = s.time
+        for region in self.regions:
+            self.traces.record(f"rmttf/{region}", t, s.rmttf[region])
+            self.traces.record(f"fraction/{region}", t, s.fractions[region])
+            self.traces.record(
+                f"response_time/{region}", t, s.per_region_response_s[region]
+            )
+            self.traces.record(
+                f"active_vms/{region}", t, s.active_vms[region]
+            )
+        self.traces.record("response_time", t, s.response_time_s)
+        self.traces.record("forwarded_fraction", t, s.forwarded_fraction)
+        self.traces.record("rejuvenations", t, s.rejuvenations)
+        self.traces.record("failures", t, s.failures)

@@ -1,0 +1,314 @@
+"""Request-level multi-region control loop.
+
+The fluid :class:`~repro.core.control_loop.AcmControlLoop` batches each
+era's requests; this loop runs the *same* MAPE architecture with
+per-request discrete events, the way the paper's actual testbed operated:
+
+* each emulated browser belongs to an arrival region and, per click, is
+  routed to a *processing* region by the current forward-plan row (remote
+  processing pays the overlay round trip);
+* requests queue at individual VMs (join-shortest-queue within a region)
+  and inject anomalies on completion;
+* at every era boundary the per-VM RTTF is predicted, at-risk VMs are
+  swapped against standbys (the PCAM pairing rule), the leader folds the
+  region reports through Eq. (1) and runs ``POLICY()``.
+
+It is intentionally oracle-predictor-only and lighter than the fluid loop
+(no autoscaling, no partitions): its job is to confirm that the policy
+conclusions do not depend on the fluid approximation.  The DES-FIG3 bench
+runs both loops on the same deployment and compares verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.forward_plan import build_forward_plan
+from repro.core.policy import Policy
+from repro.core.rmttf import RmttfAggregator
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.routing import Router
+from repro.pcam.predictor import RttfPredictor
+from repro.pcam.vm import VirtualMachine, VmState
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import TraceRecorder
+from repro.workload.browsers import BrowserPopulation
+
+
+@dataclass
+class _RegionState:
+    """Mutable per-region bookkeeping of the DES loop."""
+
+    name: str
+    vms: list[VirtualMachine]
+    population: BrowserPopulation
+    target_active: int
+    in_flight: dict[str, int]
+    era_completed: int = 0
+    era_response_sum: float = 0.0
+
+    def active(self) -> list[VirtualMachine]:
+        return [vm for vm in self.vms if vm.state is VmState.ACTIVE]
+
+    def standby(self) -> list[VirtualMachine]:
+        return [vm for vm in self.vms if vm.state is VmState.STANDBY]
+
+
+class DesControlLoop:
+    """Per-request MAPE loop over multiple heterogeneous regions.
+
+    Parameters
+    ----------
+    regions:
+        name -> (vms, population, target_active).  VM pools should start
+        in STANDBY; the loop activates the targets.
+    policy:
+        The ``POLICY()`` of Algorithm 2.
+    predictor:
+        RTTF predictor (oracle recommended; trained models work too).
+    rngs:
+        Root registry (streams: per-region ``des/<region>``).
+    era_s, beta:
+        Control period and the Eq. (1) weight.
+    rttf_threshold_s:
+        Proactive-swap threshold.
+    overlay:
+        Optional controller overlay; remote forwarding pays its RTT.
+    mean_demand:
+        Demand-units per request.
+    """
+
+    def __init__(
+        self,
+        regions: dict[str, tuple[list[VirtualMachine], BrowserPopulation, int]],
+        policy: Policy,
+        predictor: RttfPredictor,
+        rngs: RngRegistry,
+        era_s: float = 30.0,
+        beta: float = 0.5,
+        rttf_threshold_s: float = 240.0,
+        overlay: OverlayNetwork | None = None,
+        mean_demand: float = 1.5,
+    ) -> None:
+        if not regions:
+            raise ValueError("need at least one region")
+        if era_s <= 0:
+            raise ValueError("era_s must be positive")
+        self.sim = Simulator()
+        self.policy = policy
+        self.predictor = predictor
+        self.era_s = float(era_s)
+        self.rttf_threshold_s = float(rttf_threshold_s)
+        self.mean_demand = float(mean_demand)
+        self.region_names = sorted(regions)
+        self.aggregator = RmttfAggregator(beta)
+        self.traces = TraceRecorder()
+        self.fractions = policy.initial_fractions(len(self.region_names))
+        self._states: dict[str, _RegionState] = {}
+        self._rngs = {
+            name: rngs.child(name).stream("des") for name in self.region_names
+        }
+        for name in self.region_names:
+            vms, population, target = regions[name]
+            if target < 1 or target > len(vms):
+                raise ValueError(f"{name}: bad target_active {target}")
+            state = _RegionState(
+                name=name,
+                vms=vms,
+                population=population,
+                target_active=target,
+                in_flight={vm.name: 0 for vm in vms},
+            )
+            self._states[name] = state
+            self._ensure_active(state)
+        self.overlay = overlay
+        self._router = Router(overlay) if overlay is not None else None
+        self._plan = build_forward_plan(
+            self.region_names,
+            self._arrival_fractions(),
+            self.fractions,
+        )
+        self.era_index = 0
+        self.total_rejuvenations = 0
+        self.total_failures = 0
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # request-level machinery
+    # ------------------------------------------------------------------ #
+
+    def _arrival_fractions(self) -> np.ndarray:
+        counts = np.array(
+            [self._states[r].population.n_clients for r in self.region_names],
+            dtype=float,
+        )
+        return counts / counts.sum()
+
+    def _ensure_active(self, state: _RegionState) -> None:
+        while len(state.active()) < state.target_active and state.standby():
+            state.standby()[0].activate()
+
+    def _forward_latency_s(self, src: str, dst: str) -> float:
+        if src == dst or self._router is None:
+            return 0.0
+        try:
+            return 2.0 * self._router.latency(src, dst) / 1000.0
+        except Exception:
+            return 0.5
+
+    def _start_browsers(self) -> None:
+        for name in self.region_names:
+            state = self._states[name]
+            rng = self._rngs[name]
+            for _ in range(state.population.n_clients):
+                delay = float(rng.exponential(state.population.think_time_s))
+                self.sim.schedule_after(
+                    delay, lambda n=name: self._issue(n)
+                )
+
+    def _route_region(self, arrival: str) -> str:
+        """Sample the processing region from the plan row of ``arrival``."""
+        i = self.region_names.index(arrival)
+        row = self._plan.matrix[i]
+        rng = self._rngs[arrival]
+        j = int(rng.choice(len(row), p=row / row.sum()))
+        return self.region_names[j]
+
+    def _issue(self, arrival: str) -> None:
+        target_name = self._route_region(arrival)
+        state = self._states[target_name]
+        rng = self._rngs[arrival]
+        active = state.active()
+        if not active:
+            # regional outage: retry after thinking
+            self._schedule_next(arrival)
+            return
+        loads = np.array([state.in_flight[vm.name] for vm in active])
+        candidates = np.flatnonzero(loads == loads.min())
+        vm = active[int(rng.choice(candidates))]
+        state.in_flight[vm.name] += 1
+        t_start = self.sim.now
+        extra = self._forward_latency_s(arrival, target_name)
+        share = max(state.in_flight[vm.name], 1)
+        mu = vm.effective_capacity / self.mean_demand / share
+        service = float(rng.exponential(1.0 / mu)) if mu > 0 else 1.0
+
+        def complete(vm=vm, state=state, arrival=arrival, t_start=t_start,
+                     extra=extra) -> None:
+            state.in_flight[vm.name] -= 1
+            rt = (self.sim.now - t_start) + extra
+            state.era_completed += 1
+            state.era_response_sum += rt
+            if vm.state is VmState.ACTIVE:
+                effect = vm.injector.inject(1)
+                vm.leaked_mb += effect.leaked_mb
+                vm.stuck_threads += effect.stuck_threads
+                vm.total_requests += 1
+                vm.last_response_time_s = rt
+                if vm.failure_point_reached():
+                    vm.fail()
+                    self.total_failures += 1
+            self._schedule_next(arrival)
+
+        self.sim.schedule_after(service, complete)
+
+    def _schedule_next(self, arrival: str) -> None:
+        state = self._states[arrival]
+        rng = self._rngs[arrival]
+        think = float(rng.exponential(state.population.think_time_s))
+        self.sim.schedule_after(think, lambda: self._issue(arrival))
+
+    # ------------------------------------------------------------------ #
+    # era boundary: Analyze / Plan / Execute
+    # ------------------------------------------------------------------ #
+
+    def run_era(self) -> dict[str, float]:
+        """Advance one era of request events, then run the control cycle.
+
+        Returns the per-region RMTTF after Eq. (1).
+        """
+        if not self._started:
+            self._start_browsers()
+            self._started = True
+        t_end = self.sim.now + self.era_s
+        self.sim.run_until(t_end)
+        now = self.sim.now
+
+        reports: dict[str, float] = {}
+        lam = 0.0
+        for name in self.region_names:
+            state = self._states[name]
+            # uptime bookkeeping for this era
+            for vm in state.vms:
+                if vm.state is VmState.ACTIVE:
+                    vm.uptime_s += self.era_s
+                    vm.last_request_rate = (
+                        state.era_completed
+                        / max(len(state.active()), 1)
+                        / self.era_s
+                    )
+                elif vm.state in (VmState.STANDBY, VmState.REJUVENATING):
+                    vm.idle(self.era_s)
+            # PCAM: predict, swap at-risk VMs against standbys
+            mttf_values = []
+            at_risk: list[tuple[float, VirtualMachine]] = []
+            for vm in state.active():
+                rttf = self.predictor.predict_rttf(vm)
+                mttf_values.append(self.predictor.predict_mttf(vm))
+                if rttf < self.rttf_threshold_s:
+                    at_risk.append((rttf, vm))
+            at_risk.sort(key=lambda p: p[0])
+            n_standby = len(state.standby())
+            for rttf, vm in at_risk:
+                if n_standby > 0:
+                    n_standby -= 1
+                elif rttf >= self.era_s:
+                    continue
+                vm.start_rejuvenation()
+                self.total_rejuvenations += 1
+            for vm in state.vms:
+                if vm.state is VmState.FAILED:
+                    vm.start_rejuvenation()
+                    self.total_rejuvenations += 1
+            self._ensure_active(state)
+
+            reports[name] = float(np.mean(mttf_values)) if mttf_values else 0.0
+            rate = state.era_completed / self.era_s
+            lam += rate
+            mean_rt = (
+                state.era_response_sum / state.era_completed
+                if state.era_completed
+                else 0.0
+            )
+            self.traces.record(f"response_time/{name}", now, mean_rt)
+            state.era_completed = 0
+            state.era_response_sum = 0.0
+
+        # leader: Eq. (1), POLICY(), new plan
+        current = self.aggregator.update_all(reports)
+        rmttf_vec = np.array([current[r] for r in self.region_names])
+        self.fractions = self.policy.compute(
+            self.fractions, rmttf_vec, max(lam, 1e-9)
+        )
+        self._plan = build_forward_plan(
+            self.region_names, self._arrival_fractions(), self.fractions
+        )
+        for j, name in enumerate(self.region_names):
+            self.traces.record(f"rmttf/{name}", now, float(rmttf_vec[j]))
+            self.traces.record(
+                f"fraction/{name}", now, float(self.fractions[j])
+            )
+        self.era_index += 1
+        return current
+
+    def run(self, n_eras: int) -> dict[str, float]:
+        """Run several eras; returns the final RMTTF snapshot."""
+        if n_eras < 1:
+            raise ValueError("n_eras must be >= 1")
+        out: dict[str, float] = {}
+        for _ in range(n_eras):
+            out = self.run_era()
+        return out

@@ -1,0 +1,186 @@
+"""The distributed control plane: detectors + gossip + the MAPE loop.
+
+The basic :class:`~repro.core.control_loop.AcmControlLoop` reads liveness
+and elects its leader from the overlay *oracle* (the live topology graph),
+which is the right abstraction level for the policy study.  This module
+composes the real distributed machinery underneath it, as Figure 1 draws:
+
+* every controller runs a :class:`~repro.overlay.heartbeat.HeartbeatDetector`
+  and derives its *local* leader from its own detector view;
+* every controller publishes its region's era state (RMTTF, fraction,
+  pool size) into a :class:`~repro.overlay.state_sync.StateStore`,
+  disseminated by anti-entropy gossip -- so whichever controller takes
+  over as leader holds warm state;
+* the message traffic (heartbeats + gossip) shares one bus per overlay,
+  with a per-node handler multiplexer.
+
+:class:`DistributedControlPlane` advances the simulator between control
+eras so the background protocols run *in the same simulated time* as the
+loop, and reports when the decentralised leader view disagrees with the
+oracle (it may, transiently, right after failures -- that window is
+exactly the detector timeout, and the tests measure it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.control_loop import AcmControlLoop, EraSummary
+from repro.overlay.heartbeat import HeartbeatDetector, build_detector_mesh
+from repro.overlay.messaging import Message, MessageBus
+from repro.overlay.state_sync import GossipSync, StateStore
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class PlaneEraReport:
+    """One era's view of the distributed control plane."""
+
+    summary: EraSummary
+    oracle_leader: str
+    detector_leaders: dict[str, str]
+    views_agree: bool
+    #: worst-case staleness (in eras) of any live node's view of any live
+    #: region; with continuous updates the vectors are never *identical*,
+    #: so freshness-within-a-bound is the meaningful convergence notion.
+    max_staleness_eras: int
+
+    @property
+    def gossip_fresh(self) -> bool:
+        """Every live node's view lags every live region by <= 3 eras."""
+        return self.max_staleness_eras <= 3
+
+
+class DistributedControlPlane:
+    """Runs the overlay's distributed services alongside the control loop.
+
+    Parameters
+    ----------
+    loop:
+        The configured control loop (its overlay and router are reused).
+    heartbeat_period_s, detector_timeout_s:
+        Failure-detector tuning; the timeout bounds how long a dead
+        leader keeps being followed.
+    gossip_period_s:
+        Anti-entropy round interval.
+    """
+
+    def __init__(
+        self,
+        loop: AcmControlLoop,
+        heartbeat_period_s: float = 5.0,
+        detector_timeout_s: float = 15.0,
+        gossip_period_s: float = 10.0,
+    ) -> None:
+        self.loop = loop
+        self.sim = Simulator()
+        self.bus = MessageBus(sim=self.sim, router=loop.router)
+        nodes = list(loop.regions)
+        self.detectors: dict[str, HeartbeatDetector] = build_detector_mesh(
+            nodes,
+            self.sim,
+            self.bus,
+            period_s=heartbeat_period_s,
+            timeout_s=detector_timeout_s,
+            register=False,
+            start=False,
+        )
+        self.stores = {n: StateStore(n) for n in nodes}
+        self.gossip = GossipSync(
+            self.stores,
+            self.sim,
+            self.bus,
+            period_s=gossip_period_s,
+            register=False,
+        )
+        # one bus registration per node, demultiplexing by message kind
+        for node in nodes:
+            self.bus.register(node, self._make_mux(node))
+        for det in self.detectors.values():
+            det.start()
+        self.gossip.start()
+        self.reports: list[PlaneEraReport] = []
+
+    def _make_mux(self, node: str):
+        gossip_handler = self.gossip.make_handler(node)
+        detector = self.detectors[node]
+
+        def mux(msg: Message) -> None:
+            if msg.kind == "heartbeat":
+                detector.on_message(msg)
+            elif msg.kind == "state-gossip":
+                gossip_handler(msg)
+
+        return mux
+
+    # ------------------------------------------------------------------ #
+
+    def run_era(self) -> PlaneEraReport:
+        """One control era with the background protocols running.
+
+        Order within the era: background traffic first (heartbeats and
+        gossip for the era's duration), then the loop's MAPE cycle, then
+        each region publishes its fresh state for the next gossip rounds.
+        """
+        era_s = self.loop.config.era_s
+        self.sim.run_until(self.sim.now + era_s)
+        summary = self.loop.run_era()
+        for region in self.loop.regions:
+            if self.loop.overlay.is_alive(region):
+                self.stores[region].update_local(
+                    {
+                        "rmttf": summary.rmttf[region],
+                        "fraction": summary.fractions[region],
+                        "active_vms": summary.active_vms[region],
+                        "era": summary.era,
+                    }
+                )
+        detector_leaders = {
+            n: det.local_leader()
+            for n, det in self.detectors.items()
+            if self.loop.overlay.is_alive(n)
+        }
+        views = set(detector_leaders.values())
+        live = [r for r in self.loop.regions if self.loop.overlay.is_alive(r)]
+        staleness = 0
+        for node in live:
+            for region in live:
+                entry = self.stores[node].get(region)
+                if entry is None:
+                    staleness = max(staleness, summary.era + 1)
+                else:
+                    staleness = max(
+                        staleness, summary.era - entry.payload["era"]
+                    )
+        report = PlaneEraReport(
+            summary=summary,
+            oracle_leader=summary.leader,
+            detector_leaders=detector_leaders,
+            views_agree=(
+                len(views) == 1 and views == {summary.leader}
+            ),
+            max_staleness_eras=int(staleness),
+        )
+        self.reports.append(report)
+        return report
+
+    def run(self, n_eras: int) -> list[PlaneEraReport]:
+        """Run several eras; returns the per-era plane reports."""
+        if n_eras < 1:
+            raise ValueError("n_eras must be >= 1")
+        return [self.run_era() for _ in range(n_eras)]
+
+    # ------------------------------------------------------------------ #
+
+    def state_view(self, node: str) -> dict[str, dict]:
+        """What ``node`` currently believes about every region."""
+        return {
+            region: entry.payload
+            for region, entry in self.stores[node].snapshot().items()
+        }
+
+    def agreement_fraction(self) -> float:
+        """Share of eras where detector views matched the oracle leader."""
+        if not self.reports:
+            return float("nan")
+        return sum(r.views_agree for r in self.reports) / len(self.reports)

@@ -1,0 +1,177 @@
+"""The global forward plan -- Sec. V.
+
+"ACM Framework assumes that a user can arbitrarily connect to whichever
+cloud region.  Each region has a load balancer (LB) to which users send
+requests.  In order to achieve that any region i processes the established
+fraction of requests f_i over the global incoming requests, ACM Framework
+uses a global forward plan.  ...  this plan establishes the fractions of
+requests that are sent from users to the LB of a region that have to be
+forwarded to the local region and to be forwarded to LBs of other regions."
+
+Formally: clients deliver share ``a_i`` of the global stream to region i's
+LB; the plan is a row-stochastic matrix ``P`` with
+
+    sum_i a_i * P[i, j] = f_j        for every region j,
+
+so that after forwarding, region j processes exactly its assigned fraction.
+:func:`build_forward_plan` computes the plan that maximises locally served
+traffic (process at home what you can; forward only the surplus), which
+minimises the inter-region redirection overhead the paper worries about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ForwardPlan:
+    """An immutable forwarding matrix with its region order.
+
+    Attributes
+    ----------
+    regions:
+        Region order indexing both matrix axes.
+    matrix:
+        ``P[i, j]`` = fraction of requests arriving at region i's LB that
+        are forwarded to region j (row-stochastic).
+    arrival_fractions:
+        The client arrival shares ``a_i`` the plan was built for.
+    """
+
+    regions: tuple[str, ...]
+    matrix: np.ndarray
+    arrival_fractions: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.regions)
+        if self.matrix.shape != (n, n):
+            raise ValueError(
+                f"matrix shape {self.matrix.shape} does not match "
+                f"{n} regions"
+            )
+        if np.any(self.matrix < -1e-9):
+            raise ValueError("plan has negative entries")
+        if not np.allclose(self.matrix.sum(axis=1), 1.0, atol=1e-6):
+            raise ValueError("plan rows must sum to 1")
+
+    def processed_fractions(self) -> np.ndarray:
+        """The ``f_j`` this plan realises: ``a @ P``."""
+        return self.arrival_fractions @ self.matrix
+
+    def local_fraction(self) -> float:
+        """Share of global traffic served in its arrival region."""
+        return float(
+            (self.arrival_fractions * np.diag(self.matrix)).sum()
+        )
+
+    def forwarded_fraction(self) -> float:
+        """Share of global traffic redirected between regions.
+
+        The redirection overhead proxy: Policy 1's oscillations inflate
+        this, which "generates additional overhead in the system"
+        (Sec. VI-B).
+        """
+        return 1.0 - self.local_fraction()
+
+    def route_counts(
+        self, arrivals: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Forward per-region arrival counts through the plan.
+
+        Parameters
+        ----------
+        arrivals:
+            Integer requests arriving at each region's LB this era.
+        rng:
+            If given, requests are routed multinomially (stochastic); if
+            ``None``, deterministic largest-remainder apportionment.
+
+        Returns the integer matrix ``C[i, j]`` of requests moved i -> j.
+        """
+        arrivals = np.asarray(arrivals)
+        n = len(self.regions)
+        if arrivals.shape != (n,):
+            raise ValueError(f"expected {n} arrival counts")
+        if np.any(arrivals < 0):
+            raise ValueError("arrival counts must be >= 0")
+        out = np.zeros((n, n), dtype=int)
+        for i in range(n):
+            total = int(arrivals[i])
+            if total == 0:
+                continue
+            row = self.matrix[i]
+            if rng is not None:
+                out[i] = rng.multinomial(total, row / row.sum())
+            else:
+                exact = total * row / row.sum()
+                base = np.floor(exact).astype(int)
+                leftover = total - int(base.sum())
+                if leftover > 0:
+                    order = np.argsort(-(exact - base), kind="stable")
+                    base[order[:leftover]] += 1
+                out[i] = base
+        return out
+
+
+def build_forward_plan(
+    regions: list[str],
+    arrival_fractions: np.ndarray,
+    target_fractions: np.ndarray,
+) -> ForwardPlan:
+    """Compute the locality-maximising plan realising ``target_fractions``.
+
+    Greedy transportation solve: every region first keeps
+    ``min(a_i, f_i)`` of its arrivals; regions with surplus arrivals
+    (``a_i > f_i``) ship the excess to regions with deficits
+    (``f_j > a_j``), apportioned proportionally to the deficits.  This
+    yields the plan with the maximum possible :meth:`ForwardPlan.local_fraction`.
+
+    Parameters
+    ----------
+    regions:
+        Region order.
+    arrival_fractions:
+        ``a_i`` >= 0, summing to 1 (validated within tolerance).
+    target_fractions:
+        ``f_j`` >= 0, summing to 1 (the policy output).
+    """
+    a = np.asarray(arrival_fractions, dtype=float)
+    f = np.asarray(target_fractions, dtype=float)
+    n = len(regions)
+    if a.shape != (n,) or f.shape != (n,):
+        raise ValueError(
+            f"need {n}-vectors; got arrivals {a.shape}, targets {f.shape}"
+        )
+    for name, v in (("arrival", a), ("target", f)):
+        if np.any(v < -1e-12):
+            raise ValueError(f"{name} fractions must be non-negative")
+        if not np.isclose(v.sum(), 1.0, atol=1e-6):
+            raise ValueError(f"{name} fractions must sum to 1, got {v.sum()}")
+
+    surplus = np.maximum(a - f, 0.0)  # arrivals beyond local assignment
+    deficit = np.maximum(f - a, 0.0)  # assignment beyond local arrivals
+    total_deficit = deficit.sum()
+
+    P = np.zeros((n, n))
+    for i in range(n):
+        if a[i] <= 1e-15:
+            # No arrivals here: the row is never exercised; keep local.
+            P[i, i] = 1.0
+            continue
+        keep = min(a[i], f[i])
+        P[i, i] = keep / a[i]
+        if surplus[i] > 0 and total_deficit > 0:
+            # ship the surplus proportionally to deficits elsewhere
+            for j in range(n):
+                if j != i and deficit[j] > 0:
+                    P[i, j] = (surplus[i] * deficit[j] / total_deficit) / a[i]
+    # Normalise rows against floating-point drift.
+    rows = P.sum(axis=1, keepdims=True)
+    rows[rows == 0] = 1.0
+    P = P / rows
+    return ForwardPlan(
+        regions=tuple(regions), matrix=P, arrival_fractions=a.copy()
+    )

@@ -1,0 +1,239 @@
+"""AcmManager -- the top-level façade of the reproduction.
+
+Wires together everything a deployment needs: per-region VM pools built
+from the instance catalog, anomaly injectors with disjoint random streams,
+an RTTF predictor (a trained F2PM model or the oracle), browser
+populations, the controller overlay, and the closed control loop.
+
+This is the public entry point used by the examples and the benchmark
+harness::
+
+    manager = AcmManager(
+        regions=[
+            RegionSpec("region1", "m3.medium", n_vms=6, target_active=4,
+                       clients=160),
+            RegionSpec("region3", "private.small", n_vms=4, target_active=3,
+                       clients=96),
+        ],
+        policy="available-resources",
+        seed=7,
+    )
+    summaries = manager.run(eras=200)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.autoscale import Autoscaler, AutoscaleConfig
+from repro.core.control_loop import AcmControlLoop, ControlLoopConfig, EraSummary
+from repro.core.policy import Policy, get_policy
+from repro.overlay.network import OverlayNetwork
+from repro.pcam.predictor import OracleRttfPredictor, RttfPredictor
+from repro.pcam.vm import FailurePolicy, VirtualMachine
+from repro.pcam.vmc import VirtualMachineController, VmcConfig
+from repro.sim.instances import get_instance_type
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import TraceRecorder
+from repro.workload.anomalies import (
+    DEFAULT_LEAK_PROBABILITY,
+    DEFAULT_THREAD_PROBABILITY,
+    AnomalyInjector,
+)
+from repro.workload.browsers import BrowserPopulation
+from repro.workload.tpcw import MIX_SHOPPING, RequestMix
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """Declarative description of one cloud region.
+
+    Parameters
+    ----------
+    name:
+        Region identifier ("region1").
+    instance_type:
+        Catalog name of the VM shape hosted in this region.
+    n_vms:
+        Total VM pool (ACTIVE + STANDBY).
+    target_active:
+        ACTIVE pool size the VMC maintains.
+    clients:
+        Emulated browsers connected to this region's LB (paper: [16, 512]).
+    rttf_threshold_s:
+        Proactive-rejuvenation threshold of this region's VMC.
+    rejuvenation_time_s:
+        Restart duration of this region's VMs.
+    """
+
+    name: str
+    instance_type: str
+    n_vms: int
+    target_active: int
+    clients: int
+    rttf_threshold_s: float = 240.0
+    rejuvenation_time_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.n_vms < 1:
+            raise ValueError(f"{self.name}: n_vms must be >= 1")
+        if not 1 <= self.target_active <= self.n_vms:
+            raise ValueError(
+                f"{self.name}: target_active must be in [1, n_vms]"
+            )
+        if self.clients < 1:
+            raise ValueError(f"{self.name}: clients must be >= 1")
+
+
+@dataclass
+class AcmManager:
+    """Builds and drives a full ACM deployment.
+
+    Parameters
+    ----------
+    regions:
+        Region specs (at least one).
+    policy:
+        Policy instance or registry name
+        (``"sensible-routing"``, ``"available-resources"``,
+        ``"exploration"``, ``"uniform"``, ``"static-weights"``).
+    seed:
+        Root seed; every stochastic component derives a named stream.
+    predictor:
+        RTTF predictor shared by all VMCs; defaults to the mean-field
+        oracle.  Pass a :class:`~repro.pcam.predictor.TrainedRttfPredictor`
+        for the full ML-in-the-loop configuration.
+    mix:
+        TPC-W mix driving the request classes.
+    era_s, beta:
+        Control-loop period and Eq. (1) weight.
+    leak_probability, thread_probability:
+        Anomaly-injection probabilities (paper: 0.10 / 0.05).
+    autoscale:
+        Enable Sec. V pool resizing.
+    overlay_latency_ms:
+        Uniform full-mesh latency between region controllers; pass an
+        :class:`~repro.overlay.network.OverlayNetwork` via ``overlay`` for
+        a custom topology.
+    """
+
+    regions: list[RegionSpec]
+    policy: Policy | str = "available-resources"
+    seed: int = 0
+    predictor: RttfPredictor | None = None
+    mix: RequestMix = MIX_SHOPPING
+    era_s: float = 30.0
+    beta: float = 0.5
+    leak_probability: float = DEFAULT_LEAK_PROBABILITY
+    thread_probability: float = DEFAULT_THREAD_PROBABILITY
+    autoscale: bool = False
+    autoscale_config: AutoscaleConfig | None = None
+    overlay: OverlayNetwork | None = None
+    overlay_latency_ms: float = 20.0
+    stochastic_arrivals: bool = True
+    sla_response_time_s: float = 1.0
+    loop: AcmControlLoop = field(init=False)
+    rngs: RngRegistry = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.regions:
+            raise ValueError("need at least one region spec")
+        names = [spec.name for spec in self.regions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate region names in {names}")
+        self.rngs = RngRegistry(seed=self.seed)
+        policy = (
+            self.policy
+            if isinstance(self.policy, Policy)
+            else get_policy(self.policy)
+        )
+        predictor = self.predictor or OracleRttfPredictor(
+            mean_demand=self.mix.mean_service_demand()
+        )
+
+        vmcs: dict[str, VirtualMachineController] = {}
+        populations: dict[str, BrowserPopulation] = {}
+        for spec in self.regions:
+            vmcs[spec.name] = self._build_vmc(spec, predictor)
+            populations[spec.name] = BrowserPopulation(
+                n_clients=spec.clients,
+                mix=self.mix,
+                name=f"clients@{spec.name}",
+            )
+
+        overlay = self.overlay or self._build_overlay(names)
+        self.loop = AcmControlLoop(
+            vmcs=vmcs,
+            populations=populations,
+            policy=policy,
+            rngs=self.rngs,
+            overlay=overlay,
+            config=ControlLoopConfig(
+                era_s=self.era_s,
+                beta=self.beta,
+                stochastic_arrivals=self.stochastic_arrivals,
+                autoscale=self.autoscale,
+            ),
+            autoscaler=(
+                Autoscaler(self.autoscale_config) if self.autoscale else None
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _build_vmc(
+        self, spec: RegionSpec, predictor: RttfPredictor
+    ) -> VirtualMachineController:
+        itype = get_instance_type(spec.instance_type)
+        region_rngs = self.rngs.child(spec.name)
+        failure_policy = FailurePolicy(
+            sla_response_time_s=self.sla_response_time_s
+        )
+        vms = [
+            VirtualMachine(
+                name=f"{spec.name}/vm{i}",
+                itype=itype,
+                injector=AnomalyInjector(
+                    region_rngs.stream(f"anomalies/vm{i}"),
+                    leak_probability=self.leak_probability,
+                    thread_probability=self.thread_probability,
+                ),
+                failure_policy=failure_policy,
+                rejuvenation_time_s=spec.rejuvenation_time_s,
+            )
+            for i in range(spec.n_vms)
+        ]
+        return VirtualMachineController(
+            region_name=spec.name,
+            vms=vms,
+            predictor=predictor,
+            config=VmcConfig(
+                rttf_threshold_s=spec.rttf_threshold_s,
+                target_active=spec.target_active,
+                mean_demand=self.mix.mean_service_demand(),
+            ),
+        )
+
+    def _build_overlay(self, names: list[str]) -> OverlayNetwork:
+        net = OverlayNetwork()
+        for n in names:
+            net.add_node(n)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                net.add_link(a, b, self.overlay_latency_ms)
+        return net
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, eras: int) -> list[EraSummary]:
+        """Run ``eras`` control cycles; returns their summaries."""
+        return self.loop.run(eras)
+
+    @property
+    def traces(self) -> TraceRecorder:
+        """All time series recorded so far (RMTTF, fractions, ...)."""
+        return self.loop.traces
+
+    def region_names(self) -> list[str]:
+        """Region order used by every vector in the loop."""
+        return list(self.loop.regions)

@@ -1,0 +1,168 @@
+"""Mean-field capacity planning: sizing pools for a target RMTTF.
+
+The whole reproduction rests on one mean-field relation: a VM serving
+``r`` requests/second exhausts its anomaly budget (memory + swap or
+thread slots, whichever binds first) after ``TTF(r)`` seconds, and a
+region of ``n`` such VMs sharing rate ``R`` shows
+``RMTTF ~ TTF(R / n)``.  Inverting that relation answers the operator
+question the paper's Sec. V autoscaling solves reactively: *how many
+ACTIVE VMs does a region need so the RMTTF stays above a target at a
+given load?* -- plus the standby count needed to keep the rejuvenation
+pipeline fed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from repro.sim.instances import InstanceType, get_instance_type
+from repro.workload.anomalies import AnomalyInjector
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class PoolPlan:
+    """Recommended pool sizing for one region."""
+
+    instance_type: str
+    request_rate: float
+    target_rmttf_s: float
+    active_vms: int
+    standby_vms: int
+    expected_rmttf_s: float
+    expected_utilisation: float
+
+    @property
+    def total_vms(self) -> int:
+        return self.active_vms + self.standby_vms
+
+
+def _probe_injector(
+    leak_probability: float, thread_probability: float
+) -> AnomalyInjector:
+    # mean-field computations only touch expected rates; the stream is
+    # never drawn from, so any generator works
+    return AnomalyInjector(
+        np.random.default_rng(0),
+        leak_probability=leak_probability,
+        thread_probability=thread_probability,
+    )
+
+
+def mean_field_ttf(
+    itype: InstanceType,
+    per_vm_rate: float,
+    leak_probability: float = 0.10,
+    thread_probability: float = 0.05,
+    mean_demand: float = 1.5,
+) -> float:
+    """Expected time to the failure point at a steady per-VM rate.
+
+    Uses a fresh VM of the given shape; see
+    :meth:`repro.pcam.vm.VirtualMachine.true_time_to_failure_s`.
+    """
+    from repro.pcam.vm import VirtualMachine
+
+    if per_vm_rate <= 0:
+        return float("inf")
+    vm = VirtualMachine(
+        "planner/probe",
+        itype,
+        _probe_injector(leak_probability, thread_probability),
+    )
+    vm.activate()
+    return vm.true_time_to_failure_s(per_vm_rate, mean_demand)
+
+
+def recommend_pool(
+    instance_type: str,
+    request_rate: float,
+    target_rmttf_s: float,
+    rejuvenation_time_s: float = 120.0,
+    rttf_threshold_s: float = 240.0,
+    max_vms: int = 256,
+    leak_probability: float = 0.10,
+    thread_probability: float = 0.05,
+    mean_demand: float = 1.5,
+    max_utilisation: float = 0.7,
+) -> PoolPlan:
+    """Smallest ACTIVE pool meeting the RMTTF target (plus standbys).
+
+    The ACTIVE count must satisfy both the RMTTF target (``TTF(R/n) >=
+    target``) and a utilisation ceiling (queueing headroom).  Standbys
+    cover the rejuvenation pipeline: with VM lifetime ``L = TTF -
+    threshold`` and restart time ``T``, about ``n * T / L`` VMs are
+    mid-restart at any instant (rounded up, minimum 1).
+
+    Raises
+    ------
+    ValueError
+        If no pool within ``max_vms`` meets the target (the target is
+        unreachable at this load with this shape).
+    """
+    if request_rate <= 0:
+        raise ValueError("request_rate must be positive")
+    if target_rmttf_s <= 0:
+        raise ValueError("target_rmttf_s must be positive")
+    if not 0 < max_utilisation < 1:
+        raise ValueError("max_utilisation must be in (0, 1)")
+    itype = get_instance_type(instance_type)
+    service_rate = itype.cpu_power / mean_demand
+    for n in range(1, max_vms + 1):
+        per_vm = request_rate / n
+        utilisation = per_vm / service_rate
+        if utilisation > max_utilisation:
+            continue
+        ttf = mean_field_ttf(
+            itype, per_vm, leak_probability, thread_probability, mean_demand
+        )
+        if ttf < target_rmttf_s:
+            continue
+        # standby sizing from the rejuvenation pipeline
+        lifetime = max(ttf - rttf_threshold_s, rttf_threshold_s)
+        in_restart = n * rejuvenation_time_s / lifetime
+        standby = max(1, math.ceil(in_restart))
+        return PoolPlan(
+            instance_type=instance_type,
+            request_rate=float(request_rate),
+            target_rmttf_s=float(target_rmttf_s),
+            active_vms=n,
+            standby_vms=standby,
+            expected_rmttf_s=float(ttf),
+            expected_utilisation=float(utilisation),
+        )
+    raise ValueError(
+        f"no pool of <= {max_vms} x {instance_type} reaches "
+        f"RMTTF {target_rmttf_s}s at {request_rate} req/s"
+    )
+
+
+def plan_deployment(
+    shapes: dict[str, str],
+    loads: dict[str, float],
+    target_rmttf_s: float,
+    **kwargs,
+) -> dict[str, PoolPlan]:
+    """Size every region of a deployment for a common RMTTF target.
+
+    Parameters
+    ----------
+    shapes:
+        region -> instance-type name.
+    loads:
+        region -> expected request rate (requests/second).
+    target_rmttf_s:
+        The common RMTTF all regions should sustain -- the balanced state
+        the paper's policies drive toward.
+    """
+    if set(shapes) != set(loads):
+        raise ValueError("shapes and loads must cover the same regions")
+    return {
+        region: recommend_pool(
+            shapes[region], loads[region], target_rmttf_s, **kwargs
+        )
+        for region in sorted(shapes)
+    }

@@ -1,0 +1,115 @@
+"""Online response-time prediction for the autoscaler -- Sec. V.
+
+"each local VMC controller uses the ML-based prediction models offered by
+F2PM to determine, via correlation analysis, whether the clients directly
+connected to the region are experiencing a Response Time which is over a
+pre-defined threshold."
+
+The autoscaler should grow the pool *before* clients feel the overload,
+which needs a response-time forecast rather than the last measurement.
+:class:`ResponseTimePredictor` learns, online, the relation between the
+observables of each era -- per-active-VM request rate and pool size -- and
+the measured response time, using recursive least squares on the features
+
+    [1, rho, rho^2]      with rho = rate / (n_active * nominal_capacity)
+
+(the quadratic captures the convex blow-up of queueing delay).  Each era
+the controller feeds the measurement in and asks for the response time at
+the *projected* next-era load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class ResponseTimePredictor:
+    """Recursive-least-squares forecaster of regional response time.
+
+    Parameters
+    ----------
+    nominal_capacity:
+        Demand-normalised requests/second one healthy VM serves (used to
+        normalise the utilisation feature).
+    forgetting:
+        RLS forgetting factor in (0, 1]; values below 1 let the model
+        track the slow drift caused by anomaly accumulation.
+    """
+
+    N_FEATURES = 3
+
+    def __init__(
+        self, nominal_capacity: float, forgetting: float = 0.98
+    ) -> None:
+        if nominal_capacity <= 0:
+            raise ValueError("nominal_capacity must be positive")
+        if not 0.0 < forgetting <= 1.0:
+            raise ValueError("forgetting must be in (0, 1]")
+        self.nominal_capacity = float(nominal_capacity)
+        self.forgetting = float(forgetting)
+        # RLS state: weights and inverse covariance
+        self._w = np.zeros(self.N_FEATURES)
+        self._P = np.eye(self.N_FEATURES) * 1e3
+        self._n_obs = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _features(self, request_rate: float, n_active: int) -> np.ndarray:
+        if n_active < 1:
+            raise ValueError("n_active must be >= 1")
+        if request_rate < 0:
+            raise ValueError("request_rate must be >= 0")
+        rho = request_rate / (n_active * self.nominal_capacity)
+        rho = min(rho, 2.0)  # saturate: past 2x nominal it is all overload
+        return np.array([1.0, rho, rho * rho])
+
+    def observe(
+        self, request_rate: float, n_active: int, response_time_s: float
+    ) -> None:
+        """Feed one era's measurement into the RLS update."""
+        if response_time_s < 0:
+            raise ValueError("response_time_s must be >= 0")
+        x = self._features(request_rate, n_active)
+        lam = self.forgetting
+        Px = self._P @ x
+        denom = lam + float(x @ Px)
+        k = Px / denom
+        err = response_time_s - float(x @ self._w)
+        self._w = self._w + k * err
+        self._P = (self._P - np.outer(k, Px)) / lam
+        self._n_obs += 1
+
+    def predict(self, request_rate: float, n_active: int) -> float:
+        """Forecast the response time at a hypothetical load point.
+
+        Clamped below at 0 (the quadratic can dip negative far from the
+        observed range).  Before any observation returns 0.0 -- callers
+        treat the forecaster as warming up.
+        """
+        if self._n_obs == 0:
+            return 0.0
+        x = self._features(request_rate, n_active)
+        return max(float(x @ self._w), 0.0)
+
+    @property
+    def n_observations(self) -> int:
+        """How many eras the model has absorbed."""
+        return self._n_obs
+
+    def would_violate(
+        self,
+        request_rate: float,
+        n_active: int,
+        threshold_s: float,
+        warmup: int = 10,
+    ) -> bool:
+        """The Sec. V predicate: predicted response time over threshold.
+
+        Conservative during warm-up (returns False until ``warmup``
+        observations) so the autoscaler does not act on a wild model.
+        """
+        if threshold_s <= 0:
+            raise ValueError("threshold_s must be positive")
+        if self._n_obs < warmup:
+            return False
+        return self.predict(request_rate, n_active) > threshold_s

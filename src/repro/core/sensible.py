@@ -1,0 +1,62 @@
+"""Policy 1 -- Sensible Routing, Eq. (2).
+
+Based on Wang & Gelenbe's adaptive task dispatching (paper ref. [34]):
+
+    f_i = RMTTF_i^t / sum_j RMTTF_j^t
+
+"the fraction of requests forwarded to a region i is proportional to the
+weight of the current RMTTF of the region over the sum of the last RMTTF of
+all regions" (Sec. IV-A).
+
+Why the paper finds it fails under heterogeneity: the policy sends *more*
+load to healthier regions, but a region's RMTTF falls roughly as
+``C_i / (f_i * lambda)`` (capacity over received rate), so the fixed point
+satisfies ``f_i proportional to sqrt(C_i)`` -- not ``C_i`` -- and the
+equilibrium RMTTFs ``~ sqrt(C_i)`` differ across heterogeneous regions.
+The feedback through the EWMA delay also under-damps, producing the
+fraction oscillations visible in Figures 3-4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policy import Policy, register_policy
+
+
+@register_policy
+class SensibleRoutingPolicy(Policy):
+    """Eq. (2): fractions proportional to (a power of) the current RMTTF.
+
+    Parameters
+    ----------
+    gamma:
+        Sensitivity exponent from the underlying sensible-routing scheme
+        of Wang & Gelenbe: ``f_i ~ RMTTF_i^gamma``.  The paper's Eq. (2)
+        is ``gamma = 1``.  With ``RMTTF ~ C / (f lambda)`` the fixed point
+        is ``f ~ C^(gamma/(1+gamma))`` and ``RMTTF ~ C^(1/(1+gamma))``:
+        larger gamma *narrows* the steady RMTTF gap but amplifies the
+        feedback gain, so the fractions oscillate harder (approaching
+        winner-take-all thrash as gamma grows); smaller gamma is calm but
+        leaves the regions further apart.  Neither end fixes Policy 1 --
+        quantified in the ablation bench.
+    """
+
+    name = "sensible-routing"
+
+    def __init__(self, gamma: float = 1.0, min_fraction: float = 1e-3) -> None:
+        super().__init__(min_fraction=min_fraction)
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        self.gamma = float(gamma)
+
+    def _compute(
+        self,
+        prev_fractions: np.ndarray,
+        rmttf: np.ndarray,
+        global_rate: float,
+    ) -> np.ndarray:
+        # The base class normalises; the raw score is RMTTF^gamma.
+        if self.gamma == 1.0:
+            return rmttf.copy()
+        return np.power(rmttf, self.gamma)

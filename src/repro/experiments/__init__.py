@@ -1,0 +1,51 @@
+"""The evaluation harness: scenarios, runners, and figure reproductions.
+
+* :mod:`repro.experiments.scenarios` -- the paper's exact testbed
+  (Sec. VI-A): Region 1 (EC2 Ireland, 6 x m3.medium), Region 2 (EC2
+  Frankfurt, 12 x m3.small), Region 3 (private Munich, 4 small VMs);
+* :mod:`repro.experiments.runner` -- generic policy x scenario driver,
+  including the ML-in-the-loop configuration (profile, train REP-Tree,
+  deploy);
+* :mod:`repro.experiments.figure3` -- the two-region experiment of Fig. 3;
+* :mod:`repro.experiments.figure4` -- the three-region experiment of
+  Fig. 4;
+* :mod:`repro.experiments.reporting` -- ascii series tables and policy
+  verdicts printed by the benchmarks.
+"""
+
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.load_sweep import run_load_sweep, sweep_table
+from repro.experiments.runner import (
+    ExperimentResult,
+    compare_policies,
+    make_trained_predictor,
+    run_policy_experiment,
+)
+from repro.experiments.scenarios import (
+    PAPER_POLICIES,
+    three_region_scenario,
+    two_region_scenario,
+)
+from repro.experiments.reporting import (
+    assessment_table,
+    render_series,
+    sparkline,
+)
+
+__all__ = [
+    "two_region_scenario",
+    "three_region_scenario",
+    "PAPER_POLICIES",
+    "run_policy_experiment",
+    "compare_policies",
+    "make_trained_predictor",
+    "ExperimentResult",
+    "run_figure3",
+    "run_figure4",
+    "run_load_sweep",
+    "sweep_table",
+    "assessment_table",
+    "render_series",
+    "sparkline",
+]

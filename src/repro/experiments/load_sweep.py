@@ -1,0 +1,93 @@
+"""Client-count sweep over the paper's [16, 512] interval.
+
+Sec. VI-A: "We varied the number of active clients (towards each cloud
+region) in the interval [16, 512]".  The sweep quantifies how the steady
+RMTTF and the response time scale with offered load on the two-region
+deployment, and where the SLA would start to strain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.manager import AcmManager, RegionSpec
+from repro.core.metrics import assess_policy_run
+from repro.workload.browsers import CLIENT_RANGE
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """Outcome at one total client count."""
+
+    clients_region1: int
+    clients_region3: int
+    mean_rmttf_s: float
+    rmttf_spread: float
+    mean_response_s: float
+    sla_met: bool
+    rejuvenations: float
+
+
+def run_load_sweep(
+    client_counts: tuple[int, ...] = (16, 32, 64, 128, 256, 512),
+    policy: str = "available-resources",
+    eras: int = 120,
+    seed: int = 7,
+) -> list[SweepPoint]:
+    """Sweep region-1 client counts (region 3 gets ~60 % as many).
+
+    The per-region counts stay inside the paper's interval and remain
+    "significantly different" between regions, as Sec. VI-A requires.
+    """
+    lo, hi = CLIENT_RANGE
+    points: list[SweepPoint] = []
+    for n1 in client_counts:
+        if not lo <= n1 <= hi:
+            raise ValueError(f"{n1} clients outside paper range [{lo},{hi}]")
+        n3 = max(lo, int(n1 * 0.6))
+        mgr = AcmManager(
+            regions=[
+                RegionSpec("region1", "m3.medium", 8, 6, n1),
+                RegionSpec("region3", "private.small", 6, 4, n3),
+            ],
+            policy=policy,
+            seed=seed,
+        )
+        mgr.run(eras)
+        a = assess_policy_run(policy, mgr.traces)
+        rmttf_tail = [
+            s.tail_fraction(0.3).mean()
+            for s in mgr.traces.matching("rmttf/").values()
+        ]
+        points.append(
+            SweepPoint(
+                clients_region1=n1,
+                clients_region3=n3,
+                mean_rmttf_s=float(np.mean(rmttf_tail)),
+                rmttf_spread=a.rmttf_spread,
+                mean_response_s=a.mean_response_time_s,
+                sla_met=a.sla_met,
+                rejuvenations=a.total_rejuvenations,
+            )
+        )
+    return points
+
+
+def sweep_table(points: list[SweepPoint]) -> str:
+    """Render the sweep as a text table."""
+    if not points:
+        raise ValueError("no sweep points")
+    lines = [
+        f"{'clients(r1/r3)':>14} {'RMTTF':>9} {'spread':>8} "
+        f"{'resp':>9} {'rejuv':>6} {'SLA':>4}"
+    ]
+    for p in points:
+        lines.append(
+            f"{p.clients_region1:>7}/{p.clients_region3:<6} "
+            f"{p.mean_rmttf_s:>8.0f}s {p.rmttf_spread:>8.3f} "
+            f"{p.mean_response_s * 1000:>7.1f}ms {p.rejuvenations:>6.0f} "
+            f"{'ok' if p.sla_met else 'MISS':>4}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,221 @@
+"""Generic experiment driver: policy x scenario -> traces + assessment.
+
+Two predictor configurations are supported, mirroring how the paper can be
+read:
+
+* ``predictor="oracle"`` -- mean-field ground-truth RTTF, isolating the
+  *policy* dynamics (the paper's object of study) from ML error;
+* ``predictor="rep-tree"`` (or any F2PM suite name) -- the full
+  ML-in-the-loop path: profile every instance shape to failure, train the
+  model with the F2PM toolchain, deploy it in every VMC.  This is the
+  configuration the paper actually ran ("we selected REP Tree as a ML model
+  for predicting the MTTF", Sec. VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.manager import AcmManager
+from repro.core.metrics import PolicyAssessment, assess_policy_run
+from repro.experiments.scenarios import PAPER_POLICIES, Scenario
+from repro.ml.derived import augment_runs_with_slopes
+from repro.ml.features import FEATURE_NAMES
+from repro.ml.toolchain import F2PMToolchain
+from repro.ml.dataset import Dataset
+from repro.pcam.monitor import ProfilingHarness
+from repro.pcam.predictor import (
+    OracleRttfPredictor,
+    RttfPredictor,
+    TrainedRttfPredictor,
+    TrendAwareRttfPredictor,
+)
+from repro.pcam.vm import VirtualMachine
+from repro.sim.instances import get_instance_type
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import TraceRecorder
+from repro.workload.anomalies import AnomalyInjector
+from repro.workload.tpcw import MIX_SHOPPING
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one policy run produces."""
+
+    scenario: str
+    policy: str
+    traces: TraceRecorder
+    assessment: PolicyAssessment
+    eras: int
+    era_s: float
+
+
+def make_trained_predictor(
+    instance_types: list[str],
+    seed: int = 0,
+    model_name: str = "rep-tree",
+    profile_rates: tuple[float, ...] = (3.0, 5.0, 8.0, 12.0, 18.0, 26.0),
+    runs_per_rate: int = 3,
+    sample_period_s: float = 10.0,
+    use_trend_features: bool = False,
+    trend_window: int = 4,
+) -> RttfPredictor:
+    """Run the F2PM profiling phase and train an online RTTF predictor.
+
+    Each instance shape is driven to failure ``runs_per_rate`` times at each
+    profiling rate; the combined RTTF dataset trains the requested model
+    (REP-Tree by default, per Sec. VI-A).  One model serves all shapes --
+    the feature schema carries the capacity signals (free memory, thread
+    counts) that let a single tree specialise per shape.
+
+    With ``use_trend_features`` the training runs are augmented with
+    per-feature slopes (F2PM's derived features) and the returned
+    predictor computes the same trends online from a per-VM window.
+    """
+    if not instance_types:
+        raise ValueError("need at least one instance type")
+    rngs = RngRegistry(seed=seed)
+    all_runs: list[tuple] = []
+    for type_name in instance_types:
+        itype = get_instance_type(type_name)
+        counter = {"n": 0}
+
+        def factory(itype=itype, counter=counter, type_name=type_name):
+            counter["n"] += 1
+            name = f"profile/{type_name}/{counter['n']}"
+            return VirtualMachine(
+                name,
+                itype,
+                AnomalyInjector(rngs.child(name).stream("anomalies")),
+            )
+
+        harness = ProfilingHarness(factory, sample_period_s=sample_period_s)
+        all_runs.extend(
+            harness.collect_runs(
+                list(profile_rates),
+                runs_per_rate,
+                rngs.stream(f"profiling/{type_name}"),
+            )
+        )
+    if use_trend_features:
+        dataset = augment_runs_with_slopes(
+            all_runs, FEATURE_NAMES, window=trend_window
+        )
+    else:
+        dataset = Dataset.from_run_traces(all_runs, FEATURE_NAMES)
+    toolchain = F2PMToolchain(max_features=8, cv_folds=3)
+    trained = toolchain.train_best(
+        dataset, rngs.stream("toolchain"), model_name=model_name
+    )
+    if use_trend_features:
+        return TrendAwareRttfPredictor(trained, window=trend_window)
+    return TrainedRttfPredictor(trained)
+
+
+def _resolve_predictor(
+    predictor: str | RttfPredictor, scenario: Scenario, seed: int
+) -> RttfPredictor:
+    if isinstance(predictor, RttfPredictor):
+        return predictor
+    if predictor == "oracle":
+        return OracleRttfPredictor(
+            mean_demand=MIX_SHOPPING.mean_service_demand()
+        )
+    return make_trained_predictor(
+        scenario.instance_types(), seed=seed, model_name=predictor
+    )
+
+
+def run_policy_experiment(
+    scenario: Scenario,
+    policy: str,
+    eras: int = 240,
+    seed: int = 7,
+    era_s: float = 30.0,
+    beta: float = 0.5,
+    predictor: str | RttfPredictor = "oracle",
+    autoscale: bool = False,
+) -> ExperimentResult:
+    """Run one policy on one scenario and assess it.
+
+    Returns the traces (the series Figures 3-4 plot) plus the quantified
+    policy verdict.
+    """
+    if eras < 10:
+        raise ValueError("eras must be >= 10 for a meaningful assessment")
+    manager = AcmManager(
+        regions=list(scenario.regions),
+        policy=policy,
+        seed=seed,
+        era_s=era_s,
+        beta=beta,
+        predictor=_resolve_predictor(predictor, scenario, seed),
+        overlay=scenario.build_overlay(),
+        autoscale=autoscale,
+    )
+    manager.run(eras)
+    return ExperimentResult(
+        scenario=scenario.name,
+        policy=policy,
+        traces=manager.traces,
+        assessment=assess_policy_run(policy, manager.traces),
+        eras=eras,
+        era_s=era_s,
+    )
+
+
+def compare_policies(
+    scenario: Scenario,
+    policies: tuple[str, ...] = PAPER_POLICIES,
+    eras: int = 240,
+    seed: int = 7,
+    **kwargs,
+) -> dict[str, ExperimentResult]:
+    """Run several policies on the same scenario (same seed -> same load)."""
+    return {
+        policy: run_policy_experiment(
+            scenario, policy, eras=eras, seed=seed, **kwargs
+        )
+        for policy in policies
+    }
+
+
+def paper_shape_holds(results: dict[str, ExperimentResult]) -> dict[str, bool]:
+    """Check the paper's qualitative claims on a comparison run.
+
+    Returns named booleans so benchmarks can assert and report each claim
+    separately.
+    """
+    required = set(PAPER_POLICIES)
+    if not required <= set(results):
+        missing = required - set(results)
+        raise ValueError(f"comparison is missing policies: {sorted(missing)}")
+    a1 = results["sensible-routing"].assessment
+    a2 = results["available-resources"].assessment
+    a3 = results["exploration"].assessment
+    return {
+        # Policy 1: RMTTFs stabilise apart / do not converge.
+        "policy1_diverges": a1.rmttf_spread > max(a2.rmttf_spread, 0.15),
+        # Policy 2: converges, and at least as fast as Policy 3.
+        "policy2_converges": a2.converged,
+        "policy2_fastest": (
+            a2.converged
+            and (
+                not a3.converged
+                or a2.convergence_time_s <= a3.convergence_time_s * 1.25
+            )
+        ),
+        # Policy 3: converges too.
+        "policy3_converges": a3.converged,
+        # "the quickest convergence and the most stable results are
+        # provided by Policy 2" -- stability of the *RMTTF* outcome; the
+        # paper itself notes P2's fractions can be slightly more
+        # oscillating than P3's in the 3-region case (Sec. VI-B).
+        "policy2_most_stable": a2.rmttf_spread <= a3.rmttf_spread * 1.05,
+        # All policies keep the response time under the 1 s SLA.
+        "sla_met_all": all(
+            r.assessment.sla_met for r in results.values()
+        ),
+    }

@@ -1,0 +1,78 @@
+"""Derived trend features for RTTF prediction.
+
+F2PM's monitoring samples are instantaneous snapshots; the *rate of
+change* of a feature (how fast memory is leaking, how fast threads pile
+up) is often more predictive of the remaining time to failure than the
+level itself.  This module augments a time-ordered feature matrix with
+per-feature finite-difference slopes over a trailing window, mirroring the
+aggregate features the F2PM paper derives from the raw stream.
+
+Augmentation happens per *run* (slopes must not straddle two different
+run-to-failure traces), so the entry point mirrors
+:meth:`repro.ml.dataset.Dataset.from_run_traces`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import as_1d_float, as_2d_float
+from repro.ml.dataset import Dataset
+
+
+def slope_features(
+    times: np.ndarray,
+    X: np.ndarray,
+    window: int = 4,
+) -> np.ndarray:
+    """Trailing-window slopes of every column of ``X``.
+
+    For sample ``i`` the slope is ``(x[i] - x[i-w]) / (t[i] - t[i-w])``
+    with ``w = min(window, i)``; the first sample's slope is 0 (no
+    history).  Fully vectorised.
+    """
+    times = as_1d_float(times, "times")
+    X = as_2d_float(X, "X")
+    if times.shape[0] != X.shape[0]:
+        raise ValueError("times and X length mismatch")
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    n = X.shape[0]
+    idx = np.arange(n)
+    prev = np.maximum(idx - window, 0)
+    dt = times[idx] - times[prev]
+    dt[dt == 0] = 1.0  # first sample: slope 0 via zero numerator
+    return (X[idx] - X[prev]) / dt[:, None]
+
+
+def derived_feature_names(
+    feature_names: tuple[str, ...] | list[str],
+) -> tuple[str, ...]:
+    """Names of the augmented schema: originals plus ``d/dt`` columns."""
+    names = list(feature_names)
+    return tuple(names + [f"slope:{n}" for n in names])
+
+
+def augment_runs_with_slopes(
+    runs: list[tuple[np.ndarray, np.ndarray, float]],
+    feature_names: tuple[str, ...],
+    window: int = 4,
+) -> Dataset:
+    """Build an RTTF dataset whose rows carry levels *and* slopes.
+
+    Parameters mirror :meth:`repro.ml.dataset.Dataset.from_run_traces`;
+    each run is augmented independently before stacking.
+    """
+    if not runs:
+        raise ValueError("no profiling runs supplied")
+    augmented = []
+    for times, feats, failure_time in runs:
+        times = np.asarray(times, dtype=float)
+        feats = as_2d_float(np.asarray(feats), "features")
+        slopes = slope_features(times, feats, window=window)
+        augmented.append(
+            (times, np.hstack([feats, slopes]), failure_time)
+        )
+    return Dataset.from_run_traces(
+        augmented, derived_feature_names(feature_names)
+    )

@@ -1,0 +1,203 @@
+"""M5P model tree (Wang & Witten 1997, paper ref. [29]).
+
+A model tree grows like a regression tree but places *linear models* in the
+nodes.  The classic M5 recipe, reproduced here:
+
+1. **Grow** a variance-reduction tree (shared split search from
+   :mod:`repro.ml.tree`), remembering which training samples reach each node.
+2. **Fit** a ridge-stabilised linear model at every node on its samples.
+3. **Prune** bottom-up by comparing the complexity-corrected error of the
+   node's linear model against its subtree's error; the correction factor
+   ``(n + v) / (n - v)`` (n samples, v parameters) penalises small leaves.
+4. **Smooth** predictions along the root-to-leaf path:
+   ``p' = (n * p_child + k * p_parent) / (n + k)`` with smoothing constant
+   ``k = 15``, which removes discontinuities at the split boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import Regressor
+from repro.ml.tree import TreeNode, build_tree
+
+
+@dataclass(slots=True)
+class _NodeModel:
+    """Ridge linear model attached to a tree node."""
+
+    coef: np.ndarray
+    intercept: float
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return X @ self.coef + self.intercept
+
+
+def _fit_node_model(X: np.ndarray, y: np.ndarray, ridge: float) -> _NodeModel:
+    """Fit a ridge model; degenerate nodes fall back to the mean."""
+    n = y.size
+    if n == 0:
+        return _NodeModel(np.zeros(X.shape[1]), 0.0)
+    if n < 3:
+        return _NodeModel(np.zeros(X.shape[1]), float(y.mean()))
+    x_mean = X.mean(axis=0)
+    y_mean = float(y.mean())
+    Xc = X - x_mean
+    gram = Xc.T @ Xc + ridge * np.eye(X.shape[1])
+    try:
+        coef = np.linalg.solve(gram, Xc.T @ (y - y_mean))
+    except np.linalg.LinAlgError:
+        coef, *_ = np.linalg.lstsq(gram, Xc.T @ (y - y_mean), rcond=None)
+    return _NodeModel(coef, y_mean - float(x_mean @ coef))
+
+
+def _corrected_mae(residuals: np.ndarray, n_params: int) -> float:
+    """M5's complexity-corrected mean absolute error.
+
+    ``MAE * (n + v) / (n - v)``; infinite when the node has no spare degrees
+    of freedom, which forces pruning decisions toward the subtree.
+    """
+    n = residuals.size
+    if n == 0:
+        return 0.0
+    mae = float(np.mean(np.abs(residuals)))
+    if n <= n_params:
+        return np.inf
+    return mae * (n + n_params) / (n - n_params)
+
+
+class M5PModelTree(Regressor):
+    """M5P model tree: linear models in the leaves, pruning, smoothing.
+
+    Parameters
+    ----------
+    max_depth, min_samples_split, min_samples_leaf:
+        Growth controls (shared split search).
+    ridge:
+        Stabiliser for the per-node linear solves.
+    smoothing:
+        The M5 smoothing constant ``k``; 0 disables smoothing.
+    prune:
+        Whether to run the complexity-corrected pruning pass.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_split: int = 8,
+        min_samples_leaf: int = 4,
+        ridge: float = 1e-3,
+        smoothing: float = 15.0,
+        prune: bool = True,
+    ) -> None:
+        super().__init__()
+        if smoothing < 0:
+            raise ValueError("smoothing must be >= 0")
+        if ridge < 0:
+            raise ValueError("ridge must be >= 0")
+        self.max_depth = int(max_depth)
+        self.min_samples_split = int(min_samples_split)
+        self.min_samples_leaf = int(min_samples_leaf)
+        self.ridge = float(ridge)
+        self.smoothing = float(smoothing)
+        self.prune = bool(prune)
+        self.root_: TreeNode | None = None
+        self._models: dict[int, _NodeModel] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        self.root_ = build_tree(
+            X,
+            y,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            min_sse_decrease=0.0,
+            keep_sample_idx=True,
+        )
+        self._models = {}
+        self._fit_models(self.root_, X, y)
+        if self.prune:
+            self._prune_node(self.root_, X, y)
+
+    def _fit_models(self, node: TreeNode, X: np.ndarray, y: np.ndarray) -> None:
+        assert node.sample_idx is not None
+        rows = node.sample_idx
+        self._models[id(node)] = _fit_node_model(X[rows], y[rows], self.ridge)
+        if not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            self._fit_models(node.left, X, y)
+            self._fit_models(node.right, X, y)
+
+    def _prune_node(
+        self, node: TreeNode, X: np.ndarray, y: np.ndarray
+    ) -> float:
+        """Bottom-up prune; returns the corrected error of the kept subtree."""
+        assert node.sample_idx is not None
+        rows = node.sample_idx
+        model = self._models[id(node)]
+        node_residuals = y[rows] - model.predict(X[rows])
+        n_params = int(np.count_nonzero(model.coef)) + 1
+        node_err = _corrected_mae(node_residuals, n_params)
+        if node.is_leaf:
+            return node_err
+        assert node.left is not None and node.right is not None
+        left_err = self._prune_node(node.left, X, y)
+        right_err = self._prune_node(node.right, X, y)
+        nl = node.left.n_samples
+        nr = node.right.n_samples
+        subtree_err = (nl * left_err + nr * right_err) / max(nl + nr, 1)
+        if node_err <= subtree_err:
+            node.make_leaf()
+            return node_err
+        return subtree_err
+
+    # ------------------------------------------------------------------ #
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        assert self.root_ is not None
+        out = np.empty(X.shape[0], dtype=float)
+        self._predict_into(self.root_, X, np.arange(X.shape[0]), out, None)
+        return out
+
+    def _predict_into(
+        self,
+        node: TreeNode,
+        X: np.ndarray,
+        rows: np.ndarray,
+        out: np.ndarray,
+        parent_pred: np.ndarray | None,
+    ) -> None:
+        if rows.size == 0:
+            return
+        pred = self._models[id(node)].predict(X[rows])
+        # M5 smoothing: blend with the prediction inherited from the parent.
+        if parent_pred is not None and self.smoothing > 0:
+            n = node.n_samples
+            pred = (n * pred + self.smoothing * parent_pred) / (
+                n + self.smoothing
+            )
+        if node.is_leaf:
+            out[rows] = pred
+            return
+        assert node.left is not None and node.right is not None
+        mask = X[rows, node.feature] <= node.threshold
+        self._predict_into(node.left, X, rows[mask], out, pred[mask])
+        self._predict_into(node.right, X, rows[~mask], out, pred[~mask])
+
+    # ------------------------------------------------------------------ #
+
+    def n_leaves(self) -> int:
+        """Leaf count of the (pruned) model tree."""
+        if self.root_ is None:
+            raise RuntimeError("model not fitted")
+        return self.root_.count_leaves()
+
+    def depth(self) -> int:
+        """Depth of the (pruned) model tree."""
+        if self.root_ is None:
+            raise RuntimeError("model not fitted")
+        return self.root_.depth()

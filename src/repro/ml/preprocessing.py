@@ -1,0 +1,59 @@
+"""Feature preprocessing: standardisation.
+
+Gradient-based models (Lasso coordinate descent, linear SVR) and kernel
+models (LS-SVM) are scale-sensitive; trees are not.  The toolchain
+standardises inputs for the former, per common practice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import as_2d_float
+
+
+class StandardScaler:
+    """Column-wise zero-mean, unit-variance scaling.
+
+    Constant columns get unit scale (they become all-zero after centering),
+    which keeps downstream solvers well-posed.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.mean_ is not None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        """Learn per-column mean and standard deviation."""
+        X = as_2d_float(X)
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the learned scaling."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler.transform called before fit")
+        X = as_2d_float(X)
+        if X.shape[1] != self.mean_.size:
+            raise ValueError(
+                f"expected {self.mean_.size} columns, got {X.shape[1]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit then transform in one call."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        """Undo the scaling."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler.inverse_transform before fit")
+        X = as_2d_float(X)
+        return X * self.scale_ + self.mean_

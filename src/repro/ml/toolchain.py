@@ -1,0 +1,210 @@
+"""The F2PM automatic ML toolchain.
+
+Sec. III: "All measurements are fed into an automatic ML toolchain.  The
+goal of this toolchain is to generate and validate alternative ML models for
+predicting the Remaining Time To Failure (RTTF), as well as to select (via
+Lasso regularization) what are the most relevant system features ...  The
+user of F2PM is provided as well with a series of metrics which allow to
+select which is the most effective ML model."
+
+:class:`F2PMToolchain` reproduces exactly that pipeline:
+
+1. optional Lasso feature selection;
+2. train the full model suite (Linear Regression, Lasso, REP-Tree, M5P,
+   SVR, LS-SVM) on the reduced dataset;
+3. cross-validate each and rank by a chosen metric;
+4. return a :class:`ModelComparison` from which the best
+   :class:`TrainedModel` (feature projection + fitted model) can be taken
+   for online deployment in the VMC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.ml.base import Regressor
+from repro.ml.dataset import Dataset
+from repro.ml.lasso import LassoRegression, select_features
+from repro.ml.linear import LinearRegression
+from repro.ml.lssvm import LeastSquaresSVM
+from repro.ml.m5p import M5PModelTree
+from repro.ml.reptree import REPTree
+from repro.ml.svr import LinearSVR
+from repro.ml.validation import (
+    ValidationReport,
+    cross_validate,
+    summarize_cv,
+)
+
+#: Default model suite, matching the six models listed in Sec. III.
+DEFAULT_SUITE: dict[str, Callable[[], Regressor]] = {
+    "linear-regression": LinearRegression,
+    "lasso": lambda: LassoRegression(alpha=0.01),
+    "rep-tree": lambda: REPTree(seed=1),
+    "m5p": M5PModelTree,
+    "svr": lambda: LinearSVR(seed=1, n_epochs=30),
+    "ls-svm": lambda: LeastSquaresSVM(gamma=50.0),
+}
+
+
+@dataclass
+class TrainedModel:
+    """A deployable RTTF predictor: feature projection + fitted model.
+
+    The VMC feeds full :data:`~repro.ml.features.FEATURE_NAMES` rows to
+    :meth:`predict`; the projection reduces them to the Lasso-selected
+    subset the model was trained on.
+    """
+
+    name: str
+    model: Regressor
+    feature_names: tuple[str, ...]
+    source_names: tuple[str, ...]
+    report: ValidationReport
+
+    def __post_init__(self) -> None:
+        self._columns = np.array(
+            [self.source_names.index(n) for n in self.feature_names], dtype=int
+        )
+
+    def predict(self, X_full: np.ndarray) -> np.ndarray:
+        """Predict RTTF from rows in the *full* source schema."""
+        X_full = np.asarray(X_full, dtype=float)
+        if X_full.ndim == 1:
+            X_full = X_full.reshape(1, -1)
+        if X_full.shape[1] != len(self.source_names):
+            raise ValueError(
+                f"expected {len(self.source_names)} source features, "
+                f"got {X_full.shape[1]}"
+            )
+        return self.model.predict(X_full[:, self._columns])
+
+    def predict_one(self, row: np.ndarray) -> float:
+        """Scalar convenience wrapper over :meth:`predict`."""
+        return float(self.predict(np.asarray(row).reshape(1, -1))[0])
+
+
+@dataclass
+class ModelComparison:
+    """Ranked cross-validation results over the model suite."""
+
+    reports: dict[str, ValidationReport]
+    ranking_metric: str
+    selected_features: tuple[str, ...]
+
+    def ranked(self) -> list[tuple[str, ValidationReport]]:
+        """Model names best-first by the ranking metric."""
+        def key(item: tuple[str, ValidationReport]) -> float:
+            r = item[1]
+            value = getattr(r, self.ranking_metric)
+            # r2 ranks descending, error metrics ascending.
+            return -value if self.ranking_metric == "r2" else value
+
+        return sorted(self.reports.items(), key=key)
+
+    @property
+    def best_name(self) -> str:
+        return self.ranked()[0][0]
+
+    def table(self) -> str:
+        """Human-readable comparison table (the F2PM selection report)."""
+        lines = [
+            f"{'model':<18} {'MAE':>12} {'RMSE':>12} {'MAPE':>9} {'R2':>8}"
+        ]
+        for name, r in self.ranked():
+            lines.append(
+                f"{name:<18} {r.mae:>12.4g} {r.rmse:>12.4g} "
+                f"{r.mape:>8.1%} {r.r2:>8.4f}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class F2PMToolchain:
+    """End-to-end F2PM pipeline.
+
+    Parameters
+    ----------
+    suite:
+        Mapping of model name to zero-argument factory; defaults to the
+        paper's six models.
+    max_features:
+        Upper bound on Lasso-selected features; ``None`` disables selection
+        and trains on the full schema.
+    cv_folds:
+        Cross-validation folds used for ranking.
+    ranking_metric:
+        One of ``"mae"``, ``"rmse"``, ``"mape"``, ``"r2"``.
+    """
+
+    suite: dict[str, Callable[[], Regressor]] = field(
+        default_factory=lambda: dict(DEFAULT_SUITE)
+    )
+    max_features: int | None = 8
+    cv_folds: int = 5
+    ranking_metric: str = "rmse"
+
+    def __post_init__(self) -> None:
+        if self.ranking_metric not in ("mae", "rmse", "mape", "r2"):
+            raise ValueError(f"unknown metric {self.ranking_metric!r}")
+        if self.cv_folds < 2:
+            raise ValueError("cv_folds must be >= 2")
+        if not self.suite:
+            raise ValueError("empty model suite")
+
+    def compare(
+        self, dataset: Dataset, rng: np.random.Generator
+    ) -> ModelComparison:
+        """Feature-select, cross-validate the suite, and rank the models."""
+        if self.max_features is not None:
+            selected = select_features(
+                dataset.X,
+                dataset.y,
+                dataset.feature_names,
+                max_features=self.max_features,
+            )
+            if not selected:  # degenerate target: keep full schema
+                selected = list(dataset.feature_names)
+            reduced = dataset.select_features(selected)
+        else:
+            reduced = dataset
+        reports: dict[str, ValidationReport] = {}
+        for name, factory in self.suite.items():
+            folds = cross_validate(factory, reduced, self.cv_folds, rng)
+            reports[name] = summarize_cv(folds)
+        return ModelComparison(
+            reports=reports,
+            ranking_metric=self.ranking_metric,
+            selected_features=reduced.feature_names,
+        )
+
+    def train_best(
+        self,
+        dataset: Dataset,
+        rng: np.random.Generator,
+        model_name: str | None = None,
+    ) -> TrainedModel:
+        """Run :meth:`compare`, then fit the winner on the full dataset.
+
+        ``model_name`` forces a specific suite member (the paper forces
+        REP-Tree based on earlier results); otherwise the CV winner is used.
+        """
+        comparison = self.compare(dataset, rng)
+        name = model_name if model_name is not None else comparison.best_name
+        if name not in self.suite:
+            raise KeyError(
+                f"model {name!r} not in suite {sorted(self.suite)}"
+            )
+        reduced = dataset.select_features(list(comparison.selected_features))
+        model = self.suite[name]()
+        model.fit(reduced.X, reduced.y)
+        return TrainedModel(
+            name=name,
+            model=model,
+            feature_names=comparison.selected_features,
+            source_names=dataset.feature_names,
+            report=comparison.reports[name],
+        )

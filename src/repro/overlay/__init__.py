@@ -1,0 +1,39 @@
+"""The controller overlay network.
+
+Sec. III: "the interconnection among the various controllers is actuated
+via an overlay network, which selects the path with the smallest latency
+among two given controllers, and is able to reroute connections in case of
+a network link failure.  Among all the regions VMCs, a leader VMC is
+automatically elected using the algorithm in [33], which has been shown to
+be tolerant to multiple nodes and link failures."
+
+* :mod:`repro.overlay.network` -- the latency-weighted overlay graph with
+  link/node failure and repair;
+* :mod:`repro.overlay.routing` -- smallest-latency path selection with
+  rerouting around failures;
+* :mod:`repro.overlay.election` -- failure-tolerant leader election (in the
+  spirit of Avresky & Natchev's dynamic-reconfiguration algorithm);
+* :mod:`repro.overlay.messaging` -- latency-accurate message delivery
+  between controllers on top of the simulator.
+"""
+
+from repro.overlay.election import LeaderElection
+from repro.overlay.heartbeat import HeartbeatDetector, build_detector_mesh
+from repro.overlay.messaging import Message, MessageBus
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.state_sync import GossipSync, StateEntry, StateStore
+from repro.overlay.routing import NoRouteError, Router
+
+__all__ = [
+    "OverlayNetwork",
+    "Router",
+    "NoRouteError",
+    "LeaderElection",
+    "HeartbeatDetector",
+    "build_detector_mesh",
+    "GossipSync",
+    "StateStore",
+    "StateEntry",
+    "MessageBus",
+    "Message",
+]

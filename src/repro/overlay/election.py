@@ -1,0 +1,106 @@
+"""Failure-tolerant leader election among VMCs.
+
+The paper elects the leader VMC "using the algorithm in [33]" (Avresky &
+Natchev, *Dynamic reconfiguration in computer clusters with irregular
+topologies in the presence of multiple node and link failures*), which
+rebuilds a rooted structure after arbitrary node/link failures.  We
+implement the same guarantees in its essential bully-over-components form:
+
+* **safety** -- at most one leader per connected component of the live
+  topology; a node only follows a leader it can reach;
+* **liveness** -- after any sequence of failures/recoveries, a single call
+  to :meth:`LeaderElection.elect` (per component) restores a leader;
+* **determinism** -- the elected node is the smallest identifier in the
+  component, so repeated elections agree without extra rounds.
+
+Election history is recorded for the experiments that count takeovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.overlay.network import OverlayNetwork
+
+
+@dataclass(frozen=True, slots=True)
+class ElectionRecord:
+    """One election outcome."""
+
+    time: float
+    component: frozenset[str]
+    leader: str
+
+
+@dataclass
+class LeaderElection:
+    """Deterministic leader election on the live overlay.
+
+    Parameters
+    ----------
+    network:
+        Topology whose live components define electorates.
+    """
+
+    network: OverlayNetwork
+    history: list[ElectionRecord] = field(default_factory=list)
+
+    def elect(self, caller: str, now: float = 0.0) -> str:
+        """Elect the leader of ``caller``'s component.
+
+        Returns the leader's identifier (the minimum node id in the
+        component -- every member computes the same answer independently,
+        which is what makes the election message-free here).
+
+        Raises
+        ------
+        RuntimeError
+            If ``caller`` is itself down (a dead node cannot elect).
+        """
+        component = self.network.component_of(caller)
+        if not component:
+            raise RuntimeError(f"node {caller!r} is down; cannot elect")
+        leader = min(component)
+        self.history.append(
+            ElectionRecord(
+                time=float(now),
+                component=frozenset(component),
+                leader=leader,
+            )
+        )
+        return leader
+
+    def leaders(self, now: float = 0.0) -> dict[str, str]:
+        """Elect in every live component; returns node -> its leader.
+
+        Useful for partition scenarios: each side of the partition gets its
+        own leader, and the mapping shows who follows whom.
+        """
+        out: dict[str, str] = {}
+        seen: set[str] = set()
+        for node in self.network.alive_nodes():
+            if node in seen:
+                continue
+            component = self.network.component_of(node)
+            leader = min(component)
+            self.history.append(
+                ElectionRecord(
+                    time=float(now),
+                    component=frozenset(component),
+                    leader=leader,
+                )
+            )
+            for member in component:
+                out[member] = leader
+            seen |= component
+        return out
+
+    def takeover_count(self) -> int:
+        """Number of leader *changes* across the recorded history."""
+        changes = 0
+        prev_leader: str | None = None
+        for rec in self.history:
+            if prev_leader is not None and rec.leader != prev_leader:
+                changes += 1
+            prev_leader = rec.leader
+        return changes

@@ -1,0 +1,102 @@
+"""Latency-accurate message delivery between controllers.
+
+Slave VMCs send their ``lastRMTTF`` to the leader; the leader pushes the
+new workload fractions back (Algorithms 1-2).  :class:`MessageBus` carries
+those messages over the overlay: delivery is scheduled on the simulator
+after the best-path latency, and messages are dropped (with a callback) if
+the endpoints are partitioned at *send* time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.overlay.routing import NoRouteError, Router
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One controller-to-controller message."""
+
+    src: str
+    dst: str
+    kind: str
+    payload: Any
+    sent_at: float
+
+
+@dataclass
+class MessageBus:
+    """Delivers messages over the overlay with path latency.
+
+    Parameters
+    ----------
+    sim:
+        The simulator used to schedule deliveries.
+    router:
+        Path/latency source.
+    on_drop:
+        Optional callback invoked with the message when no route exists.
+    """
+
+    sim: Simulator
+    router: Router
+    on_drop: Callable[[Message], None] | None = None
+    delivered_count: int = 0
+    dropped_count: int = 0
+    _handlers: dict[str, Callable[[Message], None]] = field(
+        default_factory=dict
+    )
+
+    def register(
+        self, node: str, handler: Callable[[Message], None]
+    ) -> None:
+        """Register the receive handler of a controller node."""
+        self._handlers[node] = handler
+
+    def send(self, src: str, dst: str, kind: str, payload: Any) -> bool:
+        """Send a message; returns False if dropped (no route / no handler).
+
+        Delivery happens ``latency_ms / 1000`` simulated seconds later; a
+        destination that dies in flight still receives the message only if
+        it is alive at delivery time.
+        """
+        msg = Message(
+            src=src, dst=dst, kind=kind, payload=payload, sent_at=self.sim.now
+        )
+        try:
+            _, latency_ms = self.router.route(src, dst)
+        except NoRouteError:
+            self._drop(msg)
+            return False
+        if dst not in self._handlers:
+            self._drop(msg)
+            return False
+
+        def deliver() -> None:
+            if not self.router.network.is_alive(dst):
+                self._drop(msg)
+                return
+            self.delivered_count += 1
+            self._handlers[dst](msg)
+
+        self.sim.schedule_after(latency_ms / 1000.0, deliver, label=f"msg:{kind}")
+        return True
+
+    def broadcast(
+        self, src: str, kind: str, payload: Any
+    ) -> int:
+        """Send to every other registered node; returns count accepted."""
+        sent = 0
+        for node in sorted(self._handlers):
+            if node != src:
+                if self.send(src, node, kind, payload):
+                    sent += 1
+        return sent
+
+    def _drop(self, msg: Message) -> None:
+        self.dropped_count += 1
+        if self.on_drop is not None:
+            self.on_drop(msg)

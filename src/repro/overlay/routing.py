@@ -1,0 +1,84 @@
+"""Smallest-latency routing over the overlay, with failure rerouting.
+
+The overlay "selects the path with the smallest latency among two given
+controllers, and is able to reroute connections in case of a network link
+failure" (Sec. III).  :class:`Router` computes Dijkstra shortest paths on
+the live topology and caches them; any topology mutation (fail/restore)
+must be followed by :meth:`Router.invalidate`, after which paths are
+recomputed -- that recomputation *is* the rerouting.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.overlay.network import OverlayNetwork
+
+
+class NoRouteError(RuntimeError):
+    """No live path exists between two controllers (network partition)."""
+
+
+class Router:
+    """Latency-optimal path selection on an :class:`OverlayNetwork`.
+
+    Parameters
+    ----------
+    network:
+        The overlay to route on.
+    """
+
+    def __init__(self, network: OverlayNetwork) -> None:
+        self.network = network
+        self._cache: dict[tuple[str, str], tuple[list[str], float]] = {}
+
+    def invalidate(self) -> None:
+        """Drop cached paths (call after any topology change)."""
+        self._cache.clear()
+
+    def route(self, src: str, dst: str) -> tuple[list[str], float]:
+        """Smallest-latency path and its total latency in ms.
+
+        Returns ``([src], 0.0)`` for ``src == dst``.
+
+        Raises
+        ------
+        NoRouteError
+            If either endpoint is dead or no live path connects them.
+        """
+        if src == dst:
+            if not self.network.is_alive(src):
+                raise NoRouteError(f"node {src!r} is down")
+            return [src], 0.0
+        key = (src, dst)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        live = self.network.live_graph()
+        if src not in live or dst not in live:
+            raise NoRouteError(
+                f"endpoint down: {src!r} or {dst!r} not in live topology"
+            )
+        try:
+            path = nx.dijkstra_path(live, src, dst, weight="latency_ms")
+        except nx.NetworkXNoPath:
+            raise NoRouteError(
+                f"no live path between {src!r} and {dst!r} (partition)"
+            ) from None
+        latency = float(
+            nx.path_weight(live, path, weight="latency_ms")
+        )
+        self._cache[key] = (path, latency)
+        return path, latency
+
+    def latency(self, src: str, dst: str) -> float:
+        """Total latency of the best live path (ms)."""
+        return self.route(src, dst)[1]
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Whether a live path currently exists."""
+        try:
+            self.route(src, dst)
+            return True
+        except NoRouteError:
+            return False

@@ -1,0 +1,60 @@
+"""PCAM -- the proactive VM-management substrate.
+
+Reimplementation of the PCAM framework (Di Sanzo, Pellegrini, Avresky,
+"Machine Learning for Achieving Self-* Properties and Seamless Execution of
+Applications in the Cloud", NCCA 2015) that ACM builds on:
+
+* :mod:`repro.pcam.vm` -- the VM resource/lifecycle model: anomaly
+  accumulation (memory leaks, unterminated threads), performance
+  degradation, failure points, rejuvenation;
+* :mod:`repro.pcam.monitor` -- the feature-monitor agent sampling the
+  F2PM system-feature schema from a VM;
+* :mod:`repro.pcam.predictor` -- binding of a trained F2PM model to VMs
+  for online RTTF prediction;
+* :mod:`repro.pcam.balancer` -- the intra-region load balancer hosted by
+  the VMC;
+* :mod:`repro.pcam.vmc` -- the Virtual Machine Controller: keeps spare
+  VMs in STANDBY, watches predicted RTTF of ACTIVE VMs, and swaps in a
+  standby (ACTIVATE + REJUVENATE) before the failure point is reached.
+"""
+
+from repro.pcam.balancer import LocalBalancer
+from repro.pcam.des_region import DesRegion, DesStats
+from repro.pcam.monitor import FeatureMonitor, ProfilingHarness
+from repro.pcam.predictor import (
+    ConservativeRttfPredictor,
+    OracleRttfPredictor,
+    RttfPredictor,
+    TrainedRttfPredictor,
+    TrendAwareRttfPredictor,
+)
+from repro.pcam.rejuvenation import (
+    NoRejuvenation,
+    PeriodicRejuvenation,
+    RejuvenationDiscipline,
+    RttfThresholdRejuvenation,
+)
+from repro.pcam.vm import FailurePolicy, VirtualMachine, VmState
+from repro.pcam.vmc import VirtualMachineController, VmcConfig
+
+__all__ = [
+    "DesRegion",
+    "DesStats",
+    "VirtualMachine",
+    "VmState",
+    "FailurePolicy",
+    "FeatureMonitor",
+    "ProfilingHarness",
+    "RttfPredictor",
+    "TrainedRttfPredictor",
+    "OracleRttfPredictor",
+    "ConservativeRttfPredictor",
+    "TrendAwareRttfPredictor",
+    "RejuvenationDiscipline",
+    "RttfThresholdRejuvenation",
+    "PeriodicRejuvenation",
+    "NoRejuvenation",
+    "LocalBalancer",
+    "VirtualMachineController",
+    "VmcConfig",
+]

@@ -1,0 +1,109 @@
+"""The intra-region load balancer hosted by the VMC.
+
+Sec. III: "all the requests issued by remote clients of the system are
+directed to VMC, which hosts a load balancer.  The goal of this component
+is to balance the load associated to client requests to VMs in the ACTIVE
+state."
+
+Two disciplines are provided:
+
+* ``capacity`` (default) -- weight ACTIVE VMs by their *current effective
+  capacity*, so degraded VMs receive proportionally less load;
+* ``uniform`` -- equal split, the naive baseline.
+
+Splitting is multinomial over the weights (requests are routed
+independently), except for the deterministic largest-remainder mode used
+by the fluid simulation when stochastic splitting noise is not wanted.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.pcam.vm import VirtualMachine, VmState
+
+Discipline = Literal["capacity", "uniform"]
+
+
+def largest_remainder_split(total: int, weights: np.ndarray) -> np.ndarray:
+    """Deterministically apportion ``total`` items proportionally to weights.
+
+    Hamilton's method: floor the exact shares, then hand the leftover items
+    to the largest fractional remainders.  Conserves the total exactly.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if total < 0:
+        raise ValueError("total must be >= 0")
+    if weights.ndim != 1 or weights.size == 0:
+        raise ValueError("weights must be a non-empty 1-D array")
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    s = weights.sum()
+    if s <= 0:
+        raise ValueError("weights must sum > 0")
+    exact = total * weights / s
+    base = np.floor(exact).astype(int)
+    leftover = total - int(base.sum())
+    if leftover > 0:
+        order = np.argsort(-(exact - base), kind="stable")
+        base[order[:leftover]] += 1
+    return base
+
+
+class LocalBalancer:
+    """Distributes a region's request batch across its ACTIVE VMs.
+
+    Parameters
+    ----------
+    discipline:
+        ``"capacity"`` or ``"uniform"``.
+    rng:
+        Stream for multinomial routing; ``None`` selects the deterministic
+        largest-remainder split.
+    """
+
+    def __init__(
+        self,
+        discipline: Discipline = "capacity",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if discipline not in ("capacity", "uniform"):
+            raise ValueError(f"unknown discipline {discipline!r}")
+        self.discipline: Discipline = discipline
+        self._rng = rng
+
+    def weights(self, vms: list[VirtualMachine]) -> np.ndarray:
+        """Routing weights over the given (ACTIVE) VMs."""
+        if self.discipline == "uniform":
+            return np.ones(len(vms))
+        return np.array([vm.effective_capacity for vm in vms])
+
+    def split(
+        self, n_requests: int, vms: list[VirtualMachine]
+    ) -> dict[str, int]:
+        """Assign ``n_requests`` to ACTIVE VMs; returns name -> count.
+
+        Raises
+        ------
+        RuntimeError
+            If the region has no ACTIVE VM to serve a positive batch
+            (availability loss -- callers surface this as an outage).
+        """
+        active = [vm for vm in vms if vm.state is VmState.ACTIVE]
+        if not active:
+            if n_requests == 0:
+                return {}
+            raise RuntimeError(
+                "no ACTIVE VM available to serve "
+                f"{n_requests} requests (region outage)"
+            )
+        w = self.weights(active)
+        if w.sum() <= 0:
+            w = np.ones(len(active))
+        if self._rng is not None:
+            counts = self._rng.multinomial(n_requests, w / w.sum())
+        else:
+            counts = largest_remainder_split(n_requests, w)
+        return {vm.name: int(c) for vm, c in zip(active, counts)}

@@ -1,0 +1,230 @@
+"""Request-level discrete-event simulation of one cloud region.
+
+The control loop in :mod:`repro.core.control_loop` advances in fluid eras
+(batched request counts) for speed.  This module provides the *request
+granular* counterpart used to validate the fluid model and to run
+small-scale experiments exactly the way the paper's testbed operated:
+emulated browsers issue individual requests, each request queues at a VM,
+is served at the VM's (degrading) rate, and triggers anomaly injection on
+completion.
+
+The two models must agree where their assumptions overlap -- the
+cross-validation test drives the same deployment through both and compares
+mean response times and anomaly-accumulation rates.  (That test is the
+reproduction's answer to "is the fluid shortcut trustworthy?")
+
+Implementation notes
+--------------------
+* each VM is an M/M/1-PS-like station: we track in-flight request count
+  and approximate processor sharing by re-scheduling the completion of
+  the *oldest* request when service speed changes era-to-era would be
+  overkill; instead each request samples its full service time at entry
+  with the VM's *current* effective rate -- accurate while degradation is
+  slow relative to service times (milliseconds vs minutes), which holds
+  by construction in this system;
+* browsers are closed-loop: completion schedules the next request after
+  an exponential think time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pcam.vm import VirtualMachine, VmState
+from repro.sim.engine import Simulator
+from repro.workload.browsers import BrowserPopulation
+from repro.workload.sessions import STATES, SessionChain, _INDEX
+from repro.workload.tpcw import TPCW_INTERACTIONS
+
+
+@dataclass
+class DesStats:
+    """Aggregated outcome of a DES run."""
+
+    completed: int = 0
+    response_times: list[float] = field(default_factory=list)
+    dropped: int = 0
+
+    def mean_response_time(self) -> float:
+        """Mean response time over completed requests (nan if none)."""
+        if not self.response_times:
+            return float("nan")
+        return float(np.mean(self.response_times))
+
+    def p95_response_time(self) -> float:
+        """95th-percentile response time (nan if no completions)."""
+        if not self.response_times:
+            return float("nan")
+        return float(np.percentile(self.response_times, 95))
+
+
+class DesRegion:
+    """Request-granular simulation of one region's VM pool.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulator to schedule on.
+    vms:
+        The pool; only ACTIVE VMs receive requests.
+    population:
+        Closed-loop browser population driving the load.
+    rng:
+        Stream for think times, service times, and VM choice.
+    mean_demand:
+        Demand-units per request when no session chain is given.
+    session_chain:
+        Optional TPC-W navigation chain: each browser then walks the
+        chain, and every request's service demand is its interaction's
+        catalog cost (heavy Buy Confirms, cheap Home hits) instead of a
+        single mean -- the demand mix the real benchmark produces.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        vms: list[VirtualMachine],
+        population: BrowserPopulation,
+        rng: np.random.Generator,
+        mean_demand: float = 1.5,
+        session_chain: SessionChain | None = None,
+    ) -> None:
+        if not vms:
+            raise ValueError("need at least one VM")
+        if mean_demand <= 0:
+            raise ValueError("mean_demand must be positive")
+        self.sim = sim
+        self.vms = vms
+        self.population = population
+        self.rng = rng
+        self.mean_demand = float(mean_demand)
+        self.session_chain = session_chain
+        self.stats = DesStats()
+        self._in_flight: dict[str, int] = {vm.name: 0 for vm in vms}
+        # per-browser navigation state (index into the chain's STATES)
+        self._browser_page: dict[int, int] = {}
+        self.interaction_counts: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Schedule the first request of every emulated browser."""
+        for browser in range(self.population.n_clients):
+            if self.session_chain is not None:
+                self._browser_page[browser] = _INDEX[
+                    self.session_chain.entry
+                ]
+            delay = float(
+                self.rng.exponential(self.population.think_time_s)
+            )
+            self.sim.schedule_after(
+                delay, lambda b=browser: self._issue_request(b)
+            )
+
+    def _next_demand(self, browser: int) -> float:
+        """Service demand of the browser's next click.
+
+        Walks the session chain when one is configured; otherwise the
+        fixed mean demand.
+        """
+        if self.session_chain is None:
+            return self.mean_demand
+        page = self._browser_page[browser]
+        nxt = int(
+            self.rng.choice(
+                len(STATES), p=self.session_chain.matrix[page]
+            )
+        )
+        self._browser_page[browser] = nxt
+        interaction = STATES[nxt]
+        key = interaction.value
+        self.interaction_counts[key] = self.interaction_counts.get(key, 0) + 1
+        return TPCW_INTERACTIONS[interaction]
+
+    def _pick_vm(self) -> VirtualMachine | None:
+        """Least-loaded ACTIVE VM (join-the-shortest-queue).
+
+        Ties are broken uniformly at random -- under light load every
+        queue is empty, and deterministic tie-breaking would funnel the
+        whole stream to the first VM in the list.
+        """
+        active = [vm for vm in self.vms if vm.state is VmState.ACTIVE]
+        if not active:
+            return None
+        loads = np.array([self._in_flight[vm.name] for vm in active])
+        candidates = np.flatnonzero(loads == loads.min())
+        return active[int(self.rng.choice(candidates))]
+
+    def _issue_request(self, browser: int) -> None:
+        vm = self._pick_vm()
+        if vm is None:
+            # outage: request dropped; browser retries after thinking
+            self.stats.dropped += 1
+            self._schedule_next_request(browser)
+            return
+        self._in_flight[vm.name] += 1
+        t_start = self.sim.now
+        demand = self._next_demand(browser)
+        # processor sharing approximation: service rate divided by the
+        # number of requests now in flight at this VM
+        share = max(self._in_flight[vm.name], 1)
+        mu = vm.effective_capacity / demand / share
+        service = float(self.rng.exponential(1.0 / mu)) if mu > 0 else 1.0
+
+        def complete(vm=vm, t_start=t_start, browser=browser) -> None:
+            self._in_flight[vm.name] -= 1
+            rt = self.sim.now - t_start
+            self.stats.completed += 1
+            self.stats.response_times.append(rt)
+            # anomaly injection on completion (one request's worth)
+            if vm.state is VmState.ACTIVE:
+                effect = vm.injector.inject(1)
+                vm.leaked_mb += effect.leaked_mb
+                vm.stuck_threads += effect.stuck_threads
+                vm.total_requests += 1
+                vm.last_response_time_s = rt
+                if vm.failure_point_reached():
+                    vm.fail()
+            self._schedule_next_request(browser)
+
+        self.sim.schedule_after(service, complete)
+
+    def _schedule_next_request(self, browser: int) -> None:
+        think = float(self.rng.exponential(self.population.think_time_s))
+        self.sim.schedule_after(
+            think, lambda: self._issue_request(browser)
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, duration_s: float) -> DesStats:
+        """Start the browsers and run for ``duration_s`` simulated seconds.
+
+        VM uptime accounting is synchronised at the end so that feature
+        samples taken afterwards see the right ``uptime_s``.
+        """
+        if duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        t_end = self.sim.now + duration_s
+        self.start()
+        self.sim.run_until(t_end)
+        for vm in self.vms:
+            if vm.state is VmState.ACTIVE:
+                vm.uptime_s += duration_s
+                # refresh last_request_rate for downstream predictors
+                vm.last_request_rate = (
+                    self.stats.completed
+                    / max(len([v for v in self.vms if v.state is VmState.ACTIVE]), 1)
+                    / duration_s
+                )
+        return self.stats
+
+    def offered_rate_estimate(self) -> float:
+        """Closed-loop rate implied by the measured response times."""
+        return self.population.offered_rate(
+            self.stats.mean_response_time()
+            if self.stats.response_times
+            else 0.0
+        )

@@ -1,0 +1,184 @@
+"""Online RTTF prediction: binding F2PM models to VMs.
+
+Sec. III: "VMC maps a ML model to a given VM, and uses the system features
+selected by Lasso regularization ... to predict, at runtime, the RTTF of
+the VM."
+
+Implementations share the :class:`RttfPredictor` interface:
+
+* :class:`TrainedRttfPredictor` -- the real thing: a
+  :class:`repro.ml.toolchain.TrainedModel` applied to the VM's latest
+  monitoring sample;
+* :class:`TrendAwareRttfPredictor` -- a trained model over the *derived*
+  schema (levels + slopes): it keeps a short per-VM history and feeds the
+  model both the latest sample and its finite-difference trends;
+* :class:`ConservativeRttfPredictor` -- asymmetric-loss safety margin
+  around any other predictor;
+* :class:`OracleRttfPredictor` -- the mean-field ground truth, used by
+  tests and by ablation benches to separate policy dynamics from ML error.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+
+import numpy as np
+
+from repro.ml.derived import slope_features
+from repro.ml.toolchain import TrainedModel
+from repro.pcam.vm import VirtualMachine
+
+
+class RttfPredictor(abc.ABC):
+    """Interface: predict the Remaining Time To Failure of a VM."""
+
+    @abc.abstractmethod
+    def predict_rttf(self, vm: VirtualMachine) -> float:
+        """Predicted seconds until the VM reaches its failure point."""
+
+    def predict_mttf(self, vm: VirtualMachine) -> float:
+        """Estimated total MTTF of the VM: elapsed uptime + remaining time.
+
+        This is the per-VM quantity the VMC averages into the region's
+        lastRMTTF (Sec. IV).
+        """
+        return vm.uptime_s + max(self.predict_rttf(vm), 0.0)
+
+
+class TrainedRttfPredictor(RttfPredictor):
+    """RTTF prediction through a trained F2PM model.
+
+    Parameters
+    ----------
+    model:
+        The deployed :class:`~repro.ml.toolchain.TrainedModel` (typically
+        REP-Tree, per Sec. VI-A).
+    floor_s:
+        Predictions are clamped below at this value; regression models can
+        output small negatives near the failure point.
+    """
+
+    def __init__(self, model: TrainedModel, floor_s: float = 0.0) -> None:
+        if floor_s < 0:
+            raise ValueError("floor_s must be >= 0")
+        self.model = model
+        self.floor_s = float(floor_s)
+
+    def predict_rttf(self, vm: VirtualMachine) -> float:
+        row = vm.sample_features().to_array()
+        return max(float(self.model.predict_one(row)), self.floor_s)
+
+
+class TrendAwareRttfPredictor(RttfPredictor):
+    """RTTF prediction over levels *and* trends.
+
+    The wrapped :class:`~repro.ml.toolchain.TrainedModel` must have been
+    trained on the derived schema of
+    :func:`repro.ml.derived.augment_runs_with_slopes` (levels followed by
+    per-feature slopes).  The predictor keeps a short per-VM window of
+    ``(uptime, features)`` samples and computes the trailing slopes
+    online; a freshly (re)started VM's window resets automatically when
+    its uptime rewinds.
+
+    Parameters
+    ----------
+    model:
+        Trained on the derived schema (``2 * len(FEATURE_NAMES)`` source
+        columns).
+    window:
+        Trailing samples used for the slope (matches the training-side
+        ``window``).
+    floor_s:
+        Lower clamp on predictions.
+    """
+
+    def __init__(
+        self, model: TrainedModel, window: int = 4, floor_s: float = 0.0
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if floor_s < 0:
+            raise ValueError("floor_s must be >= 0")
+        self.model = model
+        self.window = int(window)
+        self.floor_s = float(floor_s)
+        self._history: dict[str, deque[tuple[float, np.ndarray]]] = {}
+
+    def predict_rttf(self, vm: VirtualMachine) -> float:
+        row = vm.sample_features().to_array()
+        hist = self._history.get(vm.name)
+        if hist is None:
+            hist = deque(maxlen=self.window + 1)
+            self._history[vm.name] = hist
+        # a rejuvenated VM restarts its life: drop the stale window
+        if hist and vm.uptime_s < hist[-1][0]:
+            hist.clear()
+        hist.append((vm.uptime_s, row))
+        times = np.array([t for t, _ in hist])
+        feats = np.vstack([f for _, f in hist])
+        slopes = slope_features(times, feats, window=self.window)
+        derived_row = np.concatenate([row, slopes[-1]])
+        return max(float(self.model.predict_one(derived_row)), self.floor_s)
+
+
+class ConservativeRttfPredictor(RttfPredictor):
+    """Safety-margin wrapper around any RTTF predictor.
+
+    Real prediction errors are two-sided, but the two directions cost
+    differently: over-estimating RTTF risks a crash (missed rejuvenation),
+    under-estimating only costs an early restart.  Scaling predictions by
+    ``margin < 1`` biases PCAM toward the cheap error -- the standard
+    asymmetric-loss trick for deployment.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped predictor (trained model or oracle).
+    margin:
+        Multiplier in (0, 1]; e.g. 0.8 plans as if failures arrive 20 %
+        earlier than predicted.
+    """
+
+    def __init__(self, inner: RttfPredictor, margin: float = 0.8) -> None:
+        if not 0.0 < margin <= 1.0:
+            raise ValueError(f"margin must be in (0, 1], got {margin}")
+        self.inner = inner
+        self.margin = float(margin)
+
+    def predict_rttf(self, vm: VirtualMachine) -> float:
+        return self.margin * self.inner.predict_rttf(vm)
+
+
+class OracleRttfPredictor(RttfPredictor):
+    """Ground-truth mean-field RTTF (no ML error).
+
+    Optionally corrupted with multiplicative noise to emulate prediction
+    error in controlled amounts (ablation benches).
+    """
+
+    def __init__(
+        self,
+        mean_demand: float = 1.5,
+        noise_std: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if noise_std < 0:
+            raise ValueError("noise_std must be >= 0")
+        if noise_std > 0 and rng is None:
+            raise ValueError("rng required when noise_std > 0")
+        self.mean_demand = float(mean_demand)
+        self.noise_std = float(noise_std)
+        self._rng = rng
+
+    def predict_rttf(self, vm: VirtualMachine) -> float:
+        rate = vm.last_request_rate
+        if rate <= 0:
+            # An idle ACTIVE VM accumulates nothing; report its remaining
+            # budget at a nominal 1 req/s to keep the value finite.
+            rate = 1.0
+        ttf = vm.true_time_to_failure_s(rate, self.mean_demand)
+        if self.noise_std > 0 and np.isfinite(ttf):
+            assert self._rng is not None
+            ttf *= max(1.0 + self._rng.normal(0.0, self.noise_std), 0.05)
+        return ttf

@@ -1,0 +1,110 @@
+"""Rejuvenation disciplines: when to restart a degrading VM.
+
+The paper builds on the software-rejuvenation literature (refs. [2], [3]):
+classic systems rejuvenate *periodically* (restart every T regardless of
+state), while PCAM's contribution is *predictive* rejuvenation driven by
+the ML-estimated RTTF.  Making the discipline pluggable lets the ablation
+bench quantify the gap the paper takes as motivation:
+
+* :class:`RttfThresholdRejuvenation` -- PCAM's discipline (Sec. III):
+  rejuvenate when the predicted RTTF drops below a user threshold;
+* :class:`PeriodicRejuvenation` -- the classic time-based baseline:
+  rejuvenate every ``period_s`` of uptime;
+* :class:`NoRejuvenation` -- the do-nothing control: VMs run to failure
+  and recover reactively.
+
+All disciplines answer one question per ACTIVE VM per era:
+"should this VM be swapped out now?".  The VMC still pairs every swap with
+a standby ACTIVATE and prioritises the most urgent VMs.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.pcam.vm import VirtualMachine
+
+
+class RejuvenationDiscipline(abc.ABC):
+    """Decides, per era, whether a VM should be proactively rejuvenated."""
+
+    @abc.abstractmethod
+    def should_rejuvenate(
+        self, vm: VirtualMachine, predicted_rttf: float, dt: float
+    ) -> bool:
+        """Whether to swap ``vm`` out this era.
+
+        Parameters
+        ----------
+        vm:
+            The ACTIVE VM under consideration.
+        predicted_rttf:
+            The ML-predicted remaining time to failure (seconds).
+        dt:
+            Era length (how long until the next decision opportunity).
+        """
+
+    def urgency(self, vm: VirtualMachine, predicted_rttf: float) -> float:
+        """Ordering key among candidates (lower = more urgent)."""
+        return predicted_rttf
+
+
+class RttfThresholdRejuvenation(RejuvenationDiscipline):
+    """PCAM's predictive discipline: swap when RTTF < threshold (Sec. III).
+
+    Parameters
+    ----------
+    threshold_s:
+        "Whenever the estimated RTTF of an ACTIVE VM is less than a
+        threshold (established by the user), VMC sends an ACTIVATE command
+        to a VM in the STANDBY state and a REJUVENATE command to the
+        about-to-fail VM."
+    """
+
+    def __init__(self, threshold_s: float = 240.0) -> None:
+        if threshold_s < 0:
+            raise ValueError("threshold_s must be >= 0")
+        self.threshold_s = float(threshold_s)
+
+    def should_rejuvenate(
+        self, vm: VirtualMachine, predicted_rttf: float, dt: float
+    ) -> bool:
+        return predicted_rttf < self.threshold_s
+
+
+class PeriodicRejuvenation(RejuvenationDiscipline):
+    """Classic time-based rejuvenation: restart every ``period_s`` uptime.
+
+    Ignores the ML prediction entirely -- the baseline from the software
+    rejuvenation literature the paper improves on.  A period too long
+    lets VMs crash; too short wastes capacity on restarts; PCAM's
+    prediction adapts per-VM instead.
+    """
+
+    def __init__(self, period_s: float) -> None:
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.period_s = float(period_s)
+
+    def should_rejuvenate(
+        self, vm: VirtualMachine, predicted_rttf: float, dt: float
+    ) -> bool:
+        return vm.uptime_s >= self.period_s
+
+    def urgency(self, vm: VirtualMachine, predicted_rttf: float) -> float:
+        # the longest-running VM goes first
+        return -vm.uptime_s
+
+
+class NoRejuvenation(RejuvenationDiscipline):
+    """Control discipline: never rejuvenate proactively.
+
+    VMs run until they hit their failure point; the VMC's reactive path
+    (FAILED -> REJUVENATING) is the only recovery.  Quantifies the
+    availability loss the paper's whole mechanism exists to avoid.
+    """
+
+    def should_rejuvenate(
+        self, vm: VirtualMachine, predicted_rttf: float, dt: float
+    ) -> bool:
+        return False

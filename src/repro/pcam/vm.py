@@ -1,0 +1,381 @@
+"""The virtual-machine resource and lifecycle model.
+
+Each VM hosts one server replica of the client-server application.  Under
+load, injected software anomalies accumulate (memory leaks, unterminated
+threads -- Sec. VI-A); the accumulation degrades performance and eventually
+drives the VM to its *failure point*.  Following F2PM, the failure point is
+configurable and "not necessarily related to an actual crash ... it can
+describe as well the violation of one or more SLA" (Sec. III).
+
+State machine (PCAM, Sec. III)::
+
+    STANDBY --activate--> ACTIVE --rejuvenate--> REJUVENATING --done--> STANDBY
+                             |
+                             +--(failure point reached)--> FAILED --recover--> STANDBY
+
+Performance model
+-----------------
+A healthy VM serves ``cpu_power`` demand-units/second (instance catalog).
+Degradation is driven by two pressures:
+
+* **swap pressure** -- once leaked memory exceeds free RAM it spills into
+  swap; each swapped MB costs service capacity (thrashing);
+* **thread pressure** -- stuck threads occupy scheduler slots; capacity
+  falls linearly in the occupied fraction.
+
+Mean response time for an era follows an M/M/1 approximation on the
+*effective* service rate, which reproduces the paper's observed behaviour:
+response time stays low until a VM approaches its failure point, then grows
+steeply -- giving the ML models a learnable signal.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.features import FeatureVector
+from repro.sim.instances import InstanceType
+from repro.workload.anomalies import AnomalyInjector
+
+
+class VmState(enum.Enum):
+    """PCAM VM lifecycle states."""
+
+    ACTIVE = "active"
+    STANDBY = "standby"
+    REJUVENATING = "rejuvenating"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True, slots=True)
+class FailurePolicy:
+    """The F2PM configurable failure point.
+
+    A VM reaches its failure point when *any* of these trips:
+
+    * leaked memory exhausts RAM+swap (hard crash);
+    * stuck threads exhaust the thread slots (hard crash);
+    * mean response time exceeds ``sla_response_time_s`` (SLA violation).
+    """
+
+    sla_response_time_s: float = 1.0
+    swap_exhaustion: bool = True
+    thread_exhaustion: bool = True
+
+    def __post_init__(self) -> None:
+        if self.sla_response_time_s <= 0:
+            raise ValueError("sla_response_time_s must be positive")
+
+
+#: Memory the OS + application baseline occupies before any leak (MB).
+BASELINE_MEMORY_MB = 384.0
+
+#: Fraction of capacity lost per unit of swap-occupancy ratio.
+SWAP_CAPACITY_PENALTY = 0.7
+
+#: Baseline thread count of a healthy server replica.
+BASELINE_THREADS = 24
+
+
+class VirtualMachine:
+    """One simulated VM hosting a server replica.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier ("region1/vm3").
+    itype:
+        Hardware shape from the instance catalog.
+    injector:
+        Per-VM anomaly injector (owns its own random stream).
+    failure_policy:
+        The failure-point definition.
+    rejuvenation_time_s:
+        How long a rejuvenation (process/system restart) takes.
+    state:
+        Initial lifecycle state.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        itype: InstanceType,
+        injector: AnomalyInjector,
+        failure_policy: FailurePolicy | None = None,
+        rejuvenation_time_s: float = 120.0,
+        state: VmState = VmState.STANDBY,
+    ) -> None:
+        if rejuvenation_time_s < 0:
+            raise ValueError("rejuvenation_time_s must be >= 0")
+        self.name = name
+        self.itype = itype
+        self.injector = injector
+        self.failure_policy = failure_policy or FailurePolicy()
+        self.rejuvenation_time_s = float(rejuvenation_time_s)
+        self.state = state
+        # anomaly accumulation
+        self.leaked_mb = 0.0
+        self.stuck_threads = 0
+        self.uptime_s = 0.0
+        # rejuvenation progress
+        self._rejuvenation_remaining_s = 0.0
+        # last-era telemetry
+        self.last_request_rate = 0.0
+        self.last_response_time_s = 0.0
+        self.total_requests = 0
+        self.rejuvenation_count = 0
+        self.failure_count = 0
+
+    # ------------------------------------------------------------------ #
+    # resource pressures and capacity
+    # ------------------------------------------------------------------ #
+
+    @property
+    def usable_memory_mb(self) -> float:
+        """RAM available to absorb leaks before spilling to swap."""
+        return max(self.itype.memory_mb - BASELINE_MEMORY_MB, 1.0)
+
+    @property
+    def anomaly_budget_mb(self) -> float:
+        """Total leak absorption before the hard-crash point (RAM + swap)."""
+        return self.usable_memory_mb + self.itype.swap_mb
+
+    @property
+    def swap_used_mb(self) -> float:
+        """Leaked memory that spilled past RAM into swap."""
+        return float(np.clip(self.leaked_mb - self.usable_memory_mb, 0.0, self.itype.swap_mb))
+
+    @property
+    def swap_pressure(self) -> float:
+        """Swap occupancy in [0, 1]."""
+        if self.itype.swap_mb == 0:
+            return 1.0 if self.leaked_mb >= self.usable_memory_mb else 0.0
+        return self.swap_used_mb / self.itype.swap_mb
+
+    @property
+    def thread_pressure(self) -> float:
+        """Thread-slot occupancy by stuck threads, in [0, 1]."""
+        free_slots = max(self.itype.thread_slots - BASELINE_THREADS, 1)
+        return float(np.clip(self.stuck_threads / free_slots, 0.0, 1.0))
+
+    @property
+    def effective_capacity(self) -> float:
+        """Current service capacity in demand-units/second.
+
+        Healthy capacity shrunk by swap thrashing and thread-slot loss; a
+        floor of 2 % keeps the queueing model defined until the hard
+        failure point trips.
+        """
+        factor = (1.0 - SWAP_CAPACITY_PENALTY * self.swap_pressure) * (
+            1.0 - self.thread_pressure
+        )
+        return self.itype.cpu_power * max(factor, 0.02)
+
+    def response_time_s(self, request_rate: float, mean_demand: float = 1.5) -> float:
+        """M/M/1-style mean response time at ``request_rate`` req/s.
+
+        ``mean_demand`` is the average demand-units per request (from the
+        TPC-W mix).  Utilisation is clamped at 0.99: past saturation the
+        model reports a steeply growing but finite response time, which is
+        what a real overloaded server (with queue limits) exhibits.
+        """
+        if request_rate < 0:
+            raise ValueError("request_rate must be >= 0")
+        mu = self.effective_capacity / mean_demand  # requests/second
+        service_time = 1.0 / mu
+        rho = min(request_rate / mu, 0.99)
+        return service_time / (1.0 - rho)
+
+    # ------------------------------------------------------------------ #
+    # failure point
+    # ------------------------------------------------------------------ #
+
+    def failure_point_reached(self) -> bool:
+        """Evaluate the F2PM failure-point predicate on the current state."""
+        p = self.failure_policy
+        if p.swap_exhaustion and self.leaked_mb >= self.anomaly_budget_mb:
+            return True
+        if p.thread_exhaustion and self.thread_pressure >= 1.0:
+            return True
+        if self.last_response_time_s > p.sla_response_time_s:
+            return True
+        return False
+
+    def true_time_to_failure_s(
+        self, request_rate: float, mean_demand: float = 1.5
+    ) -> float:
+        """Mean-field (noise-free) time to the hard failure point.
+
+        Used by tests and by the oracle predictor: at a constant request
+        rate the leak accumulates at ``injector.expected_leak_rate_mb``
+        MB/s, so the crash arrives when the remaining budget is consumed.
+        The SLA clause can trip earlier; we bound by the time at which
+        degraded capacity pushes the M/M/1 response time over the SLA,
+        found by bisection on the leak trajectory.
+        """
+        if request_rate <= 0:
+            return float("inf")
+        leak_rate = self.injector.expected_leak_rate_mb(request_rate)
+        if leak_rate <= 0:
+            return float("inf")
+        remaining = max(self.anomaly_budget_mb - self.leaked_mb, 0.0)
+        t_crash = remaining / leak_rate
+
+        # SLA crossing: scan the deterministic trajectory coarsely, then
+        # bisect inside the crossing interval (the coarse step alone would
+        # quantise the answer by t_crash/400, which breaks monotonicity
+        # between VMs whose crash horizons differ).
+        saved = (self.leaked_mb, self.stuck_threads, self.last_response_time_s)
+        thread_rate = self.injector.expected_thread_rate(request_rate)
+
+        def violates(t: float) -> bool:
+            self.leaked_mb = saved[0] + leak_rate * t
+            self.stuck_threads = int(saved[1] + thread_rate * t)
+            return (
+                self.response_time_s(request_rate, mean_demand)
+                > self.failure_policy.sla_response_time_s
+            )
+
+        t_sla = float("inf")
+        try:
+            t, dt = 0.0, max(t_crash / 400.0, 1.0)
+            while t < t_crash:
+                t += dt
+                if violates(t):
+                    lo, hi = max(t - dt, 0.0), t
+                    for _ in range(30):
+                        mid = 0.5 * (lo + hi)
+                        if violates(mid):
+                            hi = mid
+                        else:
+                            lo = mid
+                    t_sla = hi
+                    break
+        finally:
+            self.leaked_mb, self.stuck_threads, self.last_response_time_s = saved
+        return min(t_crash, t_sla)
+
+    # ------------------------------------------------------------------ #
+    # era advancement
+    # ------------------------------------------------------------------ #
+
+    def apply_load(
+        self, n_requests: int, dt: float, mean_demand: float = 1.5
+    ) -> float:
+        """Serve ``n_requests`` over an era of ``dt`` seconds.
+
+        Injects anomalies, advances uptime, updates telemetry, and returns
+        the era's mean response time.  Only valid for ACTIVE VMs.
+        """
+        if self.state is not VmState.ACTIVE:
+            raise RuntimeError(
+                f"{self.name}: apply_load on {self.state.value} VM"
+            )
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if n_requests < 0:
+            raise ValueError("n_requests must be >= 0")
+        effect = self.injector.inject(n_requests)
+        self.leaked_mb += effect.leaked_mb
+        self.stuck_threads += effect.stuck_threads
+        self.uptime_s += dt
+        self.total_requests += n_requests
+        self.last_request_rate = n_requests / dt
+        self.last_response_time_s = self.response_time_s(
+            self.last_request_rate, mean_demand
+        )
+        if self.failure_point_reached():
+            self.fail()
+        return self.last_response_time_s
+
+    def idle(self, dt: float) -> None:
+        """Advance time without load (STANDBY/idle ACTIVE bookkeeping)."""
+        if dt < 0:
+            raise ValueError("dt must be >= 0")
+        if self.state is VmState.ACTIVE:
+            self.uptime_s += dt
+            self.last_request_rate = 0.0
+        elif self.state is VmState.REJUVENATING:
+            self._rejuvenation_remaining_s -= dt
+            if self._rejuvenation_remaining_s <= 0:
+                self._finish_rejuvenation()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle transitions
+    # ------------------------------------------------------------------ #
+
+    def activate(self) -> None:
+        """STANDBY -> ACTIVE (the PCAM ACTIVATE command)."""
+        if self.state is not VmState.STANDBY:
+            raise RuntimeError(
+                f"{self.name}: cannot ACTIVATE from {self.state.value}"
+            )
+        self.state = VmState.ACTIVE
+        self.uptime_s = 0.0
+
+    def start_rejuvenation(self) -> None:
+        """ACTIVE/FAILED -> REJUVENATING (the PCAM REJUVENATE command)."""
+        if self.state not in (VmState.ACTIVE, VmState.FAILED):
+            raise RuntimeError(
+                f"{self.name}: cannot REJUVENATE from {self.state.value}"
+            )
+        self.state = VmState.REJUVENATING
+        self._rejuvenation_remaining_s = self.rejuvenation_time_s
+        self.rejuvenation_count += 1
+        if self.rejuvenation_time_s == 0:
+            self._finish_rejuvenation()
+
+    def _finish_rejuvenation(self) -> None:
+        self.state = VmState.STANDBY
+        self.leaked_mb = 0.0
+        self.stuck_threads = 0
+        self.uptime_s = 0.0
+        self.last_response_time_s = 0.0
+        self.last_request_rate = 0.0
+        self._rejuvenation_remaining_s = 0.0
+
+    def fail(self) -> None:
+        """Transition to FAILED (failure point reached before rejuvenation)."""
+        if self.state is VmState.FAILED:
+            return
+        self.state = VmState.FAILED
+        self.failure_count += 1
+
+    # ------------------------------------------------------------------ #
+    # monitoring
+    # ------------------------------------------------------------------ #
+
+    def sample_features(self) -> FeatureVector:
+        """Produce one F2PM monitoring sample of the current state."""
+        mem_used = BASELINE_MEMORY_MB + min(self.leaked_mb, self.usable_memory_mb)
+        mu = self.effective_capacity / 1.5
+        rho = min(self.last_request_rate / mu, 0.99) if mu > 0 else 0.99
+        cpu_user = 70.0 * rho
+        cpu_system = 10.0 * rho + 20.0 * self.swap_pressure
+        return FeatureVector(
+            mem_used_mb=mem_used,
+            mem_free_mb=max(self.itype.memory_mb - mem_used, 0.0),
+            swap_used_mb=self.swap_used_mb,
+            cpu_user_pct=cpu_user,
+            cpu_system_pct=cpu_system,
+            cpu_idle_pct=max(100.0 - cpu_user - cpu_system, 0.0),
+            num_threads=BASELINE_THREADS + self.stuck_threads,
+            num_processes=60.0,
+            disk_read_mbps=0.5 + 4.0 * self.swap_pressure,
+            disk_write_mbps=0.3 + 6.0 * self.swap_pressure,
+            net_in_mbps=0.02 * self.last_request_rate,
+            net_out_mbps=0.12 * self.last_request_rate,
+            request_rate=self.last_request_rate,
+            response_time_ms=self.last_response_time_s * 1000.0,
+            uptime_s=self.uptime_s,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"VirtualMachine({self.name!r}, {self.itype.name}, "
+            f"{self.state.value}, leaked={self.leaked_mb:.0f}MB, "
+            f"threads+{self.stuck_threads})"
+        )

@@ -1,0 +1,339 @@
+"""The Virtual Machine Controller (VMC).
+
+One VMC manages one cloud region (Sec. III): it hosts the local load
+balancer, monitors the system features of its VMs, maps the F2PM model onto
+them to predict RTTF at runtime, and enforces proactive rejuvenation:
+
+    "Whenever the estimated RTTF of an ACTIVE VM is less than a threshold
+    (established by the user), VMC sends an ACTIVATE command to a VM in the
+    STANDBY state and a REJUVENATE command to the about-to-fail VM."
+
+The controller advances in *eras* (the control-loop period).  Each era it
+(1) tops up the ACTIVE pool from STANDBY, (2) splits the era's request
+batch over ACTIVE VMs, (3) applies the load (anomalies accumulate),
+(4) samples features, predicts RTTF, and swaps out any VM whose predicted
+RTTF dropped below the threshold, and (5) reports the region's lastRMTTF
+(mean predicted MTTF over ACTIVE VMs) and mean response time for the
+global control loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pcam.balancer import LocalBalancer
+from repro.pcam.monitor import FeatureMonitor
+from repro.pcam.predictor import RttfPredictor
+from repro.pcam.rejuvenation import (
+    RejuvenationDiscipline,
+    RttfThresholdRejuvenation,
+)
+from repro.pcam.vm import VirtualMachine, VmState
+
+
+@dataclass(frozen=True, slots=True)
+class VmcConfig:
+    """VMC tuning knobs.
+
+    Parameters
+    ----------
+    rttf_threshold_s:
+        Proactive-rejuvenation trigger: swap a VM whose predicted RTTF
+        falls below this.
+    target_active:
+        ACTIVE pool size the controller maintains (initial deployment
+        size; autoscaling may change it at runtime).
+    mean_demand:
+        Average demand-units per request of the workload mix.
+    monitor_history:
+        Feature-monitor ring size per VM.
+    """
+
+    rttf_threshold_s: float = 240.0
+    target_active: int = 2
+    mean_demand: float = 1.5
+    monitor_history: int = 64
+
+    def __post_init__(self) -> None:
+        if self.rttf_threshold_s < 0:
+            raise ValueError("rttf_threshold_s must be >= 0")
+        if self.target_active < 1:
+            raise ValueError("target_active must be >= 1")
+        if self.mean_demand <= 0:
+            raise ValueError("mean_demand must be positive")
+
+
+@dataclass(slots=True)
+class EraReport:
+    """What a VMC reports to the leader after one era (Algorithm 1)."""
+
+    region: str
+    time: float
+    last_rmttf: float
+    response_time_s: float
+    n_active: int
+    n_standby: int
+    n_rejuvenating: int
+    n_failed: int
+    requests_served: int
+    rejuvenations_triggered: int
+    failures: int
+    per_vm_rttf: dict[str, float] = field(default_factory=dict)
+
+
+class VirtualMachineController:
+    """Per-region manager of VMs, balancer, monitors, and predictor.
+
+    Parameters
+    ----------
+    region_name:
+        Region label used in reports and traces.
+    vms:
+        The region's VM pool (all states).
+    predictor:
+        RTTF predictor (trained F2PM model or oracle).
+    config:
+        Tuning knobs.
+    balancer:
+        Intra-region balancer; defaults to capacity-weighted deterministic.
+    discipline:
+        When to proactively rejuvenate; defaults to PCAM's RTTF-threshold
+        discipline at ``config.rttf_threshold_s``.  Pass
+        :class:`~repro.pcam.rejuvenation.PeriodicRejuvenation` or
+        :class:`~repro.pcam.rejuvenation.NoRejuvenation` for the
+        literature baselines.
+    """
+
+    def __init__(
+        self,
+        region_name: str,
+        vms: list[VirtualMachine],
+        predictor: RttfPredictor,
+        config: VmcConfig | None = None,
+        balancer: LocalBalancer | None = None,
+        discipline: RejuvenationDiscipline | None = None,
+    ) -> None:
+        if not vms:
+            raise ValueError(f"region {region_name!r}: empty VM pool")
+        names = [vm.name for vm in vms]
+        if len(set(names)) != len(names):
+            raise ValueError(f"region {region_name!r}: duplicate VM names")
+        self.region_name = region_name
+        self.vms = list(vms)
+        self.predictor = predictor
+        self.config = config or VmcConfig()
+        self.balancer = balancer or LocalBalancer()
+        self.discipline = discipline or RttfThresholdRejuvenation(
+            self.config.rttf_threshold_s
+        )
+        self.monitors = {
+            vm.name: FeatureMonitor(vm, self.config.monitor_history)
+            for vm in self.vms
+        }
+        self._target_active = self.config.target_active
+        self.total_rejuvenations = 0
+        self.total_failures = 0
+        self._ensure_active_pool()
+
+    # ------------------------------------------------------------------ #
+    # pool management
+    # ------------------------------------------------------------------ #
+
+    def vms_in(self, state: VmState) -> list[VirtualMachine]:
+        """All pool VMs currently in ``state`` (stable order)."""
+        return [vm for vm in self.vms if vm.state is state]
+
+    @property
+    def target_active(self) -> int:
+        """ACTIVE pool size the controller tries to maintain."""
+        return self._target_active
+
+    def set_target_active(self, n: int) -> None:
+        """Autoscaling entry point: change the desired ACTIVE pool size.
+
+        Shrinking rejuvenates the excess ACTIVE VMs (they return to
+        STANDBY refreshed); growing activates STANDBY VMs immediately.
+        """
+        if n < 1:
+            raise ValueError("target_active must be >= 1")
+        self._target_active = n
+        active = self.vms_in(VmState.ACTIVE)
+        while len(active) > self._target_active:
+            # Retire the most-degraded VM first.
+            worst = max(active, key=lambda vm: vm.leaked_mb)
+            worst.start_rejuvenation()
+            active.remove(worst)
+        self._ensure_active_pool()
+
+    def _ensure_active_pool(self) -> None:
+        """Activate STANDBYs until the ACTIVE pool meets the target."""
+        active = self.vms_in(VmState.ACTIVE)
+        standby = self.vms_in(VmState.STANDBY)
+        while len(active) < self._target_active and standby:
+            vm = standby.pop(0)
+            vm.activate()
+            active.append(vm)
+
+    def total_capacity(self) -> float:
+        """Sum of effective capacities of ACTIVE VMs (demand-units/s)."""
+        return float(
+            sum(vm.effective_capacity for vm in self.vms_in(VmState.ACTIVE))
+        )
+
+    def healthy_capacity(self) -> float:
+        """Nameplate capacity of the ACTIVE pool (no degradation)."""
+        return float(
+            sum(vm.itype.cpu_power for vm in self.vms_in(VmState.ACTIVE))
+        )
+
+    # ------------------------------------------------------------------ #
+    # era processing (Monitor + local part of Analyze)
+    # ------------------------------------------------------------------ #
+
+    def process_era(self, n_requests: int, dt: float, now: float) -> EraReport:
+        """Serve one era's request batch and run the PCAM policies.
+
+        Returns the :class:`EraReport` the slave VMC sends to the leader
+        (Algorithm 1: predict local RMTTF, actuate PCAM policies).
+        """
+        if n_requests < 0:
+            raise ValueError("n_requests must be >= 0")
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+
+        self._ensure_active_pool()
+        active = self.vms_in(VmState.ACTIVE)
+        era_failures = 0
+        era_rejuvenations = 0
+
+        # 1. split the batch over ACTIVE VMs and apply the load
+        response_num = 0.0
+        served = 0
+        if active:
+            assignment = self.balancer.split(n_requests, active)
+            for vm in active:
+                n_vm = assignment.get(vm.name, 0)
+                rt = vm.apply_load(n_vm, dt, self.config.mean_demand)
+                response_num += rt * n_vm
+                served += n_vm
+                if vm.state is VmState.FAILED:
+                    era_failures += 1
+
+        # advance non-active VMs (rejuvenation progress)
+        for vm in self.vms:
+            if vm.state in (VmState.STANDBY, VmState.REJUVENATING):
+                vm.idle(dt)
+
+        # 2. monitor + predict + proactive rejuvenation (PCAM policy).
+        # The swap is *paired*: REJUVENATE goes out together with an
+        # ACTIVATE to a STANDBY VM.  Without a standby the swap is
+        # postponed (taking a VM down with no replacement would cut
+        # availability -- the exact thing PCAM exists to protect), unless
+        # the VM is about to hard-fail within the next era anyway.
+        per_vm_rttf: dict[str, float] = {}
+        mttf_values: list[float] = []
+        at_risk: list[tuple[float, float, VirtualMachine]] = []
+        for vm in self.vms_in(VmState.ACTIVE):
+            self.monitors[vm.name].sample(now)
+            rttf = self.predictor.predict_rttf(vm)
+            per_vm_rttf[vm.name] = rttf
+            mttf_values.append(self.predictor.predict_mttf(vm))
+            if self.discipline.should_rejuvenate(vm, rttf, dt):
+                at_risk.append(
+                    (self.discipline.urgency(vm, rttf), rttf, vm)
+                )
+        at_risk.sort(key=lambda triple: triple[0])
+        n_standby = len(self.vms_in(VmState.STANDBY))
+        for _, rttf, vm in at_risk:
+            if n_standby > 0:
+                n_standby -= 1
+            elif rttf >= dt:
+                continue  # postpone: no replacement and not imminent
+            vm.start_rejuvenation()
+            era_rejuvenations += 1
+
+        # 3. reactive path: failed VMs go to rejuvenation too
+        for vm in self.vms_in(VmState.FAILED):
+            vm.start_rejuvenation()
+            era_rejuvenations += 1
+
+        # 4. backfill the ACTIVE pool from STANDBY (the ACTIVATE command)
+        self._ensure_active_pool()
+
+        self.total_rejuvenations += era_rejuvenations
+        self.total_failures += era_failures
+
+        mean_rt = response_num / served if served else 0.0
+        last_rmttf = float(np.mean(mttf_values)) if mttf_values else 0.0
+        return EraReport(
+            region=self.region_name,
+            time=now,
+            last_rmttf=last_rmttf,
+            response_time_s=mean_rt,
+            n_active=len(self.vms_in(VmState.ACTIVE)),
+            n_standby=len(self.vms_in(VmState.STANDBY)),
+            n_rejuvenating=len(self.vms_in(VmState.REJUVENATING)),
+            n_failed=len(self.vms_in(VmState.FAILED)),
+            requests_served=served,
+            rejuvenations_triggered=era_rejuvenations,
+            failures=era_failures,
+            per_vm_rttf=per_vm_rttf,
+        )
+
+    # ------------------------------------------------------------------ #
+    # pool growth (used by ACM autoscaling, Sec. V ADDVMS)
+    # ------------------------------------------------------------------ #
+
+    def add_vm(self, vm: VirtualMachine) -> None:
+        """Add a freshly provisioned VM (in STANDBY) to the pool."""
+        if vm.name in self.monitors:
+            raise ValueError(f"duplicate VM name {vm.name!r}")
+        if vm.state is not VmState.STANDBY:
+            raise ValueError("new VMs must join in STANDBY state")
+        self.vms.append(vm)
+        self.monitors[vm.name] = FeatureMonitor(
+            vm, self.config.monitor_history
+        )
+
+    def stats(self) -> dict[str, float]:
+        """Aggregate pool statistics for reporting and dashboards."""
+        active = self.vms_in(VmState.ACTIVE)
+        return {
+            "n_vms": float(len(self.vms)),
+            "n_active": float(len(active)),
+            "n_standby": float(len(self.vms_in(VmState.STANDBY))),
+            "n_rejuvenating": float(len(self.vms_in(VmState.REJUVENATING))),
+            "n_failed": float(len(self.vms_in(VmState.FAILED))),
+            "total_requests": float(
+                sum(vm.total_requests for vm in self.vms)
+            ),
+            "total_rejuvenations": float(self.total_rejuvenations),
+            "total_failures": float(self.total_failures),
+            "mean_active_uptime_s": (
+                float(np.mean([vm.uptime_s for vm in active]))
+                if active
+                else 0.0
+            ),
+            "mean_leak_mb": (
+                float(np.mean([vm.leaked_mb for vm in active]))
+                if active
+                else 0.0
+            ),
+            "effective_capacity": self.total_capacity(),
+            "healthy_capacity": self.healthy_capacity(),
+        }
+
+    def remove_vm(self, name: str) -> VirtualMachine:
+        """Remove a VM from the pool (must not be ACTIVE)."""
+        for i, vm in enumerate(self.vms):
+            if vm.name == name:
+                if vm.state is VmState.ACTIVE:
+                    raise RuntimeError(
+                        f"cannot remove ACTIVE VM {name!r}; deactivate first"
+                    )
+                del self.vms[i]
+                del self.monitors[name]
+                return vm
+        raise KeyError(f"no VM named {name!r} in region {self.region_name!r}")

@@ -1,0 +1,48 @@
+"""Discrete-event simulation substrate.
+
+This package provides the deterministic simulation core on which the whole
+reproduction runs:
+
+* :mod:`repro.sim.engine` -- the event-heap simulator (clock, scheduling,
+  cancellation, run loops).
+* :mod:`repro.sim.events` -- event record types and their total ordering.
+* :mod:`repro.sim.rng` -- named, reproducible random-number streams.
+* :mod:`repro.sim.instances` -- the instance-type catalog used to model the
+  heterogeneous regions of the paper (Amazon ``m3.medium``/``m3.small`` and
+  the privately hosted VMs).
+* :mod:`repro.sim.tracing` -- time-series recording used by the experiment
+  harness to regenerate the paper's figures.
+
+The paper ran on a live hybrid cloud (two Amazon EC2 regions plus one private
+server).  Offline we replace the testbed with this simulator; see DESIGN.md
+for the substitution argument.
+"""
+
+from repro.sim.engine import Simulator, SimulationError
+from repro.sim.events import Event, EventState
+from repro.sim.instances import (
+    InstanceType,
+    INSTANCE_CATALOG,
+    M3_MEDIUM,
+    M3_SMALL,
+    PRIVATE_SMALL,
+    get_instance_type,
+)
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import TraceRecorder, TraceSeries
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "Event",
+    "EventState",
+    "InstanceType",
+    "INSTANCE_CATALOG",
+    "M3_MEDIUM",
+    "M3_SMALL",
+    "PRIVATE_SMALL",
+    "get_instance_type",
+    "RngRegistry",
+    "TraceRecorder",
+    "TraceSeries",
+]

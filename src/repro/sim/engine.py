@@ -1,0 +1,237 @@
+"""The discrete-event simulation engine.
+
+A minimal, deterministic, callback-based DES core:
+
+* a binary heap of :class:`~repro.sim.events.Event` ordered by
+  ``(time, priority, seq)``;
+* a simulation clock that only moves forward;
+* lazy cancellation (cancelled events are dropped when popped);
+* periodic-event helpers used by the control loop (eras) and the feature
+  monitors (sampling intervals).
+
+The engine deliberately avoids threads, wall-clock time, and global state so
+that every run is exactly reproducible from its seed (see
+:mod:`repro.sim.rng`).  This follows the HPC guidance used for this
+reproduction: keep the event dispatch loop in plain Python (it is intrinsic
+control flow) and push numerical work into vectorised NumPy inside the
+callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable
+
+from repro.sim.events import Event, EventState
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid simulator usage (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule_at(5.0, lambda: fired.append(sim.now))
+    >>> _ = sim.schedule_at(2.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [2.0, 5.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._fired_count = 0
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    # clock
+    # ------------------------------------------------------------------ #
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def pending_count(self) -> int:
+        """Number of events still pending in the heap (excludes cancelled)."""
+        return sum(1 for e in self._heap if e.pending)
+
+    @property
+    def fired_count(self) -> int:
+        """Total number of events dispatched so far."""
+        return self._fired_count
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute simulated time ``time``.
+
+        Raises
+        ------
+        SimulationError
+            If ``time`` precedes the current clock.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before current time t={self._now}"
+            )
+        event = Event(
+            time=float(time),
+            priority=priority,
+            seq=self._seq,
+            action=action,
+            label=label,
+        )
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` after a relative ``delay`` (must be >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(
+            self._now + delay, action, priority=priority, label=label
+        )
+
+    def schedule_periodic(
+        self,
+        period: float,
+        action: Callable[[], None],
+        *,
+        start: float | None = None,
+        priority: int = 0,
+        label: str = "",
+    ) -> Callable[[], None]:
+        """Fire ``action`` every ``period`` simulated seconds.
+
+        The first firing happens at ``start`` (defaults to ``now + period``).
+        Returns a zero-argument *stop* function: calling it cancels the next
+        pending occurrence and stops the recurrence.
+        """
+        if period <= 0:
+            raise SimulationError(f"period must be positive, got {period}")
+        state: dict[str, Event | None] = {"next": None}
+        stopped = {"flag": False}
+
+        def fire() -> None:
+            if stopped["flag"]:
+                return
+            action()
+            if not stopped["flag"]:
+                state["next"] = self.schedule_after(
+                    period, fire, priority=priority, label=label
+                )
+
+        first = self._now + period if start is None else start
+        state["next"] = self.schedule_at(first, fire, priority=priority, label=label)
+
+        def stop() -> None:
+            stopped["flag"] = True
+            nxt = state["next"]
+            if nxt is not None:
+                nxt.cancel()
+
+        return stop
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> Event | None:
+        """Dispatch the single next pending event.
+
+        Returns the fired event, or ``None`` if the heap is empty (cancelled
+        events are silently discarded).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.state is EventState.CANCELLED:
+                continue
+            self._now = event.time
+            event.state = EventState.FIRED
+            self._fired_count += 1
+            event.action()
+            return event
+        return None
+
+    def run(self, *, max_events: int | None = None) -> int:
+        """Run until the event heap drains (or ``max_events`` dispatched).
+
+        Returns the number of events dispatched by this call.
+        """
+        dispatched = 0
+        self._stopped = False
+        while not self._stopped:
+            if max_events is not None and dispatched >= max_events:
+                break
+            if self.step() is None:
+                break
+            dispatched += 1
+        return dispatched
+
+    def run_until(self, end_time: float) -> int:
+        """Run all events with ``time <= end_time``; advance clock to it.
+
+        Returns the number of events dispatched.  The clock is left exactly at
+        ``end_time`` even if the last event fired earlier, so subsequent
+        relative scheduling behaves intuitively.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"run_until({end_time}) precedes current time {self._now}"
+            )
+        dispatched = 0
+        self._stopped = False
+        while self._heap and not self._stopped:
+            head = self._heap[0]
+            if head.state is EventState.CANCELLED:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > end_time:
+                break
+            self.step()
+            dispatched += 1
+        self._now = max(self._now, end_time)
+        return dispatched
+
+    def stop(self) -> None:
+        """Request the current :meth:`run`/:meth:`run_until` loop to exit.
+
+        Safe to call from inside an event callback; the event being processed
+        completes, then the loop returns.
+        """
+        self._stopped = True
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+
+    def pending_events(self) -> Iterable[Event]:
+        """Snapshot of pending events, in firing order (for tests/debugging)."""
+        return sorted((e for e in self._heap if e.pending), key=Event.sort_key)

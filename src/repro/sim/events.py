@@ -1,0 +1,76 @@
+"""Event records for the discrete-event simulator.
+
+Events carry an absolute firing time, a tie-breaking priority, a monotonically
+increasing sequence number, and a zero-argument callback.  The triple
+``(time, priority, seq)`` gives a *total* order, which makes simulation runs
+bit-reproducible: two events scheduled for the same instant always fire in the
+order they were scheduled (or by explicit priority).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class EventState(enum.Enum):
+    """Lifecycle of a scheduled event."""
+
+    PENDING = "pending"
+    FIRED = "fired"
+    CANCELLED = "cancelled"
+
+
+@dataclass(slots=True)
+class Event:
+    """A single scheduled occurrence in simulated time.
+
+    Parameters
+    ----------
+    time:
+        Absolute simulated time at which the event fires.
+    priority:
+        Tie-breaker for events scheduled at the same time; lower fires first.
+        Used e.g. to guarantee that VM state transitions are applied before
+        the control-loop era boundary that reads them.
+    seq:
+        Scheduling sequence number, assigned by the simulator.  Final
+        tie-breaker; guarantees FIFO order among equal (time, priority).
+    action:
+        Zero-argument callable invoked when the event fires.
+    label:
+        Optional human-readable tag, kept for tracing/debugging.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], None]
+    label: str = ""
+    state: EventState = field(default=EventState.PENDING, compare=False)
+
+    def sort_key(self) -> tuple[float, int, int]:
+        """Total-order key used by the event heap."""
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    @property
+    def pending(self) -> bool:
+        """Whether the event is still waiting to fire."""
+        return self.state is EventState.PENDING
+
+    def cancel(self) -> bool:
+        """Mark the event cancelled.
+
+        Returns ``True`` if the event was pending (and is now cancelled),
+        ``False`` if it had already fired or been cancelled.  The simulator
+        lazily discards cancelled events when they surface at the top of the
+        heap, so cancellation is O(1).
+        """
+        if self.state is EventState.PENDING:
+            self.state = EventState.CANCELLED
+            return True
+        return False

@@ -1,0 +1,129 @@
+"""Closed-loop emulated-browser populations.
+
+TPC-W drives the system with *emulated browsers* (EBs): each EB issues a
+request, waits for the response, thinks for an exponentially distributed
+time (spec mean 7 s), and repeats.  The offered load of ``N`` EBs facing
+mean response time ``R`` is the classic closed-loop rate ``N / (Z + R)``
+with think time ``Z`` -- the form the fluid simulation uses.  The DES path
+samples individual think times.
+
+The paper varies "the number of active clients (towards each cloud region)
+in the interval [16, 512], ensuring that the clients connected to each
+cloud region ... were significantly different in number" (Sec. VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workload.tpcw import MIX_SHOPPING, RequestMix
+
+#: TPC-W specification mean think time (seconds).
+DEFAULT_THINK_TIME_S = 7.0
+
+#: Paper's client-count interval per region.
+CLIENT_RANGE = (16, 512)
+
+
+def closed_loop_rate(
+    n_clients: int, think_time_s: float, response_time_s: float
+) -> float:
+    """Steady-state request rate of a closed-loop population.
+
+    ``lambda = N / (Z + R)`` -- interactive response time law rearranged.
+    """
+    if n_clients < 0:
+        raise ValueError("n_clients must be >= 0")
+    if think_time_s <= 0:
+        raise ValueError("think_time_s must be positive")
+    if response_time_s < 0:
+        raise ValueError("response_time_s must be >= 0")
+    return n_clients / (think_time_s + response_time_s)
+
+
+@dataclass
+class BrowserPopulation:
+    """A population of emulated browsers attached to one cloud region.
+
+    Parameters
+    ----------
+    n_clients:
+        Number of EBs; the paper uses values in [16, 512].
+    mix:
+        TPC-W interaction mix driving the request classes.
+    think_time_s:
+        Mean exponential think time.
+    name:
+        Label used in traces ("clients@region1").
+    """
+
+    n_clients: int
+    mix: RequestMix = MIX_SHOPPING
+    think_time_s: float = DEFAULT_THINK_TIME_S
+    name: str = "clients"
+
+    def __post_init__(self) -> None:
+        if self.n_clients < 0:
+            raise ValueError("n_clients must be >= 0")
+        if self.think_time_s <= 0:
+            raise ValueError("think_time_s must be positive")
+
+    def offered_rate(self, response_time_s: float = 0.0) -> float:
+        """Closed-loop request rate given the current mean response time."""
+        return closed_loop_rate(
+            self.n_clients, self.think_time_s, response_time_s
+        )
+
+    def sample_think_times(
+        self, rng: np.random.Generator, size: int
+    ) -> np.ndarray:
+        """Draw ``size`` exponential think times (DES path)."""
+        if size < 0:
+            raise ValueError("size must be >= 0")
+        return rng.exponential(self.think_time_s, size=size)
+
+    def scaled(self, n_clients: int) -> "BrowserPopulation":
+        """Copy with a different client count (workload ramps)."""
+        return BrowserPopulation(
+            n_clients=n_clients,
+            mix=self.mix,
+            think_time_s=self.think_time_s,
+            name=self.name,
+        )
+
+
+def heterogeneous_populations(
+    counts: dict[str, int],
+    mix: RequestMix = MIX_SHOPPING,
+    think_time_s: float = DEFAULT_THINK_TIME_S,
+) -> dict[str, BrowserPopulation]:
+    """Build one population per region from a count mapping.
+
+    Validates that counts honour the paper's [16, 512] interval and that at
+    least two regions differ (the paper requires "significantly different"
+    per-region client counts -- enforced loosely as *not all equal* when
+    more than one region is given).
+    """
+    lo, hi = CLIENT_RANGE
+    for region, n in counts.items():
+        if not lo <= n <= hi:
+            raise ValueError(
+                f"region {region!r}: {n} clients outside paper range "
+                f"[{lo}, {hi}]"
+            )
+    if len(counts) > 1 and len(set(counts.values())) == 1:
+        raise ValueError(
+            "paper scenario requires significantly different per-region "
+            "client counts; got identical counts"
+        )
+    return {
+        region: BrowserPopulation(
+            n_clients=n,
+            mix=mix,
+            think_time_s=think_time_s,
+            name=f"clients@{region}",
+        )
+        for region, n in counts.items()
+    }

@@ -1,0 +1,233 @@
+"""TPC-W session model: Markov-chain navigation between interactions.
+
+The TPC-W specification drives each emulated browser through a Markov
+chain over the 14 web interactions (the Customer Behavior Model Graph);
+the three standard mixes are defined by three transition-probability
+tables.  The i.i.d. sampler in :mod:`repro.workload.tpcw` only preserves
+the *stationary* interaction frequencies; this module models the chain
+itself, which matters for burst structure (order paths cluster expensive
+interactions) and for session-level statistics (session length, buy rate).
+
+The transition tables below are simplified from the spec's CBMG: each row
+lists the plausible next clicks from a page with weights shaped so that
+the chain's stationary distribution reproduces the target browse/order
+split of the corresponding mix (verified by test and by
+:func:`stationary_distribution`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workload.tpcw import BROWSE_CLASS, RequestType
+
+R = RequestType
+
+#: Base navigation structure: page -> {next page: weight}.  Weights are
+#: relative within a row; ``_scaled_chain`` reweights browse-class vs
+#: order-class destinations to hit a mix's browse fraction.
+_BASE_TRANSITIONS: dict[RequestType, dict[RequestType, float]] = {
+    R.HOME: {
+        R.NEW_PRODUCTS: 0.25,
+        R.BEST_SELLERS: 0.25,
+        R.SEARCH_REQUEST: 0.30,
+        R.PRODUCT_DETAIL: 0.10,
+        R.SHOPPING_CART: 0.06,
+        R.ORDER_INQUIRY: 0.04,
+    },
+    R.NEW_PRODUCTS: {
+        R.PRODUCT_DETAIL: 0.60,
+        R.HOME: 0.20,
+        R.SEARCH_REQUEST: 0.14,
+        R.SHOPPING_CART: 0.06,
+    },
+    R.BEST_SELLERS: {
+        R.PRODUCT_DETAIL: 0.60,
+        R.HOME: 0.20,
+        R.SEARCH_REQUEST: 0.14,
+        R.SHOPPING_CART: 0.06,
+    },
+    R.PRODUCT_DETAIL: {
+        R.PRODUCT_DETAIL: 0.15,
+        R.SEARCH_REQUEST: 0.25,
+        R.HOME: 0.20,
+        R.SHOPPING_CART: 0.30,
+        R.ADMIN_REQUEST: 0.10,
+    },
+    R.SEARCH_REQUEST: {
+        R.SEARCH_RESULTS: 0.90,
+        R.HOME: 0.10,
+    },
+    R.SEARCH_RESULTS: {
+        R.PRODUCT_DETAIL: 0.60,
+        R.SEARCH_REQUEST: 0.25,
+        R.HOME: 0.10,
+        R.SHOPPING_CART: 0.05,
+    },
+    R.SHOPPING_CART: {
+        R.CUSTOMER_REGISTRATION: 0.45,
+        R.HOME: 0.25,
+        R.PRODUCT_DETAIL: 0.20,
+        R.SHOPPING_CART: 0.10,
+    },
+    R.CUSTOMER_REGISTRATION: {
+        R.BUY_REQUEST: 0.80,
+        R.HOME: 0.20,
+    },
+    R.BUY_REQUEST: {
+        R.BUY_CONFIRM: 0.70,
+        R.HOME: 0.20,
+        R.SHOPPING_CART: 0.10,
+    },
+    R.BUY_CONFIRM: {
+        R.HOME: 0.70,
+        R.ORDER_INQUIRY: 0.30,
+    },
+    R.ORDER_INQUIRY: {
+        R.ORDER_DISPLAY: 0.80,
+        R.HOME: 0.20,
+    },
+    R.ORDER_DISPLAY: {
+        R.HOME: 0.70,
+        R.ORDER_INQUIRY: 0.15,
+        R.SEARCH_REQUEST: 0.15,
+    },
+    R.ADMIN_REQUEST: {
+        R.ADMIN_CONFIRM: 0.75,
+        R.HOME: 0.25,
+    },
+    R.ADMIN_CONFIRM: {
+        R.HOME: 0.80,
+        R.PRODUCT_DETAIL: 0.20,
+    },
+}
+
+#: All interactions, in enum-definition order (matrix index space).
+STATES: tuple[RequestType, ...] = tuple(RequestType)
+_INDEX = {rt: i for i, rt in enumerate(STATES)}
+
+
+def transition_matrix(order_boost: float = 1.0) -> np.ndarray:
+    """Row-stochastic matrix of the navigation chain.
+
+    ``order_boost`` multiplies the weight of every edge *into* an
+    order-class page: > 1 shifts the stationary distribution toward
+    ordering (the ordering mix), < 1 toward browsing.
+    """
+    if order_boost <= 0:
+        raise ValueError("order_boost must be positive")
+    n = len(STATES)
+    P = np.zeros((n, n))
+    for src, row in _BASE_TRANSITIONS.items():
+        for dst, w in row.items():
+            boost = 1.0 if dst in BROWSE_CLASS else order_boost
+            P[_INDEX[src], _INDEX[dst]] = w * boost
+    P /= P.sum(axis=1, keepdims=True)
+    return P
+
+
+def stationary_distribution(P: np.ndarray, tol: float = 1e-12) -> np.ndarray:
+    """Stationary distribution of a row-stochastic chain (power iteration).
+
+    Raises
+    ------
+    ValueError
+        If ``P`` is not square row-stochastic.
+    """
+    P = np.asarray(P, dtype=float)
+    if P.ndim != 2 or P.shape[0] != P.shape[1]:
+        raise ValueError("P must be square")
+    if np.any(P < 0) or not np.allclose(P.sum(axis=1), 1.0, atol=1e-9):
+        raise ValueError("P must be row-stochastic")
+    n = P.shape[0]
+    pi = np.full(n, 1.0 / n)
+    for _ in range(100_000):
+        nxt = pi @ P
+        if np.abs(nxt - pi).max() < tol:
+            return nxt / nxt.sum()
+        pi = nxt
+    return pi / pi.sum()
+
+
+def browse_fraction_of(P: np.ndarray) -> float:
+    """Stationary probability mass on browse-class interactions."""
+    pi = stationary_distribution(P)
+    return float(
+        sum(pi[_INDEX[rt]] for rt in STATES if rt in BROWSE_CLASS)
+    )
+
+
+def calibrate_order_boost(
+    target_browse_fraction: float,
+    tol: float = 1e-3,
+    max_iter: int = 60,
+) -> float:
+    """Find the ``order_boost`` whose chain hits a target browse fraction.
+
+    Bisection on the (monotone decreasing) map boost -> browse fraction.
+    """
+    if not 0.0 < target_browse_fraction < 1.0:
+        raise ValueError("target_browse_fraction must be in (0, 1)")
+    lo, hi = 1e-3, 1e3
+    f_lo = browse_fraction_of(transition_matrix(lo))
+    f_hi = browse_fraction_of(transition_matrix(hi))
+    if not (f_hi <= target_browse_fraction <= f_lo):
+        raise ValueError(
+            f"target {target_browse_fraction} outside achievable "
+            f"range [{f_hi:.3f}, {f_lo:.3f}]"
+        )
+    for _ in range(max_iter):
+        mid = np.sqrt(lo * hi)  # geometric bisection on a ratio scale
+        f_mid = browse_fraction_of(transition_matrix(mid))
+        if abs(f_mid - target_browse_fraction) < tol:
+            return float(mid)
+        if f_mid > target_browse_fraction:
+            lo = mid
+        else:
+            hi = mid
+    return float(np.sqrt(lo * hi))
+
+
+@dataclass(frozen=True)
+class SessionChain:
+    """A calibrated TPC-W navigation chain.
+
+    Use :meth:`for_mix` to build the chain matching one of the standard
+    mixes' browse/order splits.
+    """
+
+    name: str
+    matrix: np.ndarray
+    entry: RequestType = R.HOME
+
+    @classmethod
+    def for_mix(cls, name: str, browse_fraction: float) -> "SessionChain":
+        """Calibrate the chain to a browse fraction (e.g. 0.8 = shopping)."""
+        boost = calibrate_order_boost(browse_fraction)
+        return cls(name=name, matrix=transition_matrix(boost))
+
+    def stationary(self) -> dict[RequestType, float]:
+        """Stationary interaction frequencies."""
+        pi = stationary_distribution(self.matrix)
+        return {rt: float(pi[_INDEX[rt]]) for rt in STATES}
+
+    def sample_session(
+        self,
+        rng: np.random.Generator,
+        length: int,
+    ) -> list[RequestType]:
+        """One browsing session of ``length`` clicks starting at entry."""
+        if length < 1:
+            raise ValueError("length must be >= 1")
+        state = _INDEX[self.entry]
+        out = [self.entry]
+        for _ in range(length - 1):
+            state = int(rng.choice(len(STATES), p=self.matrix[state]))
+            out.append(STATES[state])
+        return out
+
+    def buy_rate(self) -> float:
+        """Stationary rate of BUY_CONFIRM per click (the conversion rate)."""
+        return self.stationary()[R.BUY_CONFIRM]

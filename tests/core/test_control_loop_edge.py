@@ -1,0 +1,124 @@
+"""Edge-case tests for the control loop."""
+
+import numpy as np
+import pytest
+
+from repro.core import AcmManager, RegionSpec
+from repro.core.control_loop import AcmControlLoop, ControlLoopConfig
+from repro.core.policy import get_policy
+from repro.pcam import OracleRttfPredictor, VirtualMachineController, VmcConfig
+from repro.sim import RngRegistry
+from repro.workload import BrowserPopulation
+
+from ..pcam.conftest import build_vm
+
+
+class TestSingleRegion:
+    def test_single_region_gets_full_fraction(self):
+        mgr = AcmManager(
+            regions=[RegionSpec("solo", "m3.medium", 4, 3, 96)],
+            policy="available-resources",
+            seed=2,
+        )
+        summaries = mgr.run(10)
+        assert all(s.fractions["solo"] == pytest.approx(1.0) for s in summaries)
+        assert all(s.forwarded_fraction == pytest.approx(0.0) for s in summaries)
+        assert all(s.leader == "solo" for s in summaries)
+
+
+class TestConservation:
+    def test_requests_served_equals_routed_total(self):
+        mgr = AcmManager(
+            regions=[
+                RegionSpec("a", "m3.medium", 6, 4, 128),
+                RegionSpec("b", "private.small", 4, 3, 64),
+            ],
+            policy="available-resources",
+            seed=3,
+        )
+        summaries = mgr.run(20)
+        # the loop's per-era totals must match the VMCs' own counters
+        total_from_loop = sum(s.total_requests for s in summaries)
+        total_from_vms = sum(
+            vm.total_requests
+            for vmc in mgr.loop.vmcs.values()
+            for vm in vmc.vms
+        )
+        assert total_from_vms == total_from_loop
+
+
+class TestMismatchedConstruction:
+    def test_population_region_mismatch_rejected(self):
+        rngs = RngRegistry(seed=1)
+        vms = [build_vm(rngs, name="e/vm0")]
+        vmcs = {
+            "a": VirtualMachineController(
+                "a", vms, OracleRttfPredictor(), VmcConfig(target_active=1)
+            )
+        }
+        pops = {"b": BrowserPopulation(n_clients=16)}
+        with pytest.raises(ValueError, match="match"):
+            AcmControlLoop(
+                vmcs, pops, get_policy("uniform"), rngs
+            )
+
+    def test_empty_regions_rejected(self):
+        rngs = RngRegistry(seed=1)
+        with pytest.raises(ValueError, match="at least one"):
+            AcmControlLoop({}, {}, get_policy("uniform"), rngs)
+
+
+class TestAllControllersDown:
+    def test_no_live_controller_raises(self):
+        mgr = AcmManager(
+            regions=[
+                RegionSpec("a", "m3.medium", 4, 3, 64),
+                RegionSpec("b", "private.small", 4, 3, 48),
+            ],
+            policy="uniform",
+            seed=4,
+        )
+        mgr.run(2)
+        mgr.loop.overlay.fail_node("a")
+        mgr.loop.overlay.fail_node("b")
+        with pytest.raises(RuntimeError, match="down"):
+            mgr.loop.current_leader()
+
+
+class TestFractionFloorAcrossEras:
+    def test_no_region_ever_starved(self):
+        """The min-fraction floor keeps every region observable forever,
+        even when one region is vastly weaker."""
+        mgr = AcmManager(
+            regions=[
+                RegionSpec("big", "m3.medium", 10, 8, 320),
+                RegionSpec("tiny", "private.small", 2, 1, 16),
+            ],
+            policy="available-resources",
+            seed=5,
+        )
+        mgr.run(60)
+        tiny = mgr.traces.series("fraction/tiny")
+        assert tiny.min() >= 1e-3 - 1e-12
+        # and the tiny region keeps serving requests
+        vmc = mgr.loop.vmcs["tiny"]
+        assert sum(vm.total_requests for vm in vmc.vms) > 0
+
+
+class TestEraSummaryInternalConsistency:
+    def test_fraction_and_rmttf_keys_match_regions(self):
+        mgr = AcmManager(
+            regions=[
+                RegionSpec("a", "m3.medium", 4, 3, 64),
+                RegionSpec("b", "m3.small", 6, 5, 96),
+                RegionSpec("c", "private.small", 4, 3, 32),
+            ],
+            policy="exploration",
+            seed=6,
+        )
+        (s,) = mgr.run(1)
+        assert set(s.fractions) == {"a", "b", "c"}
+        assert set(s.rmttf) == {"a", "b", "c"}
+        assert set(s.per_region_response_s) == {"a", "b", "c"}
+        assert set(s.active_vms) == {"a", "b", "c"}
+        assert sum(s.fractions.values()) == pytest.approx(1.0)

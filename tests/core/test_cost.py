@@ -1,0 +1,75 @@
+"""Tests for the deployment cost tracker."""
+
+import pytest
+
+from repro.core import CostTracker
+from repro.pcam import OracleRttfPredictor, VirtualMachineController, VmcConfig, VmState
+from repro.sim import M3_MEDIUM, RngRegistry
+
+from ..pcam.conftest import build_vm
+
+
+@pytest.fixture
+def vmc():
+    rngs = RngRegistry(seed=8)
+    vms = [
+        build_vm(rngs, name=f"cost/vm{i}", itype=M3_MEDIUM) for i in range(4)
+    ]
+    return VirtualMachineController(
+        "cost", vms, OracleRttfPredictor(), VmcConfig(target_active=2)
+    )
+
+
+class TestCostTracker:
+    def test_active_vms_pay_full_rate(self, vmc):
+        tracker = CostTracker(standby_multiplier=0.0)
+        charge = tracker.charge_era(vmc, dt_s=3600.0)
+        # 2 active x 1 hour at the m3.medium rate; standbys free here
+        assert charge == pytest.approx(2 * M3_MEDIUM.hourly_cost)
+
+    def test_standby_multiplier(self, vmc):
+        tracker = CostTracker(standby_multiplier=0.5)
+        charge = tracker.charge_era(vmc, dt_s=3600.0)
+        expected = (2 + 0.5 * 2) * M3_MEDIUM.hourly_cost
+        assert charge == pytest.approx(expected)
+
+    def test_rejuvenating_pays_full_rate(self, vmc):
+        vmc.vms_in(VmState.ACTIVE)[0].start_rejuvenation()
+        tracker = CostTracker(standby_multiplier=0.0)
+        charge = tracker.charge_era(vmc, dt_s=3600.0)
+        # 1 active + 1 rejuvenating at full rate
+        assert charge == pytest.approx(2 * M3_MEDIUM.hourly_cost)
+
+    def test_accumulates_per_region(self, vmc):
+        tracker = CostTracker()
+        tracker.charge_era(vmc, dt_s=1800.0, requests_served=500)
+        tracker.charge_era(vmc, dt_s=1800.0, requests_served=500)
+        assert tracker.per_region_usd["cost"] == pytest.approx(
+            tracker.total_usd
+        )
+        assert tracker.requests_served == 1000
+
+    def test_cost_per_million(self, vmc):
+        tracker = CostTracker(standby_multiplier=0.0)
+        tracker.charge_era(vmc, dt_s=3600.0, requests_served=1_000_000)
+        assert tracker.cost_per_million_requests() == pytest.approx(
+            2 * M3_MEDIUM.hourly_cost
+        )
+
+    def test_cost_per_million_no_requests(self):
+        assert CostTracker().cost_per_million_requests() == float("inf")
+
+    def test_summary_renders(self, vmc):
+        tracker = CostTracker()
+        tracker.charge_era(vmc, 3600.0, requests_served=100)
+        assert "cost=$" in tracker.summary()
+        assert "/M requests" in tracker.summary()
+
+    def test_validation(self, vmc):
+        with pytest.raises(ValueError):
+            CostTracker(standby_multiplier=1.5)
+        tracker = CostTracker()
+        with pytest.raises(ValueError):
+            tracker.charge_era(vmc, 0.0)
+        with pytest.raises(ValueError):
+            tracker.charge_era(vmc, 1.0, requests_served=-1)

@@ -1,0 +1,100 @@
+"""Integration tests for the distributed control plane."""
+
+import pytest
+
+from repro.core import AcmManager, RegionSpec
+from repro.core.distributed import DistributedControlPlane
+
+
+def make_plane(seed=41, **kw):
+    mgr = AcmManager(
+        regions=[
+            RegionSpec("region1", "m3.medium", 6, 4, 128),
+            RegionSpec("region2", "m3.small", 8, 6, 192),
+            RegionSpec("region3", "private.small", 4, 3, 64),
+        ],
+        policy="available-resources",
+        seed=seed,
+    )
+    return mgr, DistributedControlPlane(mgr.loop, **kw)
+
+
+class TestHealthyPlane:
+    def test_views_agree_and_gossip_fresh(self):
+        _, plane = make_plane()
+        reports = plane.run(20)
+        # after warm-up, detector views match the oracle and gossip keeps
+        # everyone's state fresh within a few eras
+        tail = reports[5:]
+        assert all(r.views_agree for r in tail)
+        assert all(r.gossip_fresh for r in tail)
+
+    def test_state_view_carries_fresh_rmttf(self):
+        _, plane = make_plane()
+        plane.run(20)
+        # every node's view of every region is at most a few eras stale
+        last = plane.reports[-1]
+        for node in plane.loop.regions:
+            view = plane.state_view(node)
+            assert set(view) == set(plane.loop.regions)
+            for region, payload in view.items():
+                assert payload["era"] >= last.summary.era - 4
+                assert payload["rmttf"] > 0
+
+    def test_agreement_fraction_high(self):
+        _, plane = make_plane()
+        plane.run(20)
+        assert plane.agreement_fraction() > 0.7
+
+    def test_run_validation(self):
+        _, plane = make_plane()
+        with pytest.raises(ValueError):
+            plane.run(0)
+
+
+class TestPlaneUnderFailures:
+    def test_leader_crash_detected_within_timeout(self):
+        mgr, plane = make_plane(
+            heartbeat_period_s=5.0, detector_timeout_s=15.0
+        )
+        plane.run(10)
+        loop = mgr.loop
+        loop.overlay.fail_node("region1")
+        loop.router.invalidate()
+        plane.detectors["region1"].stop()
+        # a 30 s era exceeds the 15 s timeout: by the next era every
+        # survivor's detector has switched to region2
+        reports = plane.run(3)
+        last = reports[-1]
+        for node, leader in last.detector_leaders.items():
+            assert leader == "region2", (node, leader)
+        assert last.oracle_leader == "region2"
+
+    def test_gossip_keeps_survivors_informed_during_outage(self):
+        mgr, plane = make_plane()
+        plane.run(10)
+        loop = mgr.loop
+        loop.overlay.fail_node("region3")
+        loop.router.invalidate()
+        era_at_failure = plane.reports[-1].summary.era
+        plane.run(6)
+        # survivors still gossip each other's fresh state
+        view = plane.state_view("region1")
+        assert view["region2"]["era"] > era_at_failure
+        # region3's entry freezes at its last published era
+        assert view["region3"]["era"] <= era_at_failure
+
+    def test_recovery_restores_agreement(self):
+        mgr, plane = make_plane()
+        plane.run(10)
+        loop = mgr.loop
+        loop.overlay.fail_node("region1")
+        loop.router.invalidate()
+        plane.detectors["region1"].stop()
+        plane.run(3)
+        loop.overlay.restore_node("region1")
+        loop.router.invalidate()
+        plane.detectors["region1"].start()
+        reports = plane.run(3)
+        assert reports[-1].detector_leaders["region2"] == "region1"
+        assert reports[-1].views_agree

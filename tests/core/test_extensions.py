@@ -1,0 +1,180 @@
+"""Tests for the extension features: gamma routing, conservative
+predictions, runtime policy switching."""
+
+import numpy as np
+import pytest
+
+from repro.core import AcmManager, RegionSpec, SensibleRoutingPolicy, get_policy
+from repro.pcam import ConservativeRttfPredictor, OracleRttfPredictor
+
+
+class TestGammaSensibleRouting:
+    def test_gamma_one_is_paper_equation_two(self):
+        p1 = SensibleRoutingPolicy(min_fraction=0.0)
+        pg = SensibleRoutingPolicy(gamma=1.0, min_fraction=0.0)
+        prev = np.array([0.5, 0.5])
+        rmttf = np.array([300.0, 100.0])
+        assert np.allclose(
+            p1.compute(prev, rmttf, 1.0), pg.compute(prev, rmttf, 1.0)
+        )
+
+    def test_higher_gamma_more_aggressive(self):
+        prev = np.array([0.5, 0.5])
+        rmttf = np.array([300.0, 100.0])
+        f1 = SensibleRoutingPolicy(gamma=1.0, min_fraction=0.0).compute(
+            prev, rmttf, 1.0
+        )
+        f2 = SensibleRoutingPolicy(gamma=2.0, min_fraction=0.0).compute(
+            prev, rmttf, 1.0
+        )
+        assert f2[0] > f1[0]  # healthy region gets even more
+
+    def test_gamma_two_quadratic_weights(self):
+        prev = np.array([0.5, 0.5])
+        rmttf = np.array([300.0, 100.0])
+        f = SensibleRoutingPolicy(gamma=2.0, min_fraction=0.0).compute(
+            prev, rmttf, 1.0
+        )
+        assert f[0] == pytest.approx(9.0 / 10.0)
+
+    def test_registry_passes_gamma(self):
+        p = get_policy("sensible-routing", gamma=0.5)
+        assert isinstance(p, SensibleRoutingPolicy)
+        assert p.gamma == 0.5
+
+    def test_gamma_validated(self):
+        with pytest.raises(ValueError):
+            SensibleRoutingPolicy(gamma=0.0)
+
+    def test_gamma_fixed_point_theory(self):
+        """On the C/(f*lam) model the fixed point is RMTTF ~ C^(1/(1+g)):
+        larger gamma narrows the steady RMTTF gap (but never closes it)."""
+
+        def steady_spread(gamma):
+            # NOTE: the *undamped* iteration f <- policy(f) is a period-2
+            # oscillator (which is precisely the oscillation the paper
+            # observes for Policy 1); damping the update exposes the
+            # underlying fixed point, like the EWMA of Eq. (1) does in
+            # the real loop.
+            policy = SensibleRoutingPolicy(gamma=gamma, min_fraction=1e-3)
+            capacity = np.array([300.0, 100.0])
+            lam = 20.0
+            f = np.full(2, 0.5)
+            for _ in range(400):
+                rmttf = capacity / (f * lam)
+                f = 0.7 * f + 0.3 * policy.compute(f, rmttf, lam)
+                f = f / f.sum()
+            rmttf = capacity / (f * lam)
+            return (rmttf.max() - rmttf.min()) / rmttf.mean()
+
+        s_half, s_one, s_two = (
+            steady_spread(0.5), steady_spread(1.0), steady_spread(2.0)
+        )
+        assert s_half > s_one > s_two > 0.1
+        # quantitative: RMTTF ratio should approach (C1/C2)^(1/(1+g))
+        ratio_predicted = 3.0 ** (1.0 / 2.0)  # gamma=1
+        spread_predicted = (
+            2 * (ratio_predicted - 1.0) / (ratio_predicted + 1.0)
+        )
+        assert s_one == pytest.approx(spread_predicted, rel=0.1)
+
+
+class TestConservativePredictor:
+    def test_scales_prediction(self, ):
+        from repro.sim import PRIVATE_SMALL, RngRegistry
+        from repro.pcam import VirtualMachine
+        from repro.workload import AnomalyInjector
+
+        rngs = RngRegistry(seed=5)
+        vm = VirtualMachine(
+            "c/vm0", PRIVATE_SMALL, AnomalyInjector(rngs.stream("a"))
+        )
+        vm.activate()
+        vm.apply_load(300, 30.0)
+        oracle = OracleRttfPredictor()
+        conservative = ConservativeRttfPredictor(oracle, margin=0.5)
+        assert conservative.predict_rttf(vm) == pytest.approx(
+            0.5 * oracle.predict_rttf(vm)
+        )
+
+    def test_mttf_still_adds_uptime(self):
+        from repro.sim import PRIVATE_SMALL, RngRegistry
+        from repro.pcam import VirtualMachine
+        from repro.workload import AnomalyInjector
+
+        rngs = RngRegistry(seed=6)
+        vm = VirtualMachine(
+            "c/vm1", PRIVATE_SMALL, AnomalyInjector(rngs.stream("a"))
+        )
+        vm.activate()
+        vm.apply_load(300, 30.0)
+        p = ConservativeRttfPredictor(OracleRttfPredictor(), margin=0.8)
+        assert p.predict_mttf(vm) == pytest.approx(
+            vm.uptime_s + p.predict_rttf(vm)
+        )
+
+    def test_margin_validated(self):
+        with pytest.raises(ValueError):
+            ConservativeRttfPredictor(OracleRttfPredictor(), margin=0.0)
+        with pytest.raises(ValueError):
+            ConservativeRttfPredictor(OracleRttfPredictor(), margin=1.5)
+
+    def test_system_still_healthy_with_margin(self):
+        mgr = AcmManager(
+            regions=[
+                RegionSpec("a", "m3.medium", 6, 4, 128),
+                RegionSpec("b", "private.small", 4, 3, 64),
+            ],
+            policy="available-resources",
+            seed=8,
+            predictor=ConservativeRttfPredictor(
+                OracleRttfPredictor(), margin=0.7
+            ),
+        )
+        mgr.run(80)
+        assert mgr.traces.series("failures").values.sum() == 0
+
+
+class TestRuntimePolicySwitch:
+    def test_switching_to_policy2_fixes_policy1_divergence(self):
+        mgr = AcmManager(
+            regions=[
+                RegionSpec("a", "m3.medium", 8, 6, 160),
+                RegionSpec("b", "private.small", 6, 4, 96),
+            ],
+            policy="sensible-routing",
+            seed=13,
+        )
+        loop = mgr.loop
+        loop.run(100)
+        rmttf_mid = loop.summaries[-1].rmttf
+        gap_mid = abs(rmttf_mid["a"] - rmttf_mid["b"]) / np.mean(
+            list(rmttf_mid.values())
+        )
+        loop.set_policy(get_policy("available-resources"))
+        loop.run(120)
+        rmttf_end = loop.summaries[-1].rmttf
+        gap_end = abs(rmttf_end["a"] - rmttf_end["b"]) / np.mean(
+            list(rmttf_end.values())
+        )
+        assert gap_mid > 0.2  # Policy 1 had diverged
+        assert gap_end < 0.12  # Policy 2 healed it
+
+    def test_fractions_carry_over(self):
+        mgr = AcmManager(
+            regions=[
+                RegionSpec("a", "m3.medium", 6, 4, 128),
+                RegionSpec("b", "private.small", 4, 3, 64),
+            ],
+            policy="available-resources",
+            seed=14,
+        )
+        loop = mgr.loop
+        loop.run(60)
+        f_before = dict(loop.summaries[-1].fractions)
+        loop.set_policy(get_policy("exploration"))
+        (s,) = loop.run(1)
+        # the exploration policy steps from the inherited point, so the
+        # first post-switch fractions stay close
+        for r in f_before:
+            assert s.fractions[r] == pytest.approx(f_before[r], abs=0.1)

@@ -1,0 +1,102 @@
+"""Tests for the global forward plan (Sec. V)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ForwardPlan, build_forward_plan
+
+
+REGIONS = ["r1", "r2", "r3"]
+
+
+def plan(a, f):
+    return build_forward_plan(REGIONS, np.asarray(a), np.asarray(f))
+
+
+class TestBuildForwardPlan:
+    def test_realises_target_fractions(self):
+        p = plan([0.5, 0.3, 0.2], [0.2, 0.3, 0.5])
+        assert np.allclose(p.processed_fractions(), [0.2, 0.3, 0.5])
+
+    def test_identity_when_targets_match_arrivals(self):
+        p = plan([0.5, 0.3, 0.2], [0.5, 0.3, 0.2])
+        assert np.allclose(p.matrix, np.eye(3))
+        assert p.forwarded_fraction() == pytest.approx(0.0)
+
+    def test_maximises_local_processing(self):
+        # r1 has surplus 0.3; r3 has deficit 0.3; r2 balanced.
+        p = plan([0.5, 0.3, 0.2], [0.2, 0.3, 0.5])
+        # every region keeps min(a, f) locally
+        assert p.local_fraction() == pytest.approx(0.2 + 0.3 + 0.2)
+        # r2 keeps everything local
+        assert p.matrix[1, 1] == pytest.approx(1.0)
+
+    def test_forwarded_fraction_complement(self):
+        p = plan([0.6, 0.2, 0.2], [0.2, 0.4, 0.4])
+        assert p.local_fraction() + p.forwarded_fraction() == pytest.approx(1.0)
+        assert p.forwarded_fraction() == pytest.approx(0.4)
+
+    def test_surplus_split_proportional_to_deficits(self):
+        p = plan([0.8, 0.1, 0.1], [0.2, 0.4, 0.4])
+        # r1 ships 0.6, split evenly between equal deficits
+        assert p.matrix[0, 1] == pytest.approx(p.matrix[0, 2])
+        assert np.allclose(p.processed_fractions(), [0.2, 0.4, 0.4])
+
+    def test_region_with_no_arrivals(self):
+        p = plan([0.7, 0.3, 0.0], [0.4, 0.3, 0.3])
+        assert np.allclose(p.processed_fractions(), [0.4, 0.3, 0.3])
+        # its row is never exercised but must stay stochastic
+        assert p.matrix[2].sum() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            plan([0.5, 0.5, 0.5], [0.2, 0.3, 0.5])
+        with pytest.raises(ValueError, match="non-negative"):
+            plan([-0.1, 0.6, 0.5], [0.2, 0.3, 0.5])
+        with pytest.raises(ValueError, match="vectors"):
+            build_forward_plan(REGIONS, np.array([1.0]), np.array([1.0]))
+
+
+class TestForwardPlanObject:
+    def test_row_stochastic_enforced(self):
+        bad = np.array([[0.5, 0.0], [0.0, 1.0]])
+        with pytest.raises(ValueError, match="sum to 1"):
+            ForwardPlan(("a", "b"), bad, np.array([0.5, 0.5]))
+
+    def test_negative_entries_rejected(self):
+        bad = np.array([[1.5, -0.5], [0.0, 1.0]])
+        with pytest.raises(ValueError, match="negative"):
+            ForwardPlan(("a", "b"), bad, np.array([0.5, 0.5]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="match"):
+            ForwardPlan(("a", "b"), np.eye(3), np.array([0.5, 0.5]))
+
+
+class TestRouteCounts:
+    def test_deterministic_routing_conserves_totals(self):
+        p = plan([0.5, 0.3, 0.2], [0.2, 0.3, 0.5])
+        arrivals = np.array([500, 300, 200])
+        routed = p.route_counts(arrivals)
+        assert np.array_equal(routed.sum(axis=1), arrivals)
+        processed = routed.sum(axis=0)
+        assert processed.sum() == 1000
+        assert np.allclose(processed / 1000, [0.2, 0.3, 0.5], atol=0.01)
+
+    def test_stochastic_routing_conserves_totals(self):
+        p = plan([0.5, 0.3, 0.2], [0.2, 0.3, 0.5])
+        arrivals = np.array([500, 300, 200])
+        routed = p.route_counts(arrivals, rng=np.random.default_rng(0))
+        assert np.array_equal(routed.sum(axis=1), arrivals)
+
+    def test_zero_arrivals(self):
+        p = plan([0.5, 0.3, 0.2], [0.2, 0.3, 0.5])
+        routed = p.route_counts(np.zeros(3, dtype=int))
+        assert routed.sum() == 0
+
+    def test_validation(self):
+        p = plan([0.5, 0.3, 0.2], [0.2, 0.3, 0.5])
+        with pytest.raises(ValueError):
+            p.route_counts(np.array([1, 2]))
+        with pytest.raises(ValueError):
+            p.route_counts(np.array([-1, 0, 0]))

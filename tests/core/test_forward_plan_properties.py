@@ -1,0 +1,81 @@
+"""Property-based tests for the global forward plan."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_forward_plan
+
+
+@st.composite
+def fraction_pairs(draw):
+    """Random (arrival, target) simplex pairs over 2..6 regions."""
+    n = draw(st.integers(2, 6))
+    raw_a = draw(
+        st.lists(st.floats(0.0, 10.0), min_size=n, max_size=n).filter(
+            lambda xs: sum(xs) > 0.1
+        )
+    )
+    raw_f = draw(
+        st.lists(st.floats(0.0, 10.0), min_size=n, max_size=n).filter(
+            lambda xs: sum(xs) > 0.1
+        )
+    )
+    a = np.asarray(raw_a) / sum(raw_a)
+    f = np.asarray(raw_f) / sum(raw_f)
+    regions = [f"r{i}" for i in range(n)]
+    return regions, a, f
+
+
+@settings(max_examples=120, deadline=None)
+@given(pair=fraction_pairs())
+def test_plan_always_realises_targets(pair):
+    """sum_i a_i P[i,j] = f_j for every valid input (the Sec. V contract)."""
+    regions, a, f = pair
+    plan = build_forward_plan(regions, a, f)
+    assert np.allclose(plan.processed_fractions(), f, atol=1e-9)
+
+
+@settings(max_examples=120, deadline=None)
+@given(pair=fraction_pairs())
+def test_plan_rows_stochastic_and_nonnegative(pair):
+    regions, a, f = pair
+    plan = build_forward_plan(regions, a, f)
+    assert np.all(plan.matrix >= -1e-12)
+    assert np.allclose(plan.matrix.sum(axis=1), 1.0, atol=1e-9)
+
+
+@settings(max_examples=120, deadline=None)
+@given(pair=fraction_pairs())
+def test_plan_maximises_local_traffic(pair):
+    """Local share equals the theoretical maximum sum_i min(a_i, f_i)."""
+    regions, a, f = pair
+    plan = build_forward_plan(regions, a, f)
+    assert plan.local_fraction() == pytest.approx(
+        float(np.minimum(a, f).sum()), abs=1e-9
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(pair=fraction_pairs(), total=st.integers(0, 5000), seed=st.integers(0, 999))
+def test_route_counts_conserve_requests(pair, total, seed):
+    """Integer routing never creates or destroys requests."""
+    regions, a, f = pair
+    plan = build_forward_plan(regions, a, f)
+    rng = np.random.default_rng(seed)
+    arrivals = rng.multinomial(total, a)
+    routed = plan.route_counts(arrivals, rng=rng)
+    assert routed.sum() == total
+    assert np.array_equal(routed.sum(axis=1), arrivals)
+    # deterministic mode conserves too
+    routed_det = plan.route_counts(arrivals)
+    assert np.array_equal(routed_det.sum(axis=1), arrivals)
+
+
+@settings(max_examples=60, deadline=None)
+@given(pair=fraction_pairs())
+def test_identity_plan_when_targets_equal_arrivals(pair):
+    regions, a, _ = pair
+    plan = build_forward_plan(regions, a, a)
+    assert plan.forwarded_fraction() == pytest.approx(0.0, abs=1e-9)

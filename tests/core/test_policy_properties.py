@@ -1,0 +1,118 @@
+"""Property-based tests: every policy must preserve the simplex invariant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AvailableResourcesPolicy,
+    ExplorationPolicy,
+    SensibleRoutingPolicy,
+    UniformPolicy,
+    normalize_fractions,
+)
+
+ALL_POLICIES = [
+    SensibleRoutingPolicy,
+    AvailableResourcesPolicy,
+    lambda: ExplorationPolicy(k=1.0),
+    lambda: ExplorationPolicy(k=0.3),
+    UniformPolicy,
+]
+
+
+@st.composite
+def policy_inputs(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    raw_prev = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    prev = np.asarray(raw_prev)
+    prev = prev / prev.sum()
+    rmttf = np.asarray(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=1e6),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    rate = draw(st.floats(min_value=0.0, max_value=1e4))
+    return prev, rmttf, rate
+
+
+@settings(max_examples=60, deadline=None)
+@given(inputs=policy_inputs(), policy_idx=st.integers(0, len(ALL_POLICIES) - 1))
+def test_policies_output_simplex_points(inputs, policy_idx):
+    prev, rmttf, rate = inputs
+    policy = ALL_POLICIES[policy_idx]()
+    f = policy.compute(prev, rmttf, rate)
+    assert f.shape == prev.shape
+    assert np.all(f >= 0)
+    assert f.sum() == pytest.approx(1.0, abs=1e-9)
+    assert np.all(np.isfinite(f))
+
+
+@settings(max_examples=60, deadline=None)
+@given(inputs=policy_inputs())
+def test_policies_respect_min_fraction_floor(inputs):
+    prev, rmttf, rate = inputs
+    if prev.size * 1e-3 >= 1.0:
+        return
+    for factory in ALL_POLICIES:
+        f = factory().compute(prev, rmttf, rate)
+        assert np.all(f >= 1e-3 - 1e-12)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    raw=st.lists(
+        st.floats(min_value=0.0, max_value=1e9), min_size=1, max_size=12
+    )
+)
+def test_normalize_fractions_always_simplex(raw):
+    arr = np.asarray(raw)
+    if arr.size * 1e-3 >= 1.0:
+        floor = 0.0
+    else:
+        floor = 1e-3
+    f = normalize_fractions(arr, min_fraction=floor)
+    assert f.sum() == pytest.approx(1.0, abs=1e-9)
+    assert np.all(f >= 0.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(2, 6),
+    seed=st.integers(0, 10_000),
+)
+def test_sensible_routing_order_preserving(n, seed):
+    """Higher RMTTF never gets a smaller fraction (Eq. 2 monotonicity)."""
+    rng = np.random.default_rng(seed)
+    rmttf = rng.uniform(1.0, 1000.0, size=n)
+    prev = np.full(n, 1.0 / n)
+    f = SensibleRoutingPolicy(min_fraction=0.0).compute(prev, rmttf, 10.0)
+    order_r = np.argsort(rmttf)
+    assert np.all(np.diff(f[order_r]) >= -1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(2, 5))
+def test_exploration_conserves_flow_before_floor(seed, n):
+    """Eq. (7) constraint: what overloaded regions shed, underloaded gain."""
+    rng = np.random.default_rng(seed)
+    prev = rng.dirichlet(np.ones(n))
+    rmttf = rng.uniform(10.0, 1000.0, size=n)
+    policy = ExplorationPolicy(k=1.0, min_fraction=0.0)
+    f = policy.compute(prev, rmttf, 10.0)
+    assert f.sum() == pytest.approx(1.0, abs=1e-9)
+    armttf = rmttf.mean()
+    # overloaded regions never gain flow
+    overloaded = rmttf < armttf
+    assert np.all(f[overloaded] <= prev[overloaded] + 1e-9)

@@ -1,0 +1,103 @@
+"""Tests for the online response-time forecaster (Sec. V)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rt_predictor import ResponseTimePredictor
+
+
+def mm1_rt(rate, n_active, capacity=25.0):
+    rho = min(rate / (n_active * capacity), 0.95)
+    return (1.0 / capacity) / (1.0 - rho)
+
+
+def trained_predictor(seed=0, n=200, capacity=25.0):
+    rng = np.random.default_rng(seed)
+    p = ResponseTimePredictor(nominal_capacity=capacity)
+    for _ in range(n):
+        n_active = int(rng.integers(2, 8))
+        rate = float(rng.uniform(5.0, n_active * capacity * 0.85))
+        rt = mm1_rt(rate, n_active, capacity) * float(rng.uniform(0.95, 1.05))
+        p.observe(rate, n_active, rt)
+    return p
+
+
+class TestLearning:
+    def test_learns_queueing_curve(self):
+        p = trained_predictor()
+        # interpolation accuracy on a fresh point
+        truth = mm1_rt(60.0, 4)
+        assert p.predict(60.0, 4) == pytest.approx(truth, rel=0.3)
+
+    def test_prediction_grows_with_load(self):
+        p = trained_predictor()
+        assert p.predict(80.0, 4) > p.predict(20.0, 4)
+
+    def test_prediction_falls_with_pool_growth(self):
+        p = trained_predictor()
+        assert p.predict(80.0, 6) < p.predict(80.0, 3)
+
+    def test_cold_model_predicts_zero(self):
+        p = ResponseTimePredictor(nominal_capacity=25.0)
+        assert p.predict(50.0, 2) == 0.0
+
+    def test_forgetting_tracks_drift(self):
+        """When the true curve degrades (anomalies), the forecast follows."""
+        p = ResponseTimePredictor(nominal_capacity=25.0, forgetting=0.9)
+        for _ in range(100):
+            p.observe(50.0, 4, mm1_rt(50.0, 4))
+        before = p.predict(50.0, 4)
+        for _ in range(100):
+            p.observe(50.0, 4, mm1_rt(50.0, 4) * 3.0)  # degraded regime
+        after = p.predict(50.0, 4)
+        assert after > before * 2
+
+    def test_never_negative(self):
+        p = trained_predictor()
+        assert p.predict(0.0, 8) >= 0.0
+
+
+class TestViolationPredicate:
+    def test_warmup_is_conservative(self):
+        p = ResponseTimePredictor(nominal_capacity=25.0)
+        for _ in range(5):
+            p.observe(100.0, 1, 10.0)  # wildly violating
+        assert not p.would_violate(100.0, 1, threshold_s=1.0, warmup=10)
+
+    def test_detects_projected_violation(self):
+        p = trained_predictor()
+        # near saturation on a small pool: rt far over a tight threshold
+        assert p.would_violate(70.0, 3, threshold_s=0.05)
+
+    def test_no_false_alarm_at_light_load(self):
+        p = trained_predictor()
+        assert not p.would_violate(10.0, 6, threshold_s=1.0)
+
+    def test_threshold_validated(self):
+        p = trained_predictor()
+        with pytest.raises(ValueError):
+            p.would_violate(10.0, 2, threshold_s=0.0)
+
+
+class TestValidation:
+    def test_constructor(self):
+        with pytest.raises(ValueError):
+            ResponseTimePredictor(nominal_capacity=0.0)
+        with pytest.raises(ValueError):
+            ResponseTimePredictor(nominal_capacity=1.0, forgetting=0.0)
+        with pytest.raises(ValueError):
+            ResponseTimePredictor(nominal_capacity=1.0, forgetting=1.5)
+
+    def test_observe_inputs(self):
+        p = ResponseTimePredictor(nominal_capacity=10.0)
+        with pytest.raises(ValueError):
+            p.observe(-1.0, 2, 0.1)
+        with pytest.raises(ValueError):
+            p.observe(1.0, 0, 0.1)
+        with pytest.raises(ValueError):
+            p.observe(1.0, 2, -0.1)
+
+    def test_n_observations(self):
+        p = ResponseTimePredictor(nominal_capacity=10.0)
+        p.observe(1.0, 1, 0.1)
+        assert p.n_observations == 1

@@ -1,0 +1,49 @@
+"""Unit tests for the client-count load sweep."""
+
+import pytest
+
+from repro.experiments.load_sweep import SweepPoint, run_load_sweep, sweep_table
+
+
+class TestRunLoadSweep:
+    def test_small_sweep_shape(self):
+        points = run_load_sweep(client_counts=(32, 96), eras=40, seed=3)
+        assert len(points) == 2
+        assert points[0].clients_region1 == 32
+        assert points[0].clients_region3 >= 16  # paper floor
+        assert points[1].clients_region3 == int(96 * 0.6)
+
+    def test_rmttf_falls_with_load(self):
+        points = run_load_sweep(client_counts=(32, 128), eras=40, seed=3)
+        assert points[0].mean_rmttf_s > points[1].mean_rmttf_s
+
+    def test_out_of_range_count_rejected(self):
+        with pytest.raises(ValueError, match="paper range"):
+            run_load_sweep(client_counts=(8,), eras=40)
+        with pytest.raises(ValueError, match="paper range"):
+            run_load_sweep(client_counts=(1024,), eras=40)
+
+
+class TestSweepTable:
+    def make_point(self, sla=True):
+        return SweepPoint(
+            clients_region1=64,
+            clients_region3=38,
+            mean_rmttf_s=500.0,
+            rmttf_spread=0.01,
+            mean_response_s=0.08,
+            sla_met=sla,
+            rejuvenations=12,
+        )
+
+    def test_renders_rows(self):
+        out = sweep_table([self.make_point()])
+        assert "64" in out and "500s" in out and "ok" in out
+
+    def test_sla_miss_rendered(self):
+        out = sweep_table([self.make_point(sla=False)])
+        assert "MISS" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_table([])

@@ -1,0 +1,135 @@
+"""Tests for the evaluation scenarios and the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    PAPER_POLICIES,
+    compare_policies,
+    make_trained_predictor,
+    run_policy_experiment,
+    three_region_scenario,
+    two_region_scenario,
+)
+from repro.experiments.runner import paper_shape_holds
+from repro.sim import INSTANCE_CATALOG
+
+
+class TestScenarios:
+    def test_two_region_matches_paper(self):
+        sc = two_region_scenario()
+        by_name = {r.name: r for r in sc.regions}
+        assert set(by_name) == {"region1-ireland", "region3-munich"}
+        assert by_name["region1-ireland"].instance_type == "m3.medium"
+        assert by_name["region1-ireland"].n_vms == 6
+        assert by_name["region3-munich"].instance_type == "private.small"
+        assert by_name["region3-munich"].n_vms == 4
+
+    def test_three_region_matches_paper(self):
+        sc = three_region_scenario()
+        by_name = {r.name: r for r in sc.regions}
+        assert by_name["region2-frankfurt"].instance_type == "m3.small"
+        assert by_name["region2-frankfurt"].n_vms == 12
+
+    def test_client_counts_in_paper_range_and_different(self):
+        sc = three_region_scenario()
+        counts = [r.clients for r in sc.regions]
+        assert all(16 <= c <= 512 for c in counts)
+        assert len(set(counts)) == len(counts)
+
+    def test_instance_types_exist_in_catalog(self):
+        for sc in (two_region_scenario(), three_region_scenario()):
+            for t in sc.instance_types():
+                assert t in INSTANCE_CATALOG
+
+    def test_overlay_built_with_latencies(self):
+        sc = three_region_scenario()
+        net = sc.build_overlay()
+        assert set(net.nodes()) == {r.name for r in sc.regions}
+        assert net.link_latency("region1-ireland", "region2-frankfurt") == 25.0
+        assert net.link_latency("region2-frankfurt", "region3-munich") == 15.0
+
+    def test_paper_policies_tuple(self):
+        assert PAPER_POLICIES == (
+            "sensible-routing",
+            "available-resources",
+            "exploration",
+        )
+
+
+class TestRunner:
+    def test_run_policy_experiment_produces_figure_series(self):
+        res = run_policy_experiment(
+            two_region_scenario(), "available-resources", eras=40, seed=2
+        )
+        assert res.policy == "available-resources"
+        assert len(res.traces.series("rmttf/region1-ireland")) == 40
+        assert len(res.traces.series("fraction/region3-munich")) == 40
+        assert len(res.traces.series("response_time")) == 40
+        assert res.assessment.sla_met
+
+    def test_eras_floor(self):
+        with pytest.raises(ValueError):
+            run_policy_experiment(two_region_scenario(), "uniform", eras=5)
+
+    def test_compare_runs_all_policies(self):
+        results = compare_policies(
+            two_region_scenario(), eras=30, seed=2
+        )
+        assert set(results) == set(PAPER_POLICIES)
+
+    def test_paper_shape_holds_requires_all_policies(self):
+        results = compare_policies(
+            two_region_scenario(),
+            policies=("sensible-routing",),
+            eras=30,
+        )
+        with pytest.raises(ValueError, match="missing"):
+            paper_shape_holds(results)
+
+    def test_same_seed_reproducible(self):
+        r1 = run_policy_experiment(
+            two_region_scenario(), "exploration", eras=30, seed=4
+        )
+        r2 = run_policy_experiment(
+            two_region_scenario(), "exploration", eras=30, seed=4
+        )
+        assert np.allclose(
+            r1.traces.series("rmttf/region1-ireland").values,
+            r2.traces.series("rmttf/region1-ireland").values,
+        )
+
+
+class TestTrainedPredictorPath:
+    @pytest.fixture(scope="class")
+    def predictor(self):
+        return make_trained_predictor(
+            ["m3.medium", "private.small"],
+            seed=1,
+            profile_rates=(4.0, 8.0, 16.0),
+            runs_per_rate=2,
+            sample_period_s=15.0,
+        )
+
+    def test_trained_model_quality(self, predictor):
+        # the REP-Tree must have real skill on the profiling data
+        assert predictor.model.name == "rep-tree"
+        assert predictor.model.report.r2 > 0.5
+
+    def test_feature_selection_happened(self, predictor):
+        assert 0 < len(predictor.model.feature_names) <= 8
+
+    def test_ml_in_the_loop_runs(self, predictor):
+        res = run_policy_experiment(
+            two_region_scenario(),
+            "available-resources",
+            eras=40,
+            seed=2,
+            predictor=predictor,
+        )
+        assert res.assessment.sla_met
+        assert res.assessment.total_failures <= 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_trained_predictor([])

@@ -1,0 +1,37 @@
+"""Shared fixtures for ML tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import Dataset
+from repro.ml.features import FEATURE_NAMES
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def linear_data(rng):
+    """A mostly-linear dataset with 3 informative of 15 features."""
+    n = 300
+    X = rng.normal(size=(n, len(FEATURE_NAMES)))
+    y = 3.0 * X[:, 0] - 2.0 * X[:, 3] + 0.5 * X[:, 7] + rng.normal(0, 0.3, n) + 10.0
+    return X, y
+
+
+@pytest.fixture
+def linear_dataset(linear_data):
+    X, y = linear_data
+    return Dataset(X, y, FEATURE_NAMES)
+
+
+@pytest.fixture
+def piecewise_data(rng):
+    """A step-function dataset where trees beat linear models."""
+    n = 400
+    X = rng.uniform(-1, 1, size=(n, 4))
+    y = np.where(X[:, 0] > 0.2, 5.0, -5.0) + np.where(X[:, 1] > 0, 2.0, 0.0)
+    y = y + rng.normal(0, 0.1, n)
+    return X, y

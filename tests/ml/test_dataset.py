@@ -1,0 +1,119 @@
+"""Tests for RTTF dataset construction and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.ml import Dataset, train_test_split
+from repro.ml.features import FEATURE_NAMES
+
+
+def small_ds():
+    X = np.arange(20.0).reshape(10, 2)
+    y = np.arange(10.0)
+    return Dataset(X, y, ("a", "b"))
+
+
+class TestDataset:
+    def test_len_and_n_features(self):
+        ds = small_ds()
+        assert len(ds) == 10
+        assert ds.n_features == 2
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(ValueError, match="feature names"):
+            Dataset(np.zeros((2, 3)), np.zeros(2), ("a",))
+
+    def test_select_features_projects_and_orders(self):
+        ds = small_ds()
+        sel = ds.select_features(["b"])
+        assert sel.feature_names == ("b",)
+        assert np.array_equal(sel.X[:, 0], ds.X[:, 1])
+
+    def test_select_missing_feature(self):
+        with pytest.raises(KeyError, match="missing"):
+            small_ds().select_features(["missing"])
+
+    def test_subset(self):
+        ds = small_ds()
+        sub = ds.subset(np.array([0, 2]))
+        assert len(sub) == 2
+        assert sub.y[1] == 2.0
+
+    def test_concat(self):
+        ds = small_ds()
+        both = ds.concat(ds)
+        assert len(both) == 20
+
+    def test_concat_schema_mismatch(self):
+        ds = small_ds()
+        other = Dataset(np.zeros((1, 2)), np.zeros(1), ("x", "y"))
+        with pytest.raises(ValueError, match="schema"):
+            ds.concat(other)
+
+
+class TestFromRunTraces:
+    def test_rttf_labels(self):
+        times = np.array([0.0, 10.0, 20.0])
+        feats = np.zeros((3, len(FEATURE_NAMES)))
+        ds = Dataset.from_run_traces([(times, feats, 30.0)])
+        assert list(ds.y) == [30.0, 20.0, 10.0]
+
+    def test_samples_after_failure_discarded(self):
+        times = np.array([0.0, 10.0, 40.0])
+        feats = np.zeros((3, len(FEATURE_NAMES)))
+        ds = Dataset.from_run_traces([(times, feats, 30.0)])
+        assert len(ds) == 2
+
+    def test_multiple_runs_stack(self):
+        feats = np.zeros((2, len(FEATURE_NAMES)))
+        runs = [
+            (np.array([0.0, 5.0]), feats, 10.0),
+            (np.array([0.0, 5.0]), feats, 20.0),
+        ]
+        ds = Dataset.from_run_traces(runs)
+        assert list(ds.y) == [10.0, 5.0, 20.0, 15.0]
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(ValueError, match="no profiling runs"):
+            Dataset.from_run_traces([])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            Dataset.from_run_traces(
+                [(np.array([0.0]), np.zeros((2, len(FEATURE_NAMES))), 1.0)]
+            )
+
+    def test_all_after_failure_rejected(self):
+        feats = np.zeros((1, len(FEATURE_NAMES)))
+        with pytest.raises(ValueError, match="failure point"):
+            Dataset.from_run_traces([(np.array([5.0]), feats, 1.0)])
+
+
+class TestTrainTestSplit:
+    def test_sizes_and_disjointness(self):
+        ds = small_ds()
+        rng = np.random.default_rng(0)
+        train, test = train_test_split(ds, 0.3, rng)
+        assert len(train) == 7
+        assert len(test) == 3
+        # disjoint cover of the original rows (X rows unique here)
+        all_x = np.vstack([train.X, test.X])
+        assert np.array_equal(
+            np.sort(all_x[:, 0]), np.sort(ds.X[:, 0])
+        )
+
+    def test_deterministic_given_stream(self):
+        ds = small_ds()
+        t1, _ = train_test_split(ds, 0.3, np.random.default_rng(7))
+        t2, _ = train_test_split(ds, 0.3, np.random.default_rng(7))
+        assert np.array_equal(t1.X, t2.X)
+
+    @pytest.mark.parametrize("frac", [0.0, 1.0, -0.5, 1.5])
+    def test_bad_fraction(self, frac):
+        with pytest.raises(ValueError):
+            train_test_split(small_ds(), frac, np.random.default_rng(0))
+
+    def test_tiny_dataset_keeps_one_each(self):
+        ds = Dataset(np.zeros((2, 1)), np.zeros(2), ("a",))
+        train, test = train_test_split(ds, 0.9, np.random.default_rng(0))
+        assert len(train) == 1 and len(test) == 1

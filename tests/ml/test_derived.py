@@ -1,0 +1,94 @@
+"""Tests for derived trend features."""
+
+import numpy as np
+import pytest
+
+from repro.ml.derived import (
+    augment_runs_with_slopes,
+    derived_feature_names,
+    slope_features,
+)
+from repro.ml import LinearRegression
+
+
+class TestSlopeFeatures:
+    def test_constant_series_zero_slope(self):
+        t = np.arange(10.0)
+        X = np.full((10, 2), 5.0)
+        s = slope_features(t, X)
+        assert np.allclose(s, 0.0)
+
+    def test_linear_series_recovers_rate(self):
+        t = np.arange(10.0) * 2.0  # dt = 2
+        X = (3.0 * t).reshape(-1, 1)  # slope 3 in time units
+        s = slope_features(t, X, window=4)
+        assert np.allclose(s[4:], 3.0)
+
+    def test_first_sample_slope_zero(self):
+        t = np.arange(5.0)
+        X = np.random.default_rng(0).normal(size=(5, 3))
+        s = slope_features(t, X)
+        assert np.allclose(s[0], 0.0)
+
+    def test_window_shorter_history_used_at_start(self):
+        t = np.arange(5.0)
+        X = t.reshape(-1, 1) ** 2  # accelerating
+        s = slope_features(t, X, window=3)
+        # sample 1 uses window 1: slope = (1-0)/1 = 1
+        assert s[1, 0] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            slope_features(np.arange(3.0), np.zeros((4, 1)))
+        with pytest.raises(ValueError, match="window"):
+            slope_features(np.arange(3.0), np.zeros((3, 1)), window=0)
+
+
+class TestAugmentedDataset:
+    def make_runs(self, n_runs=3, k=30):
+        rng = np.random.default_rng(1)
+        runs = []
+        for _ in range(n_runs):
+            times = np.arange(k) * 10.0
+            leak_rate = rng.uniform(0.5, 2.0)
+            feats = np.column_stack(
+                [leak_rate * times, rng.normal(size=k)]
+            )
+            failure = float(times[-1] + 10.0)
+            runs.append((times, feats, failure))
+        return runs
+
+    def test_schema_doubles(self):
+        ds = augment_runs_with_slopes(self.make_runs(), ("mem", "noise"))
+        assert ds.feature_names == ("mem", "noise", "slope:mem", "slope:noise")
+        assert ds.n_features == 4
+
+    def test_names_helper(self):
+        assert derived_feature_names(("a",)) == ("a", "slope:a")
+
+    def test_slopes_improve_prediction_when_rate_varies(self):
+        """RTTF depends on the *leak rate*, which only the slope sees."""
+        rng = np.random.default_rng(2)
+        runs = []
+        for _ in range(24):
+            leak_rate = rng.uniform(0.5, 4.0)
+            budget = 1000.0
+            t_fail = budget / leak_rate
+            times = np.linspace(0, t_fail * 0.95, 25)
+            feats = np.column_stack(
+                [leak_rate * times, rng.normal(size=25)]
+            )
+            runs.append((times, feats, t_fail))
+        from repro.ml.dataset import Dataset
+
+        plain = Dataset.from_run_traces(runs, ("mem", "noise"))
+        rich = augment_runs_with_slopes(runs, ("mem", "noise"))
+        m_plain = LinearRegression().fit(plain.X, plain.y)
+        m_rich = LinearRegression().fit(rich.X, rich.y)
+        err_plain = np.std(plain.y - m_plain.predict(plain.X))
+        err_rich = np.std(rich.y - m_rich.predict(rich.X))
+        assert err_rich < err_plain
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(ValueError):
+            augment_runs_with_slopes([], ("a",))

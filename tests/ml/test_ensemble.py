@@ -1,0 +1,87 @@
+"""Tests for bagged tree ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LinearRegression, REPTree
+from repro.ml.ensemble import BaggedRegressor
+
+
+def noisy_step_data(seed, n=400):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 5))
+    y = np.where(X[:, 0] > 0, 5.0, -5.0) + rng.normal(0, 2.0, n)
+    return X, y
+
+
+class TestBagging:
+    def test_fits_and_predicts(self):
+        X, y = noisy_step_data(0)
+        m = BaggedRegressor(n_estimators=8, seed=1).fit(X, y)
+        assert len(m.estimators_) == 8
+        assert np.isfinite(m.predict(X)).all()
+
+    def test_reduces_test_error_vs_single_tree(self):
+        """On a smooth nonlinear target (Friedman #1 style) single trees
+        carry high variance; bagging roughly halves the test error.  (A
+        simple step function is *not* a good showcase -- one pruned tree
+        already nails it.)"""
+
+        def friedman(seed, n=300, noise=1.0):
+            rng = np.random.default_rng(seed)
+            X = rng.uniform(0, 1, size=(n, 5))
+            y = (
+                10 * np.sin(np.pi * X[:, 0] * X[:, 1])
+                + 20 * (X[:, 2] - 0.5) ** 2
+                + 10 * X[:, 3]
+                + 5 * X[:, 4]
+            )
+            return X, y + rng.normal(0, noise, n), y
+
+        X, y, _ = friedman(1)
+        X_test, _, y_true = friedman(101, noise=0.0)
+        single = REPTree(seed=3).fit(X, y)
+        bagged = BaggedRegressor(n_estimators=15, seed=3).fit(X, y)
+        err_single = np.mean((y_true - single.predict(X_test)) ** 2)
+        err_bagged = np.mean((y_true - bagged.predict(X_test)) ** 2)
+        assert err_bagged < err_single * 0.8
+
+    def test_deterministic(self):
+        X, y = noisy_step_data(4)
+        p1 = BaggedRegressor(seed=7).fit(X, y).predict(X[:20])
+        p2 = BaggedRegressor(seed=7).fit(X, y).predict(X[:20])
+        assert np.array_equal(p1, p2)
+
+    def test_prediction_std_reflects_disagreement(self):
+        X, y = noisy_step_data(5)
+        m = BaggedRegressor(n_estimators=10, seed=5).fit(X, y)
+        # near the decision boundary members disagree most
+        near = np.zeros((1, 5))
+        far = np.zeros((1, 5))
+        far[0, 0] = 3.0
+        assert m.prediction_std(near)[0] > m.prediction_std(far)[0]
+
+    def test_prediction_std_before_fit(self):
+        with pytest.raises(RuntimeError):
+            BaggedRegressor().prediction_std(np.zeros((1, 2)))
+
+    def test_custom_base_factory(self):
+        X, y = noisy_step_data(6)
+        m = BaggedRegressor(
+            base_factory=lambda seed: LinearRegression(),
+            n_estimators=5,
+        ).fit(X, y)
+        assert len(m.estimators_) == 5
+
+    def test_subsample(self):
+        X, y = noisy_step_data(7)
+        m = BaggedRegressor(n_estimators=4, subsample=0.5, seed=2).fit(X, y)
+        assert np.isfinite(m.predict(X[:5])).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BaggedRegressor(n_estimators=0)
+        with pytest.raises(ValueError):
+            BaggedRegressor(subsample=0.0)
+        with pytest.raises(ValueError):
+            BaggedRegressor(subsample=1.5)

@@ -1,0 +1,102 @@
+"""Additional toolchain configurations: custom suites, no selection,
+alternate ranking metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    BaggedRegressor,
+    Dataset,
+    F2PMToolchain,
+    LinearRegression,
+    RidgeRegression,
+)
+from repro.ml.features import FEATURE_NAMES
+
+
+@pytest.fixture
+def dataset():
+    rng = np.random.default_rng(3)
+    n = 250
+    X = rng.normal(size=(n, len(FEATURE_NAMES)))
+    y = 2.0 * X[:, 0] - 1.0 * X[:, 5] + rng.normal(0, 0.2, n) + 50.0
+    return Dataset(X, y, FEATURE_NAMES)
+
+
+class TestCustomSuite:
+    def test_two_model_suite(self, dataset):
+        tc = F2PMToolchain(
+            suite={
+                "ols": LinearRegression,
+                "ridge": lambda: RidgeRegression(alpha=1.0),
+            },
+            cv_folds=3,
+        )
+        comp = tc.compare(dataset, np.random.default_rng(0))
+        assert set(comp.reports) == {"ols", "ridge"}
+
+    def test_extension_model_in_suite(self, dataset):
+        tc = F2PMToolchain(
+            suite={
+                "ols": LinearRegression,
+                "bagged": lambda: BaggedRegressor(n_estimators=5, seed=1),
+            },
+            cv_folds=3,
+        )
+        tm = tc.train_best(
+            dataset, np.random.default_rng(0), model_name="bagged"
+        )
+        assert tm.name == "bagged"
+        assert np.isfinite(tm.predict_one(dataset.X[0]))
+
+
+class TestNoFeatureSelection:
+    def test_full_schema_used(self, dataset):
+        tc = F2PMToolchain(max_features=None, cv_folds=3)
+        comp = tc.compare(dataset, np.random.default_rng(0))
+        assert comp.selected_features == FEATURE_NAMES
+
+
+class TestRankingMetrics:
+    @pytest.mark.parametrize("metric", ["mae", "rmse", "mape", "r2"])
+    def test_each_metric_ranks(self, dataset, metric):
+        tc = F2PMToolchain(
+            suite={
+                "ols": LinearRegression,
+                "ridge": lambda: RidgeRegression(alpha=100.0),
+            },
+            cv_folds=3,
+            ranking_metric=metric,
+        )
+        comp = tc.compare(dataset, np.random.default_rng(0))
+        ranked = comp.ranked()
+        assert len(ranked) == 2
+        a, b = ranked[0][1], ranked[1][1]
+        if metric == "r2":
+            assert getattr(a, metric) >= getattr(b, metric)
+        else:
+            assert getattr(a, metric) <= getattr(b, metric)
+
+
+class TestTrainedModelProjection:
+    def test_projection_survives_column_reorder(self, dataset):
+        """The projection maps source columns by *name*, so a model
+        trained on a reduced view predicts correctly from full rows."""
+        tc = F2PMToolchain(max_features=4, cv_folds=3)
+        tm = tc.train_best(
+            dataset, np.random.default_rng(0), model_name="linear-regression"
+        )
+        # manual projection must agree with TrainedModel.predict
+        idx = [FEATURE_NAMES.index(n) for n in tm.feature_names]
+        manual = tm.model.predict(dataset.X[:10][:, idx])
+        auto = tm.predict(dataset.X[:10])
+        assert np.allclose(manual, auto)
+
+    def test_degenerate_constant_target_keeps_full_schema(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(60, len(FEATURE_NAMES)))
+        ds = Dataset(X, np.full(60, 7.0), FEATURE_NAMES)
+        tc = F2PMToolchain(max_features=4, cv_folds=3)
+        comp = tc.compare(ds, np.random.default_rng(0))
+        # nothing correlates with a constant: selection falls back
+        assert len(comp.selected_features) >= 4

@@ -1,0 +1,197 @@
+"""Tests for the regression tree, REP-Tree, and M5P model tree."""
+
+import numpy as np
+import pytest
+
+from repro.ml import M5PModelTree, REPTree, RegressionTree
+from repro.ml.tree import best_split, build_tree, tree_predict
+
+
+class TestBestSplit:
+    def test_obvious_split_found(self):
+        X = np.array([[0.0], [1.0], [10.0], [11.0]])
+        y = np.array([0.0, 0.0, 100.0, 100.0])
+        feature, threshold, decrease = best_split(X, y, min_samples_leaf=1)
+        assert feature == 0
+        assert 1.0 < threshold < 10.0
+        assert decrease > 0
+
+    def test_constant_feature_returns_none(self):
+        X = np.ones((10, 1))
+        y = np.arange(10.0)
+        assert best_split(X, y, min_samples_leaf=1) is None
+
+    def test_min_samples_leaf_respected(self):
+        # best raw split would isolate a single point
+        X = np.array([[0.0], [1.0], [2.0], [100.0]])
+        y = np.array([0.0, 0.0, 0.0, 50.0])
+        found = best_split(X, y, min_samples_leaf=2)
+        assert found is not None
+        feature, threshold, _ = found
+        left = np.sum(X[:, 0] <= threshold)
+        assert left >= 2 and len(X) - left >= 2
+
+    def test_too_few_samples_returns_none(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0.0, 1.0, 2.0])
+        assert best_split(X, y, min_samples_leaf=2) is None
+
+    def test_picks_most_informative_feature(self):
+        rng = np.random.default_rng(0)
+        X = np.column_stack([rng.normal(size=100), np.linspace(0, 1, 100)])
+        y = np.where(X[:, 1] > 0.5, 10.0, -10.0)
+        feature, _, _ = best_split(X, y, min_samples_leaf=1)
+        assert feature == 1
+
+
+class TestRegressionTree:
+    def test_fits_piecewise_function(self, piecewise_data):
+        X, y = piecewise_data
+        m = RegressionTree(max_depth=6).fit(X, y)
+        resid = y - m.predict(X)
+        assert np.std(resid) < 0.5
+
+    def test_max_depth_zero_predicts_mean(self, piecewise_data):
+        X, y = piecewise_data
+        m = RegressionTree(max_depth=0).fit(X, y)
+        assert np.allclose(m.predict(X), y.mean())
+        assert m.depth() == 0
+        assert m.n_leaves() == 1
+
+    def test_depth_bounded(self, piecewise_data):
+        X, y = piecewise_data
+        m = RegressionTree(max_depth=3).fit(X, y)
+        assert m.depth() <= 3
+
+    def test_min_sse_decrease_stops_splitting_noise(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(200, 3))
+        y = rng.normal(size=200)  # pure noise
+        big_gate = RegressionTree(min_sse_decrease=1e9).fit(X, y)
+        assert big_gate.n_leaves() == 1
+
+    def test_interpolates_training_data_when_unconstrained(self):
+        X = np.arange(8.0).reshape(-1, 1)
+        y = np.array([1.0, 5.0, 2.0, 8.0, 3.0, 9.0, 0.0, 4.0])
+        m = RegressionTree(
+            max_depth=10, min_samples_split=2, min_samples_leaf=1
+        ).fit(X, y)
+        assert np.allclose(m.predict(X), y)
+
+    def test_introspection_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().depth()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=-1)
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_leaf=0)
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_split=1)
+
+    def test_vectorised_predict_matches_manual_walk(self, piecewise_data):
+        X, y = piecewise_data
+        root = build_tree(
+            X, y, max_depth=5, min_samples_split=4,
+            min_samples_leaf=2, min_sse_decrease=0.0,
+        )
+
+        def walk(node, row):
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            return node.value
+
+        pred = tree_predict(root, X[:25])
+        manual = np.array([walk(root, r) for r in X[:25]])
+        assert np.array_equal(pred, manual)
+
+
+class TestREPTree:
+    def test_pruning_reduces_leaves_on_noise(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(300, 5))
+        y = np.where(X[:, 0] > 0, 5.0, -5.0) + rng.normal(0, 2.0, 300)
+        unpruned = REPTree(prune_fraction=0.0, seed=3).fit(X, y)
+        pruned = REPTree(prune_fraction=1 / 3, seed=3).fit(X, y)
+        assert pruned.n_leaves() < unpruned.n_leaves()
+        assert pruned.pruned_leaves_ > 0
+
+    def test_pruned_tree_generalises_at_least_as_well(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(400, 5))
+        y = np.where(X[:, 0] > 0, 5.0, -5.0) + rng.normal(0, 2.0, 400)
+        X_test = rng.normal(size=(200, 5))
+        y_test = np.where(X_test[:, 0] > 0, 5.0, -5.0)
+        unpruned = REPTree(prune_fraction=0.0, seed=4).fit(X, y)
+        pruned = REPTree(seed=4).fit(X, y)
+        err_u = np.mean((y_test - unpruned.predict(X_test)) ** 2)
+        err_p = np.mean((y_test - pruned.predict(X_test)) ** 2)
+        assert err_p <= err_u * 1.1  # pruning never much worse, usually better
+
+    def test_still_fits_signal(self, piecewise_data):
+        X, y = piecewise_data
+        m = REPTree(seed=0).fit(X, y)
+        assert np.std(y - m.predict(X)) < 1.0
+
+    def test_deterministic_given_seed(self, piecewise_data):
+        X, y = piecewise_data
+        p1 = REPTree(seed=9).fit(X, y).predict(X)
+        p2 = REPTree(seed=9).fit(X, y).predict(X)
+        assert np.array_equal(p1, p2)
+
+    def test_prune_fraction_validated(self):
+        with pytest.raises(ValueError):
+            REPTree(prune_fraction=1.0)
+        with pytest.raises(ValueError):
+            REPTree(prune_fraction=-0.1)
+
+    def test_tiny_dataset_skips_pruning(self):
+        X = np.arange(4.0).reshape(-1, 1)
+        y = np.arange(4.0)
+        m = REPTree(min_samples_leaf=2).fit(X, y)  # n - n_prune < 2*leaf
+        assert m.is_fitted
+
+
+class TestM5P:
+    def test_beats_plain_tree_on_smooth_function(self):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(-2, 2, size=(400, 2))
+        # piecewise-LINEAR target: exactly M5P's sweet spot
+        y = np.where(X[:, 0] > 0, 3.0 * X[:, 1] + 5.0, -2.0 * X[:, 1])
+        X_test = rng.uniform(-2, 2, size=(200, 2))
+        y_test = np.where(X_test[:, 0] > 0, 3.0 * X_test[:, 1] + 5.0, -2.0 * X_test[:, 1])
+        m5 = M5PModelTree(max_depth=4).fit(X, y)
+        cart = RegressionTree(max_depth=4).fit(X, y)
+        err_m5 = np.mean((y_test - m5.predict(X_test)) ** 2)
+        err_cart = np.mean((y_test - cart.predict(X_test)) ** 2)
+        assert err_m5 < err_cart
+
+    def test_reduces_to_linear_model_on_linear_data(self, linear_data):
+        X, y = linear_data
+        m = M5PModelTree().fit(X, y)
+        # pruning should collapse to (nearly) a single linear model
+        assert np.std(y - m.predict(X)) < 0.6
+
+    def test_smoothing_zero_allowed(self, piecewise_data):
+        X, y = piecewise_data
+        m = M5PModelTree(smoothing=0.0).fit(X, y)
+        assert np.isfinite(m.predict(X)).all()
+
+    def test_no_prune_keeps_more_leaves(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(300, 4))
+        y = rng.normal(size=300)
+        pruned = M5PModelTree(prune=True).fit(X, y)
+        unpruned = M5PModelTree(prune=False).fit(X, y)
+        assert pruned.n_leaves() <= unpruned.n_leaves()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            M5PModelTree(smoothing=-1.0)
+        with pytest.raises(ValueError):
+            M5PModelTree(ridge=-1.0)
+
+    def test_introspection_before_fit(self):
+        with pytest.raises(RuntimeError):
+            M5PModelTree().n_leaves()

@@ -1,0 +1,268 @@
+"""Tests for the local balancer and the Virtual Machine Controller."""
+
+import numpy as np
+import pytest
+
+from repro.pcam import (
+    LocalBalancer,
+    OracleRttfPredictor,
+    VirtualMachineController,
+    VmcConfig,
+    VmState,
+)
+from repro.pcam.balancer import largest_remainder_split
+from repro.sim import M3_MEDIUM, PRIVATE_SMALL
+
+
+class TestLargestRemainder:
+    def test_conserves_total(self):
+        out = largest_remainder_split(100, np.array([1.0, 2.0, 3.0]))
+        assert out.sum() == 100
+
+    def test_exact_proportions_when_divisible(self):
+        out = largest_remainder_split(60, np.array([1.0, 2.0, 3.0]))
+        assert list(out) == [10, 20, 30]
+
+    def test_zero_total(self):
+        out = largest_remainder_split(0, np.array([1.0, 1.0]))
+        assert list(out) == [0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            largest_remainder_split(-1, np.array([1.0]))
+        with pytest.raises(ValueError):
+            largest_remainder_split(1, np.array([]))
+        with pytest.raises(ValueError):
+            largest_remainder_split(1, np.array([-1.0, 1.0]))
+        with pytest.raises(ValueError):
+            largest_remainder_split(1, np.array([0.0]))
+
+
+class TestLocalBalancer:
+    def test_capacity_weights_favour_healthy_vm(self, make_vm):
+        healthy = make_vm()
+        degraded = make_vm()
+        healthy.activate()
+        degraded.activate()
+        degraded.leaked_mb = (
+            degraded.usable_memory_mb + degraded.itype.swap_mb * 0.9
+        )
+        counts = LocalBalancer("capacity").split(1000, [healthy, degraded])
+        assert counts[healthy.name] > counts[degraded.name]
+
+    def test_uniform_splits_evenly(self, make_vm):
+        vms = [make_vm() for _ in range(4)]
+        for vm in vms:
+            vm.activate()
+        counts = LocalBalancer("uniform").split(1000, vms)
+        assert all(c == 250 for c in counts.values())
+
+    def test_only_active_vms_receive_load(self, make_vm):
+        active, standby = make_vm(), make_vm()
+        active.activate()
+        counts = LocalBalancer().split(100, [active, standby])
+        assert standby.name not in counts
+        assert counts[active.name] == 100
+
+    def test_no_active_vm_raises_outage(self, make_vm):
+        standby = make_vm()
+        with pytest.raises(RuntimeError, match="outage"):
+            LocalBalancer().split(10, [standby])
+
+    def test_no_active_zero_requests_ok(self, make_vm):
+        assert LocalBalancer().split(0, [make_vm()]) == {}
+
+    def test_multinomial_mode_conserves_total(self, make_vm):
+        vms = [make_vm() for _ in range(3)]
+        for vm in vms:
+            vm.activate()
+        bal = LocalBalancer("capacity", rng=np.random.default_rng(0))
+        counts = bal.split(500, vms)
+        assert sum(counts.values()) == 500
+
+    def test_unknown_discipline(self):
+        with pytest.raises(ValueError):
+            LocalBalancer("fastest")  # type: ignore[arg-type]
+
+
+def make_vmc(make_vm, n_vms=6, target=4, itype=PRIVATE_SMALL, **cfg_kw):
+    vms = [make_vm(itype=itype) for _ in range(n_vms)]
+    cfg = VmcConfig(target_active=target, **cfg_kw)
+    return VirtualMachineController("r", vms, OracleRttfPredictor(), cfg)
+
+
+class TestVmcConstruction:
+    def test_activates_target_pool_on_init(self, make_vm):
+        vmc = make_vmc(make_vm)
+        assert len(vmc.vms_in(VmState.ACTIVE)) == 4
+        assert len(vmc.vms_in(VmState.STANDBY)) == 2
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            VirtualMachineController("r", [], OracleRttfPredictor())
+
+    def test_duplicate_names_rejected(self, make_vm):
+        vm = make_vm(name="dup")
+        vm2 = make_vm(name="dup")
+        with pytest.raises(ValueError, match="duplicate"):
+            VirtualMachineController("r", [vm, vm2], OracleRttfPredictor())
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            VmcConfig(rttf_threshold_s=-1.0)
+        with pytest.raises(ValueError):
+            VmcConfig(target_active=0)
+        with pytest.raises(ValueError):
+            VmcConfig(mean_demand=0.0)
+
+
+class TestVmcEraProcessing:
+    def test_report_fields_consistent(self, make_vm):
+        vmc = make_vmc(make_vm)
+        rep = vmc.process_era(600, 30.0, now=0.0)
+        assert rep.region == "r"
+        assert rep.requests_served == 600
+        assert rep.n_active == 4
+        assert rep.last_rmttf > 0
+        assert rep.response_time_s > 0
+        assert set(rep.per_vm_rttf) == {
+            vm.name for vm in vmc.vms_in(VmState.ACTIVE)
+        }
+
+    def test_sustained_operation_no_failures(self, make_vm):
+        """The proactive swap keeps the pool alive at moderate load."""
+        vmc = make_vmc(make_vm)
+        for era in range(100):
+            vmc.process_era(600, 30.0, now=era * 30.0)
+        assert vmc.total_failures == 0
+        assert vmc.total_rejuvenations > 0
+        assert len(vmc.vms_in(VmState.ACTIVE)) == 4
+
+    def test_rmttf_lower_under_higher_load(self, make_vm):
+        slow = make_vmc(make_vm)
+        fast = make_vmc(make_vm)
+        r_slow = [
+            slow.process_era(300, 30.0, e * 30.0).last_rmttf
+            for e in range(60)
+        ]
+        r_fast = [
+            fast.process_era(1200, 30.0, e * 30.0).last_rmttf
+            for e in range(60)
+        ]
+        assert np.mean(r_fast[20:]) < np.mean(r_slow[20:])
+
+    def test_stronger_region_shows_higher_rmttf(self, make_vm):
+        weak = make_vmc(make_vm, itype=PRIVATE_SMALL)
+        strong = make_vmc(make_vm, itype=M3_MEDIUM)
+        r_weak = [
+            weak.process_era(600, 30.0, e * 30.0).last_rmttf
+            for e in range(60)
+        ]
+        r_strong = [
+            strong.process_era(600, 30.0, e * 30.0).last_rmttf
+            for e in range(60)
+        ]
+        assert np.mean(r_strong[20:]) > np.mean(r_weak[20:]) * 1.5
+
+    def test_rejuvenation_paired_with_standby(self, make_vm):
+        """Proactive swaps never drop the ACTIVE pool below target while
+        standbys exist."""
+        vmc = make_vmc(make_vm)
+        min_active = min(
+            vmc.process_era(800, 30.0, e * 30.0).n_active
+            for e in range(80)
+        )
+        assert min_active >= 3  # transient dip of at most one VM
+
+    def test_era_validation(self, make_vm):
+        vmc = make_vmc(make_vm)
+        with pytest.raises(ValueError):
+            vmc.process_era(-1, 30.0, 0.0)
+        with pytest.raises(ValueError):
+            vmc.process_era(1, 0.0, 0.0)
+
+
+class TestVmcPoolOps:
+    def test_set_target_active_grows(self, make_vm):
+        vmc = make_vmc(make_vm, n_vms=6, target=2)
+        vmc.set_target_active(5)
+        assert len(vmc.vms_in(VmState.ACTIVE)) == 5
+
+    def test_set_target_active_shrinks_most_degraded_first(self, make_vm):
+        vmc = make_vmc(make_vm, n_vms=4, target=4)
+        worst = vmc.vms_in(VmState.ACTIVE)[1]
+        worst.leaked_mb = 500.0
+        vmc.set_target_active(3)
+        assert worst.state is VmState.REJUVENATING
+        assert len(vmc.vms_in(VmState.ACTIVE)) == 3
+
+    def test_set_target_validation(self, make_vm):
+        with pytest.raises(ValueError):
+            make_vmc(make_vm).set_target_active(0)
+
+    def test_add_vm(self, make_vm):
+        vmc = make_vmc(make_vm)
+        new = make_vm(name="extra")
+        vmc.add_vm(new)
+        assert "extra" in vmc.monitors
+        assert new in vmc.vms
+
+    def test_add_vm_rejects_duplicates_and_active(self, make_vm):
+        vmc = make_vmc(make_vm)
+        dup = make_vm(name=vmc.vms[0].name)
+        with pytest.raises(ValueError, match="duplicate"):
+            vmc.add_vm(dup)
+        act = make_vm(name="act")
+        act.activate()
+        with pytest.raises(ValueError, match="STANDBY"):
+            vmc.add_vm(act)
+
+    def test_remove_vm(self, make_vm):
+        vmc = make_vmc(make_vm, n_vms=6, target=2)
+        standby_name = vmc.vms_in(VmState.STANDBY)[0].name
+        removed = vmc.remove_vm(standby_name)
+        assert removed.name == standby_name
+        assert standby_name not in vmc.monitors
+
+    def test_remove_active_rejected(self, make_vm):
+        vmc = make_vmc(make_vm)
+        active_name = vmc.vms_in(VmState.ACTIVE)[0].name
+        with pytest.raises(RuntimeError, match="ACTIVE"):
+            vmc.remove_vm(active_name)
+
+    def test_remove_unknown(self, make_vm):
+        with pytest.raises(KeyError):
+            make_vmc(make_vm).remove_vm("ghost")
+
+    def test_capacity_accounting(self, make_vm):
+        vmc = make_vmc(make_vm)
+        assert vmc.healthy_capacity() == pytest.approx(
+            4 * PRIVATE_SMALL.cpu_power
+        )
+        assert vmc.total_capacity() <= vmc.healthy_capacity() + 1e-9
+
+
+class TestVmcStats:
+    def test_stats_keys_and_consistency(self, make_vm):
+        vmc = make_vmc(make_vm)
+        for era in range(10):
+            vmc.process_era(400, 30.0, era * 30.0)
+        stats = vmc.stats()
+        assert stats["n_vms"] == 6.0
+        assert (
+            stats["n_active"]
+            + stats["n_standby"]
+            + stats["n_rejuvenating"]
+            + stats["n_failed"]
+            == stats["n_vms"]
+        )
+        assert stats["total_requests"] == 4000.0
+        assert stats["total_rejuvenations"] == vmc.total_rejuvenations
+        assert stats["mean_active_uptime_s"] > 0
+        assert stats["effective_capacity"] <= stats["healthy_capacity"]
+
+    def test_stats_on_fresh_pool(self, make_vm):
+        vmc = make_vmc(make_vm)
+        stats = vmc.stats()
+        assert stats["total_requests"] == 0.0
+        assert stats["mean_leak_mb"] == 0.0

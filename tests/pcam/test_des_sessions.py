@@ -1,0 +1,86 @@
+"""Tests for session-driven demands in the DES region."""
+
+import numpy as np
+import pytest
+
+from repro.pcam import DesRegion, VirtualMachine
+from repro.sim import M3_MEDIUM, RngRegistry, Simulator
+from repro.workload import AnomalyInjector, BrowserPopulation, SessionChain
+from repro.workload.tpcw import BROWSE_CLASS, RequestType
+
+
+def make_session_region(browse_fraction=0.80, clients=40, seed=3):
+    rngs = RngRegistry(seed=seed)
+    vms = []
+    for i in range(6):
+        vm = VirtualMachine(
+            f"sess/vm{i}",
+            M3_MEDIUM,
+            AnomalyInjector(rngs.child(f"vm{i}").stream("a")),
+        )
+        vm.activate()
+        vms.append(vm)
+    chain = SessionChain.for_mix("test", browse_fraction)
+    sim = Simulator()
+    region = DesRegion(
+        sim,
+        vms,
+        BrowserPopulation(n_clients=clients),
+        rngs.stream("des"),
+        session_chain=chain,
+    )
+    return region
+
+
+class TestSessionDrivenDes:
+    def test_interactions_recorded(self):
+        region = make_session_region()
+        stats = region.run(600.0)
+        assert stats.completed > 0
+        issued = sum(region.interaction_counts.values())
+        # counted at issue time: completions lag by at most the in-flight
+        # population (one request per browser)
+        assert stats.completed <= issued <= stats.completed + 40
+
+    def test_interaction_mix_matches_chain(self):
+        region = make_session_region(browse_fraction=0.80)
+        region.run(3000.0)
+        counts = region.interaction_counts
+        total = sum(counts.values())
+        browse = sum(
+            c
+            for name, c in counts.items()
+            if RequestType(name) in BROWSE_CLASS
+        )
+        # browsers start at HOME so the early mix skews browse; wide band
+        assert browse / total == pytest.approx(0.80, abs=0.06)
+
+    def test_ordering_mix_slower_than_browsing_mix(self):
+        """Order-heavy sessions carry heavier service demands."""
+        browsing = make_session_region(browse_fraction=0.95, seed=5)
+        ordering = make_session_region(browse_fraction=0.50, seed=5)
+        rt_browse = browsing.run(1500.0).mean_response_time()
+        rt_order = ordering.run(1500.0).mean_response_time()
+        assert rt_order > rt_browse
+
+    def test_without_chain_no_interaction_counts(self):
+        rngs = RngRegistry(seed=9)
+        vm = VirtualMachine(
+            "plain/vm0", M3_MEDIUM, AnomalyInjector(rngs.stream("a"))
+        )
+        vm.activate()
+        region = DesRegion(
+            Simulator(),
+            [vm],
+            BrowserPopulation(n_clients=5),
+            rngs.stream("des"),
+        )
+        region.run(300.0)
+        assert region.interaction_counts == {}
+
+    def test_deterministic_with_sessions(self):
+        r1 = make_session_region(seed=11)
+        r2 = make_session_region(seed=11)
+        s1, s2 = r1.run(300.0), r2.run(300.0)
+        assert s1.completed == s2.completed
+        assert r1.interaction_counts == r2.interaction_counts

@@ -1,0 +1,149 @@
+"""Tests for the pluggable rejuvenation disciplines."""
+
+import numpy as np
+import pytest
+
+from repro.pcam import (
+    NoRejuvenation,
+    OracleRttfPredictor,
+    PeriodicRejuvenation,
+    RttfThresholdRejuvenation,
+    VirtualMachineController,
+    VmcConfig,
+    VmState,
+)
+
+from .conftest import build_vm
+from repro.sim import RngRegistry
+
+
+@pytest.fixture
+def rngs():
+    return RngRegistry(seed=17)
+
+
+def make_vmc(rngs, discipline=None, n_vms=6, target=4):
+    vms = [build_vm(rngs, name=f"rj/vm{i}") for i in range(n_vms)]
+    return VirtualMachineController(
+        "rj",
+        vms,
+        OracleRttfPredictor(),
+        VmcConfig(target_active=target, rttf_threshold_s=240.0),
+        discipline=discipline,
+    )
+
+
+class TestThresholdDiscipline:
+    def test_triggers_below_threshold(self, rngs):
+        d = RttfThresholdRejuvenation(threshold_s=100.0)
+        vm = build_vm(rngs)
+        assert d.should_rejuvenate(vm, 99.0, 30.0)
+        assert not d.should_rejuvenate(vm, 101.0, 30.0)
+
+    def test_urgency_orders_by_rttf(self, rngs):
+        d = RttfThresholdRejuvenation()
+        vm = build_vm(rngs)
+        assert d.urgency(vm, 10.0) < d.urgency(vm, 100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RttfThresholdRejuvenation(threshold_s=-1.0)
+
+    def test_is_the_vmc_default(self, rngs):
+        vmc = make_vmc(rngs)
+        assert isinstance(vmc.discipline, RttfThresholdRejuvenation)
+        assert vmc.discipline.threshold_s == 240.0
+
+
+class TestPeriodicDiscipline:
+    def test_triggers_on_uptime(self, rngs):
+        d = PeriodicRejuvenation(period_s=600.0)
+        vm = build_vm(rngs)
+        vm.activate()
+        vm.uptime_s = 599.0
+        assert not d.should_rejuvenate(vm, 1e9, 30.0)
+        vm.uptime_s = 600.0
+        assert d.should_rejuvenate(vm, 1e9, 30.0)
+
+    def test_ignores_prediction(self, rngs):
+        d = PeriodicRejuvenation(period_s=600.0)
+        vm = build_vm(rngs)
+        vm.uptime_s = 10.0
+        assert not d.should_rejuvenate(vm, 0.001, 30.0)
+
+    def test_urgency_prefers_oldest(self, rngs):
+        d = PeriodicRejuvenation(period_s=600.0)
+        old, young = build_vm(rngs, name="old"), build_vm(rngs, name="young")
+        old.uptime_s, young.uptime_s = 900.0, 650.0
+        assert d.urgency(old, 0.0) < d.urgency(young, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicRejuvenation(period_s=0.0)
+
+
+class TestNoRejuvenation:
+    def test_never_triggers(self, rngs):
+        d = NoRejuvenation()
+        vm = build_vm(rngs)
+        assert not d.should_rejuvenate(vm, 0.0, 30.0)
+
+
+class TestDisciplineComparison:
+    """The motivating result: predictive beats periodic beats nothing."""
+
+    def run_discipline(self, rngs, discipline, eras=120, requests=600):
+        vmc = make_vmc(rngs, discipline=discipline)
+        for era in range(eras):
+            vmc.process_era(requests, 30.0, era * 30.0)
+        return vmc
+
+    def test_no_rejuvenation_causes_failures(self, rngs):
+        vmc = self.run_discipline(rngs, NoRejuvenation())
+        assert vmc.total_failures > 0
+
+    def test_predictive_prevents_failures(self, rngs):
+        vmc = self.run_discipline(rngs, RttfThresholdRejuvenation(240.0))
+        assert vmc.total_failures == 0
+
+    def test_well_tuned_periodic_also_avoids_failures(self, rngs):
+        # a period shorter than the true MTTF avoids failures -- but only
+        # because we used oracle knowledge of the MTTF to pick it
+        periodic = self.run_discipline(rngs, PeriodicRejuvenation(300.0))
+        assert periodic.total_failures <= 2
+
+    def test_mistuned_long_period_fails(self, rngs):
+        # period far beyond the true MTTF at this load: VMs crash first
+        vmc = self.run_discipline(rngs, PeriodicRejuvenation(5000.0))
+        assert vmc.total_failures > 0
+
+    def test_mistuned_short_period_churns_restarts(self, rngs):
+        # period far below the MTTF: the pool lives in restart churn,
+        # paying many times the predictive discipline's rejuvenations.
+        # A deep standby pool (5 spares) is needed to expose this: the
+        # paired-swap rule otherwise caps the churn rate.
+        def run(discipline):
+            vmc = make_vmc(rngs, discipline=discipline, n_vms=8, target=3)
+            for era in range(120):
+                vmc.process_era(450, 30.0, era * 30.0)
+            return vmc
+
+        predictive = run(RttfThresholdRejuvenation(240.0))
+        churny = run(PeriodicRejuvenation(60.0))
+        assert churny.total_rejuvenations > 2 * predictive.total_rejuvenations
+
+    def test_periodic_tuning_is_load_sensitive_predictive_adapts(self, rngs):
+        """The same 300 s period that was safe at 600 req/era collapses to
+        purely reactive recovery at 1600 req/era, while the predictive
+        discipline still front-runs a majority of failures."""
+        periodic = self.run_discipline(
+            rngs, PeriodicRejuvenation(300.0), requests=1600
+        )
+        predictive = self.run_discipline(
+            rngs, RttfThresholdRejuvenation(240.0), requests=1600
+        )
+        # periodic: essentially every rejuvenation is after a crash
+        assert periodic.total_failures >= periodic.total_rejuvenations * 0.9
+        # predictive: a meaningful share of swaps happen before the crash
+        proactive = predictive.total_rejuvenations - predictive.total_failures
+        assert proactive > 0.2 * predictive.total_rejuvenations

@@ -1,0 +1,120 @@
+"""Stateful property test: VMC pool invariants under random operations.
+
+A hypothesis rule-based machine drives a VMC with a random interleaving of
+eras, target changes, and pool mutations; after every step the pool
+invariants must hold:
+
+* every VM is in exactly one lifecycle state;
+* names stay unique, monitors track the pool exactly;
+* the ACTIVE pool never exceeds the target;
+* counters only grow.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.pcam import (
+    OracleRttfPredictor,
+    VirtualMachineController,
+    VmcConfig,
+    VmState,
+)
+from repro.pcam.vm import VirtualMachine
+from repro.sim import PRIVATE_SMALL, RngRegistry
+from repro.workload import AnomalyInjector
+
+
+class VmcMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.rngs = RngRegistry(seed=1234)
+        self.counter = 0
+        self.now = 0.0
+        self.prev_rejuvenations = 0
+        self.prev_failures = 0
+
+    def _new_vm(self) -> VirtualMachine:
+        self.counter += 1
+        name = f"sm/vm{self.counter}"
+        return VirtualMachine(
+            name,
+            PRIVATE_SMALL,
+            AnomalyInjector(self.rngs.child(name).stream("a")),
+            rejuvenation_time_s=60.0,
+        )
+
+    @initialize(n_vms=st.integers(2, 8), tgt=st.integers(1, 4))
+    def setup(self, n_vms, tgt):
+        tgt = min(tgt, n_vms)
+        vms = [self._new_vm() for _ in range(n_vms)]
+        self.vmc = VirtualMachineController(
+            "sm",
+            vms,
+            OracleRttfPredictor(),
+            VmcConfig(target_active=tgt, rttf_threshold_s=120.0),
+        )
+
+    @rule(requests=st.integers(0, 2000))
+    def era(self, requests):
+        self.vmc.process_era(requests, 30.0, self.now)
+        self.now += 30.0
+
+    @rule(tgt=st.integers(1, 6))
+    def retarget(self, tgt):
+        self.vmc.set_target_active(min(tgt, len(self.vmc.vms)))
+
+    @rule()
+    def grow_pool(self):
+        self.vmc.add_vm(self._new_vm())
+
+    @rule()
+    def shrink_pool(self):
+        standby = self.vmc.vms_in(VmState.STANDBY)
+        if len(standby) > 0 and len(self.vmc.vms) > 1:
+            self.vmc.remove_vm(standby[-1].name)
+
+    # ---------------- invariants ---------------- #
+
+    @invariant()
+    def states_partition_pool(self):
+        total = sum(
+            len(self.vmc.vms_in(s)) for s in VmState
+        )
+        assert total == len(self.vmc.vms)
+
+    @invariant()
+    def names_unique_and_monitored(self):
+        names = [vm.name for vm in self.vmc.vms]
+        assert len(set(names)) == len(names)
+        assert set(self.vmc.monitors) == set(names)
+
+    @invariant()
+    def active_pool_bounded_by_target(self):
+        assert len(self.vmc.vms_in(VmState.ACTIVE)) <= self.vmc.target_active
+
+    @invariant()
+    def counters_monotone(self):
+        assert self.vmc.total_rejuvenations >= self.prev_rejuvenations
+        assert self.vmc.total_failures >= self.prev_failures
+        self.prev_rejuvenations = self.vmc.total_rejuvenations
+        self.prev_failures = self.vmc.total_failures
+
+    @invariant()
+    def anomaly_state_nonnegative(self):
+        for vm in self.vmc.vms:
+            assert vm.leaked_mb >= 0
+            assert vm.stuck_threads >= 0
+            assert vm.uptime_s >= 0
+
+
+VmcStatefulTest = VmcMachine.TestCase
+VmcStatefulTest.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

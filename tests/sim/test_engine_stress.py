@@ -1,0 +1,68 @@
+"""Stress and ordering-at-scale tests for the DES engine."""
+
+import numpy as np
+
+from repro.sim import Simulator
+
+
+def test_fifty_thousand_events_fire_in_order():
+    sim = Simulator()
+    rng = np.random.default_rng(0)
+    times = rng.uniform(0.0, 1000.0, size=50_000)
+    fired: list[float] = []
+    for t in times:
+        sim.schedule_at(float(t), lambda t=t: fired.append(t))
+    sim.run()
+    assert len(fired) == 50_000
+    assert fired == sorted(fired)
+    assert sim.fired_count == 50_000
+
+
+def test_many_interleaved_periodics():
+    sim = Simulator()
+    counts = {}
+    stops = []
+    for k in range(20):
+        period = 1.0 + 0.1 * k
+        counts[k] = 0
+
+        def tick(k=k):
+            counts[k] += 1
+
+        stops.append(sim.schedule_periodic(period, tick))
+    sim.run_until(100.0)
+    for k in range(20):
+        period = 1.0 + 0.1 * k
+        expected = int(100.0 / period)
+        assert abs(counts[k] - expected) <= 1
+    for stop in stops:
+        stop()
+    assert sim.pending_count == 0
+
+
+def test_cascading_event_chains():
+    """Events that schedule events: a 10k-deep chain terminates cleanly."""
+    sim = Simulator()
+    state = {"n": 0}
+
+    def step():
+        state["n"] += 1
+        if state["n"] < 10_000:
+            sim.schedule_after(0.001, step)
+
+    sim.schedule_after(0.0, step)
+    sim.run()
+    assert state["n"] == 10_000
+
+
+def test_mass_cancellation_is_lazy_but_correct():
+    sim = Simulator()
+    fired = []
+    events = [
+        sim.schedule_at(float(i), lambda i=i: fired.append(i))
+        for i in range(10_000)
+    ]
+    for ev in events[::2]:  # cancel every even event
+        ev.cancel()
+    sim.run()
+    assert fired == list(range(1, 10_000, 2))

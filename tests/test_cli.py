@@ -1,0 +1,107 @@
+"""Tests for the command-line interface and the top-level package API."""
+
+import pytest
+
+import repro
+from repro.cli import build_parser, main
+
+
+class TestPackageApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_exports(self):
+        assert callable(repro.AcmManager)
+        assert callable(repro.RegionSpec)
+        assert callable(repro.get_policy)
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig3", "--eras", "50"])
+        assert args.command == "fig3"
+        assert args.eras == 50
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.regions == 3
+        assert "sensible-routing" in args.policies
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_invalid_regions(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--regions", "5"])
+
+
+class TestExecution:
+    def test_compare_runs(self, capsys):
+        rc = main(
+            [
+                "compare",
+                "--regions",
+                "2",
+                "--eras",
+                "30",
+                "--policies",
+                "uniform",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig3-two-regions" in out
+        assert "uniform" in out
+
+    @pytest.mark.slow
+    def test_models_runs(self, capsys):
+        rc = main(["models", "--seed", "3", "--instance-type", "m3.small"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rep-tree" in out
+        assert "selected features" in out
+
+
+class TestExport:
+    def test_export_writes_csv_per_policy(self, tmp_path):
+        prefix = str(tmp_path / "tr")
+        rc = main(
+            ["export", "fig3", "--eras", "15", "--seed", "2",
+             "--prefix", prefix]
+        )
+        assert rc == 0
+        from repro.sim import TraceRecorder
+
+        path = f"{prefix}_fig3_available-resources.csv"
+        rec = TraceRecorder.from_csv(path)
+        assert "rmttf/region1-ireland" in rec.names()
+        assert len(rec.series("response_time")) == 15
+
+    def test_export_requires_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["export"])
+
+
+class TestPlanCommand:
+    def test_plan_prints_recommendation(self, capsys):
+        rc = main(["plan", "--rate", "30", "--target", "600"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ACTIVE" in out and "STANDBY" in out
+        assert "expected RMTTF" in out
+
+    def test_plan_requires_rate_and_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan"])
+
+
+class TestRobustnessCommand:
+    def test_robustness_runs_and_reports(self, capsys):
+        rc = main(
+            ["robustness", "fig3", "--eras", "60", "--seeds", "7"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "seed" in out and "ALL PASS" in out

@@ -1,0 +1,31 @@
+"""Smoke test: every example script parses and imports cleanly.
+
+The examples are documentation; a broken import there is a broken README
+promise.  Importing (without running ``main``) catches renamed APIs.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_found():
+    assert EXAMPLES_DIR.is_dir()
+    assert len(EXAMPLE_FILES) >= 7
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+)
+def test_example_imports(path):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # runs top level, not main()
+    assert hasattr(module, "main"), f"{path.stem} must define main()"
+    assert module.__doc__, f"{path.stem} must have a module docstring"

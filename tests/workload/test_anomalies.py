@@ -1,0 +1,109 @@
+"""Tests for the anomaly-injection model (paper Sec. VI-A probabilities)."""
+
+import numpy as np
+import pytest
+
+from repro.workload import AnomalyEffect, AnomalyInjector
+from repro.workload.anomalies import (
+    DEFAULT_LEAK_PROBABILITY,
+    DEFAULT_THREAD_PROBABILITY,
+    ZERO_EFFECT,
+)
+
+
+def make_injector(seed=0, **kw):
+    return AnomalyInjector(np.random.default_rng(seed), **kw)
+
+
+def test_paper_default_probabilities():
+    assert DEFAULT_LEAK_PROBABILITY == 0.10
+    assert DEFAULT_THREAD_PROBABILITY == 0.05
+    inj = make_injector()
+    assert inj.leak_probability == 0.10
+    assert inj.thread_probability == 0.05
+
+
+def test_zero_requests_zero_effect():
+    assert make_injector().inject(0) is ZERO_EFFECT
+
+
+def test_negative_requests_rejected():
+    with pytest.raises(ValueError):
+        make_injector().inject(-1)
+
+
+def test_injection_rates_match_probabilities():
+    inj = make_injector(seed=1)
+    n = 200_000
+    effect = inj.inject(n)
+    assert effect.n_requests == n
+    assert effect.stuck_threads / n == pytest.approx(0.05, abs=0.005)
+    # mean leak contribution: p_leak * mean + p_thread * overhead per request
+    expected_mb = n * (0.10 * inj.leak_mean_mb + 0.05 * inj.thread_overhead_mb)
+    assert effect.leaked_mb == pytest.approx(expected_mb, rel=0.05)
+
+
+def test_effects_add():
+    a = AnomalyEffect(1.0, 2, 10)
+    b = AnomalyEffect(0.5, 1, 5)
+    c = a + b
+    assert c.leaked_mb == 1.5
+    assert c.stuck_threads == 3
+    assert c.n_requests == 15
+
+
+def test_expected_leak_rate_formula():
+    inj = make_injector(leak_mean_mb=1.0, thread_overhead_mb=0.0)
+    # 100 req/s * 10% * 1 MB = 10 MB/s
+    assert inj.expected_leak_rate_mb(100.0) == pytest.approx(10.0)
+
+
+def test_expected_thread_rate_formula():
+    inj = make_injector()
+    assert inj.expected_thread_rate(100.0) == pytest.approx(5.0)
+
+
+def test_expected_rates_validate_input():
+    inj = make_injector()
+    with pytest.raises(ValueError):
+        inj.expected_leak_rate_mb(-1.0)
+    with pytest.raises(ValueError):
+        inj.expected_thread_rate(-1.0)
+
+
+def test_empirical_mean_matches_expected_rate():
+    """inject() and expected_leak_rate_mb() agree (mean-field consistency)."""
+    inj = make_injector(seed=2)
+    n, dt_rate = 100_000, 50.0
+    effect = inj.inject(n)
+    per_request_expected = inj.expected_leak_rate_mb(dt_rate) / dt_rate
+    assert effect.leaked_mb / n == pytest.approx(per_request_expected, rel=0.05)
+
+
+def test_deterministic_given_stream():
+    e1 = make_injector(seed=7).inject(1000)
+    e2 = make_injector(seed=7).inject(1000)
+    assert e1 == e2
+
+
+def test_zero_probability_injector_never_injects():
+    inj = make_injector(leak_probability=0.0, thread_probability=0.0)
+    e = inj.inject(10_000)
+    assert e.leaked_mb == 0.0
+    assert e.stuck_threads == 0
+
+
+@pytest.mark.parametrize(
+    "kw",
+    [
+        dict(leak_probability=-0.1),
+        dict(leak_probability=1.1),
+        dict(thread_probability=2.0),
+        dict(leak_mean_mb=0.0),
+        dict(leak_sigma=-1.0),
+        dict(thread_overhead_mb=-0.1),
+    ],
+)
+def test_parameter_validation(kw):
+    with pytest.raises(ValueError):
+        make_injector(**kw)

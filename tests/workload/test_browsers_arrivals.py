@@ -1,0 +1,175 @@
+"""Tests for browser populations and arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    BatchArrivals,
+    BrowserPopulation,
+    PoissonArrivals,
+    closed_loop_rate,
+)
+from repro.workload.browsers import CLIENT_RANGE, heterogeneous_populations
+
+
+class TestClosedLoopRate:
+    def test_interactive_response_time_law(self):
+        # 64 clients, 7s think, 1s response -> 8 req/s
+        assert closed_loop_rate(64, 7.0, 1.0) == pytest.approx(8.0)
+
+    def test_zero_clients(self):
+        assert closed_loop_rate(0, 7.0, 0.5) == 0.0
+
+    def test_rate_decreases_with_response_time(self):
+        fast = closed_loop_rate(100, 7.0, 0.1)
+        slow = closed_loop_rate(100, 7.0, 5.0)
+        assert fast > slow
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            closed_loop_rate(-1, 7.0, 0.0)
+        with pytest.raises(ValueError):
+            closed_loop_rate(1, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            closed_loop_rate(1, 7.0, -1.0)
+
+
+class TestBrowserPopulation:
+    def test_offered_rate_uses_closed_loop_law(self):
+        pop = BrowserPopulation(n_clients=70, think_time_s=7.0)
+        assert pop.offered_rate(0.0) == pytest.approx(10.0)
+
+    def test_think_time_samples_have_right_mean(self):
+        pop = BrowserPopulation(n_clients=10, think_time_s=7.0)
+        rng = np.random.default_rng(0)
+        samples = pop.sample_think_times(rng, 50_000)
+        assert samples.mean() == pytest.approx(7.0, rel=0.05)
+        assert (samples >= 0).all()
+
+    def test_scaled_copy(self):
+        pop = BrowserPopulation(n_clients=16, name="r1")
+        big = pop.scaled(512)
+        assert big.n_clients == 512
+        assert big.name == "r1"
+        assert pop.n_clients == 16  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BrowserPopulation(n_clients=-1)
+        with pytest.raises(ValueError):
+            BrowserPopulation(n_clients=1, think_time_s=0.0)
+
+
+class TestHeterogeneousPopulations:
+    def test_builds_per_region(self):
+        pops = heterogeneous_populations({"r1": 128, "r3": 48})
+        assert pops["r1"].n_clients == 128
+        assert pops["r3"].name == "clients@r3"
+
+    def test_paper_range_enforced(self):
+        lo, hi = CLIENT_RANGE
+        with pytest.raises(ValueError, match="paper range"):
+            heterogeneous_populations({"r1": lo - 1})
+        with pytest.raises(ValueError, match="paper range"):
+            heterogeneous_populations({"r1": hi + 1})
+
+    def test_identical_counts_rejected_for_multiregion(self):
+        with pytest.raises(ValueError, match="different"):
+            heterogeneous_populations({"r1": 64, "r2": 64})
+
+    def test_single_region_any_valid_count_ok(self):
+        pops = heterogeneous_populations({"solo": 64})
+        assert len(pops) == 1
+
+
+class TestPoissonArrivals:
+    def test_mean_interarrival(self):
+        p = PoissonArrivals(np.random.default_rng(0), rate=10.0)
+        gaps = [p.next_interarrival() for _ in range(20_000)]
+        assert np.mean(gaps) == pytest.approx(0.1, rel=0.05)
+
+    def test_zero_rate_returns_inf(self):
+        p = PoissonArrivals(np.random.default_rng(0), rate=0.0)
+        assert p.next_interarrival() == float("inf")
+
+    def test_sample_window_sorted_within_bounds(self):
+        p = PoissonArrivals(np.random.default_rng(1), rate=5.0)
+        t = p.sample_window(10.0, 20.0)
+        assert (t >= 10.0).all() and (t < 20.0).all()
+        assert (np.diff(t) >= 0).all()
+        # ~50 arrivals expected
+        assert 20 <= t.size <= 90
+
+    def test_time_varying_rate_thinning(self):
+        # rate ramps 0 -> 20 over [0, 10]: second half must hold more arrivals
+        p = PoissonArrivals(
+            np.random.default_rng(2), rate=lambda t: 2.0 * t, rate_max=20.0
+        )
+        t = p.sample_window(0.0, 10.0)
+        first = np.sum(t < 5.0)
+        second = np.sum(t >= 5.0)
+        assert second > first * 1.5
+
+    def test_callable_rate_requires_rate_max(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(np.random.default_rng(0), rate=lambda t: 1.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(np.random.default_rng(0), rate=-1.0)
+
+    def test_window_order_validated(self):
+        p = PoissonArrivals(np.random.default_rng(0), rate=1.0)
+        with pytest.raises(ValueError):
+            p.sample_window(5.0, 1.0)
+
+
+class TestBatchArrivals:
+    def test_count_mean(self):
+        b = BatchArrivals(np.random.default_rng(0))
+        counts = [b.count(100.0, 1.0) for _ in range(5000)]
+        assert np.mean(counts) == pytest.approx(100.0, rel=0.05)
+
+    def test_zero_rate_or_dt(self):
+        b = BatchArrivals(np.random.default_rng(0))
+        assert b.count(0.0, 10.0) == 0
+        assert b.count(10.0, 0.0) == 0
+
+    def test_huge_mean_uses_normal_approx(self):
+        b = BatchArrivals(np.random.default_rng(0))
+        c = b.count(1e7, 1.0)
+        assert abs(c - 1e7) < 5e4  # within ~15 sigma
+
+    def test_validation(self):
+        b = BatchArrivals(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            b.count(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            b.count(1.0, -1.0)
+
+    def test_split_conserves_total(self):
+        b = BatchArrivals(np.random.default_rng(0))
+        out = b.split(1000, np.array([0.5, 0.3, 0.2]))
+        assert out.sum() == 1000
+        assert out.shape == (3,)
+
+    def test_split_proportions(self):
+        b = BatchArrivals(np.random.default_rng(1))
+        out = b.split(100_000, np.array([0.7, 0.3]))
+        assert out[0] / 100_000 == pytest.approx(0.7, abs=0.01)
+
+    def test_split_renormalises_unnormalised_fractions(self):
+        b = BatchArrivals(np.random.default_rng(2))
+        out = b.split(1000, np.array([2.0, 2.0]))
+        assert out.sum() == 1000
+
+    def test_split_validation(self):
+        b = BatchArrivals(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            b.split(-1, np.array([1.0]))
+        with pytest.raises(ValueError):
+            b.split(10, np.array([]))
+        with pytest.raises(ValueError):
+            b.split(10, np.array([-1.0, 2.0]))
+        with pytest.raises(ValueError):
+            b.split(10, np.array([0.0, 0.0]))

@@ -1,0 +1,89 @@
+"""Tests for the Markov-modulated Poisson arrival process."""
+
+import numpy as np
+import pytest
+
+from repro.workload import MmppArrivals
+
+
+def make(seed=0, **kw):
+    defaults = dict(
+        rate_low=10.0,
+        rate_high=50.0,
+        mean_sojourn_low_s=300.0,
+        mean_sojourn_high_s=60.0,
+    )
+    defaults.update(kw)
+    return MmppArrivals(np.random.default_rng(seed), **defaults)
+
+
+def test_starts_in_low_state():
+    m = make()
+    assert not m.in_burst
+    assert m.current_rate() == 10.0
+
+
+def test_mean_rate_formula():
+    m = make()
+    # p_high = 60/360 = 1/6 -> 1/6*50 + 5/6*10 = 16.67
+    assert m.mean_rate() == pytest.approx(50 / 6 + 50 / 6)
+
+
+def test_long_run_empirical_rate_matches_mean():
+    m = make(seed=1)
+    total_t = 120_000.0
+    total = sum(m.count(30.0) for _ in range(int(total_t / 30)))
+    assert total / total_t == pytest.approx(m.mean_rate(), rel=0.1)
+
+
+def test_state_flips_over_time():
+    m = make(seed=2)
+    states = set()
+    for _ in range(200):
+        m.advance(30.0)
+        states.add(m.in_burst)
+    assert states == {True, False}
+
+
+def test_burst_state_produces_more_arrivals():
+    m = make(seed=3, mean_sojourn_low_s=1e9)  # pinned low
+    low_counts = [make(seed=s, mean_sojourn_low_s=1e9).count(100.0) for s in range(20)]
+    # pinned high: start in burst by making low sojourn tiny
+    high = []
+    for s in range(20):
+        mm = make(seed=s, mean_sojourn_low_s=1e-6, mean_sojourn_high_s=1e9)
+        mm.advance(1.0)  # flip into burst
+        high.append(mm.count(100.0))
+    assert np.mean(high) > np.mean(low_counts) * 2
+
+
+def test_expected_count_integrates_across_flips():
+    m = make(seed=4, mean_sojourn_low_s=10.0, mean_sojourn_high_s=10.0)
+    expected = m.advance(10_000.0)
+    # with symmetric sojourns the long-run mean is (10+50)/2 = 30
+    assert expected / 10_000.0 == pytest.approx(30.0, rel=0.15)
+
+
+def test_zero_dt():
+    m = make()
+    assert m.advance(0.0) == 0.0
+    assert m.count(0.0) == 0
+
+
+@pytest.mark.parametrize(
+    "kw",
+    [
+        dict(rate_low=-1.0),
+        dict(rate_low=50.0, rate_high=10.0),
+        dict(mean_sojourn_low_s=0.0),
+        dict(mean_sojourn_high_s=-1.0),
+    ],
+)
+def test_validation(kw):
+    with pytest.raises(ValueError):
+        make(**kw)
+
+
+def test_advance_negative_dt():
+    with pytest.raises(ValueError):
+        make().advance(-1.0)

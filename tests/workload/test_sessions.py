@@ -1,0 +1,112 @@
+"""Tests for the TPC-W Markov session model."""
+
+import numpy as np
+import pytest
+
+from repro.workload.sessions import (
+    STATES,
+    SessionChain,
+    browse_fraction_of,
+    calibrate_order_boost,
+    stationary_distribution,
+    transition_matrix,
+)
+from repro.workload.tpcw import BROWSE_CLASS, RequestType
+
+
+class TestTransitionMatrix:
+    def test_row_stochastic(self):
+        P = transition_matrix()
+        assert P.shape == (14, 14)
+        assert np.allclose(P.sum(axis=1), 1.0)
+        assert np.all(P >= 0)
+
+    def test_order_boost_shifts_mass(self):
+        light = browse_fraction_of(transition_matrix(0.2))
+        heavy = browse_fraction_of(transition_matrix(5.0))
+        assert light > heavy
+
+    def test_boost_validation(self):
+        with pytest.raises(ValueError):
+            transition_matrix(0.0)
+
+    def test_every_state_reachable(self):
+        # the chain is irreducible: stationary mass everywhere positive
+        pi = stationary_distribution(transition_matrix())
+        assert np.all(pi > 0)
+
+
+class TestStationaryDistribution:
+    def test_two_state_known_answer(self):
+        P = np.array([[0.9, 0.1], [0.5, 0.5]])
+        pi = stationary_distribution(P)
+        # pi = (5/6, 1/6)
+        assert pi[0] == pytest.approx(5 / 6, abs=1e-9)
+
+    def test_fixed_point(self):
+        P = transition_matrix()
+        pi = stationary_distribution(P)
+        assert np.allclose(pi @ P, pi, atol=1e-9)
+        assert pi.sum() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            stationary_distribution(np.ones((2, 3)))
+        with pytest.raises(ValueError, match="stochastic"):
+            stationary_distribution(np.array([[0.5, 0.2], [0.5, 0.5]]))
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("target", [0.95, 0.80, 0.50])
+    def test_hits_standard_mix_targets(self, target):
+        boost = calibrate_order_boost(target)
+        achieved = browse_fraction_of(transition_matrix(boost))
+        assert achieved == pytest.approx(target, abs=2e-3)
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_order_boost(0.9999)
+        with pytest.raises(ValueError):
+            calibrate_order_boost(1.5)
+
+
+class TestSessionChain:
+    @pytest.fixture(scope="class")
+    def shopping(self):
+        return SessionChain.for_mix("shopping", 0.80)
+
+    def test_stationary_matches_target(self, shopping):
+        st = shopping.stationary()
+        browse = sum(v for k, v in st.items() if k in BROWSE_CLASS)
+        assert browse == pytest.approx(0.80, abs=5e-3)
+
+    def test_sample_session_starts_at_entry(self, shopping):
+        session = shopping.sample_session(np.random.default_rng(0), 50)
+        assert session[0] is RequestType.HOME
+        assert len(session) == 50
+
+    def test_sampled_frequencies_match_stationary(self, shopping):
+        rng = np.random.default_rng(1)
+        clicks = shopping.sample_session(rng, 60_000)
+        browse = sum(1 for c in clicks if c in BROWSE_CLASS)
+        assert browse / len(clicks) == pytest.approx(0.80, abs=0.02)
+
+    def test_structural_paths_respected(self, shopping):
+        """SEARCH_REQUEST is always followed by results or home."""
+        rng = np.random.default_rng(2)
+        clicks = shopping.sample_session(rng, 20_000)
+        for a, b in zip(clicks, clicks[1:]):
+            if a is RequestType.SEARCH_REQUEST:
+                assert b in (RequestType.SEARCH_RESULTS, RequestType.HOME)
+
+    def test_buy_rate_grows_with_order_mix(self):
+        shopping = SessionChain.for_mix("shopping", 0.80)
+        ordering = SessionChain.for_mix("ordering", 0.50)
+        assert ordering.buy_rate() > shopping.buy_rate() * 2
+
+    def test_session_length_validated(self, shopping):
+        with pytest.raises(ValueError):
+            shopping.sample_session(np.random.default_rng(0), 0)
+
+    def test_states_cover_all_interactions(self):
+        assert set(STATES) == set(RequestType)

@@ -1,0 +1,85 @@
+"""Tests for TPC-W interactions and mixes."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    MIX_BROWSING,
+    MIX_ORDERING,
+    MIX_SHOPPING,
+    RequestMix,
+    RequestType,
+    TPCW_INTERACTIONS,
+)
+from repro.workload.tpcw import BROWSE_CLASS
+
+
+def test_all_14_interactions_defined():
+    assert len(RequestType) == 14
+    assert set(TPCW_INTERACTIONS) == set(RequestType)
+
+
+def test_standard_mix_browse_fractions():
+    assert MIX_BROWSING.browse_fraction() == pytest.approx(0.95)
+    assert MIX_SHOPPING.browse_fraction() == pytest.approx(0.80)
+    assert MIX_ORDERING.browse_fraction() == pytest.approx(0.50)
+
+
+def test_mix_weights_normalised():
+    for mix in (MIX_BROWSING, MIX_SHOPPING, MIX_ORDERING):
+        assert sum(mix.weights.values()) == pytest.approx(1.0)
+
+
+def test_order_heavy_mix_has_higher_service_demand():
+    # Buy Confirm / Admin Confirm are expensive, so the ordering mix costs
+    # more per request on average than browsing.
+    assert (
+        MIX_ORDERING.mean_service_demand()
+        > MIX_SHOPPING.mean_service_demand()
+        > MIX_BROWSING.mean_service_demand()
+    )
+
+
+def test_sample_respects_distribution():
+    rng = np.random.default_rng(0)
+    samples = MIX_ORDERING.sample(rng, 20_000)
+    browse = sum(1 for s in samples if s in BROWSE_CLASS)
+    assert browse / 20_000 == pytest.approx(0.50, abs=0.02)
+
+
+def test_sample_demands_vectorised_matches_catalog():
+    rng = np.random.default_rng(1)
+    demands = MIX_SHOPPING.sample_demands(rng, 1000)
+    valid = set(TPCW_INTERACTIONS.values())
+    assert set(np.unique(demands)) <= valid
+
+
+def test_sample_size_zero():
+    rng = np.random.default_rng(0)
+    assert MIX_SHOPPING.sample(rng, 0) == []
+    assert MIX_SHOPPING.sample_demands(rng, 0).size == 0
+
+
+def test_sample_negative_size_rejected():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        MIX_SHOPPING.sample(rng, -1)
+
+
+def test_custom_mix_normalises():
+    mix = RequestMix("custom", {RequestType.HOME: 2.0, RequestType.BUY_CONFIRM: 2.0})
+    assert mix.weights[RequestType.HOME] == pytest.approx(0.5)
+
+
+def test_custom_mix_validation():
+    with pytest.raises(ValueError):
+        RequestMix("bad", {RequestType.HOME: 0.0})
+    with pytest.raises(ValueError):
+        RequestMix("bad", {RequestType.HOME: -1.0, RequestType.BUY_REQUEST: 2.0})
+
+
+def test_types_and_probabilities_aligned():
+    mix = MIX_SHOPPING
+    p = mix.probabilities()
+    assert len(p) == len(mix.types)
+    assert p.sum() == pytest.approx(1.0)
