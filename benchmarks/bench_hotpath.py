@@ -1,0 +1,169 @@
+"""Hot-path micro-benchmark of the per-request DES control loop.
+
+Measures sustained **requests/sec** (completed requests per wall-clock
+second) and **events/sec** (simulator events dispatched per wall-clock
+second) for :class:`repro.core.des_loop.DesControlLoop` at three emulated
+browser population scales, and writes the result to ``BENCH_hotpath.json``
+at the repository root.
+
+That JSON file is the repo's recorded performance trajectory: every PR
+that touches the DES hot path re-runs this script and must not regress
+requests/sec by more than the gate tolerance (see
+``scripts/bench_gate.py``).
+
+Run it as a script (append ``--check`` to compare against the committed
+baseline without rewriting it)::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py
+
+The timed region is *only* the era loop (request routing, queueing,
+service, completion bookkeeping, era-boundary control cycle); loop
+construction is excluded.  The predictor is a constant stub so that the
+measurement tracks the request machinery rather than the oracle
+predictor's root-finding.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_hotpath.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import get_policy  # noqa: E402
+from repro.core.des_loop import DesControlLoop  # noqa: E402
+from repro.pcam.predictor import RttfPredictor  # noqa: E402
+from repro.pcam.vm import VirtualMachine  # noqa: E402
+from repro.sim.instances import get_instance_type  # noqa: E402
+from repro.sim.rng import RngRegistry  # noqa: E402
+from repro.workload.anomalies import AnomalyInjector  # noqa: E402
+from repro.workload.browsers import BrowserPopulation  # noqa: E402
+
+#: The three population scales: name -> (clients per region, VM pool
+#: scale factor, eras to run).  Client counts keep the paper's 120:72
+#: two-region imbalance; pools grow with the population so the system
+#: stays in its normal operating regime rather than saturating.
+SCALES: dict[str, tuple[tuple[int, int], int, int]] = {
+    "small": ((120, 72), 1, 12),
+    "medium": ((480, 288), 4, 6),
+    "large": ((1920, 1152), 16, 3),
+}
+
+BENCH_SEED = 5
+
+#: Repetitions per scale; the recorded wall time is the best of these
+#: (standard microbenchmark practice: the minimum is the least noisy
+#: estimator of the achievable throughput on a shared machine).
+REPEATS = 3
+
+
+class _ConstantPredictor(RttfPredictor):
+    """RTTF far above the swap threshold: no rejuvenation churn."""
+
+    def predict_rttf(self, vm: VirtualMachine) -> float:
+        return 1e9
+
+    def predict_mttf(self, vm: VirtualMachine) -> float:
+        return 1e9
+
+
+def build_loop(scale: str, seed: int = BENCH_SEED) -> DesControlLoop:
+    """The two-region deployment of the DES-FIG3 bench at ``scale``."""
+    (c1, c3), pool_factor, _ = SCALES[scale]
+    rngs = RngRegistry(seed=seed)
+    m3 = get_instance_type("m3.medium")
+    ps = get_instance_type("private.small")
+
+    def pool(name, itype, n):
+        return [
+            VirtualMachine(
+                f"{name}/vm{i}",
+                itype,
+                AnomalyInjector(rngs.child(f"{name}{i}").stream("a")),
+            )
+            for i in range(n)
+        ]
+
+    regions = {
+        "r1": (
+            pool("r1", m3, 6 * pool_factor),
+            BrowserPopulation(n_clients=c1),
+            4 * pool_factor,
+        ),
+        "r3": (
+            pool("r3", ps, 4 * pool_factor),
+            BrowserPopulation(n_clients=c3),
+            3 * pool_factor,
+        ),
+    }
+    return DesControlLoop(
+        regions,
+        get_policy("available-resources"),
+        _ConstantPredictor(),
+        rngs,
+    )
+
+
+def measure_scale(scale: str) -> dict:
+    """Time the era loop at one scale; returns the best-of-N record."""
+    (c1, c3), _, eras = SCALES[scale]
+    wall_s = float("inf")
+    for _ in range(REPEATS):
+        loop = build_loop(scale)
+        t0 = time.perf_counter()
+        loop.run(eras)
+        wall_s = min(wall_s, time.perf_counter() - t0)
+    requests = sum(
+        vm.total_requests
+        for state in loop._states.values()
+        for vm in state.vms
+    )
+    events = loop.sim.fired_count
+    return {
+        "clients": [c1, c3],
+        "eras": eras,
+        "requests": int(requests),
+        "events": int(events),
+        "wall_s": round(wall_s, 4),
+        "requests_per_s": round(requests / wall_s, 1),
+        "events_per_s": round(events / wall_s, 1),
+    }
+
+
+def run_benchmark() -> dict:
+    """Measure every scale; returns the full payload (JSON-ready)."""
+    results = {scale: measure_scale(scale) for scale in SCALES}
+    return {
+        "benchmark": "des_hotpath",
+        "seed": BENCH_SEED,
+        "unit": "wall-clock throughput of DesControlLoop.run",
+        "scales": results,
+    }
+
+
+def main(argv: list[str]) -> int:
+    payload = run_benchmark()
+    for scale, rec in payload["scales"].items():
+        print(
+            f"{scale:>7}: {rec['requests_per_s']:>12,.1f} req/s  "
+            f"{rec['events_per_s']:>12,.1f} ev/s  "
+            f"({rec['requests']} requests, {rec['eras']} eras, "
+            f"{rec['wall_s']:.3f}s)"
+        )
+    if "--check" in argv:
+        sys.path.insert(0, str(REPO_ROOT / "scripts"))
+        from bench_gate import check_against_baseline
+
+        return check_against_baseline(payload, BASELINE_PATH)
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {BASELINE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

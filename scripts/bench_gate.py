@@ -1,0 +1,134 @@
+"""Performance regression gate for the DES hot path.
+
+Re-runs ``benchmarks/bench_hotpath.py`` and compares the measured
+requests/sec at every scale against the committed baseline
+(``BENCH_hotpath.json`` at the repository root).  Exits non-zero if any
+scale regresses by more than the tolerance (default 20%).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_gate.py [--tolerance 0.20]
+
+Equivalent: ``PYTHONPATH=src python benchmarks/bench_hotpath.py --check``.
+
+The tolerance is deliberately loose: the bench records best-of-3 wall
+times, but shared machines still jitter.  The gate exists to catch
+order-of-magnitude mistakes (an accidentally quadratic queue scan, a
+closure allocated per request), not 5% drift.  After an intentional,
+measured improvement, refresh the baseline by re-running
+``benchmarks/bench_hotpath.py`` without ``--check`` and committing the
+updated JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Maximum allowed fractional drop in requests/sec per scale.
+DEFAULT_TOLERANCE = 0.20
+
+
+def check_against_baseline(
+    payload: dict,
+    baseline_path: Path,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> int:
+    """Compare a fresh benchmark ``payload`` against the committed baseline.
+
+    Returns a process exit code: 0 if every scale's requests/sec is within
+    ``tolerance`` of the baseline (or faster), 1 on any regression beyond
+    it, 2 if the baseline is missing or malformed.
+    """
+    try:
+        baseline = json.loads(Path(baseline_path).read_text())
+    except FileNotFoundError:
+        print(f"bench gate: no baseline at {baseline_path}", file=sys.stderr)
+        print(
+            "run `PYTHONPATH=src python benchmarks/bench_hotpath.py` "
+            "to record one",
+            file=sys.stderr,
+        )
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"bench gate: malformed baseline: {exc}", file=sys.stderr)
+        return 2
+
+    base_scales = baseline.get("scales")
+    if not isinstance(base_scales, dict) or not base_scales:
+        print("bench gate: baseline has no scales", file=sys.stderr)
+        return 2
+
+    failures = []
+    for scale, base in base_scales.items():
+        current = payload["scales"].get(scale)
+        if current is None:
+            failures.append(f"{scale}: missing from current run")
+            continue
+        base_rps = float(base["requests_per_s"])
+        cur_rps = float(current["requests_per_s"])
+        floor = base_rps * (1.0 - tolerance)
+        delta = (cur_rps - base_rps) / base_rps
+        status = "OK  " if cur_rps >= floor else "FAIL"
+        print(
+            f"  {status} {scale:>7}: {cur_rps:>12,.1f} req/s  "
+            f"baseline {base_rps:>12,.1f}  ({delta:+.1%})"
+        )
+        if cur_rps < floor:
+            failures.append(
+                f"{scale}: {cur_rps:,.1f} req/s is more than "
+                f"{tolerance:.0%} below baseline {base_rps:,.1f}"
+            )
+
+    if failures:
+        print("bench gate: FAILED", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"bench gate: ok (tolerance {tolerance:.0%})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="max fractional requests/sec regression (default 0.20)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=REPO_ROOT / "BENCH_hotpath.json",
+        help="baseline JSON path (default: repo-root BENCH_hotpath.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        # fail fast: don't spend the benchmark's wall time only to find
+        # there is nothing to compare against
+        print(f"bench gate: no baseline at {args.baseline}", file=sys.stderr)
+        print(
+            "run `PYTHONPATH=src python benchmarks/bench_hotpath.py` "
+            "to record one",
+            file=sys.stderr,
+        )
+        return 2
+
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from bench_hotpath import run_benchmark
+
+    payload = run_benchmark()
+    return check_against_baseline(
+        payload, args.baseline, tolerance=args.tolerance
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,25 +17,56 @@ It is intentionally oracle-predictor-only and lighter than the fluid loop
 (no autoscaling, no partitions): its job is to confirm that the policy
 conclusions do not depend on the fluid approximation.  The DES-FIG3 bench
 runs both loops on the same deployment and compares verdicts.
+
+Hot-path layout
+---------------
+This loop is the throughput ceiling of the whole reproduction (see
+``benchmarks/bench_hotpath.py``), so the per-request machinery is
+index-based and closure-free, while remaining *bit-identical* to the
+per-request reference semantics (pinned by the golden-trace test):
+
+* browser start-up think times are drawn in one vectorised block per
+  region (``Generator.exponential(scale, size=n)`` consumes the stream
+  exactly like ``n`` scalar draws);
+* forward-plan routing uses a per-row CDF precomputed at plan install
+  plus one uniform draw -- the same stream consumption as
+  ``Generator.choice(n, p=row/row.sum())``, without its per-call
+  validation and cumsum;
+* join-shortest-queue reads a per-region ``in_flight`` int array indexed
+  by VM slot, and breaks ties with ``Generator.integers(0, k)`` -- the
+  draw ``Generator.choice(candidates)`` performs internally;
+* request completion and next-click events go through the engine's
+  pooled, argument-binding fast path
+  (:meth:`repro.sim.engine.Simulator.schedule_pooled`) instead of
+  allocating two lambda closures and two ``Event`` records per click.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.forward_plan import build_forward_plan
+from repro.core.forward_plan import ForwardPlan, build_forward_plan
 from repro.core.policy import Policy
 from repro.core.rmttf import RmttfAggregator
 from repro.overlay.network import OverlayNetwork
-from repro.overlay.routing import Router
+from repro.overlay.routing import NoRouteError, Router
 from repro.pcam.predictor import RttfPredictor
 from repro.pcam.vm import VirtualMachine, VmState
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.sim.tracing import TraceRecorder
 from repro.workload.browsers import BrowserPopulation
+
+#: Timeout-and-retry penalty absorbed by a forwarded request when the
+#: overlay is partitioned (no live path between the two controllers).
+FORWARD_FALLBACK_PENALTY_S = 0.5
+
+#: Active-pool size above which join-shortest-queue switches from a plain
+#: Python scan to the vectorised NumPy path (fancy-index + flatnonzero).
+#: Below it, interpreter-loop latency beats NumPy call overhead.
+JSQ_SCAN_MAX = 16
 
 
 @dataclass
@@ -46,15 +77,39 @@ class _RegionState:
     vms: list[VirtualMachine]
     population: BrowserPopulation
     target_active: int
-    in_flight: dict[str, int]
+    #: Outstanding requests per VM, indexed by slot (position in ``vms``).
+    in_flight: np.ndarray
+    #: Slots of ACTIVE VMs in ``vms`` order; rebuilt at era boundaries and
+    #: maintained incrementally on mid-era failures.
+    active_slots: list[int] = field(default_factory=list)
+    #: ``active_slots`` as an index array (the vectorised JSQ path).
+    active_arr: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.intp)
+    )
     era_completed: int = 0
     era_response_sum: float = 0.0
+    #: Active VM count at the start of the current era -- the divisor for
+    #: the per-VM request rate (VMs that fail mid-era still served it).
+    era_active_start: int = 0
 
     def active(self) -> list[VirtualMachine]:
         return [vm for vm in self.vms if vm.state is VmState.ACTIVE]
 
     def standby(self) -> list[VirtualMachine]:
         return [vm for vm in self.vms if vm.state is VmState.STANDBY]
+
+    def rebuild_active_slots(self) -> None:
+        self.active_slots = [
+            slot
+            for slot, vm in enumerate(self.vms)
+            if vm.state is VmState.ACTIVE
+        ]
+        self.active_arr = np.asarray(self.active_slots, dtype=np.intp)
+
+    def drop_active_slot(self, slot: int) -> None:
+        """Remove a slot that failed mid-era (preserves ``vms`` order)."""
+        self.active_slots.remove(slot)
+        self.active_arr = np.asarray(self.active_slots, dtype=np.intp)
 
 
 class DesControlLoop:
@@ -108,6 +163,9 @@ class DesControlLoop:
         self.traces = TraceRecorder()
         self.fractions = policy.initial_fractions(len(self.region_names))
         self._states: dict[str, _RegionState] = {}
+        self._region_index = {
+            name: i for i, name in enumerate(self.region_names)
+        }
         self._rngs = {
             name: rngs.child(name).stream("des") for name in self.region_names
         }
@@ -120,20 +178,28 @@ class DesControlLoop:
                 vms=vms,
                 population=population,
                 target_active=target,
-                in_flight={vm.name: 0 for vm in vms},
+                in_flight=np.zeros(len(vms), dtype=np.int64),
             )
             self._states[name] = state
             self._ensure_active(state)
+            state.rebuild_active_slots()
+            state.era_active_start = len(state.active_slots)
+        # index-aligned views of the per-name maps (hot-path access)
+        self._state_by_idx = [self._states[r] for r in self.region_names]
+        self._rng_by_idx = [self._rngs[r] for r in self.region_names]
         self.overlay = overlay
         self._router = Router(overlay) if overlay is not None else None
-        self._plan = build_forward_plan(
-            self.region_names,
-            self._arrival_fractions(),
-            self.fractions,
+        self._install_plan(
+            build_forward_plan(
+                self.region_names,
+                self._arrival_fractions(),
+                self.fractions,
+            )
         )
         self.era_index = 0
         self.total_rejuvenations = 0
         self.total_failures = 0
+        self.total_forward_fallbacks = 0
         self._started = False
 
     # ------------------------------------------------------------------ #
@@ -151,75 +217,147 @@ class DesControlLoop:
         while len(state.active()) < state.target_active and state.standby():
             state.standby()[0].activate()
 
+    def _install_plan(self, plan: ForwardPlan) -> None:
+        """Install a forward plan; precompute per-row routing CDFs.
+
+        Routing samples from an immutable CDF snapshot, so a plan can
+        never be observed mid-update.  A row whose mass is zero (or
+        non-finite) is degenerate -- requests arriving there are served
+        locally instead of sampling NaN probabilities.
+        """
+        self._plan = plan
+        cdfs: list[np.ndarray | None] = []
+        for i in range(len(self.region_names)):
+            row = plan.matrix[i]
+            total = row.sum()
+            if not total > 0.0:
+                cdfs.append(None)
+                continue
+            # exactly Generator.choice's cdf construction, for bit-equal
+            # sampling: normalise, cumsum, renormalise the last bin to 1
+            p = row / total
+            cdf = p.cumsum()
+            cdf /= cdf[-1]
+            cdfs.append(cdf)
+        self._route_cdfs = cdfs
+
     def _forward_latency_s(self, src: str, dst: str) -> float:
         if src == dst or self._router is None:
             return 0.0
         try:
             return 2.0 * self._router.latency(src, dst) / 1000.0
-        except Exception:
-            return 0.5
+        except NoRouteError:
+            # Overlay partition: the request absorbs a timeout-and-retry
+            # penalty.  Leave a trace so partitions are observable rather
+            # than silently folded into the response time.
+            self.total_forward_fallbacks += 1
+            self.traces.record(
+                f"forward_fallback/{src}", self.sim.now, 1.0
+            )
+            return FORWARD_FALLBACK_PENALTY_S
 
     def _start_browsers(self) -> None:
-        for name in self.region_names:
-            state = self._states[name]
-            rng = self._rngs[name]
-            for _ in range(state.population.n_clients):
-                delay = float(rng.exponential(state.population.think_time_s))
-                self.sim.schedule_after(
-                    delay, lambda n=name: self._issue(n)
-                )
+        schedule = self.sim.schedule_pooled
+        for i, name in enumerate(self.region_names):
+            state = self._state_by_idx[i]
+            n = state.population.n_clients
+            if n == 0:
+                continue
+            # one vectorised block per region: consumes the stream exactly
+            # like n sequential scalar exponential draws
+            delays = self._rng_by_idx[i].exponential(
+                state.population.think_time_s, size=n
+            )
+            args = (i,)
+            for delay in delays.tolist():
+                schedule(delay, self._issue, args)
 
     def _route_region(self, arrival: str) -> str:
         """Sample the processing region from the plan row of ``arrival``."""
-        i = self.region_names.index(arrival)
-        row = self._plan.matrix[i]
-        rng = self._rngs[arrival]
-        j = int(rng.choice(len(row), p=row / row.sum()))
-        return self.region_names[j]
+        i = self._region_index[arrival]
+        return self.region_names[self._route_idx(i)]
 
-    def _issue(self, arrival: str) -> None:
-        target_name = self._route_region(arrival)
-        state = self._states[target_name]
-        rng = self._rngs[arrival]
-        active = state.active()
+    def _route_idx(self, i: int) -> int:
+        cdf = self._route_cdfs[i]
+        if cdf is None:
+            # degenerate (zero-mass) plan row: serve locally
+            return i
+        return int(
+            cdf.searchsorted(self._rng_by_idx[i].random(), side="right")
+        )
+
+    def _issue(self, i: int) -> None:
+        rng = self._rng_by_idx[i]
+        j = self._route_idx(i)
+        state = self._state_by_idx[j]
+        active = state.active_slots
         if not active:
             # regional outage: retry after thinking
-            self._schedule_next(arrival)
+            self._schedule_next(i)
             return
-        loads = np.array([state.in_flight[vm.name] for vm in active])
-        candidates = np.flatnonzero(loads == loads.min())
-        vm = active[int(rng.choice(candidates))]
-        state.in_flight[vm.name] += 1
+        # join-shortest-queue over the slot-indexed in-flight counts;
+        # tie-break with the same integers draw Generator.choice performs
+        in_flight = state.in_flight
+        if len(active) <= JSQ_SCAN_MAX:
+            best = in_flight[active[0]]
+            candidates = [active[0]]
+            for slot in active[1:]:
+                load = in_flight[slot]
+                if load < best:
+                    best = load
+                    candidates = [slot]
+                elif load == best:
+                    candidates.append(slot)
+            slot = candidates[int(rng.integers(0, len(candidates)))]
+        else:
+            loads = in_flight[state.active_arr]
+            candidates = np.flatnonzero(loads == loads.min())
+            pos = candidates[int(rng.integers(0, candidates.size))]
+            slot = active[pos]
+        vm = state.vms[slot]
+        share = in_flight[slot] = in_flight[slot] + 1
         t_start = self.sim.now
-        extra = self._forward_latency_s(arrival, target_name)
-        share = max(state.in_flight[vm.name], 1)
+        extra = (
+            0.0
+            if i == j
+            else self._forward_latency_s(
+                self.region_names[i], self.region_names[j]
+            )
+        )
         mu = vm.effective_capacity / self.mean_demand / share
         service = float(rng.exponential(1.0 / mu)) if mu > 0 else 1.0
+        self.sim.schedule_pooled(
+            service, self._complete, (i, j, slot, t_start, extra)
+        )
 
-        def complete(vm=vm, state=state, arrival=arrival, t_start=t_start,
-                     extra=extra) -> None:
-            state.in_flight[vm.name] -= 1
-            rt = (self.sim.now - t_start) + extra
-            state.era_completed += 1
-            state.era_response_sum += rt
-            if vm.state is VmState.ACTIVE:
-                effect = vm.injector.inject(1)
-                vm.leaked_mb += effect.leaked_mb
-                vm.stuck_threads += effect.stuck_threads
-                vm.total_requests += 1
-                vm.last_response_time_s = rt
-                if vm.failure_point_reached():
-                    vm.fail()
-                    self.total_failures += 1
-            self._schedule_next(arrival)
+    def _complete(
+        self, i: int, j: int, slot: int, t_start: float, extra: float
+    ) -> None:
+        state = self._state_by_idx[j]
+        state.in_flight[slot] -= 1
+        rt = (self.sim.now - t_start) + extra
+        state.era_completed += 1
+        state.era_response_sum += rt
+        vm = state.vms[slot]
+        if vm.state is VmState.ACTIVE:
+            effect = vm.injector.inject(1)
+            vm.leaked_mb += effect.leaked_mb
+            vm.stuck_threads += effect.stuck_threads
+            vm.total_requests += 1
+            vm.last_response_time_s = rt
+            if vm.failure_point_reached():
+                vm.fail()
+                state.drop_active_slot(slot)
+                self.total_failures += 1
+        self._schedule_next(i)
 
-        self.sim.schedule_after(service, complete)
-
-    def _schedule_next(self, arrival: str) -> None:
-        state = self._states[arrival]
-        rng = self._rngs[arrival]
-        think = float(rng.exponential(state.population.think_time_s))
-        self.sim.schedule_after(think, lambda: self._issue(arrival))
+    def _schedule_next(self, i: int) -> None:
+        think = float(
+            self._rng_by_idx[i].exponential(
+                self._state_by_idx[i].population.think_time_s
+            )
+        )
+        self.sim.schedule_pooled(think, self._issue, (i,))
 
     # ------------------------------------------------------------------ #
     # era boundary: Analyze / Plan / Execute
@@ -241,15 +379,19 @@ class DesControlLoop:
         lam = 0.0
         for name in self.region_names:
             state = self._states[name]
-            # uptime bookkeeping for this era
+            # uptime bookkeeping for this era.  The per-VM rate divides by
+            # the active count that *started* the era: VMs that failed
+            # mid-era served part of it, and excluding them would inflate
+            # the rate the ML features see.
+            rate_per_vm = (
+                state.era_completed
+                / max(state.era_active_start, 1)
+                / self.era_s
+            )
             for vm in state.vms:
                 if vm.state is VmState.ACTIVE:
                     vm.uptime_s += self.era_s
-                    vm.last_request_rate = (
-                        state.era_completed
-                        / max(len(state.active()), 1)
-                        / self.era_s
-                    )
+                    vm.last_request_rate = rate_per_vm
                 elif vm.state in (VmState.STANDBY, VmState.REJUVENATING):
                     vm.idle(self.era_s)
             # PCAM: predict, swap at-risk VMs against standbys
@@ -274,6 +416,8 @@ class DesControlLoop:
                     vm.start_rejuvenation()
                     self.total_rejuvenations += 1
             self._ensure_active(state)
+            state.rebuild_active_slots()
+            state.era_active_start = len(state.active_slots)
 
             reports[name] = float(np.mean(mttf_values)) if mttf_values else 0.0
             rate = state.era_completed / self.era_s
@@ -283,19 +427,28 @@ class DesControlLoop:
                 if state.era_completed
                 else 0.0
             )
+            self.traces.record(f"completed/{name}", now, state.era_completed)
             self.traces.record(f"response_time/{name}", now, mean_rt)
             state.era_completed = 0
             state.era_response_sum = 0.0
 
-        # leader: Eq. (1), POLICY(), new plan
+        # leader: Eq. (1), POLICY(), new plan.  An idle era (zero
+        # completed requests) holds the previous fractions rather than
+        # feeding the policy a fabricated load, matching the fluid loop
+        # which never plans against a zero-demand era.
         current = self.aggregator.update_all(reports)
         rmttf_vec = np.array([current[r] for r in self.region_names])
-        self.fractions = self.policy.compute(
-            self.fractions, rmttf_vec, max(lam, 1e-9)
-        )
-        self._plan = build_forward_plan(
-            self.region_names, self._arrival_fractions(), self.fractions
-        )
+        if lam > 0.0:
+            self.fractions = self.policy.compute(
+                self.fractions, rmttf_vec, lam
+            )
+            self._install_plan(
+                build_forward_plan(
+                    self.region_names,
+                    self._arrival_fractions(),
+                    self.fractions,
+                )
+            )
         for j, name in enumerate(self.region_names):
             self.traces.record(f"rmttf/{name}", now, float(rmttf_vec[j]))
             self.traces.record(

@@ -5,9 +5,14 @@ A minimal, deterministic, callback-based DES core:
 * a binary heap of :class:`~repro.sim.events.Event` ordered by
   ``(time, priority, seq)``;
 * a simulation clock that only moves forward;
-* lazy cancellation (cancelled events are dropped when popped);
+* lazy cancellation (cancelled events are dropped when popped), with O(1)
+  pending-event accounting;
+* an object pool for fire-and-forget events (:meth:`Simulator.schedule_pooled`)
+  so that request-granularity workloads do not allocate one ``Event`` per
+  click;
 * periodic-event helpers used by the control loop (eras) and the feature
-  monitors (sampling intervals).
+  monitors (sampling intervals); the recurrence re-arms a single ``Event``
+  record instead of allocating one per occurrence.
 
 The engine deliberately avoids threads, wall-clock time, and global state so
 that every run is exactly reproducible from its seed (see
@@ -23,6 +28,11 @@ import heapq
 from typing import Callable, Iterable
 
 from repro.sim.events import Event, EventState
+
+#: Upper bound on the recycled-event free list.  The pool only needs to
+#: cover the steady-state number of in-flight fire-and-forget events; past
+#: that, extra events are left to the garbage collector.
+POOL_MAX = 4096
 
 
 class SimulationError(RuntimeError):
@@ -50,6 +60,8 @@ class Simulator:
         self._fired_count = 0
         self._running = False
         self._stopped = False
+        self._cancelled_in_heap = 0
+        self._free: list[Event] = []
 
     # ------------------------------------------------------------------ #
     # clock
@@ -62,8 +74,12 @@ class Simulator:
 
     @property
     def pending_count(self) -> int:
-        """Number of events still pending in the heap (excludes cancelled)."""
-        return sum(1 for e in self._heap if e.pending)
+        """Number of events still pending in the heap (excludes cancelled).
+
+        O(1): the heap length minus the cancelled events awaiting lazy
+        removal (tracked via :meth:`_note_cancelled`).
+        """
+        return len(self._heap) - self._cancelled_in_heap
 
     @property
     def fired_count(self) -> int:
@@ -99,6 +115,7 @@ class Simulator:
             seq=self._seq,
             action=action,
             label=label,
+            owner=self,
         )
         self._seq += 1
         heapq.heappush(self._heap, event)
@@ -119,6 +136,44 @@ class Simulator:
             self._now + delay, action, priority=priority, label=label
         )
 
+    def schedule_pooled(
+        self,
+        delay: float,
+        action: Callable[..., None],
+        args: tuple = (),
+    ) -> None:
+        """Fire-and-forget fast path: ``action(*args)`` after ``delay``.
+
+        Unlike :meth:`schedule_after`, no :class:`Event` handle is
+        returned and the event cannot be cancelled; in exchange the engine
+        recycles the ``Event`` record through an object pool, so a
+        million-request DES run allocates a bounded number of them.  This
+        is the scheduling call of the per-request hot path
+        (:class:`repro.core.des_loop.DesControlLoop`).
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        time = self._now + delay
+        if self._free:
+            event = self._free.pop()
+            event.time = time
+            event.seq = self._seq
+            event.action = action
+            event.args = args
+            event.state = EventState.PENDING
+        else:
+            event = Event(
+                time=time,
+                priority=0,
+                seq=self._seq,
+                action=action,
+                args=args,
+                poolable=True,
+                owner=self,
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+
     def schedule_periodic(
         self,
         period: float,
@@ -133,35 +188,54 @@ class Simulator:
         The first firing happens at ``start`` (defaults to ``now + period``).
         Returns a zero-argument *stop* function: calling it cancels the next
         pending occurrence and stops the recurrence.
+
+        The recurrence is a pool-of-one: the same ``Event`` record is
+        re-armed for every occurrence (homogeneous periodic events --
+        monitors, era ticks -- dominate long runs, and re-arming avoids
+        allocating one event per period).
         """
         if period <= 0:
             raise SimulationError(f"period must be positive, got {period}")
-        state: dict[str, Event | None] = {"next": None}
         stopped = {"flag": False}
+        slot: dict[str, Event] = {}
 
         def fire() -> None:
             if stopped["flag"]:
                 return
             action()
             if not stopped["flag"]:
-                state["next"] = self.schedule_after(
-                    period, fire, priority=priority, label=label
-                )
+                # re-arm the same Event with a fresh sequence number
+                event = slot["event"]
+                event.time = self._now + period
+                event.seq = self._seq
+                self._seq += 1
+                event.state = EventState.PENDING
+                heapq.heappush(self._heap, event)
 
         first = self._now + period if start is None else start
-        state["next"] = self.schedule_at(first, fire, priority=priority, label=label)
+        slot["event"] = self.schedule_at(
+            first, fire, priority=priority, label=label
+        )
 
         def stop() -> None:
             stopped["flag"] = True
-            nxt = state["next"]
-            if nxt is not None:
-                nxt.cancel()
+            slot["event"].cancel()
 
         return stop
 
     # ------------------------------------------------------------------ #
     # execution
     # ------------------------------------------------------------------ #
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook called by :meth:`Event.cancel`."""
+        self._cancelled_in_heap += 1
+
+    def _recycle(self, event: Event) -> None:
+        if len(self._free) < POOL_MAX:
+            event.action = _noop
+            event.args = ()
+            self._free.append(event)
 
     def step(self) -> Event | None:
         """Dispatch the single next pending event.
@@ -172,11 +246,17 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.state is EventState.CANCELLED:
+                self._cancelled_in_heap -= 1
                 continue
             self._now = event.time
             event.state = EventState.FIRED
             self._fired_count += 1
-            event.action()
+            if event.args:
+                event.action(*event.args)
+            else:
+                event.action()
+            if event.poolable:
+                self._recycle(event)
             return event
         return None
 
@@ -208,10 +288,12 @@ class Simulator:
             )
         dispatched = 0
         self._stopped = False
-        while self._heap and not self._stopped:
-            head = self._heap[0]
+        heap = self._heap
+        while heap and not self._stopped:
+            head = heap[0]
             if head.state is EventState.CANCELLED:
-                heapq.heappop(self._heap)
+                heapq.heappop(heap)
+                self._cancelled_in_heap -= 1
                 continue
             if head.time > end_time:
                 break
@@ -235,3 +317,7 @@ class Simulator:
     def pending_events(self) -> Iterable[Event]:
         """Snapshot of pending events, in firing order (for tests/debugging)."""
         return sorted((e for e in self._heap if e.pending), key=Event.sort_key)
+
+
+def _noop() -> None:
+    """Placeholder action held by recycled pool events."""

@@ -1,0 +1,202 @@
+"""Regression tests for the DES-loop correctness sweep.
+
+Each test pins one of the bugs fixed alongside the hot-path
+vectorisation:
+
+* ``_forward_latency_s`` swallowed *every* exception (now only
+  :class:`~repro.overlay.routing.NoRouteError`) and hid partitions (now
+  traced as ``forward_fallback/<region>``);
+* ``_route_region`` crashed on a forward-plan row driven to zero
+  (NaN probabilities in ``rng.choice``);
+* per-era accounting divided the per-VM request rate by the
+  *end-of-era* active count, excluding VMs that failed mid-era;
+* an idle era fed a fabricated load ``max(lam, 1e-9)`` into
+  ``POLICY()`` instead of holding the previous fractions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import get_policy
+from repro.core.des_loop import FORWARD_FALLBACK_PENALTY_S, DesControlLoop
+from repro.overlay import OverlayNetwork
+from repro.pcam import OracleRttfPredictor, VirtualMachine, VmState
+from repro.sim import M3_MEDIUM, PRIVATE_SMALL, RngRegistry
+from repro.workload import AnomalyInjector, BrowserPopulation
+
+
+def build_loop(policy="available-resources", seed=5, clients=(80, 48),
+               think_time_s=7.0, **kwargs):
+    rngs = RngRegistry(seed=seed)
+
+    def pool(name, itype, n):
+        return [
+            VirtualMachine(
+                f"{name}/vm{i}",
+                itype,
+                AnomalyInjector(rngs.child(f"{name}{i}").stream("a")),
+            )
+            for i in range(n)
+        ]
+
+    regions = {
+        "r1": (pool("r1", M3_MEDIUM, 6),
+               BrowserPopulation(n_clients=clients[0],
+                                 think_time_s=think_time_s), 4),
+        "r3": (pool("r3", PRIVATE_SMALL, 4),
+               BrowserPopulation(n_clients=clients[1],
+                                 think_time_s=think_time_s), 3),
+    }
+    return DesControlLoop(
+        regions,
+        get_policy(policy) if isinstance(policy, str) else policy,
+        OracleRttfPredictor(),
+        rngs,
+        **kwargs,
+    )
+
+
+def two_region_overlay(latency_ms=20.0):
+    overlay = OverlayNetwork()
+    overlay.add_node("r1")
+    overlay.add_node("r3")
+    overlay.add_link("r1", "r3", latency_ms)
+    return overlay
+
+
+class TestForwardLatencyFallback:
+    def test_partition_records_forward_fallback_trace(self):
+        overlay = two_region_overlay()
+        loop = build_loop("uniform", seed=22, clients=(120, 72),
+                          overlay=overlay)
+        loop.run(3)
+        assert loop.total_forward_fallbacks == 0
+        overlay.fail_link("r1", "r3")
+        loop._router.invalidate()
+        loop.run(3)
+        # partitioned forwards absorbed the penalty *and* left a trace
+        assert loop.total_forward_fallbacks > 0
+        fallbacks = loop.traces.matching("forward_fallback/")
+        assert fallbacks, "partition left no forward_fallback trace"
+        n_traced = sum(len(s) for s in fallbacks.values())
+        assert n_traced == loop.total_forward_fallbacks
+
+    def test_partition_penalty_value(self):
+        overlay = two_region_overlay()
+        overlay.fail_link("r1", "r3")
+        loop = build_loop("uniform", seed=22, overlay=overlay)
+        assert (
+            loop._forward_latency_s("r1", "r3")
+            == FORWARD_FALLBACK_PENALTY_S
+        )
+
+    def test_non_routing_errors_propagate(self):
+        loop = build_loop("uniform", seed=23, clients=(120, 72),
+                          overlay=two_region_overlay())
+
+        def boom(src, dst):
+            raise ValueError("router invariant broken")
+
+        loop._router.latency = boom
+        with pytest.raises(ValueError, match="router invariant broken"):
+            loop.run(3)
+
+
+class TestZeroSumPlanRow:
+    def test_zero_row_routes_locally(self):
+        loop = build_loop(seed=7)
+        i = loop.region_names.index("r1")
+        loop._plan.matrix[i, :] = 0.0  # plan caught mid-update
+        loop._install_plan(loop._plan)
+        assert loop._route_region("r1") == "r1"
+
+    def test_zero_row_loop_keeps_serving(self):
+        loop = build_loop(seed=7)
+        loop.run(1)
+        loop._plan.matrix[:, :] = 0.0
+        loop._install_plan(loop._plan)
+        fired_before = loop.sim.fired_count
+        loop.run(2)  # must not crash sampling NaN probabilities
+        assert loop.era_index == 3
+        assert loop.sim.fired_count > fired_before
+
+    def test_routing_reads_installed_snapshot(self):
+        """Mutating the live matrix without installing has no effect:
+        routing samples an immutable CDF snapshot, so a plan can never
+        be observed half-updated."""
+        loop = build_loop(seed=7)
+        before = [None if c is None else c.copy()
+                  for c in loop._route_cdfs]
+        loop._plan.matrix[:, :] = 0.0
+        after = loop._route_cdfs
+        for b, a in zip(before, after):
+            assert (b is None and a is None) or (b == a).all()
+
+
+class TestMidEraFailureAccounting:
+    def test_rate_divisor_counts_failed_vm(self):
+        loop = build_loop(seed=11, clients=(120, 72))
+        state = loop._states["r1"]
+        victim = state.active()[0]
+        # poison the victim so that its next completion trips the
+        # failure point mid-era (swap exhaustion)
+        victim.leaked_mb = victim.anomaly_budget_mb - 0.5
+        assert state.era_active_start == 4
+        loop.run(1)
+        assert victim.failure_count == 1, "victim should fail mid-era"
+        completed = loop.traces.series("completed/r1").values[-1]
+        assert completed > 0
+        # the three survivors served the era alongside the victim: the
+        # rate must be divided by the 4 VMs that started the era, not
+        # the 3 that finished it
+        expected = completed / 4 / loop.era_s
+        wrong = completed / 3 / loop.era_s
+        survivors = [vm for vm in state.vms
+                     if vm is not victim and vm.last_request_rate > 0]
+        assert survivors
+        for vm in survivors:
+            assert vm.last_request_rate == expected
+            assert vm.last_request_rate != wrong
+
+    def test_divisor_resets_each_era(self):
+        loop = build_loop(seed=11)
+        loop.run(3)
+        for state in loop._states.values():
+            assert state.era_active_start == state.target_active
+
+
+class _SpyPolicy:
+    """Delegating policy that counts ``compute`` calls."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+        self.seen_lams: list[float] = []
+
+    def initial_fractions(self, n):
+        return self.inner.initial_fractions(n)
+
+    def compute(self, fractions, rmttf, lam):
+        self.calls += 1
+        self.seen_lams.append(float(lam))
+        return self.inner.compute(fractions, rmttf, lam)
+
+
+class TestIdleEraHoldsFractions:
+    def test_idle_era_skips_policy(self):
+        spy = _SpyPolicy(get_policy("available-resources"))
+        # think times around 1e9 s: no request completes within 30 s eras
+        loop = build_loop(spy, seed=3, think_time_s=1e9)
+        initial = loop.fractions.copy()
+        loop.run(3)
+        assert spy.calls == 0
+        assert np.array_equal(loop.fractions, initial)
+        # fractions are still traced (held) every era
+        assert len(loop.traces.series("fraction/r1")) == 3
+
+    def test_busy_era_sees_true_load_not_floor(self):
+        spy = _SpyPolicy(get_policy("available-resources"))
+        loop = build_loop(spy, seed=3)
+        loop.run(2)
+        assert spy.calls == 2
+        assert all(lam > 1.0 for lam in spy.seen_lams)

@@ -1,0 +1,127 @@
+"""Golden-trace determinism test for the request-level control loop.
+
+The DES hot path was vectorised against the scalar per-request reference
+implementation under the contract *same seed -> bit-identical era traces*.
+This test pins that contract: it replays two fixed-seed deployments for 10
+eras and compares every ``rmttf/*``, ``fraction/*`` and ``response_time/*``
+trace tuple against a checked-in snapshot, exactly (no tolerance).
+
+If this test fails, the change altered either the RNG stream consumption
+order or the era semantics of :class:`repro.core.des_loop.DesControlLoop`.
+That is sometimes intentional (a bugfix changes the trace); regenerate the
+snapshot *only* in that case::
+
+    PYTHONPATH=src python tests/core/test_des_loop_golden.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SNAPSHOT_PATH = Path(__file__).parent / "golden_des_traces.json"
+
+#: The trace prefixes frozen by the snapshot.
+GOLDEN_PREFIXES = ("rmttf/", "fraction/", "response_time/")
+
+GOLDEN_ERAS = 10
+
+
+def _build_case(name: str):
+    from repro.core import get_policy
+    from repro.core.des_loop import DesControlLoop
+    from repro.overlay import OverlayNetwork
+    from repro.pcam import OracleRttfPredictor, VirtualMachine
+    from repro.sim import M3_MEDIUM, PRIVATE_SMALL, RngRegistry
+    from repro.workload import AnomalyInjector, BrowserPopulation
+
+    cases = {
+        "plain": {"seed": 9, "clients": (120, 72), "overlay": False},
+        "overlay": {"seed": 21, "clients": (120, 72), "overlay": True},
+    }
+    cfg = cases[name]
+    rngs = RngRegistry(seed=cfg["seed"])
+
+    def pool(region, itype, n):
+        return [
+            VirtualMachine(
+                f"{region}/vm{i}",
+                itype,
+                AnomalyInjector(rngs.child(f"{region}{i}").stream("a")),
+            )
+            for i in range(n)
+        ]
+
+    regions = {
+        "r1": (pool("r1", M3_MEDIUM, 6),
+               BrowserPopulation(n_clients=cfg["clients"][0]), 4),
+        "r3": (pool("r3", PRIVATE_SMALL, 4),
+               BrowserPopulation(n_clients=cfg["clients"][1]), 3),
+    }
+    overlay = None
+    if cfg["overlay"]:
+        overlay = OverlayNetwork()
+        overlay.add_node("r1")
+        overlay.add_node("r3")
+        overlay.add_link("r1", "r3", 40.0)
+    return DesControlLoop(
+        regions,
+        get_policy("available-resources"),
+        OracleRttfPredictor(),
+        rngs,
+        overlay=overlay,
+    )
+
+
+def _collect(name: str) -> dict:
+    loop = _build_case(name)
+    loop.run(GOLDEN_ERAS)
+    out = {}
+    for prefix in GOLDEN_PREFIXES:
+        for series_name, series in loop.traces.matching(prefix).items():
+            out[series_name] = {
+                # repr round-trips doubles exactly through JSON
+                "times": [float(t) for t in series.times],
+                "values": [float(v) for v in series.values],
+            }
+    return out
+
+
+def test_golden_traces_match_snapshot():
+    assert SNAPSHOT_PATH.exists(), (
+        f"missing snapshot {SNAPSHOT_PATH}; regenerate with "
+        f"PYTHONPATH=src python {__file__} --regen"
+    )
+    snapshot = json.loads(SNAPSHOT_PATH.read_text())
+    for case, expected in snapshot.items():
+        actual = _collect(case)
+        assert sorted(actual) == sorted(expected), (
+            f"{case}: trace series set changed: "
+            f"{sorted(set(actual) ^ set(expected))}"
+        )
+        for series_name, exp in expected.items():
+            act = actual[series_name]
+            assert act["times"] == exp["times"], (
+                f"{case}/{series_name}: era timestamps diverged"
+            )
+            for i, (a, e) in enumerate(zip(act["values"], exp["values"])):
+                assert a == e, (
+                    f"{case}/{series_name}[{i}]: {a!r} != golden {e!r} "
+                    f"(bit-exact determinism broken)"
+                )
+
+
+def main() -> int:
+    if "--regen" not in sys.argv:
+        print(__doc__)
+        return 2
+    snapshot = {case: _collect(case) for case in ("plain", "overlay")}
+    SNAPSHOT_PATH.write_text(json.dumps(snapshot, indent=1) + "\n")
+    n = sum(len(series) for series in snapshot.values())
+    print(f"wrote {SNAPSHOT_PATH} ({n} series, {GOLDEN_ERAS} eras each)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
