@@ -107,6 +107,12 @@ def main(argv: list[str] | None = None) -> int:
         default=REPO_ROOT / "BENCH_hotpath.json",
         help="baseline JSON path (default: repo-root BENCH_hotpath.json)",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="no-op: the gate always checks; accepted so callers can use "
+        "the same flag as `benchmarks/bench_hotpath.py --check`",
+    )
     args = parser.parse_args(argv)
 
     if not args.baseline.exists():

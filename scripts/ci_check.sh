@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI gate: the three checks every change must pass, cheapest signal last.
+#
+#   1. the full tier-1 test suite (unit / property / integration);
+#   2. the hot-path performance gate against the committed baseline
+#      (fails on a >20% requests/sec regression at any scale);
+#   3. a fast seeded chaos smoke campaign (message loss + a link flap
+#      against the hardened control plane; must finish well under 30 s
+#      and exit 0 only if the deployment ends the run healthy).
+#
+# Usage:  scripts/ci_check.sh   (from the repository root or anywhere)
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+export PYTHONPATH="$REPO_ROOT/src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest tests/ -x -q
+
+echo "== performance gate =="
+python scripts/bench_gate.py --check
+
+echo "== chaos smoke campaign =="
+python -m repro chaos smoke --seed 7
+
+echo "ci_check: all gates passed"

@@ -1,0 +1,345 @@
+"""Seeded, clock-driven fault injection for resilience campaigns.
+
+:class:`ChaosEngine` composes campaigns out of fault *primitives* --
+link flaps and partitions (overlay), probabilistic message loss and
+latency jitter (:class:`~repro.chaos.lossy.LossyBus`), VM crash-storms
+and region blackouts (PCAM layer), predictor corruption
+(:class:`~repro.chaos.predictor.CorruptiblePredictor`).  Primitives can
+fire immediately, at scheduled simulator times (:meth:`at`), on a fixed
+cadence (:meth:`link_flap_every`), or at seeded Poisson arrivals
+(:meth:`poisson_link_flaps`).
+
+Two invariants make campaigns replayable:
+
+* every random decision (which VMs a storm kills, when a Poisson flap
+  arrives) is drawn from the engine's own named RNG stream, in an order
+  fixed by the campaign script -- never from wall-clock or global state;
+* every applied primitive appends a :class:`FaultEvent` to :attr:`log`
+  stamped with the simulator clock, so two same-seed runs can assert
+  bit-identical fault schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.chaos.predictor import CorruptiblePredictor
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.routing import Router
+from repro.pcam.vm import VmState
+from repro.pcam.vmc import VirtualMachineController
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One applied fault primitive (an entry of the campaign's fault log)."""
+
+    time: float
+    kind: str
+    target: str
+    detail: tuple = ()
+
+
+class ChaosEngine:
+    """Fault injector bound to the failure surfaces of one deployment.
+
+    Every surface is optional: an engine built with only ``overlay`` can
+    still flap links, one with only ``vmcs`` can still run crash-storms.
+    Using a primitive whose surface is missing raises ``RuntimeError``.
+
+    Parameters
+    ----------
+    sim:
+        The simulator whose clock drives scheduled faults.
+    rng:
+        Seeded stream for the engine's own decisions (victim choice,
+        Poisson gaps) -- use a dedicated registry stream such as
+        ``rngs.stream("chaos")``.
+    overlay / router:
+        The controller overlay and its router (invalidated after every
+        topology mutation, which is what triggers rerouting).
+    vmcs:
+        Per-region :class:`VirtualMachineController` map for VM-level
+        faults.
+    bus:
+        A :class:`~repro.chaos.lossy.LossyBus` for message-loss/jitter
+        primitives.
+    predictors:
+        Per-region :class:`CorruptiblePredictor` map for prediction
+        faults.
+    """
+
+    def __init__(
+        self,
+        sim,
+        rng: np.random.Generator,
+        overlay: OverlayNetwork | None = None,
+        router: Router | None = None,
+        vmcs: dict[str, VirtualMachineController] | None = None,
+        bus=None,
+        predictors: dict[str, CorruptiblePredictor] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.rng = rng
+        self.overlay = overlay
+        self.router = router
+        self.vmcs = vmcs or {}
+        self.bus = bus
+        self.predictors = predictors or {}
+        self.log: list[FaultEvent] = []
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _record(self, kind: str, target: str, detail: tuple = ()) -> None:
+        self.log.append(
+            FaultEvent(
+                time=self.sim.now, kind=kind, target=target, detail=detail
+            )
+        )
+
+    def _reroute(self) -> None:
+        if self.router is not None:
+            self.router.invalidate()
+
+    def _require_overlay(self) -> OverlayNetwork:
+        if self.overlay is None:
+            raise RuntimeError("this primitive needs an overlay network")
+        return self.overlay
+
+    def _require_vmc(self, region: str) -> VirtualMachineController:
+        vmc = self.vmcs.get(region)
+        if vmc is None:
+            raise RuntimeError(f"no VMC registered for region {region!r}")
+        return vmc
+
+    # ------------------------------------------------------------------ #
+    # overlay primitives
+    # ------------------------------------------------------------------ #
+
+    def fail_link(self, a: str, b: str) -> None:
+        """Take an overlay link down."""
+        self._require_overlay().fail_link(a, b)
+        self._reroute()
+        self._record("fail_link", f"{a}--{b}")
+
+    def restore_link(self, a: str, b: str) -> None:
+        """Bring an overlay link back up."""
+        self._require_overlay().restore_link(a, b)
+        self._reroute()
+        self._record("restore_link", f"{a}--{b}")
+
+    def crash_node(self, name: str) -> None:
+        """Crash a controller node (e.g. kill the leader)."""
+        self._require_overlay().fail_node(name)
+        self._reroute()
+        self._record("crash_node", name)
+
+    def restore_node(self, name: str) -> None:
+        """Recover a crashed controller node."""
+        self._require_overlay().restore_node(name)
+        self._reroute()
+        self._record("restore_node", name)
+
+    def partition(self, group: Iterable[str]) -> list[tuple[str, str]]:
+        """Cut every link crossing between ``group`` and the rest.
+
+        Returns the cut links so :meth:`heal_partition` can undo exactly
+        this partition.
+        """
+        net = self._require_overlay()
+        inside = set(group)
+        cut = [
+            (a, b)
+            for a, b in net.links()
+            if (a in inside) != (b in inside)
+        ]
+        for a, b in cut:
+            net.fail_link(a, b)
+        self._reroute()
+        self._record("partition", ",".join(sorted(inside)), tuple(cut))
+        return cut
+
+    def heal_partition(self, cut: Sequence[tuple[str, str]]) -> None:
+        """Restore the links returned by :meth:`partition`."""
+        net = self._require_overlay()
+        for a, b in cut:
+            net.restore_link(a, b)
+        self._reroute()
+        self._record("heal_partition", "*", tuple(cut))
+
+    # ------------------------------------------------------------------ #
+    # PCAM-layer primitives
+    # ------------------------------------------------------------------ #
+
+    def vm_crash_storm(self, region: str, fraction: float) -> list[str]:
+        """Hard-crash a random ``fraction`` of the region's ACTIVE VMs.
+
+        Victims are chosen from the engine's RNG stream over the sorted
+        ACTIVE pool, so the storm is identical across same-seed replays.
+        Returns the crashed VM names.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        vmc = self._require_vmc(region)
+        active = sorted(
+            vmc.vms_in(VmState.ACTIVE), key=lambda vm: vm.name
+        )
+        if not active:
+            self._record("vm_crash_storm", region, ())
+            return []
+        n = max(1, int(round(fraction * len(active))))
+        picks = self.rng.choice(len(active), size=n, replace=False)
+        victims = [active[i] for i in sorted(int(i) for i in picks)]
+        for vm in victims:
+            vm.fail()
+        names = tuple(vm.name for vm in victims)
+        self._record("vm_crash_storm", region, names)
+        return list(names)
+
+    def region_blackout(self, region: str) -> None:
+        """Take a whole region dark: controller down, ACTIVE VMs crashed."""
+        vmc = self._require_vmc(region)
+        crashed = []
+        for vm in vmc.vms_in(VmState.ACTIVE):
+            vm.fail()
+            crashed.append(vm.name)
+        if self.overlay is not None and region in self.overlay.nodes():
+            self.overlay.fail_node(region)
+            self._reroute()
+        self._record("region_blackout", region, tuple(crashed))
+
+    def region_heal(self, region: str) -> None:
+        """Bring a blacked-out region back (controller up; its crashed
+        VMs recover through the VMC's normal reactive-rejuvenation path)."""
+        self._require_vmc(region)
+        if self.overlay is not None and region in self.overlay.nodes():
+            self.overlay.restore_node(region)
+            self._reroute()
+        self._record("region_heal", region)
+
+    # ------------------------------------------------------------------ #
+    # transport primitives
+    # ------------------------------------------------------------------ #
+
+    def set_message_loss(self, probability: float) -> None:
+        """Set the bus-wide probability of silent message loss."""
+        if not 0.0 <= probability < 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1), got {probability}"
+            )
+        if self.bus is None or not hasattr(self.bus, "loss_probability"):
+            raise RuntimeError("message-loss primitive needs a LossyBus")
+        self.bus.loss_probability = float(probability)
+        self._record("message_loss", "*", (float(probability),))
+
+    def set_latency_jitter(self, jitter_ms: float) -> None:
+        """Set the bus-wide uniform extra-latency bound (milliseconds)."""
+        if jitter_ms < 0:
+            raise ValueError(f"jitter_ms must be >= 0, got {jitter_ms}")
+        if self.bus is None or not hasattr(self.bus, "jitter_ms"):
+            raise RuntimeError("latency-jitter primitive needs a LossyBus")
+        self.bus.jitter_ms = float(jitter_ms)
+        self._record("latency_jitter", "*", (float(jitter_ms),))
+
+    # ------------------------------------------------------------------ #
+    # predictor primitives
+    # ------------------------------------------------------------------ #
+
+    def corrupt_predictor(self, mode: str, region: str | None = None) -> None:
+        """Switch predictor corruption (``nan``/``stale``/``zero``/``off``).
+
+        Applies to one region, or to every registered predictor when
+        ``region`` is None.
+        """
+        if not self.predictors:
+            raise RuntimeError(
+                "predictor primitive needs CorruptiblePredictor instances"
+            )
+        targets = (
+            sorted(self.predictors) if region is None else [region]
+        )
+        for name in targets:
+            pred = self.predictors.get(name)
+            if pred is None:
+                raise RuntimeError(
+                    f"no corruptible predictor for region {name!r}"
+                )
+            pred.set_mode(mode)
+        self._record("corrupt_predictor", ",".join(targets), (mode,))
+
+    # ------------------------------------------------------------------ #
+    # scheduling
+    # ------------------------------------------------------------------ #
+
+    def at(self, time: float, primitive: Callable, *args, **kwargs):
+        """Apply a primitive at absolute simulator time ``time``."""
+        return self.sim.schedule_at(
+            time,
+            lambda: primitive(*args, **kwargs),
+            label=f"chaos:{getattr(primitive, '__name__', 'fault')}",
+        )
+
+    def link_flap_every(
+        self,
+        a: str,
+        b: str,
+        period_s: float,
+        down_s: float,
+        start: float | None = None,
+        until_s: float | None = None,
+    ) -> Callable[[], None]:
+        """Flap a link on a fixed cadence: down for ``down_s`` out of
+        every ``period_s``.  Returns the stop function."""
+        if down_s <= 0 or down_s >= period_s:
+            raise ValueError("need 0 < down_s < period_s")
+
+        def flap() -> None:
+            self.fail_link(a, b)
+            self.sim.schedule_after(
+                down_s,
+                lambda: self.restore_link(a, b),
+                label="chaos:flap-heal",
+            )
+
+        stop = self.sim.schedule_periodic(
+            period_s, flap, start=start, label="chaos:flap"
+        )
+        if until_s is not None:
+            self.sim.schedule_at(until_s, stop, label="chaos:flap-stop")
+        return stop
+
+    def poisson_link_flaps(
+        self,
+        pairs: Sequence[tuple[str, str]],
+        rate_hz: float,
+        down_s: float,
+        until_s: float,
+    ) -> int:
+        """Schedule seeded Poisson-arrival flaps on each link in ``pairs``.
+
+        Each link independently flaps at exponential inter-arrival gaps of
+        mean ``1/rate_hz`` until ``until_s``; every flap keeps the link
+        down for ``down_s``.  The whole schedule is drawn up-front from
+        the engine RNG (fixed pair order, fixed draw order), so it is a
+        pure function of the seed.  Returns the number of flaps scheduled.
+        """
+        if rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        if down_s <= 0:
+            raise ValueError("down_s must be positive")
+        scheduled = 0
+        for a, b in pairs:
+            t = self.sim.now
+            while True:
+                t += float(self.rng.exponential(1.0 / rate_hz))
+                if t >= until_s:
+                    break
+                self.at(t, self.fail_link, a, b)
+                self.at(t + down_s, self.restore_link, a, b)
+                scheduled += 1
+        return scheduled

@@ -1,0 +1,60 @@
+"""Predictor-corruption fault primitive.
+
+The paper's control plane trusts each region's lastRMTTF report; a
+misbehaving predictor (model-serving outage, stuck feature pipeline,
+numerical blow-up) is therefore a distinct fault class from network or VM
+failures.  :class:`CorruptiblePredictor` wraps any
+:class:`~repro.pcam.predictor.RttfPredictor` and lets a chaos campaign
+switch it between corruption modes at runtime:
+
+``off``
+    Transparent pass-through (the default).
+``nan``
+    Every prediction is ``NaN`` -- models a numerically diverged model.
+    The hardened control loop must sanitise these instead of crashing in
+    :func:`repro.core.policy.normalize_fractions`.
+``stale``
+    Predictions freeze at the last value computed while healthy -- models
+    a stuck feature pipeline that keeps re-serving an old answer.
+``zero``
+    Every prediction is ``0`` -- models a fail-closed model server, which
+    pressures the rejuvenation discipline into swapping everything.
+"""
+
+from __future__ import annotations
+
+from repro.pcam.predictor import RttfPredictor
+from repro.pcam.vm import VirtualMachine
+
+#: Valid corruption modes.
+MODES = ("off", "nan", "stale", "zero")
+
+
+class CorruptiblePredictor(RttfPredictor):
+    """Wrap ``inner`` with switchable fault modes (see module docstring)."""
+
+    def __init__(self, inner: RttfPredictor, mode: str = "off") -> None:
+        self.inner = inner
+        self._last: dict[str, float] = {}
+        self.mode = "off"
+        self.set_mode(mode)
+
+    def set_mode(self, mode: str) -> None:
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        self.mode = mode
+
+    def predict_rttf(self, vm: VirtualMachine) -> float:
+        if self.mode == "nan":
+            return float("nan")
+        if self.mode == "zero":
+            return 0.0
+        if self.mode == "stale":
+            # Serve the last healthy answer; fall through to the inner
+            # predictor only if this VM was never predicted while healthy.
+            if vm.name in self._last:
+                return self._last[vm.name]
+        value = self.inner.predict_rttf(vm)
+        if self.mode == "off":
+            self._last[vm.name] = value
+        return value

@@ -5,6 +5,7 @@ Usage::
     python -m repro fig3 [--eras N] [--seed S] [--predictor oracle|rep-tree]
     python -m repro fig4 [--eras N] [--seed S] [--predictor oracle|rep-tree]
     python -m repro compare --regions 2|3 [--policies p1,p2,...]
+    python -m repro chaos <campaign>|list [--eras N] [--seed S]
     python -m repro models          # F2PM model-selection table
 """
 
@@ -155,6 +156,34 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Campaign names accepted by ``repro chaos`` (kept in sync with the
+#: registry in :mod:`repro.experiments.resilience`; a test asserts parity).
+CHAOS_CAMPAIGNS = (
+    "rolling-link-flaps",
+    "message-loss",
+    "leader-kill",
+    "blackout-heal",
+    "smoke",
+)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.resilience import (
+        CAMPAIGNS,
+        report_campaign,
+        run_campaign,
+    )
+
+    if args.campaign == "list":
+        for spec in CAMPAIGNS.values():
+            print(f"{spec.name:<20} {spec.description}  "
+                  f"[default {spec.default_eras} eras]")
+        return 0
+    result = run_campaign(args.campaign, eras=args.eras, seed=args.seed)
+    print(report_campaign(result))
+    return 0 if result.recovered else 1
+
+
 def _cmd_robustness(args: argparse.Namespace) -> int:
     from repro.experiments import run_figure3, run_figure4
     from repro.experiments.runner import paper_shape_holds
@@ -253,6 +282,16 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("figure", choices=("fig3", "fig4"))
     pr.add_argument("--seeds", default="7,11,23")
     pr.set_defaults(func=_cmd_robustness)
+
+    pk = sub.add_parser(
+        "chaos",
+        help="run a seeded resilience campaign under fault injection",
+    )
+    pk.add_argument("campaign", choices=(*CHAOS_CAMPAIGNS, "list"))
+    pk.add_argument("--eras", type=int, default=None,
+                    help="override the campaign's default era count")
+    pk.add_argument("--seed", type=int, default=7)
+    pk.set_defaults(func=_cmd_chaos)
 
     pm = sub.add_parser("models", help="F2PM model-selection table")
     pm.add_argument("--seed", type=int, default=7)

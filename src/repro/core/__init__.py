@@ -27,8 +27,13 @@ from repro.core.autoscale import Autoscaler, AutoscaleConfig
 from repro.core.cost import CostTracker
 from repro.core.baselines import StaticWeightsPolicy, UniformPolicy
 from repro.core.control_loop import AcmControlLoop, ControlLoopConfig
+from repro.core.degradation import DegradationConfig, DegradationTracker
 from repro.core.des_loop import DesControlLoop
-from repro.core.distributed import DistributedControlPlane, PlaneEraReport
+from repro.core.distributed import (
+    DistributedControlPlane,
+    PlaneEraReport,
+    ReliableTransport,
+)
 from repro.core.exploration import ExplorationPolicy
 from repro.core.forward_plan import ForwardPlan, build_forward_plan
 from repro.core.manager import AcmManager, RegionSpec
@@ -64,6 +69,9 @@ __all__ = [
     "ControlLoopConfig",
     "DistributedControlPlane",
     "PlaneEraReport",
+    "ReliableTransport",
+    "DegradationConfig",
+    "DegradationTracker",
     "DesControlLoop",
     "AcmManager",
     "RegionSpec",

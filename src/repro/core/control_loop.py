@@ -33,8 +33,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.autoscale import Autoscaler
+from repro.core.degradation import (
+    MODE_CODES,
+    DegradationConfig,
+    DegradationTracker,
+)
 from repro.core.forward_plan import ForwardPlan, build_forward_plan
-from repro.core.policy import Policy
+from repro.core.policy import Policy, normalize_fractions
 from repro.core.rmttf import RmttfAggregator
 from repro.overlay.election import LeaderElection
 from repro.overlay.network import OverlayNetwork
@@ -91,6 +96,9 @@ class EraSummary:
     rejuvenations: int
     failures: int
     active_vms: dict[str, int]
+    #: Plan-step degradation mode: ``normal`` | ``hold`` | ``fallback``
+    #: (see :mod:`repro.core.degradation`).
+    degradation: str = "normal"
 
 
 class AcmControlLoop:
@@ -114,6 +122,15 @@ class AcmControlLoop:
         Loop tuning.
     autoscaler:
         Optional custom autoscaler (implies ``config.autoscale``).
+    degradation:
+        Tuning of the graceful-degradation ladder run at the Plan step
+        (see :mod:`repro.core.degradation`); defaults apply when omitted.
+    transport:
+        Optional real message transport for the Analyze/Execute control
+        traffic (``gather_reports`` / ``push_fractions``, e.g.
+        :class:`repro.core.distributed.ReliableTransport`).  ``None``
+        keeps the overlay-oracle exchange: reachability decides which
+        reports arrive and fraction installs are instantaneous.
     """
 
     def __init__(
@@ -125,6 +142,8 @@ class AcmControlLoop:
         overlay: OverlayNetwork | None = None,
         config: ControlLoopConfig | None = None,
         autoscaler: Autoscaler | None = None,
+        degradation: DegradationConfig | None = None,
+        transport=None,
     ) -> None:
         if not vmcs:
             raise ValueError("need at least one region")
@@ -146,6 +165,10 @@ class AcmControlLoop:
         self.autoscaler = autoscaler or (
             Autoscaler() if self.config.autoscale else None
         )
+        self.degradation = DegradationTracker(
+            self.regions, degradation or DegradationConfig()
+        )
+        self.transport = transport
         self.traces = TraceRecorder()
         self.fractions = policy.initial_fractions(len(self.regions))
         self.era_index = 0
@@ -243,22 +266,45 @@ class AcmControlLoop:
 
         # ---- Analyze (leader side): collect reports over the overlay --- #
         leader = self.current_leader()
-        received: dict[str, float] = {}
-        for region in self.regions:
-            if region == leader or self.router.reachable(region, leader):
-                received[region] = reports[region].last_rmttf
+        raw_reports = {r: reports[r].last_rmttf for r in self.regions}
+        if self.transport is None:
+            received: dict[str, float] = {
+                region: raw_reports[region]
+                for region in self.regions
+                if region == leader or self.router.reachable(region, leader)
+            }
+        else:
+            received = self.transport.gather_reports(leader, raw_reports)
+        # A corrupted predictor can emit NaN; a non-finite report is as
+        # useless as a missing one, and must never reach Eq. (1) or the
+        # policy simplex projection.
+        received = {
+            region: value
+            for region, value in received.items()
+            if np.isfinite(value)
+        }
         self.aggregator.update_all(received)
         rmttf_vec = np.array(
             [
                 self.aggregator.current(r)
                 if r in self.aggregator.snapshot()
-                else reports[r].last_rmttf
+                else (
+                    raw_reports[r] if np.isfinite(raw_reports[r]) else 0.0
+                )
                 for r in self.regions
             ]
         )
 
         # ---- Plan (Algorithm 2, leader only) ---------------------------- #
-        self.fractions = self.policy.compute(self.fractions, rmttf_vec, lam)
+        mode = self.degradation.observe(self.era_index, received)
+        if mode == "normal":
+            planned = self.policy.compute(self.fractions, rmttf_vec, lam)
+        elif mode == "hold":
+            # quorum lost: keep the last-known-good forward plan
+            planned = self.fractions
+        else:  # fallback: static split from local deployment knowledge
+            planned = self._fallback_fractions()
+        self.fractions = self._install_fractions(leader, planned)
 
         # ---- Execute (Algorithm 3) -------------------------------------- #
         if self.autoscaler is not None:
@@ -297,11 +343,50 @@ class AcmControlLoop:
             ),
             failures=sum(rep.failures for rep in reports.values()),
             active_vms={r: reports[r].n_active for r in self.regions},
+            degradation=mode,
         )
         self._record(summary)
         self.summaries.append(summary)
         self.era_index += 1
         return summary
+
+    def _fallback_fractions(self) -> np.ndarray:
+        """Static split proportional to each region's healthy capacity.
+
+        The information-free prior of the available-resources policy:
+        computable from deployment knowledge alone, so it is safe to
+        install when RMTTF reports have been missing for too long.
+        """
+        capacities = np.array(
+            [self.vmcs[r].healthy_capacity() for r in self.regions]
+        )
+        return normalize_fractions(capacities, self.policy.min_fraction)
+
+    def _install_fractions(self, leader: str, planned: np.ndarray) -> np.ndarray:
+        """Push the planned fractions to the regions (Execute, Algorithm 3).
+
+        Without a transport the install is an oracle: every region gets
+        its fraction instantly.  With one, the leader pushes each slave
+        its fraction over the (reliable) channel; a region whose push is
+        not acknowledged keeps serving at its previous fraction, and the
+        effective global split is the renormalised mix of new and held
+        values -- exactly what a fleet of LBs with stale configs does.
+        """
+        if self.transport is None:
+            return planned
+        new = {r: float(planned[j]) for j, r in enumerate(self.regions)}
+        acked = set(self.transport.push_fractions(leader, new))
+        acked.add(leader)  # the leader installs its own fraction locally
+        installed = np.array(
+            [
+                new[r] if r in acked else float(self.fractions[j])
+                for j, r in enumerate(self.regions)
+            ]
+        )
+        total = installed.sum()
+        if total <= 0:
+            return planned
+        return installed / total
 
     def run(self, n_eras: int) -> list[EraSummary]:
         """Run ``n_eras`` control cycles; returns their summaries."""
@@ -341,3 +426,4 @@ class AcmControlLoop:
         self.traces.record("forwarded_fraction", t, s.forwarded_fraction)
         self.traces.record("rejuvenations", t, s.rejuvenations)
         self.traces.record("failures", t, s.failures)
+        self.traces.record("degradation", t, MODE_CODES[s.degradation])

@@ -1,0 +1,116 @@
+"""Graceful degradation of the global Plan step under report loss.
+
+The leader's ``POLICY()`` (Algorithm 2) is only as good as the lastRMTTF
+reports feeding Eq. (1).  When partitions, message loss, or predictor
+faults starve the leader of fresh reports, re-planning from a mostly-stale
+RMTTF vector is worse than not re-planning at all: the policy would chase
+ghosts and thrash the forward plan.  The hardened loop instead walks a
+three-state ladder, decided once per era by :class:`DegradationTracker`:
+
+``normal``
+    A quorum of regions reported recently; run ``POLICY()`` as usual.
+``hold``
+    Quorum lost: freeze the last-known-good fractions (the forward plan
+    the whole fleet already agreed on).  A slave that is itself cut off
+    behaves the same way -- this just lifts that local rule to the leader.
+``fallback``
+    Quorum has been lost for ``fallback_after_eras`` consecutive eras:
+    the held plan is now too old to trust either, so fall back to the
+    static split proportional to each region's healthy capacity -- the
+    information-free prior of the available-resources policy, computable
+    entirely from local deployment knowledge.
+
+Reports carrying non-finite values (a corrupted predictor emitting NaN)
+are treated as *missing*, so numerical faults degrade gracefully instead
+of crashing :func:`repro.core.policy.normalize_fractions`.
+
+Recovery is automatic and immediate: the era a quorum of fresh reports
+reappears (e.g. rejoined regions re-syncing through the gossip store),
+the tracker returns to ``normal`` and ``POLICY()`` resumes from the
+currently installed fractions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+#: Trace encoding of the degradation mode (series ``degradation``).
+MODE_CODES = {"normal": 0, "hold": 1, "fallback": 2}
+
+
+@dataclass(frozen=True, slots=True)
+class DegradationConfig:
+    """Tuning of the degradation ladder.
+
+    Parameters
+    ----------
+    quorum_fraction:
+        The leader needs *strictly more* than this fraction of all regions
+        reporting fresh to stay in ``normal`` (0.5 = majority).
+    stale_after_eras:
+        A region's last report stays "fresh" for this many eras; a brief
+        one-era hiccup therefore does not degrade the plane.
+    fallback_after_eras:
+        Consecutive degraded eras before ``hold`` escalates to
+        ``fallback``.
+    """
+
+    quorum_fraction: float = 0.5
+    stale_after_eras: int = 2
+    fallback_after_eras: int = 6
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.quorum_fraction < 1.0:
+            raise ValueError("quorum_fraction must be in [0, 1)")
+        if self.stale_after_eras < 0:
+            raise ValueError("stale_after_eras must be >= 0")
+        if self.fallback_after_eras < 1:
+            raise ValueError("fallback_after_eras must be >= 1")
+
+
+class DegradationTracker:
+    """Per-era degradation state machine (see module docstring)."""
+
+    def __init__(
+        self, regions: list[str], config: DegradationConfig | None = None
+    ) -> None:
+        if not regions:
+            raise ValueError("need at least one region")
+        self.regions = list(regions)
+        self.config = config or DegradationConfig()
+        self.mode = "normal"
+        self.consecutive_degraded = 0
+        #: era index of each region's most recent (finite) report
+        self._last_report_era: dict[str, int] = {}
+
+    def observe(self, era: int, reported: Iterable[str]) -> str:
+        """Fold one era's received-report set; returns the new mode."""
+        for region in reported:
+            self._last_report_era[region] = era
+        horizon = era - self.config.stale_after_eras
+        fresh = sum(
+            1
+            for region in self.regions
+            if self._last_report_era.get(region, -1) >= horizon
+        )
+        if fresh > self.config.quorum_fraction * len(self.regions):
+            self.mode = "normal"
+            self.consecutive_degraded = 0
+        else:
+            self.consecutive_degraded += 1
+            self.mode = (
+                "fallback"
+                if self.consecutive_degraded >= self.config.fallback_after_eras
+                else "hold"
+            )
+        return self.mode
+
+    def fresh_regions(self, era: int) -> list[str]:
+        """Regions whose last report is within the staleness horizon."""
+        horizon = era - self.config.stale_after_eras
+        return [
+            region
+            for region in self.regions
+            if self._last_report_era.get(region, -1) >= horizon
+        ]

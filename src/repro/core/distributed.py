@@ -24,12 +24,128 @@ exactly the detector timeout, and the tests measure it).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.control_loop import AcmControlLoop, EraSummary
 from repro.overlay.heartbeat import HeartbeatDetector, build_detector_mesh
 from repro.overlay.messaging import Message, MessageBus
+from repro.overlay.network import OverlayNetwork
+from repro.overlay.reliable import ACK_KIND, DATA_KIND, ReliableChannel
+from repro.overlay.routing import Router
 from repro.overlay.state_sync import GossipSync, StateStore
 from repro.sim.engine import Simulator
+
+
+class ReliableTransport:
+    """Carries the MAPE control traffic over a :class:`ReliableChannel`.
+
+    Plugged into :class:`~repro.core.control_loop.AcmControlLoop` via its
+    ``transport`` hook, this replaces the loop's oracle exchange with real
+    messages on the plane's bus: slave VMCs send their ``lastRMTTF`` to
+    the leader (Algorithm 1) and the leader pushes each slave its new
+    fraction (Algorithm 3), with acks, dedup, and bounded retries
+    underneath.  Each exchange opens a fixed window of simulated time
+    (``window_s``) during which the plane's simulator runs, so retries and
+    acks resolve *inside* the era that issued them; what has not arrived
+    when the window closes counts as missing for that era (and feeds the
+    loop's degradation ladder).
+
+    Parameters
+    ----------
+    channel:
+        The reliable channel shared by all controller nodes.
+    regions:
+        All region names (transport registers an application handler for
+        each).
+    overlay:
+        Liveness source: a dead controller neither sends reports nor
+        installs fractions.
+    window_s:
+        Simulated seconds granted to each gather/push exchange.  The
+        default covers a full retry ladder of the channel's defaults
+        (0.25 + 0.5 + 1.0 s backoff plus jitter and path latencies).
+    """
+
+    def __init__(
+        self,
+        channel: ReliableChannel,
+        regions: list[str],
+        overlay: OverlayNetwork,
+        window_s: float = 3.0,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.channel = channel
+        self.sim = channel.sim
+        self.regions = list(regions)
+        self.overlay = overlay
+        self.window_s = float(window_s)
+        self._report_inbox: dict[str, float] = {}
+        for node in self.regions:
+            self.channel.register(node, self._make_app_handler(node))
+
+    def _make_app_handler(self, node: str) -> Callable[[Message], None]:
+        def handle(msg: Message) -> None:
+            if msg.kind == "rmttf-report":
+                self._report_inbox[msg.payload["region"]] = msg.payload[
+                    "rmttf"
+                ]
+            # "fractions" pushes need no receive-side action here: the
+            # loop owns the global fraction state, and the ack (observed
+            # by the sender) is what marks a region as installed.
+
+        return handle
+
+    # -- the AcmControlLoop transport interface ------------------------- #
+
+    def gather_reports(
+        self, leader: str, raw_reports: dict[str, float]
+    ) -> dict[str, float]:
+        """Algorithm 1's report collection, over real messages.
+
+        Returns region -> lastRMTTF for every report that *arrived at the
+        leader* within the exchange window (the leader's own report is
+        local and always present).
+        """
+        self._report_inbox = {}
+        for region in sorted(raw_reports):
+            if region == leader or not self.overlay.is_alive(region):
+                continue
+            self.channel.send(
+                region,
+                leader,
+                "rmttf-report",
+                {"region": region, "rmttf": raw_reports[region]},
+            )
+        self.sim.run_until(self.sim.now + self.window_s)
+        received = dict(self._report_inbox)
+        received[leader] = raw_reports[leader]
+        return received
+
+    def push_fractions(
+        self, leader: str, fractions: dict[str, float]
+    ) -> set[str]:
+        """Algorithm 3's fraction distribution, over real messages.
+
+        Returns the regions whose push was *acknowledged* within the
+        window -- the leader's definition of "installed".
+        """
+        handles = {}
+        for region in sorted(fractions):
+            if region == leader:
+                continue
+            handles[region] = self.channel.send(
+                leader,
+                region,
+                "fractions",
+                {"region": region, "fraction": fractions[region]},
+            )
+        self.sim.run_until(self.sim.now + self.window_s)
+        return {
+            region
+            for region, handle in handles.items()
+            if handle.status == "acked"
+        }
 
 
 @dataclass(frozen=True, slots=True)
@@ -63,6 +179,18 @@ class DistributedControlPlane:
         leader keeps being followed.
     gossip_period_s:
         Anti-entropy round interval.
+    bus_factory:
+        Optional ``(sim, router) -> MessageBus`` constructor; lets chaos
+        campaigns put a :class:`repro.chaos.lossy.LossyBus` under *all*
+        plane traffic (heartbeats, gossip, and control messages).
+    reliable_control:
+        When True, move the loop's VMC->leader RMTTF reports and
+        leader->VMC fraction pushes onto a :class:`ReliableChannel` over
+        this plane's bus (installs a :class:`ReliableTransport` as the
+        loop's transport).
+    control_window_s:
+        Exchange window of the reliable transport (see
+        :class:`ReliableTransport`).
     """
 
     def __init__(
@@ -71,10 +199,17 @@ class DistributedControlPlane:
         heartbeat_period_s: float = 5.0,
         detector_timeout_s: float = 15.0,
         gossip_period_s: float = 10.0,
+        bus_factory: Callable[[Simulator, Router], MessageBus] | None = None,
+        reliable_control: bool = False,
+        control_window_s: float = 3.0,
     ) -> None:
         self.loop = loop
         self.sim = Simulator()
-        self.bus = MessageBus(sim=self.sim, router=loop.router)
+        self.bus = (
+            bus_factory(self.sim, loop.router)
+            if bus_factory is not None
+            else MessageBus(sim=self.sim, router=loop.router)
+        )
         nodes = list(loop.regions)
         self.detectors: dict[str, HeartbeatDetector] = build_detector_mesh(
             nodes,
@@ -93,6 +228,19 @@ class DistributedControlPlane:
             period_s=gossip_period_s,
             register=False,
         )
+        self.channel: ReliableChannel | None = None
+        self.transport: ReliableTransport | None = None
+        if reliable_control:
+            self.channel = ReliableChannel(
+                self.bus, loop.rngs.stream("reliable/jitter")
+            )
+            self.transport = ReliableTransport(
+                self.channel,
+                nodes,
+                loop.overlay,
+                window_s=control_window_s,
+            )
+            loop.transport = self.transport
         # one bus registration per node, demultiplexing by message kind
         for node in nodes:
             self.bus.register(node, self._make_mux(node))
@@ -104,12 +252,22 @@ class DistributedControlPlane:
     def _make_mux(self, node: str):
         gossip_handler = self.gossip.make_handler(node)
         detector = self.detectors[node]
+        channel_handler = (
+            self.channel.make_bus_handler(node)
+            if self.channel is not None
+            else None
+        )
 
         def mux(msg: Message) -> None:
             if msg.kind == "heartbeat":
                 detector.on_message(msg)
             elif msg.kind == "state-gossip":
                 gossip_handler(msg)
+            elif channel_handler is not None and msg.kind in (
+                DATA_KIND,
+                ACK_KIND,
+            ):
+                channel_handler(msg)
 
         return mux
 

@@ -10,12 +10,22 @@
 * :mod:`repro.experiments.figure4` -- the three-region experiment of
   Fig. 4;
 * :mod:`repro.experiments.reporting` -- ascii series tables and policy
-  verdicts printed by the benchmarks.
+  verdicts printed by the benchmarks;
+* :mod:`repro.experiments.resilience` -- seeded chaos campaigns against
+  the hardened distributed control plane (``repro chaos``).
 """
 
 from repro.experiments.figure3 import run_figure3
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.load_sweep import run_load_sweep, sweep_table
+from repro.experiments.resilience import (
+    CAMPAIGNS,
+    CampaignResult,
+    CampaignSpec,
+    recovery_bound_eras,
+    report_campaign,
+    run_campaign,
+)
 from repro.experiments.runner import (
     ExperimentResult,
     compare_policies,
@@ -48,4 +58,10 @@ __all__ = [
     "assessment_table",
     "render_series",
     "sparkline",
+    "CAMPAIGNS",
+    "CampaignResult",
+    "CampaignSpec",
+    "recovery_bound_eras",
+    "report_campaign",
+    "run_campaign",
 ]

@@ -1,0 +1,468 @@
+"""Canned resilience campaigns: chaos injection against the control plane.
+
+Each campaign builds the same hardened three-region deployment -- a
+:class:`~repro.core.distributed.DistributedControlPlane` with reliable
+control messaging over a :class:`~repro.chaos.lossy.LossyBus`, every VMC
+predictor wrapped in a :class:`~repro.chaos.predictor.CorruptiblePredictor`
+-- and drives a scripted :class:`~repro.chaos.engine.ChaosEngine` fault
+schedule against it, era by era.  The campaigns are the executable form
+of the failure stories the paper tells qualitatively (Sec. III: "the
+source of faults and failures is manifold"):
+
+``rolling-link-flaps``
+    One overlay link at a time goes down and comes back; the full mesh
+    should reroute around every flap with no visible degradation.
+``message-loss``
+    30% of all bus datagrams silently vanish (plus latency jitter); the
+    ack/retry channel should mask the loss almost completely.
+``leader-kill``
+    The leader's controller crashes mid-run *while* 30% of messages are
+    being lost; the detectors must converge on the next leader within
+    :func:`recovery_bound_eras` eras.
+``blackout-heal``
+    A whole region goes dark (controller and ACTIVE VMs) and later
+    heals; the campaign reports the unavailability window and MTTR.
+``smoke``
+    A fast mixed campaign (loss + one flap) for CI.
+
+Everything is seeded: same campaign + same seed replays a bit-identical
+fault log, degradation timeline, and final fraction mix (the acceptance
+tests assert exactly that).
+
+Health is judged at two levels each era:
+
+* *control-healthy*: every live detector agrees on the oracle leader and
+  the loop's degradation mode is ``normal``;
+* *service-healthy*: control-healthy **and** every region's controller
+  is alive **and** every region still has at least one ACTIVE VM.
+
+Unavailability windows, MTTR, and the ``recovered`` verdict derive from
+the service-health timeline; the message counters come straight from the
+:class:`~repro.overlay.reliable.ChannelStats` and bus drop accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.chaos import ChaosEngine, CorruptiblePredictor, FaultEvent, LossyBus
+from repro.core.degradation import DegradationConfig
+from repro.core.distributed import DistributedControlPlane, PlaneEraReport
+from repro.core.manager import AcmManager, RegionSpec
+
+#: One scripted fault action, applied to the engine at an era boundary.
+FaultAction = Callable[[ChaosEngine], None]
+#: A campaign script: era index -> fault actions fired before that era.
+FaultScript = dict[int, list[FaultAction]]
+
+
+def recovery_bound_eras(
+    era_s: float = 30.0,
+    detector_timeout_s: float = 15.0,
+    heartbeat_period_s: float = 5.0,
+    config: DegradationConfig | None = None,
+) -> int:
+    """Eras within which the plane must re-converge after a leader death.
+
+    The heartbeat detector suspects a crashed peer within
+    ``timeout_s + max_path_latency`` of its last beat (see
+    :mod:`repro.overlay.heartbeat`); one period covers the beat that was
+    already in flight, and path latencies are milliseconds against eras
+    of seconds.  On top of the detection delay, the degradation tracker
+    forgives ``stale_after_eras`` of missing reports before judging, and
+    the loop needs one further era to act on the converged view.
+    """
+    cfg = config or DegradationConfig()
+    detect_eras = math.ceil(
+        (detector_timeout_s + heartbeat_period_s) / era_s
+    )
+    return detect_eras + cfg.stale_after_eras + 1
+
+
+# --------------------------------------------------------------------- #
+# the campaign testbed
+# --------------------------------------------------------------------- #
+
+#: The campaign deployment: the paper's three-region shape, scaled for
+#: fast simulation (short rejuvenation so blackout recovery fits a run).
+CAMPAIGN_REGIONS = (
+    RegionSpec("region1", "m3.medium", 6, 4, 96, rejuvenation_time_s=60.0),
+    RegionSpec("region2", "m3.small", 8, 6, 160, rejuvenation_time_s=60.0),
+    RegionSpec("region3", "private.small", 4, 3, 48, rejuvenation_time_s=60.0),
+)
+
+_LINK_PAIRS = (
+    ("region1", "region2"),
+    ("region1", "region3"),
+    ("region2", "region3"),
+)
+
+
+@dataclass
+class _Deployment:
+    """Everything one campaign run drives."""
+
+    manager: AcmManager
+    plane: DistributedControlPlane
+    engine: ChaosEngine
+
+
+def _build_deployment(seed: int, era_s: float = 30.0) -> _Deployment:
+    manager = AcmManager(
+        regions=list(CAMPAIGN_REGIONS),
+        policy="available-resources",
+        seed=seed,
+        era_s=era_s,
+    )
+    loop = manager.loop
+    chaos_net_rng = manager.rngs.stream("chaos/network")
+
+    def bus_factory(sim, router):
+        return LossyBus(sim=sim, router=router, rng=chaos_net_rng)
+
+    plane = DistributedControlPlane(
+        loop, bus_factory=bus_factory, reliable_control=True
+    )
+    predictors = {}
+    for region, vmc in loop.vmcs.items():
+        vmc.predictor = predictors[region] = CorruptiblePredictor(
+            vmc.predictor
+        )
+    engine = ChaosEngine(
+        plane.sim,
+        manager.rngs.stream("chaos"),
+        overlay=loop.overlay,
+        router=loop.router,
+        vmcs=loop.vmcs,
+        bus=plane.bus,
+        predictors=predictors,
+    )
+    return _Deployment(manager=manager, plane=plane, engine=engine)
+
+
+# --------------------------------------------------------------------- #
+# results
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class CampaignResult:
+    """Everything a resilience campaign measured."""
+
+    name: str
+    seed: int
+    eras: int
+    era_s: float
+    #: every applied fault primitive, stamped with the plane clock
+    fault_log: list[FaultEvent]
+    #: era index -> kinds of the faults injected at its start
+    era_faults: dict[int, tuple[str, ...]]
+    degradation: list[str]
+    leaders: list[str]
+    views_agree: list[bool]
+    #: per-era service health (see module docstring)
+    healthy: list[bool]
+    #: maximal unhealthy runs as half-open era ranges ``[start, end)``
+    unavailability_windows: list[tuple[int, int]]
+    #: mean repair time over the windows that closed (NaN when none did)
+    mttr_s: float
+    recovered: bool
+    message_stats: dict[str, int]
+    final_fractions: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def unavailable_eras(self) -> int:
+        return sum(1 for h in self.healthy if not h)
+
+    @property
+    def availability(self) -> float:
+        """Share of eras the deployment was service-healthy."""
+        return 1.0 - self.unavailable_eras / self.eras
+
+    @property
+    def degraded_eras(self) -> int:
+        return sum(1 for mode in self.degradation if mode != "normal")
+
+
+def _service_healthy(
+    plane: DistributedControlPlane, report: PlaneEraReport
+) -> bool:
+    loop = plane.loop
+    if not report.views_agree:
+        return False
+    if report.summary.degradation != "normal":
+        return False
+    if not all(loop.overlay.is_alive(r) for r in loop.regions):
+        return False
+    return min(report.summary.active_vms.values()) >= 1
+
+
+def _unhealthy_windows(healthy: list[bool]) -> list[tuple[int, int]]:
+    windows: list[tuple[int, int]] = []
+    start: int | None = None
+    for era, ok in enumerate(healthy):
+        if not ok and start is None:
+            start = era
+        elif ok and start is not None:
+            windows.append((start, era))
+            start = None
+    if start is not None:
+        windows.append((start, len(healthy)))
+    return windows
+
+
+def _collect_message_stats(plane: DistributedControlPlane) -> dict[str, int]:
+    stats = dict(plane.channel.stats.as_dict())
+    bus = plane.bus
+    stats["bus_delivered"] = bus.delivered_count
+    stats["bus_dropped"] = bus.dropped_count
+    for reason, count in sorted(bus.drop_counts.items()):
+        stats[f"drop_{reason}"] = count
+    stats["chaos_dropped"] = getattr(bus, "chaos_dropped", 0)
+    stats["chaos_delayed"] = getattr(bus, "chaos_delayed", 0)
+    return stats
+
+
+def _run_script(
+    name: str, script: FaultScript, eras: int, seed: int, era_s: float
+) -> CampaignResult:
+    dep = _build_deployment(seed, era_s=era_s)
+    plane, engine = dep.plane, dep.engine
+    reports: list[PlaneEraReport] = []
+    healthy: list[bool] = []
+    era_faults: dict[int, tuple[str, ...]] = {}
+    for era in range(eras):
+        before = len(engine.log)
+        for action in script.get(era, ()):
+            action(engine)
+        if len(engine.log) > before:
+            era_faults[era] = tuple(
+                ev.kind for ev in engine.log[before:]
+            )
+        report = plane.run_era()
+        reports.append(report)
+        healthy.append(_service_healthy(plane, report))
+    windows = _unhealthy_windows(healthy)
+    closed = [(a, b) for a, b in windows if b < eras]
+    mttr_s = (
+        float(np.mean([(b - a) * era_s for a, b in closed]))
+        if closed
+        else float("nan")
+    )
+    last = reports[-1].summary
+    return CampaignResult(
+        name=name,
+        seed=seed,
+        eras=eras,
+        era_s=era_s,
+        fault_log=list(engine.log),
+        era_faults=era_faults,
+        degradation=[r.summary.degradation for r in reports],
+        leaders=[r.oracle_leader for r in reports],
+        views_agree=[r.views_agree for r in reports],
+        healthy=healthy,
+        unavailability_windows=windows,
+        mttr_s=mttr_s,
+        recovered=bool(healthy[-1]),
+        message_stats=_collect_message_stats(plane),
+        final_fractions=dict(last.fractions),
+    )
+
+
+# --------------------------------------------------------------------- #
+# campaign scripts
+# --------------------------------------------------------------------- #
+
+
+def _add(script: FaultScript, era: int, action: FaultAction) -> None:
+    script.setdefault(era, []).append(action)
+
+
+def _script_rolling_link_flaps(eras: int) -> FaultScript:
+    """One link down at a time, rotating through the mesh."""
+    script: FaultScript = {}
+    k = 0
+    for era in range(5, max(6, eras - 5), 3):
+        a, b = _LINK_PAIRS[k % len(_LINK_PAIRS)]
+        k += 1
+        _add(script, era, lambda e, a=a, b=b: e.fail_link(a, b))
+        _add(script, era + 1, lambda e, a=a, b=b: e.restore_link(a, b))
+    return script
+
+
+def _script_message_loss(eras: int) -> FaultScript:
+    """30% datagram loss plus 20 ms jitter for most of the run."""
+    script: FaultScript = {}
+    start = min(5, max(1, eras // 4))
+    stop = max(start + 1, eras - 8)
+    _add(script, start, lambda e: e.set_message_loss(0.3))
+    _add(script, start, lambda e: e.set_latency_jitter(20.0))
+    _add(script, stop, lambda e: e.set_message_loss(0.0))
+    _add(script, stop, lambda e: e.set_latency_jitter(0.0))
+    return script
+
+
+def _script_leader_kill(eras: int) -> FaultScript:
+    """Crash the leader while 30% of messages are being lost."""
+    script: FaultScript = {}
+    loss_on = min(5, max(1, eras // 4))
+    kill = loss_on + 3
+    revive = max(kill + 1, eras - 12)
+    loss_off = max(revive + 1, eras - 8)
+    _add(script, loss_on, lambda e: e.set_message_loss(0.3))
+    # region1 is the min-id leader of a healthy overlay
+    _add(script, kill, lambda e: e.crash_node("region1"))
+    _add(script, revive, lambda e: e.restore_node("region1"))
+    _add(script, loss_off, lambda e: e.set_message_loss(0.0))
+    return script
+
+
+def _script_blackout_heal(eras: int) -> FaultScript:
+    """A whole region goes dark, then heals mid-run."""
+    script: FaultScript = {}
+    dark = min(8, max(1, eras // 4))
+    heal = max(dark + 1, min(eras - 12, dark + 12))
+    _add(script, dark, lambda e: e.region_blackout("region3"))
+    _add(script, heal, lambda e: e.region_heal("region3"))
+    return script
+
+
+def _script_smoke(eras: int) -> FaultScript:
+    """Quick mixed campaign for CI: brief loss plus one link flap."""
+    script: FaultScript = {}
+    _add(script, 2, lambda e: e.set_message_loss(0.2))
+    _add(script, 4, lambda e: e.fail_link("region1", "region2"))
+    _add(script, 5, lambda e: e.restore_link("region1", "region2"))
+    _add(script, 6, lambda e: e.set_message_loss(0.0))
+    return script
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named, parameterless campaign (script drawn from eras + seed)."""
+
+    name: str
+    description: str
+    default_eras: int
+    build_script: Callable[[int], FaultScript]
+
+
+#: The canned campaign registry, in documentation order.
+CAMPAIGNS: dict[str, CampaignSpec] = {
+    spec.name: spec
+    for spec in (
+        CampaignSpec(
+            "rolling-link-flaps",
+            "rotate a single overlay-link failure through the mesh",
+            36,
+            _script_rolling_link_flaps,
+        ),
+        CampaignSpec(
+            "message-loss",
+            "30% datagram loss + latency jitter on all plane traffic",
+            24,
+            _script_message_loss,
+        ),
+        CampaignSpec(
+            "leader-kill",
+            "crash the leader mid-run under 30% message loss",
+            36,
+            _script_leader_kill,
+        ),
+        CampaignSpec(
+            "blackout-heal",
+            "black out region3 (controller + VMs), heal it later",
+            40,
+            _script_blackout_heal,
+        ),
+        CampaignSpec(
+            "smoke",
+            "fast mixed campaign (loss + one flap) for CI",
+            10,
+            _script_smoke,
+        ),
+    )
+}
+
+
+def run_campaign(
+    name: str,
+    eras: int | None = None,
+    seed: int = 7,
+    era_s: float = 30.0,
+) -> CampaignResult:
+    """Run one canned campaign; see :data:`CAMPAIGNS` for the names."""
+    spec = CAMPAIGNS.get(name)
+    if spec is None:
+        raise ValueError(
+            f"unknown campaign {name!r}; pick one of {sorted(CAMPAIGNS)}"
+        )
+    n_eras = spec.default_eras if eras is None else int(eras)
+    if n_eras < 4:
+        raise ValueError("campaigns need at least 4 eras")
+    return _run_script(
+        spec.name, spec.build_script(n_eras), n_eras, seed, era_s
+    )
+
+
+# --------------------------------------------------------------------- #
+# reporting
+# --------------------------------------------------------------------- #
+
+
+def report_campaign(result: CampaignResult) -> str:
+    """Human-readable campaign report (the ``repro chaos`` output)."""
+    lines = [
+        f"campaign : {result.name}  "
+        f"(seed {result.seed}, {result.eras} eras x {result.era_s:.0f}s)",
+        f"faults   : {len(result.fault_log)} injected",
+    ]
+    for ev in result.fault_log:
+        detail = f"  {ev.detail}" if ev.detail else ""
+        lines.append(
+            f"  t={ev.time:9.1f}s  {ev.kind:<16} {ev.target}{detail}"
+        )
+    timeline = "".join("#" if h else "." for h in result.healthy)
+    lines.append(f"health   : {timeline}")
+    windows = ", ".join(
+        f"[{a}, {b})" for a, b in result.unavailability_windows
+    )
+    lines.append(
+        f"availability : {result.availability:.1%} "
+        f"({result.unavailable_eras} unavailable eras"
+        + (f" in windows {windows}" if windows else "")
+        + ")"
+    )
+    mttr = (
+        f"{result.mttr_s:.0f}s"
+        if math.isfinite(result.mttr_s)
+        else "n/a (no repaired window)"
+    )
+    lines.append(f"MTTR     : {mttr}")
+    hold = sum(1 for m in result.degradation if m == "hold")
+    fallback = sum(1 for m in result.degradation if m == "fallback")
+    lines.append(f"degraded : hold={hold} fallback={fallback} eras")
+    stats = result.message_stats
+    lines.append(
+        "channel  : sent={sent} acked={acked} retries={retries} "
+        "gave_up={gave_up} duplicates={duplicates}".format(**stats)
+    )
+    lines.append(
+        f"bus      : delivered={stats['bus_delivered']} "
+        f"dropped={stats['bus_dropped']} "
+        f"chaos_dropped={stats['chaos_dropped']} "
+        f"chaos_delayed={stats['chaos_delayed']}"
+    )
+    mix = "  ".join(
+        f"{region}={value:.3f}"
+        for region, value in result.final_fractions.items()
+    )
+    lines.append(f"fractions: {mix}")
+    lines.append(
+        "recovered: " + ("YES" if result.recovered else "NO")
+    )
+    return "\n".join(lines)

@@ -21,10 +21,14 @@ from repro.overlay.election import LeaderElection
 from repro.overlay.heartbeat import HeartbeatDetector, build_detector_mesh
 from repro.overlay.messaging import Message, MessageBus
 from repro.overlay.network import OverlayNetwork
+from repro.overlay.reliable import ChannelStats, ReliableChannel, SendHandle
 from repro.overlay.state_sync import GossipSync, StateEntry, StateStore
 from repro.overlay.routing import NoRouteError, Router
 
 __all__ = [
+    "ReliableChannel",
+    "SendHandle",
+    "ChannelStats",
     "OverlayNetwork",
     "Router",
     "NoRouteError",

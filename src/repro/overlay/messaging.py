@@ -5,6 +5,18 @@ new workload fractions back (Algorithms 1-2).  :class:`MessageBus` carries
 those messages over the overlay: delivery is scheduled on the simulator
 after the best-path latency, and messages are dropped (with a callback) if
 the endpoints are partitioned at *send* time.
+
+Every drop is tagged with a reason so operators (and the chaos campaigns)
+can tell failure modes apart:
+
+* ``no_route`` -- the endpoints were partitioned at send time;
+* ``no_handler`` -- the destination never registered a receive handler;
+* ``dead_dst`` -- the destination died while the message was in flight.
+
+:class:`repro.chaos.lossy.LossyBus` extends the vocabulary with
+``chaos_loss`` for injected message loss.  The bus itself is *unreliable
+by design* (it models a datagram overlay); callers that need delivery
+guarantees layer :class:`repro.overlay.reliable.ReliableChannel` on top.
 """
 
 from __future__ import annotations
@@ -27,6 +39,49 @@ class Message:
     sent_at: float
 
 
+class BroadcastReceipt(int):
+    """Outcome of a :meth:`MessageBus.broadcast`.
+
+    Compares as the number of sends *accepted* at call time (so existing
+    ``receipt == n`` checks keep working), while :attr:`delivered` and
+    :attr:`died_in_flight` resolve as the simulator runs the delivery
+    events -- a send that is accepted but whose destination dies in
+    flight is **not** counted as delivered.
+    """
+
+    def __new__(cls, accepted: int) -> "BroadcastReceipt":
+        obj = super().__new__(cls, accepted)
+        obj._outcomes = {"delivered": 0, "dead_dst": 0, "chaos_loss": 0}
+        return obj
+
+    def _resolve(self, outcome: str) -> None:
+        if outcome in self._outcomes:
+            self._outcomes[outcome] += 1
+
+    @property
+    def accepted(self) -> int:
+        """Sends accepted at call time (the integer value)."""
+        return int(self)
+
+    @property
+    def delivered(self) -> int:
+        """Sends actually handed to their destination handler so far."""
+        return self._outcomes["delivered"]
+
+    @property
+    def died_in_flight(self) -> int:
+        """Accepted sends whose destination died (or whose message was
+        lost by chaos injection) before delivery."""
+        return self._outcomes["dead_dst"] + self._outcomes["chaos_loss"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BroadcastReceipt(accepted={int(self)}, "
+            f"delivered={self.delivered}, "
+            f"died_in_flight={self.died_in_flight})"
+        )
+
+
 @dataclass
 class MessageBus:
     """Delivers messages over the overlay with path latency.
@@ -38,7 +93,8 @@ class MessageBus:
     router:
         Path/latency source.
     on_drop:
-        Optional callback invoked with the message when no route exists.
+        Optional callback invoked with the message when it is dropped
+        (for any reason; consult :attr:`drop_counts` for the breakdown).
     """
 
     sim: Simulator
@@ -46,6 +102,7 @@ class MessageBus:
     on_drop: Callable[[Message], None] | None = None
     delivered_count: int = 0
     dropped_count: int = 0
+    drop_counts: dict[str, int] = field(default_factory=dict)
     _handlers: dict[str, Callable[[Message], None]] = field(
         default_factory=dict
     )
@@ -56,12 +113,21 @@ class MessageBus:
         """Register the receive handler of a controller node."""
         self._handlers[node] = handler
 
-    def send(self, src: str, dst: str, kind: str, payload: Any) -> bool:
+    def send(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        payload: Any,
+        on_outcome: Callable[[Message, str], None] | None = None,
+    ) -> bool:
         """Send a message; returns False if dropped (no route / no handler).
 
         Delivery happens ``latency_ms / 1000`` simulated seconds later; a
         destination that dies in flight still receives the message only if
-        it is alive at delivery time.
+        it is alive at delivery time.  ``on_outcome`` (if given) is called
+        exactly once with the message and its final outcome: one of
+        ``"delivered"``, ``"no_route"``, ``"no_handler"``, ``"dead_dst"``.
         """
         msg = Message(
             src=src, dst=dst, kind=kind, payload=payload, sent_at=self.sim.now
@@ -69,34 +135,67 @@ class MessageBus:
         try:
             _, latency_ms = self.router.route(src, dst)
         except NoRouteError:
-            self._drop(msg)
+            self._drop(msg, "no_route", on_outcome)
             return False
         if dst not in self._handlers:
-            self._drop(msg)
+            self._drop(msg, "no_handler", on_outcome)
             return False
 
         def deliver() -> None:
             if not self.router.network.is_alive(dst):
-                self._drop(msg)
+                self._drop(msg, "dead_dst", on_outcome)
                 return
             self.delivered_count += 1
             self._handlers[dst](msg)
+            if on_outcome is not None:
+                on_outcome(msg, "delivered")
 
         self.sim.schedule_after(latency_ms / 1000.0, deliver, label=f"msg:{kind}")
         return True
 
     def broadcast(
         self, src: str, kind: str, payload: Any
-    ) -> int:
-        """Send to every other registered node; returns count accepted."""
-        sent = 0
+    ) -> BroadcastReceipt:
+        """Send to every other registered node.
+
+        Returns a :class:`BroadcastReceipt`: it *is* the accepted count
+        (an ``int``), and additionally tracks how many accepted sends were
+        actually delivered vs died in flight once the simulator has run
+        the delivery events.
+        """
+        # Outcomes can resolve synchronously (no_route/no_handler) before
+        # the receipt exists, or later when delivery events fire; buffer
+        # the early ones and route the late ones straight to the receipt.
+        early: list[str] = []
+        box: dict[str, BroadcastReceipt | None] = {"receipt": None}
+
+        def on_outcome(_msg: Message, outcome: str) -> None:
+            receipt = box["receipt"]
+            if receipt is None:
+                early.append(outcome)
+            else:
+                receipt._resolve(outcome)
+
+        accepted = 0
         for node in sorted(self._handlers):
             if node != src:
-                if self.send(src, node, kind, payload):
-                    sent += 1
-        return sent
+                if self.send(src, node, kind, payload, on_outcome=on_outcome):
+                    accepted += 1
+        receipt = BroadcastReceipt(accepted)
+        box["receipt"] = receipt
+        for outcome in early:
+            receipt._resolve(outcome)
+        return receipt
 
-    def _drop(self, msg: Message) -> None:
+    def _drop(
+        self,
+        msg: Message,
+        reason: str,
+        on_outcome: Callable[[Message, str], None] | None = None,
+    ) -> None:
         self.dropped_count += 1
+        self.drop_counts[reason] = self.drop_counts.get(reason, 0) + 1
         if self.on_drop is not None:
             self.on_drop(msg)
+        if on_outcome is not None:
+            on_outcome(msg, reason)

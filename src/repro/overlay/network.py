@@ -31,7 +31,16 @@ class OverlayNetwork:
     # ------------------------------------------------------------------ #
 
     def add_node(self, name: str) -> None:
-        """Register a controller node (idempotent; revives a failed node)."""
+        """Register a controller node (idempotent).
+
+        Re-adding an existing node is a no-op: in particular it does
+        *not* revive a crashed node -- recovery must go through
+        :meth:`restore_node` explicitly, so that deployment-description
+        code (which re-declares topology idempotently) can never mask a
+        failure that chaos injection or a real outage produced.
+        """
+        if name in self._graph:
+            return
         self._graph.add_node(name, alive=True)
 
     def add_link(self, a: str, b: str, latency_ms: float) -> None:
@@ -102,6 +111,14 @@ class OverlayNetwork:
     def is_alive(self, name: str) -> bool:
         """Whether the node is registered and alive."""
         return name in self._graph and self._graph.nodes[name]["alive"]
+
+    def has_link(self, a: str, b: str) -> bool:
+        """Whether a direct link is registered (regardless of up/down)."""
+        return self._graph.has_edge(a, b)
+
+    def links(self) -> list[tuple[str, str]]:
+        """All registered links as sorted node pairs, sorted."""
+        return sorted(tuple(sorted(edge)) for edge in self._graph.edges)
 
     def link_latency(self, a: str, b: str) -> float:
         """Latency of the direct link (must exist, may be down)."""

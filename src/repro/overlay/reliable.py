@@ -1,0 +1,268 @@
+"""Reliable, exactly-once-delivery messaging over the unreliable bus.
+
+:class:`~repro.overlay.messaging.MessageBus` is a datagram overlay: it
+drops messages on partitions, on in-flight crashes, and (under chaos
+injection) at random.  The MAPE loop's control traffic -- slave-to-leader
+``lastRMTTF`` reports and leader-to-slave fraction pushes -- must survive
+that, so :class:`ReliableChannel` layers the classic end-to-end recipe on
+top:
+
+* every application message is wrapped in an envelope carrying a
+  channel-unique id and sent as an ``rc-data`` bus message;
+* the receiver always answers with an ``rc-ack`` (acks themselves may be
+  lost) and de-duplicates by ``(src, id)``, so the application handler
+  sees each message **at most once** even when retries race an ack;
+* the sender retries on ack timeout with exponential backoff plus a
+  deterministic jitter drawn from a dedicated RNG stream (replayable runs
+  stay bit-identical), up to ``max_retries`` retries;
+* exhausted sends resolve to ``failed`` and invoke ``on_give_up`` -- the
+  caller decides how to degrade (the control loop holds its last-known
+  good plan; see :mod:`repro.core.degradation`).
+
+Send outcomes are first-class: :meth:`send` returns a :class:`SendHandle`
+whose ``status`` resolves to ``"acked"`` or ``"failed"`` as the simulator
+runs, and :attr:`ReliableChannel.stats` aggregates the telemetry the
+resilience campaigns report (retries, duplicates, give-ups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.overlay.messaging import Message, MessageBus
+
+#: Bus message kind carrying an application payload envelope.
+DATA_KIND = "rc-data"
+#: Bus message kind carrying an acknowledgement.
+ACK_KIND = "rc-ack"
+
+
+@dataclass(slots=True)
+class SendHandle:
+    """Tracks one reliable send through retries to its final outcome."""
+
+    msg_id: int
+    src: str
+    dst: str
+    kind: str
+    status: str = "pending"  #: ``pending`` | ``acked`` | ``failed``
+    attempts: int = 0
+    acked_at: float | None = None
+
+    @property
+    def resolved(self) -> bool:
+        return self.status != "pending"
+
+
+@dataclass(slots=True)
+class ChannelStats:
+    """Send-outcome telemetry of one :class:`ReliableChannel`."""
+
+    sent: int = 0  #: application messages submitted
+    attempts: int = 0  #: bus transmissions (first tries + retries)
+    retries: int = 0  #: retransmissions after an ack timeout
+    acked: int = 0  #: sends that resolved to ``acked``
+    gave_up: int = 0  #: sends that exhausted their retries
+    duplicates: int = 0  #: received data suppressed by dedup
+    acks_sent: int = 0  #: acknowledgements transmitted
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "sent": self.sent,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "acked": self.acked,
+            "gave_up": self.gave_up,
+            "duplicates": self.duplicates,
+            "acks_sent": self.acks_sent,
+        }
+
+
+class ReliableChannel:
+    """Ack/retry/dedup messaging shared by every node on one bus.
+
+    One channel instance serves all nodes of an overlay (mirroring how
+    :class:`~repro.overlay.state_sync.GossipSync` is structured): each
+    node registers its application handler with :meth:`register`, and the
+    owner of the per-node bus registration chains
+    :meth:`make_bus_handler` into its demultiplexer (or calls
+    :meth:`attach` when the channel owns the registration outright).
+
+    Parameters
+    ----------
+    bus:
+        The unreliable transport.
+    rng:
+        Jitter stream (use a dedicated
+        :meth:`repro.sim.rng.RngRegistry.stream`, e.g.
+        ``rngs.stream("reliable/jitter")``, so replays are bit-identical).
+    max_retries:
+        Retransmissions after the first attempt before giving up.
+    base_timeout_s:
+        Ack timeout of the first attempt; doubles each retry
+        (``backoff_factor``).
+    jitter_s:
+        Uniform jitter added to every timeout (decorrelates retry storms
+        without breaking determinism).
+    on_give_up:
+        Optional callback invoked with the :class:`SendHandle` of every
+        send that exhausts its retries.
+    """
+
+    def __init__(
+        self,
+        bus: MessageBus,
+        rng: np.random.Generator,
+        max_retries: int = 3,
+        base_timeout_s: float = 0.25,
+        backoff_factor: float = 2.0,
+        jitter_s: float = 0.05,
+        on_give_up: Callable[[SendHandle], None] | None = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if base_timeout_s <= 0:
+            raise ValueError("base_timeout_s must be positive")
+        if backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if jitter_s < 0:
+            raise ValueError("jitter_s must be >= 0")
+        self.bus = bus
+        self.sim = bus.sim
+        self.rng = rng
+        self.max_retries = int(max_retries)
+        self.base_timeout_s = float(base_timeout_s)
+        self.backoff_factor = float(backoff_factor)
+        self.jitter_s = float(jitter_s)
+        self.on_give_up = on_give_up
+        self.stats = ChannelStats()
+        self._next_id = 0
+        self._pending: dict[int, tuple[SendHandle, str, Any]] = {}
+        self._timers: dict[int, Any] = {}
+        self._app_handlers: dict[str, Callable[[Message], None]] = {}
+        #: per receiving node: (src, msg_id) pairs already delivered
+        self._seen: dict[str, set[tuple[str, int]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+
+    def register(self, node: str, handler: Callable[[Message], None]) -> None:
+        """Set ``node``'s application handler (called at most once per
+        message, with the unwrapped application :class:`Message`)."""
+        self._app_handlers[node] = handler
+
+    def make_bus_handler(self, node: str) -> Callable[[Message], None]:
+        """Bus handler for ``node``; chain it from a demultiplexer for
+        the :data:`DATA_KIND` and :data:`ACK_KIND` message kinds."""
+
+        def handle(msg: Message) -> None:
+            if msg.kind == DATA_KIND:
+                self._on_data(node, msg)
+            elif msg.kind == ACK_KIND:
+                self._on_ack(msg)
+
+        return handle
+
+    def attach(self, node: str, handler: Callable[[Message], None]) -> None:
+        """Register ``handler`` and give the channel the node's bus
+        registration (standalone use, no demultiplexer)."""
+        self.register(node, handler)
+        self.bus.register(node, self.make_bus_handler(node))
+
+    # ------------------------------------------------------------------ #
+    # sending
+    # ------------------------------------------------------------------ #
+
+    def send(self, src: str, dst: str, kind: str, payload: Any) -> SendHandle:
+        """Reliably send ``payload``; returns the tracking handle.
+
+        The handle's ``status`` is ``pending`` until the simulator runs
+        the delivery/ack/timeout events.
+        """
+        handle = SendHandle(
+            msg_id=self._next_id, src=src, dst=dst, kind=kind
+        )
+        self._next_id += 1
+        self.stats.sent += 1
+        self._pending[handle.msg_id] = (handle, kind, payload)
+        self._attempt(handle, kind, payload)
+        return handle
+
+    def pending_count(self) -> int:
+        """Sends still awaiting an ack or final timeout."""
+        return len(self._pending)
+
+    def _attempt(self, handle: SendHandle, kind: str, payload: Any) -> None:
+        handle.attempts += 1
+        self.stats.attempts += 1
+        envelope = {"id": handle.msg_id, "kind": kind, "payload": payload}
+        self.bus.send(handle.src, handle.dst, DATA_KIND, envelope)
+        timeout = self.base_timeout_s * (
+            self.backoff_factor ** (handle.attempts - 1)
+        )
+        if self.jitter_s > 0:
+            timeout += float(self.rng.uniform(0.0, self.jitter_s))
+        self._timers[handle.msg_id] = self.sim.schedule_after(
+            timeout,
+            lambda: self._on_timeout(handle),
+            label=f"rc-timer:{handle.kind}",
+        )
+
+    def _on_timeout(self, handle: SendHandle) -> None:
+        entry = self._pending.get(handle.msg_id)
+        if entry is None or handle.resolved:
+            return
+        self._timers.pop(handle.msg_id, None)
+        if handle.attempts > self.max_retries:
+            handle.status = "failed"
+            self.stats.gave_up += 1
+            del self._pending[handle.msg_id]
+            if self.on_give_up is not None:
+                self.on_give_up(handle)
+            return
+        self.stats.retries += 1
+        self._attempt(handle, entry[1], entry[2])
+
+    # ------------------------------------------------------------------ #
+    # receiving
+    # ------------------------------------------------------------------ #
+
+    def _on_data(self, node: str, msg: Message) -> None:
+        envelope = msg.payload
+        msg_id = envelope["id"]
+        # Always ack, even duplicates: the previous ack may have been lost.
+        self.stats.acks_sent += 1
+        self.bus.send(node, msg.src, ACK_KIND, {"id": msg_id})
+        seen = self._seen.setdefault(node, set())
+        key = (msg.src, msg_id)
+        if key in seen:
+            self.stats.duplicates += 1
+            return
+        seen.add(key)
+        handler = self._app_handlers.get(node)
+        if handler is not None:
+            handler(
+                Message(
+                    src=msg.src,
+                    dst=node,
+                    kind=envelope["kind"],
+                    payload=envelope["payload"],
+                    sent_at=msg.sent_at,
+                )
+            )
+
+    def _on_ack(self, msg: Message) -> None:
+        entry = self._pending.pop(msg.payload["id"], None)
+        if entry is None:
+            return  # duplicate/stale ack
+        handle = entry[0]
+        handle.status = "acked"
+        handle.acked_at = self.sim.now
+        self.stats.acked += 1
+        timer = self._timers.pop(handle.msg_id, None)
+        if timer is not None:
+            timer.cancel()

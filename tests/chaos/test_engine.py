@@ -1,0 +1,246 @@
+"""Tests for the chaos engine: primitives, scheduling, replayability."""
+
+import math
+
+import pytest
+
+from repro.chaos import ChaosEngine, CorruptiblePredictor, FaultEvent, LossyBus
+from repro.overlay import OverlayNetwork, Router
+from repro.pcam import (
+    OracleRttfPredictor,
+    VirtualMachineController,
+    VmcConfig,
+    VmState,
+)
+from repro.sim import Simulator
+from repro.sim.rng import RngRegistry
+
+from ..pcam.conftest import build_vm
+
+
+def mesh():
+    return OverlayNetwork.full_mesh(
+        {("r1", "r2"): 10.0, ("r2", "r3"): 10.0, ("r1", "r3"): 30.0}
+    )
+
+
+def make_vmc(rngs, region="r1", n_vms=6, target=4):
+    vms = [build_vm(rngs, name=f"{region}/vm{i}") for i in range(n_vms)]
+    return VirtualMachineController(
+        region, vms, OracleRttfPredictor(), VmcConfig(target_active=target)
+    )
+
+
+def make_engine(seed=5, **surfaces):
+    sim = Simulator()
+    rng = RngRegistry(seed=seed).stream("chaos")
+    return sim, ChaosEngine(sim, rng, **surfaces)
+
+
+class TestOverlayPrimitives:
+    def test_link_fault_reroutes_and_logs(self):
+        net = mesh()
+        router = Router(net)
+        sim, engine = make_engine(overlay=net, router=router)
+        assert router.latency("r1", "r3") == 20.0  # via r2
+        engine.fail_link("r1", "r2")
+        assert router.latency("r1", "r3") == 30.0  # direct, rerouted
+        engine.restore_link("r1", "r2")
+        assert router.latency("r1", "r3") == 20.0
+        assert [e.kind for e in engine.log] == ["fail_link", "restore_link"]
+        assert engine.log[0].target == "r1--r2"
+
+    def test_partition_and_heal(self):
+        net = mesh()
+        sim, engine = make_engine(overlay=net, router=Router(net))
+        cut = engine.partition({"r3"})
+        assert sorted(cut) == [("r1", "r3"), ("r2", "r3")]
+        assert net.is_partitioned()
+        engine.heal_partition(cut)
+        assert not net.is_partitioned()
+
+    def test_crash_and_restore_node(self):
+        net = mesh()
+        sim, engine = make_engine(overlay=net, router=Router(net))
+        engine.crash_node("r1")
+        assert not net.is_alive("r1")
+        engine.restore_node("r1")
+        assert net.is_alive("r1")
+
+    def test_missing_surface_raises(self):
+        sim, engine = make_engine()
+        with pytest.raises(RuntimeError, match="overlay"):
+            engine.fail_link("r1", "r2")
+        with pytest.raises(RuntimeError, match="VMC"):
+            engine.vm_crash_storm("r1", 0.5)
+        with pytest.raises(RuntimeError, match="LossyBus"):
+            engine.set_message_loss(0.3)
+        with pytest.raises(RuntimeError, match="predictor"):
+            engine.corrupt_predictor("nan")
+
+
+class TestPcamPrimitives:
+    def test_crash_storm_kills_fraction_of_active(self):
+        rngs = RngRegistry(seed=9)
+        vmc = make_vmc(rngs)
+        sim, engine = make_engine(vmcs={"r1": vmc})
+        victims = engine.vm_crash_storm("r1", 0.5)
+        assert len(victims) == 2  # half of 4 ACTIVE
+        assert len(vmc.vms_in(VmState.FAILED)) == 2
+        assert engine.log[0].detail == tuple(victims)
+
+    def test_crash_storm_is_seed_deterministic(self):
+        def storm(seed):
+            vmc = make_vmc(RngRegistry(seed=1))
+            sim, engine = make_engine(seed=seed, vmcs={"r1": vmc})
+            return engine.vm_crash_storm("r1", 0.5)
+
+        assert storm(5) == storm(5)
+
+    def test_blackout_and_heal(self):
+        net = mesh()
+        rngs = RngRegistry(seed=9)
+        vmc = make_vmc(rngs)
+        sim, engine = make_engine(
+            overlay=net, router=Router(net), vmcs={"r1": vmc}
+        )
+        engine.region_blackout("r1")
+        assert not net.is_alive("r1")
+        assert vmc.vms_in(VmState.ACTIVE) == []
+        assert len(vmc.vms_in(VmState.FAILED)) == 4
+        engine.region_heal("r1")
+        assert net.is_alive("r1")
+        # crashed VMs recover through the VMC's reactive path
+        vmc.process_era(0, dt=60.0, now=0.0)
+        assert vmc.vms_in(VmState.FAILED) == []
+
+    def test_fraction_validation(self):
+        rngs = RngRegistry(seed=9)
+        sim, engine = make_engine(vmcs={"r1": make_vmc(rngs)})
+        with pytest.raises(ValueError):
+            engine.vm_crash_storm("r1", 0.0)
+        with pytest.raises(ValueError):
+            engine.vm_crash_storm("r1", 1.5)
+
+
+class TestTransportAndPredictorPrimitives:
+    def test_message_loss_knob(self):
+        net = mesh()
+        sim = Simulator()
+        bus = LossyBus(
+            sim=sim,
+            router=Router(net),
+            rng=RngRegistry(seed=2).stream("chaos/network"),
+        )
+        engine = ChaosEngine(sim, RngRegistry(seed=2).stream("chaos"), bus=bus)
+        engine.set_message_loss(0.3)
+        assert bus.loss_probability == 0.3
+        engine.set_latency_jitter(50.0)
+        assert bus.jitter_ms == 50.0
+        with pytest.raises(ValueError):
+            engine.set_message_loss(1.0)
+
+    def test_predictor_corruption_modes(self):
+        rngs = RngRegistry(seed=9)
+        vmc = make_vmc(rngs)
+        corruptible = CorruptiblePredictor(vmc.predictor)
+        vmc.predictor = corruptible
+        vm = vmc.vms_in(VmState.ACTIVE)[0]
+        vm.last_request_rate = 2.0
+
+        healthy = corruptible.predict_rttf(vm)
+        assert math.isfinite(healthy) and healthy > 0
+
+        sim, engine = make_engine(predictors={"r1": corruptible})
+        engine.corrupt_predictor("nan")
+        assert math.isnan(corruptible.predict_rttf(vm))
+        assert math.isnan(corruptible.predict_mttf(vm))
+        engine.corrupt_predictor("zero")
+        assert corruptible.predict_rttf(vm) == 0.0
+        engine.corrupt_predictor("stale")
+        vm.leaked_mb += 500.0  # state changed, prediction must not
+        assert corruptible.predict_rttf(vm) == healthy
+        engine.corrupt_predictor("off")
+        assert corruptible.predict_rttf(vm) != healthy
+        with pytest.raises(ValueError):
+            engine.corrupt_predictor("bogus")
+
+
+class TestScheduling:
+    def test_at_applies_on_the_sim_clock(self):
+        net = mesh()
+        sim, engine = make_engine(overlay=net, router=Router(net))
+        engine.at(120.0, engine.fail_link, "r1", "r2")
+        engine.at(240.0, engine.restore_link, "r1", "r2")
+        sim.run_until(120.0)
+        assert not net.link_is_up("r1", "r2")
+        sim.run_until(240.0)
+        assert net.link_is_up("r1", "r2")
+        assert [(e.time, e.kind) for e in engine.log] == [
+            (120.0, "fail_link"),
+            (240.0, "restore_link"),
+        ]
+
+    def test_link_flap_every(self):
+        net = mesh()
+        sim, engine = make_engine(overlay=net, router=Router(net))
+        engine.link_flap_every(
+            "r1", "r2", period_s=100.0, down_s=30.0, until_s=350.0
+        )
+        sim.run_until(1000.0)
+        fails = [e.time for e in engine.log if e.kind == "fail_link"]
+        heals = [e.time for e in engine.log if e.kind == "restore_link"]
+        assert fails == [100.0, 200.0, 300.0]
+        assert heals == [130.0, 230.0, 330.0]
+        assert net.link_is_up("r1", "r2")
+
+    def test_poisson_flaps_are_seed_deterministic(self):
+        def schedule(seed):
+            net = mesh()
+            sim, engine = make_engine(seed=seed, overlay=net, router=Router(net))
+            n = engine.poisson_link_flaps(
+                [("r1", "r2"), ("r2", "r3")],
+                rate_hz=1 / 200.0,
+                down_s=20.0,
+                until_s=3600.0,
+            )
+            sim.run()
+            return n, [(e.time, e.kind, e.target) for e in engine.log]
+
+        n1, log1 = schedule(21)
+        n2, log2 = schedule(21)
+        assert n1 > 0
+        assert log1 == log2
+        assert schedule(22)[1] != log1
+
+
+class TestFaultLogReplay:
+    def test_campaign_fault_log_is_bit_identical(self):
+        """Same seed, same campaign script => byte-for-byte same log."""
+
+        def run(seed):
+            net = mesh()
+            rngs = RngRegistry(seed=seed)
+            vmc = make_vmc(rngs)
+            sim = Simulator()
+            engine = ChaosEngine(
+                sim,
+                rngs.stream("chaos"),
+                overlay=net,
+                router=Router(net),
+                vmcs={"r1": vmc},
+            )
+            engine.at(60.0, engine.vm_crash_storm, "r1", 0.5)
+            engine.at(120.0, engine.crash_node, "r2")
+            engine.poisson_link_flaps(
+                [("r1", "r3")], rate_hz=1 / 300.0, down_s=15.0, until_s=1800.0
+            )
+            engine.at(900.0, engine.restore_node, "r2")
+            sim.run()
+            return engine.log
+
+        log_a, log_b = run(33), run(33)
+        assert log_a == log_b
+        assert all(isinstance(e, FaultEvent) for e in log_a)
+        # the log is ordered by the simulator clock
+        assert [e.time for e in log_a] == sorted(e.time for e in log_a)

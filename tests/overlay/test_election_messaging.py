@@ -131,6 +131,54 @@ class TestMessageBus:
         sim.run()
         assert sorted(got) == ["r2", "r3"]
 
+    def test_drop_reasons_are_tagged(self):
+        """Regression: every drop carries a reason counter."""
+        net = OverlayNetwork.full_mesh({("r1", "r2"): 10.0})
+        net.add_node("r3")  # isolated -> no route
+        sim = Simulator()
+        bus = MessageBus(sim=sim, router=Router(net))
+        bus.register("r3", lambda m: None)
+        assert not bus.send("r1", "r3", "x", None)  # partitioned
+        assert not bus.send("r1", "r2", "x", None)  # routable, no handler
+        bus.register("r2", lambda m: None)
+        bus.send("r1", "r2", "x", None)
+        net.fail_node("r2")  # dies in flight
+        sim.run()
+        assert bus.drop_counts == {
+            "no_route": 1,
+            "no_handler": 1,
+            "dead_dst": 1,
+        }
+        assert bus.dropped_count == 3
+
+    def test_broadcast_reports_in_flight_deaths(self):
+        """Regression: broadcast must not count sends that die in
+        flight as accepted deliveries."""
+        sim, net, bus = self.make_bus()
+        for n in ("r1", "r2", "r3"):
+            bus.register(n, lambda m: None)
+        receipt = bus.broadcast("r1", "plan", {"f": 0.5})
+        assert receipt == 2  # both accepted at send time
+        net.fail_node("r3")  # r3 dies before its delivery event
+        sim.run()
+        assert receipt.accepted == 2
+        assert receipt.delivered == 1
+        assert receipt.died_in_flight == 1
+        assert bus.drop_counts.get("dead_dst") == 1
+
+    def test_broadcast_counts_synchronous_rejects(self):
+        net = OverlayNetwork.full_mesh({("r1", "r2"): 10.0})
+        net.add_node("r3")  # isolated: no route from r1
+        sim = Simulator()
+        bus = MessageBus(sim=sim, router=Router(net))
+        for n in ("r1", "r2", "r3"):
+            bus.register(n, lambda m: None)
+        receipt = bus.broadcast("r1", "plan", None)
+        assert receipt == 1  # only r2 accepted
+        sim.run()
+        assert receipt.delivered == 1
+        assert receipt.died_in_flight == 0
+
     def test_message_metadata(self):
         sim, net, bus = self.make_bus()
         got = []

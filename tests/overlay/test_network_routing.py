@@ -41,6 +41,20 @@ class TestOverlayNetwork:
         assert triangle.nodes() == ["r1", "r2", "r3"]
         assert triangle.link_latency("r1", "r3") == 50.0
 
+    def test_readd_does_not_revive_crashed_node(self, triangle):
+        """Regression: idempotent re-add must not mask a crash."""
+        triangle.fail_node("r2")
+        triangle.add_node("r2")  # idempotent re-declaration
+        assert not triangle.is_alive("r2")
+        assert triangle.alive_nodes() == ["r1", "r3"]
+        # revival goes through restore_node, and only restore_node
+        triangle.restore_node("r2")
+        assert triangle.is_alive("r2")
+
+    def test_readd_keeps_existing_links(self, triangle):
+        triangle.add_node("r1")
+        assert triangle.link_latency("r1", "r2") == 10.0
+
     def test_fail_and_restore_link(self, triangle):
         triangle.fail_link("r1", "r2")
         assert not triangle.link_is_up("r1", "r2")
