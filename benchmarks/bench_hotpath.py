@@ -72,7 +72,9 @@ class _ConstantPredictor(RttfPredictor):
         return 1e9
 
 
-def build_loop(scale: str, seed: int = BENCH_SEED) -> DesControlLoop:
+def build_loop(
+    scale: str, seed: int = BENCH_SEED, telemetry=None
+) -> DesControlLoop:
     """The two-region deployment of the DES-FIG3 bench at ``scale``."""
     (c1, c3), pool_factor, _ = SCALES[scale]
     rngs = RngRegistry(seed=seed)
@@ -106,6 +108,7 @@ def build_loop(scale: str, seed: int = BENCH_SEED) -> DesControlLoop:
         get_policy("available-resources"),
         _ConstantPredictor(),
         rngs,
+        telemetry=telemetry,
     )
 
 
@@ -135,6 +138,52 @@ def measure_scale(scale: str) -> dict:
     }
 
 
+def measure_telemetry() -> dict:
+    """Small-scale throughput with a telemetry facade attached.
+
+    Three datapoints, measured **interleaved** (plain, disabled, enabled
+    back-to-back each repeat, best-of per mode) so the A/B comparison is
+    against the same minute of machine weather rather than a plain
+    number recorded earlier in the process:
+
+    * ``plain`` -- no facade; the reference the gate compares against;
+    * ``disabled`` -- a constructed-but-disabled facade (the default
+      production configuration; its cost must stay within the bench
+      gate's tolerance of ``plain``);
+    * ``enabled`` -- recorded for trend-watching only, never gated,
+      since observation is opt-in.
+    """
+    from repro.obs.telemetry import Telemetry
+
+    (c1, c3), _, eras = SCALES["small"]
+    modes = {"plain": None, "disabled": False, "enabled": True}
+    wall = {mode: float("inf") for mode in modes}
+    loops = {}
+    for _ in range(REPEATS):
+        for mode, enabled in modes.items():
+            tel = None if enabled is None else Telemetry(enabled=enabled)
+            loop = build_loop("small", telemetry=tel)
+            t0 = time.perf_counter()
+            loop.run(eras)
+            wall[mode] = min(wall[mode], time.perf_counter() - t0)
+            loops[mode] = loop
+    out = {}
+    for mode, loop in loops.items():
+        requests = sum(
+            vm.total_requests
+            for state in loop._states.values()
+            for vm in state.vms
+        )
+        out[mode] = {
+            "clients": [c1, c3],
+            "eras": eras,
+            "requests": int(requests),
+            "wall_s": round(wall[mode], 4),
+            "requests_per_s": round(requests / wall[mode], 1),
+        }
+    return out
+
+
 def run_benchmark() -> dict:
     """Measure every scale; returns the full payload (JSON-ready)."""
     results = {scale: measure_scale(scale) for scale in SCALES}
@@ -143,6 +192,7 @@ def run_benchmark() -> dict:
         "seed": BENCH_SEED,
         "unit": "wall-clock throughput of DesControlLoop.run",
         "scales": results,
+        "telemetry": measure_telemetry(),
     }
 
 
@@ -154,6 +204,11 @@ def main(argv: list[str]) -> int:
             f"{rec['events_per_s']:>12,.1f} ev/s  "
             f"({rec['requests']} requests, {rec['eras']} eras, "
             f"{rec['wall_s']:.3f}s)"
+        )
+    for mode, rec in payload["telemetry"].items():
+        print(
+            f"telemetry {mode:>8}: {rec['requests_per_s']:>12,.1f} req/s  "
+            f"(small scale, {rec['wall_s']:.3f}s)"
         )
     if "--check" in argv:
         sys.path.insert(0, str(REPO_ROOT / "scripts"))

@@ -33,6 +33,50 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_TOLERANCE = 0.20
 
 
+def _check_telemetry_overhead(payload: dict, tolerance: float) -> list[str]:
+    """Gate the cost of a *disabled* telemetry facade.
+
+    Compares the fresh run's disabled-telemetry small-scale throughput
+    against the plain small-scale number measured *interleaved with it*
+    in the same repeat loop (same machine, same minute -- no cross-run
+    jitter), so a disabled facade sneaking real work onto the hot path
+    fails the gate.  The enabled-telemetry number is printed for the
+    record but never gated: observation is opt-in.  Payloads without a
+    ``telemetry`` section (old benchmark versions) pass vacuously.
+    """
+    tel = payload.get("telemetry")
+    if not tel or "disabled" not in tel:
+        return []
+    # prefer the interleaved plain measurement; older payloads fall back
+    # to the stand-alone small-scale number
+    plain = tel.get("plain") or payload.get("scales", {}).get("small")
+    if plain is None:
+        return []
+    plain_rps = float(plain["requests_per_s"])
+    disabled_rps = float(tel["disabled"]["requests_per_s"])
+    floor = plain_rps * (1.0 - tolerance)
+    delta = (disabled_rps - plain_rps) / plain_rps
+    status = "OK  " if disabled_rps >= floor else "FAIL"
+    print(
+        f"  {status} tel-off: {disabled_rps:>12,.1f} req/s  "
+        f"plain    {plain_rps:>12,.1f}  ({delta:+.1%})"
+    )
+    if "enabled" in tel:
+        enabled_rps = float(tel["enabled"]["requests_per_s"])
+        edelta = (enabled_rps - plain_rps) / plain_rps
+        print(
+            f"  info tel-on : {enabled_rps:>12,.1f} req/s  "
+            f"plain    {plain_rps:>12,.1f}  ({edelta:+.1%}, not gated)"
+        )
+    if disabled_rps < floor:
+        return [
+            f"disabled telemetry overhead: {disabled_rps:,.1f} req/s is "
+            f"more than {tolerance:.0%} below the plain run's "
+            f"{plain_rps:,.1f}"
+        ]
+    return []
+
+
 def check_against_baseline(
     payload: dict,
     baseline_path: Path,
@@ -64,6 +108,7 @@ def check_against_baseline(
         return 2
 
     failures = []
+    failures.extend(_check_telemetry_overhead(payload, tolerance))
     for scale, base in base_scales.items():
         current = payload["scales"].get(scale)
         if current is None:

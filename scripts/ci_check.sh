@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# CI gate: the three checks every change must pass, cheapest signal last.
+# CI gate: the four checks every change must pass, cheapest signal last.
 #
 #   1. the full tier-1 test suite (unit / property / integration);
 #   2. the hot-path performance gate against the committed baseline
-#      (fails on a >20% requests/sec regression at any scale);
+#      (fails on a >20% requests/sec regression at any scale, and on a
+#      disabled-telemetry facade costing more than the same tolerance);
 #   3. a fast seeded chaos smoke campaign (message loss + a link flap
 #      against the hardened control plane; must finish well under 30 s
-#      and exit 0 only if the deployment ends the run healthy).
+#      and exit 0 only if the deployment ends the run healthy);
+#   4. an observability smoke: a short instrumented fig3 run must dump
+#      telemetry that `repro obs` can summarise with laminar spans.
 #
 # Usage:  scripts/ci_check.sh   (from the repository root or anywhere)
 
@@ -24,5 +27,11 @@ python scripts/bench_gate.py --check
 
 echo "== chaos smoke campaign =="
 python -m repro chaos smoke --seed 7
+
+echo "== observability smoke =="
+OBS_DUMP="$(mktemp -t repro_obs_smoke.XXXXXX.json)"
+trap 'rm -f "$OBS_DUMP"' EXIT
+python -m repro fig3 --eras 12 --obs-dump "$OBS_DUMP" > /dev/null
+python -m repro obs "$OBS_DUMP"
 
 echo "ci_check: all gates passed"

@@ -22,11 +22,14 @@ Two invariants make campaigns replayable:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.chaos.predictor import CorruptiblePredictor
+
+if TYPE_CHECKING:
+    from repro.obs.telemetry import Telemetry
 from repro.overlay.network import OverlayNetwork
 from repro.overlay.routing import Router
 from repro.pcam.vm import VmState
@@ -70,6 +73,11 @@ class ChaosEngine:
     predictors:
         Per-region :class:`CorruptiblePredictor` map for prediction
         faults.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` facade.  Every
+        applied fault is mirrored as a ``chaos.<kind>`` flight event and
+        a ``chaos_faults_total{kind=...}`` counter, in addition to the
+        authoritative :attr:`log`.
     """
 
     def __init__(
@@ -81,6 +89,7 @@ class ChaosEngine:
         vmcs: dict[str, VirtualMachineController] | None = None,
         bus=None,
         predictors: dict[str, CorruptiblePredictor] | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         self.sim = sim
         self.rng = rng
@@ -90,6 +99,9 @@ class ChaosEngine:
         self.bus = bus
         self.predictors = predictors or {}
         self.log: list[FaultEvent] = []
+        self._obs = (
+            telemetry if telemetry is not None and telemetry.enabled else None
+        )
 
     # ------------------------------------------------------------------ #
     # bookkeeping
@@ -101,6 +113,11 @@ class ChaosEngine:
                 time=self.sim.now, kind=kind, target=target, detail=detail
             )
         )
+        if self._obs is not None:
+            self._obs.counter("chaos_faults_total", kind=kind).inc()
+            self._obs.event(
+                f"chaos.{kind}", target=target, detail=list(detail)
+            )
 
     def _reroute(self) -> None:
         if self.router is not None:

@@ -6,7 +6,12 @@ Usage::
     python -m repro fig4 [--eras N] [--seed S] [--predictor oracle|rep-tree]
     python -m repro compare --regions 2|3 [--policies p1,p2,...]
     python -m repro chaos <campaign>|list [--eras N] [--seed S]
+    python -m repro obs <dump.json> [--chrome out.json] [--top N]
     python -m repro models          # F2PM model-selection table
+
+``fig3``, ``fig4`` and ``chaos`` accept ``--obs-dump PATH`` to write a
+telemetry dump (metrics, spans, flight events, run manifest) that
+``repro obs`` summarises.
 """
 
 from __future__ import annotations
@@ -17,19 +22,40 @@ import sys
 import numpy as np
 
 
+def _write_obs_dump(scenario, args: argparse.Namespace) -> None:
+    """Run one instrumented policy run of ``scenario``; dump telemetry."""
+    from repro.experiments.runner import run_instrumented_experiment
+
+    _, telemetry = run_instrumented_experiment(
+        scenario,
+        "available-resources",
+        eras=args.eras,
+        seed=args.seed,
+        predictor=args.predictor,
+    )
+    telemetry.dump_json(args.obs_dump)
+    print(f"wrote telemetry dump: {args.obs_dump}")
+
+
 def _cmd_fig3(args: argparse.Namespace) -> int:
     from repro.experiments import run_figure3
     from repro.experiments.figure3 import report_figure3
+    from repro.experiments.scenarios import two_region_scenario
 
     print(report_figure3(run_figure3(args.eras, args.seed, args.predictor)))
+    if args.obs_dump:
+        _write_obs_dump(two_region_scenario(), args)
     return 0
 
 
 def _cmd_fig4(args: argparse.Namespace) -> int:
     from repro.experiments import run_figure4
     from repro.experiments.figure4 import report_figure4
+    from repro.experiments.scenarios import three_region_scenario
 
     print(report_figure4(run_figure4(args.eras, args.seed, args.predictor)))
+    if args.obs_dump:
+        _write_obs_dump(three_region_scenario(), args)
     return 0
 
 
@@ -96,7 +122,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
     results = runner(args.eras, args.seed, args.predictor)
     for policy, result in results.items():
         path = f"{args.prefix}_{args.figure}_{policy}.csv"
-        result.traces.to_csv(path)
+        result.traces.to_csv(path, manifest=result.manifest)
         print(f"wrote {path}")
     return 0
 
@@ -179,9 +205,53 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             print(f"{spec.name:<20} {spec.description}  "
                   f"[default {spec.default_eras} eras]")
         return 0
-    result = run_campaign(args.campaign, eras=args.eras, seed=args.seed)
+    telemetry = None
+    if args.obs_dump:
+        from repro.obs.telemetry import Telemetry
+
+        telemetry = Telemetry(enabled=True)
+        telemetry.autodump_path = args.obs_dump
+    result = run_campaign(
+        args.campaign, eras=args.eras, seed=args.seed, telemetry=telemetry
+    )
     print(report_campaign(result))
+    if telemetry is not None:
+        print(f"wrote telemetry dump: {args.obs_dump}")
     return 0 if result.recovered else 1
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.exporters import write_chrome_trace
+    from repro.obs.manifest import RunManifest
+    from repro.obs.spans import validate_nesting
+    from repro.obs.summary import summarize_dump
+
+    try:
+        with open(args.dump, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read telemetry dump {args.dump!r}: {exc}",
+              file=sys.stderr)
+        return 1
+    if not isinstance(doc, dict) or not doc.get("enabled", False):
+        print(
+            f"{args.dump}: not an enabled-telemetry dump "
+            "(run with --obs-dump to produce one)",
+            file=sys.stderr,
+        )
+        return 1
+    print(summarize_dump(doc, top=args.top))
+    if args.chrome:
+        manifest = (
+            RunManifest.from_dict(doc["manifest"])
+            if doc.get("manifest")
+            else None
+        )
+        write_chrome_trace(args.chrome, doc.get("spans", []), manifest)
+        print(f"wrote Chrome trace: {args.chrome}")
+    return 1 if validate_nesting(doc.get("spans", [])) else 0
 
 
 def _cmd_robustness(args: argparse.Namespace) -> int:
@@ -221,12 +291,22 @@ def build_parser() -> argparse.ArgumentParser:
             help="'oracle' or an F2PM model name ('rep-tree', 'm5p', ...)",
         )
 
+    def obs_dump_opt(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--obs-dump",
+            default=None,
+            metavar="PATH",
+            help="write a telemetry dump (summarise it with 'repro obs')",
+        )
+
     p3 = sub.add_parser("fig3", help="reproduce Figure 3 (two regions)")
     common(p3)
+    obs_dump_opt(p3)
     p3.set_defaults(func=_cmd_fig3)
 
     p4 = sub.add_parser("fig4", help="reproduce Figure 4 (three regions)")
     common(p4)
+    obs_dump_opt(p4)
     p4.set_defaults(func=_cmd_fig4)
 
     pc = sub.add_parser("compare", help="compare policies on a scenario")
@@ -291,7 +371,22 @@ def build_parser() -> argparse.ArgumentParser:
     pk.add_argument("--eras", type=int, default=None,
                     help="override the campaign's default era count")
     pk.add_argument("--seed", type=int, default=7)
+    obs_dump_opt(pk)
     pk.set_defaults(func=_cmd_chaos)
+
+    po = sub.add_parser(
+        "obs", help="summarise a telemetry dump written by --obs-dump"
+    )
+    po.add_argument("dump", help="path to the JSON telemetry dump")
+    po.add_argument(
+        "--chrome",
+        default=None,
+        metavar="PATH",
+        help="also export the spans as a Chrome/Perfetto trace",
+    )
+    po.add_argument("--top", type=int, default=5,
+                    help="rows per summary section")
+    po.set_defaults(func=_cmd_obs)
 
     pm = sub.add_parser("models", help="F2PM model-selection table")
     pm.add_argument("--seed", type=int, default=7)

@@ -41,6 +41,7 @@ from repro.core.degradation import (
 from repro.core.forward_plan import ForwardPlan, build_forward_plan
 from repro.core.policy import Policy, normalize_fractions
 from repro.core.rmttf import RmttfAggregator
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.overlay.election import LeaderElection
 from repro.overlay.network import OverlayNetwork
 from repro.overlay.routing import NoRouteError, Router
@@ -131,6 +132,11 @@ class AcmControlLoop:
         :class:`repro.core.distributed.ReliableTransport`).  ``None``
         keeps the overlay-oracle exchange: reachability decides which
         reports arrive and fraction installs are instantaneous.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` facade recording
+        MAPE phase spans, per-era latency histograms, and leader-change /
+        degradation flight events.  Disabled (the default) it is a strict
+        no-op.
     """
 
     def __init__(
@@ -144,6 +150,7 @@ class AcmControlLoop:
         autoscaler: Autoscaler | None = None,
         degradation: DegradationConfig | None = None,
         transport=None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if not vmcs:
             raise ValueError("need at least one region")
@@ -166,9 +173,18 @@ class AcmControlLoop:
             Autoscaler() if self.config.autoscale else None
         )
         self.degradation = DegradationTracker(
-            self.regions, degradation or DegradationConfig()
+            self.regions,
+            degradation or DegradationConfig(),
+            telemetry=telemetry,
         )
         self.transport = transport
+        self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._obs_on = self._tel.enabled
+        self._last_leader: str | None = None
+        if self._obs_on:
+            # A distributed plane built later re-points the clock at its
+            # simulator; standalone fluid runs use era-boundary time.
+            self._tel.set_clock(lambda: self.now)
         self.traces = TraceRecorder()
         self.fractions = policy.initial_fractions(len(self.regions))
         self.era_index = 0
@@ -210,108 +226,131 @@ class AcmControlLoop:
 
     def run_era(self) -> EraSummary:
         """Advance the loop by one Monitor/Analyze/Plan/Execute cycle."""
+        with self._tel.span(
+            f"era {self.era_index}", kind="era", era=self.era_index
+        ):
+            return self._run_era_body()
+
+    def _run_era_body(self) -> EraSummary:
         cfg = self.config
+        tel = self._tel
         dt = cfg.era_s
         now = self.now
         n = len(self.regions)
 
-        # ---- Monitor: offered load and the forward plan ---------------- #
-        rates = np.array(
-            [
-                self.populations[r].offered_rate(self._client_rt[r])
-                for r in self.regions
-            ]
-        )
-        lam = float(rates.sum())
-        if lam <= 0:
-            raise RuntimeError("no offered load: all populations empty")
-        arrival_fractions = rates / lam
-        plan = build_forward_plan(
-            self.regions, arrival_fractions, self.fractions
-        )
-
-        if cfg.stochastic_arrivals:
-            arrivals = self._arrival_rng.poisson(rates * dt).astype(int)
-            routed = plan.route_counts(arrivals, rng=self._routing_rng)
-        else:
-            arrivals = np.round(rates * dt).astype(int)
-            routed = plan.route_counts(arrivals)
-        processed = routed.sum(axis=0)
-
-        # ---- Monitor/Analyze: serve the era, predict local RMTTF ------- #
-        reports: dict[str, EraReport] = {}
-        for j, region in enumerate(self.regions):
-            reports[region] = self.vmcs[region].process_era(
-                int(processed[j]), dt, now
+        with tel.span("monitor", kind="mape", era=self.era_index):
+            # ---- Monitor: offered load and the forward plan ------------ #
+            rates = np.array(
+                [
+                    self.populations[r].offered_rate(self._client_rt[r])
+                    for r in self.regions
+                ]
+            )
+            lam = float(rates.sum())
+            if lam <= 0:
+                raise RuntimeError("no offered load: all populations empty")
+            arrival_fractions = rates / lam
+            plan = build_forward_plan(
+                self.regions, arrival_fractions, self.fractions
             )
 
-        # clients of arrival region i see the plan-weighted response time,
-        # plus the overlay round-trip for remotely served requests
-        per_region_rt: dict[str, float] = {}
-        for i, region in enumerate(self.regions):
-            rt = 0.0
-            for j, target in enumerate(self.regions):
-                share = plan.matrix[i, j]
-                if share <= 0:
-                    continue
-                extra = 0.0
-                if i != j:
-                    try:
-                        extra = 2.0 * self.router.latency(region, target) / 1000.0
-                    except NoRouteError:
-                        extra = 0.5  # timeout-and-retry penalty
-                rt += share * (reports[target].response_time_s + extra)
-            per_region_rt[region] = rt
-            self._client_rt[region] = rt
+            if cfg.stochastic_arrivals:
+                arrivals = self._arrival_rng.poisson(rates * dt).astype(int)
+                routed = plan.route_counts(arrivals, rng=self._routing_rng)
+            else:
+                arrivals = np.round(rates * dt).astype(int)
+                routed = plan.route_counts(arrivals)
+            processed = routed.sum(axis=0)
 
-        # ---- Analyze (leader side): collect reports over the overlay --- #
-        leader = self.current_leader()
-        raw_reports = {r: reports[r].last_rmttf for r in self.regions}
-        if self.transport is None:
-            received: dict[str, float] = {
-                region: raw_reports[region]
-                for region in self.regions
-                if region == leader or self.router.reachable(region, leader)
-            }
-        else:
-            received = self.transport.gather_reports(leader, raw_reports)
-        # A corrupted predictor can emit NaN; a non-finite report is as
-        # useless as a missing one, and must never reach Eq. (1) or the
-        # policy simplex projection.
-        received = {
-            region: value
-            for region, value in received.items()
-            if np.isfinite(value)
-        }
-        self.aggregator.update_all(received)
-        rmttf_vec = np.array(
-            [
-                self.aggregator.current(r)
-                if r in self.aggregator.snapshot()
-                else (
-                    raw_reports[r] if np.isfinite(raw_reports[r]) else 0.0
-                )
-                for r in self.regions
-            ]
-        )
-
-        # ---- Plan (Algorithm 2, leader only) ---------------------------- #
-        mode = self.degradation.observe(self.era_index, received)
-        if mode == "normal":
-            planned = self.policy.compute(self.fractions, rmttf_vec, lam)
-        elif mode == "hold":
-            # quorum lost: keep the last-known-good forward plan
-            planned = self.fractions
-        else:  # fallback: static split from local deployment knowledge
-            planned = self._fallback_fractions()
-        self.fractions = self._install_fractions(leader, planned)
-
-        # ---- Execute (Algorithm 3) -------------------------------------- #
-        if self.autoscaler is not None:
+            # ---- Monitor/Analyze: serve the era, predict local RMTTF --- #
+            reports: dict[str, EraReport] = {}
             for j, region in enumerate(self.regions):
-                self.autoscaler.apply(
-                    self.vmcs[region], reports[region], float(rmttf_vec[j])
+                reports[region] = self.vmcs[region].process_era(
+                    int(processed[j]), dt, now
                 )
+
+            # clients of arrival region i see the plan-weighted response
+            # time, plus the overlay round-trip for remotely served requests
+            per_region_rt: dict[str, float] = {}
+            for i, region in enumerate(self.regions):
+                rt = 0.0
+                for j, target in enumerate(self.regions):
+                    share = plan.matrix[i, j]
+                    if share <= 0:
+                        continue
+                    extra = 0.0
+                    if i != j:
+                        try:
+                            extra = (
+                                2.0 * self.router.latency(region, target) / 1000.0
+                            )
+                        except NoRouteError:
+                            extra = 0.5  # timeout-and-retry penalty
+                    rt += share * (reports[target].response_time_s + extra)
+                per_region_rt[region] = rt
+                self._client_rt[region] = rt
+
+        with tel.span("analyze", kind="mape", era=self.era_index):
+            # ---- Analyze (leader side): collect reports over the overlay #
+            leader = self.current_leader()
+            if self._obs_on:
+                if self._last_leader is not None and leader != self._last_leader:
+                    tel.event(
+                        "election.leader_change",
+                        previous=self._last_leader,
+                        leader=leader,
+                        era=self.era_index,
+                    )
+                self._last_leader = leader
+            raw_reports = {r: reports[r].last_rmttf for r in self.regions}
+            if self.transport is None:
+                received: dict[str, float] = {
+                    region: raw_reports[region]
+                    for region in self.regions
+                    if region == leader
+                    or self.router.reachable(region, leader)
+                }
+            else:
+                received = self.transport.gather_reports(leader, raw_reports)
+            # A corrupted predictor can emit NaN; a non-finite report is as
+            # useless as a missing one, and must never reach Eq. (1) or the
+            # policy simplex projection.
+            received = {
+                region: value
+                for region, value in received.items()
+                if np.isfinite(value)
+            }
+            self.aggregator.update_all(received)
+            rmttf_vec = np.array(
+                [
+                    self.aggregator.current(r)
+                    if r in self.aggregator.snapshot()
+                    else (
+                        raw_reports[r] if np.isfinite(raw_reports[r]) else 0.0
+                    )
+                    for r in self.regions
+                ]
+            )
+
+        with tel.span("plan", kind="mape", era=self.era_index):
+            # ---- Plan (Algorithm 2, leader only) ------------------------ #
+            mode = self.degradation.observe(self.era_index, received)
+            if mode == "normal":
+                planned = self.policy.compute(self.fractions, rmttf_vec, lam)
+            elif mode == "hold":
+                # quorum lost: keep the last-known-good forward plan
+                planned = self.fractions
+            else:  # fallback: static split from local deployment knowledge
+                planned = self._fallback_fractions()
+
+        with tel.span("execute", kind="mape", era=self.era_index):
+            # ---- Execute (Algorithm 3) ---------------------------------- #
+            self.fractions = self._install_fractions(leader, planned)
+            if self.autoscaler is not None:
+                for j, region in enumerate(self.regions):
+                    self.autoscaler.apply(
+                        self.vmcs[region], reports[region], float(rmttf_vec[j])
+                    )
 
         # ---- bookkeeping ------------------------------------------------ #
         total_requests = int(processed.sum())
@@ -346,6 +385,10 @@ class AcmControlLoop:
             degradation=mode,
         )
         self._record(summary)
+        if self._obs_on:
+            tel.histogram("era_response_time_s").observe(global_rt)
+            for region, rt in per_region_rt.items():
+                tel.histogram("era_response_time_s", region=region).observe(rt)
         self.summaries.append(summary)
         self.era_index += 1
         return summary

@@ -33,7 +33,10 @@ currently installed fractions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:
+    from repro.obs.telemetry import Telemetry
 
 #: Trace encoding of the degradation mode (series ``degradation``).
 MODE_CODES = {"normal": 0, "hold": 1, "fallback": 2}
@@ -73,7 +76,10 @@ class DegradationTracker:
     """Per-era degradation state machine (see module docstring)."""
 
     def __init__(
-        self, regions: list[str], config: DegradationConfig | None = None
+        self,
+        regions: list[str],
+        config: DegradationConfig | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         if not regions:
             raise ValueError("need at least one region")
@@ -83,6 +89,7 @@ class DegradationTracker:
         self.consecutive_degraded = 0
         #: era index of each region's most recent (finite) report
         self._last_report_era: dict[str, int] = {}
+        self._tel = telemetry if telemetry is not None and telemetry.enabled else None
 
     def observe(self, era: int, reported: Iterable[str]) -> str:
         """Fold one era's received-report set; returns the new mode."""
@@ -94,6 +101,7 @@ class DegradationTracker:
             for region in self.regions
             if self._last_report_era.get(region, -1) >= horizon
         )
+        previous = self.mode
         if fresh > self.config.quorum_fraction * len(self.regions):
             self.mode = "normal"
             self.consecutive_degraded = 0
@@ -104,6 +112,19 @@ class DegradationTracker:
                 if self.consecutive_degraded >= self.config.fallback_after_eras
                 else "hold"
             )
+        if self._tel is not None:
+            self._tel.gauge("degradation_mode").set(MODE_CODES[self.mode])
+            if self.mode != previous:
+                self._tel.counter(
+                    "degradation_transitions_total", to=self.mode
+                ).inc()
+                self._tel.event(
+                    "degradation.transition",
+                    era=era,
+                    previous=previous,
+                    mode=self.mode,
+                    fresh=fresh,
+                )
         return self.mode
 
     def fresh_regions(self, era: int) -> list[str]:

@@ -50,6 +50,7 @@ import numpy as np
 from repro.core.forward_plan import ForwardPlan, build_forward_plan
 from repro.core.policy import Policy
 from repro.core.rmttf import RmttfAggregator
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.overlay.network import OverlayNetwork
 from repro.overlay.routing import NoRouteError, Router
 from repro.pcam.predictor import RttfPredictor
@@ -134,6 +135,10 @@ class DesControlLoop:
         Optional controller overlay; remote forwarding pays its RTT.
     mean_demand:
         Demand-units per request.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` facade.  Disabled
+        (the default) it is a strict no-op and the loop stays bit-identical
+        to an un-instrumented one.
     """
 
     def __init__(
@@ -147,12 +152,15 @@ class DesControlLoop:
         rttf_threshold_s: float = 240.0,
         overlay: OverlayNetwork | None = None,
         mean_demand: float = 1.5,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if not regions:
             raise ValueError("need at least one region")
         if era_s <= 0:
             raise ValueError("era_s must be positive")
-        self.sim = Simulator()
+        self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._obs_on = self._tel.enabled
+        self.sim = Simulator(telemetry=telemetry)
         self.policy = policy
         self.predictor = predictor
         self.era_s = float(era_s)
@@ -187,6 +195,16 @@ class DesControlLoop:
         # index-aligned views of the per-name maps (hot-path access)
         self._state_by_idx = [self._states[r] for r in self.region_names]
         self._rng_by_idx = [self._rngs[r] for r in self.region_names]
+        # telemetry handles are pre-fetched per region; the per-request
+        # path pays one is-None check when telemetry is off
+        self._obs_resp = (
+            [
+                self._tel.histogram("request_response_time_s", region=r)
+                for r in self.region_names
+            ]
+            if self._obs_on
+            else None
+        )
         self.overlay = overlay
         self._router = Router(overlay) if overlay is not None else None
         self._install_plan(
@@ -338,6 +356,8 @@ class DesControlLoop:
         rt = (self.sim.now - t_start) + extra
         state.era_completed += 1
         state.era_response_sum += rt
+        if self._obs_resp is not None:
+            self._obs_resp[j].observe(rt)
         vm = state.vms[slot]
         if vm.state is VmState.ACTIVE:
             effect = vm.injector.inject(1)
@@ -349,6 +369,10 @@ class DesControlLoop:
                 vm.fail()
                 state.drop_active_slot(slot)
                 self.total_failures += 1
+                if self._obs_on:
+                    self._tel.event(
+                        "vm.failure", region=state.name, vm=vm.name
+                    )
         self._schedule_next(i)
 
     def _schedule_next(self, i: int) -> None:
@@ -368,13 +392,52 @@ class DesControlLoop:
 
         Returns the per-region RMTTF after Eq. (1).
         """
-        if not self._started:
-            self._start_browsers()
-            self._started = True
-        t_end = self.sim.now + self.era_s
-        self.sim.run_until(t_end)
+        with self._tel.span(f"era {self.era_index}", kind="era", era=self.era_index):
+            return self._run_era_body()
+
+    def _run_era_body(self) -> dict[str, float]:
+        tel = self._tel
+        with tel.span("monitor", kind="mape", era=self.era_index):
+            if not self._started:
+                self._start_browsers()
+                self._started = True
+            t_end = self.sim.now + self.era_s
+            self.sim.run_until(t_end)
         now = self.sim.now
 
+        with tel.span("analyze", kind="mape", era=self.era_index):
+            reports, lam = self._analyze_regions(now)
+
+        # leader: Eq. (1), POLICY(), new plan.  An idle era (zero
+        # completed requests) holds the previous fractions rather than
+        # feeding the policy a fabricated load, matching the fluid loop
+        # which never plans against a zero-demand era.
+        with tel.span("plan", kind="mape", era=self.era_index):
+            current = self.aggregator.update_all(reports)
+            rmttf_vec = np.array([current[r] for r in self.region_names])
+            if lam > 0.0:
+                self.fractions = self.policy.compute(
+                    self.fractions, rmttf_vec, lam
+                )
+        with tel.span("execute", kind="mape", era=self.era_index):
+            if lam > 0.0:
+                self._install_plan(
+                    build_forward_plan(
+                        self.region_names,
+                        self._arrival_fractions(),
+                        self.fractions,
+                    )
+                )
+            for j, name in enumerate(self.region_names):
+                self.traces.record(f"rmttf/{name}", now, float(rmttf_vec[j]))
+                self.traces.record(
+                    f"fraction/{name}", now, float(self.fractions[j])
+                )
+        self.era_index += 1
+        return current
+
+    def _analyze_regions(self, now: float) -> tuple[dict[str, float], float]:
+        """Per-region era accounting, prediction, and PCAM swaps."""
         reports: dict[str, float] = {}
         lam = 0.0
         for name in self.region_names:
@@ -411,10 +474,25 @@ class DesControlLoop:
                     continue
                 vm.start_rejuvenation()
                 self.total_rejuvenations += 1
+                if self._obs_on:
+                    self._tel.instant(
+                        f"rejuvenate {vm.name}",
+                        kind="rejuvenation",
+                        region=name,
+                        reason="at_risk",
+                        rttf_s=rttf,
+                    )
             for vm in state.vms:
                 if vm.state is VmState.FAILED:
                     vm.start_rejuvenation()
                     self.total_rejuvenations += 1
+                    if self._obs_on:
+                        self._tel.instant(
+                            f"rejuvenate {vm.name}",
+                            kind="rejuvenation",
+                            region=name,
+                            reason="failed",
+                        )
             self._ensure_active(state)
             state.rebuild_active_slots()
             state.era_active_start = len(state.active_slots)
@@ -431,31 +509,7 @@ class DesControlLoop:
             self.traces.record(f"response_time/{name}", now, mean_rt)
             state.era_completed = 0
             state.era_response_sum = 0.0
-
-        # leader: Eq. (1), POLICY(), new plan.  An idle era (zero
-        # completed requests) holds the previous fractions rather than
-        # feeding the policy a fabricated load, matching the fluid loop
-        # which never plans against a zero-demand era.
-        current = self.aggregator.update_all(reports)
-        rmttf_vec = np.array([current[r] for r in self.region_names])
-        if lam > 0.0:
-            self.fractions = self.policy.compute(
-                self.fractions, rmttf_vec, lam
-            )
-            self._install_plan(
-                build_forward_plan(
-                    self.region_names,
-                    self._arrival_fractions(),
-                    self.fractions,
-                )
-            )
-        for j, name in enumerate(self.region_names):
-            self.traces.record(f"rmttf/{name}", now, float(rmttf_vec[j]))
-            self.traces.record(
-                f"fraction/{name}", now, float(self.fractions[j])
-            )
-        self.era_index += 1
-        return current
+        return reports, lam
 
     def run(self, n_eras: int) -> dict[str, float]:
         """Run several eras; returns the final RMTTF snapshot."""

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.control_loop import AcmControlLoop, EraSummary
+from repro.obs.telemetry import Telemetry
 from repro.overlay.heartbeat import HeartbeatDetector, build_detector_mesh
 from repro.overlay.messaging import Message, MessageBus
 from repro.overlay.network import OverlayNetwork
@@ -191,6 +192,12 @@ class DistributedControlPlane:
     control_window_s:
         Exchange window of the reliable transport (see
         :class:`ReliableTransport`).
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` facade.  The
+        plane's simulator becomes the telemetry clock (it is the finest
+        time source of a combined run), the plane's bus and reliable
+        channel mirror their counters into the registry, and leader-view
+        disagreements leave flight events.
     """
 
     def __init__(
@@ -202,13 +209,17 @@ class DistributedControlPlane:
         bus_factory: Callable[[Simulator, Router], MessageBus] | None = None,
         reliable_control: bool = False,
         control_window_s: float = 3.0,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.loop = loop
-        self.sim = Simulator()
+        self._obs = (
+            telemetry if telemetry is not None and telemetry.enabled else None
+        )
+        self.sim = Simulator(telemetry=telemetry)
         self.bus = (
             bus_factory(self.sim, loop.router)
             if bus_factory is not None
-            else MessageBus(sim=self.sim, router=loop.router)
+            else MessageBus(sim=self.sim, router=loop.router, telemetry=telemetry)
         )
         nodes = list(loop.regions)
         self.detectors: dict[str, HeartbeatDetector] = build_detector_mesh(
@@ -232,7 +243,9 @@ class DistributedControlPlane:
         self.transport: ReliableTransport | None = None
         if reliable_control:
             self.channel = ReliableChannel(
-                self.bus, loop.rngs.stream("reliable/jitter")
+                self.bus,
+                loop.rngs.stream("reliable/jitter"),
+                telemetry=telemetry,
             )
             self.transport = ReliableTransport(
                 self.channel,
@@ -319,6 +332,16 @@ class DistributedControlPlane:
             ),
             max_staleness_eras=int(staleness),
         )
+        if self._obs is not None:
+            self._obs.gauge("plane_max_staleness_eras").set(staleness)
+            if not report.views_agree:
+                self._obs.counter("plane_view_disagreements_total").inc()
+                self._obs.event(
+                    "election.view_disagreement",
+                    era=summary.era,
+                    oracle=summary.leader,
+                    views=sorted(views),
+                )
         self.reports.append(report)
         return report
 

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from repro.core.autoscale import Autoscaler, AutoscaleConfig
 from repro.core.control_loop import AcmControlLoop, ControlLoopConfig, EraSummary
 from repro.core.policy import Policy, get_policy
+from repro.obs.telemetry import Telemetry
 from repro.overlay.network import OverlayNetwork
 from repro.pcam.predictor import OracleRttfPredictor, RttfPredictor
 from repro.pcam.vm import FailurePolicy, VirtualMachine
@@ -115,6 +116,10 @@ class AcmManager:
         Uniform full-mesh latency between region controllers; pass an
         :class:`~repro.overlay.network.OverlayNetwork` via ``overlay`` for
         a custom topology.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` facade threaded
+        through the loop and every VMC.  Disabled (the default) the whole
+        deployment runs bit-identically to an un-instrumented one.
     """
 
     regions: list[RegionSpec]
@@ -132,6 +137,7 @@ class AcmManager:
     overlay_latency_ms: float = 20.0
     stochastic_arrivals: bool = True
     sla_response_time_s: float = 1.0
+    telemetry: Telemetry | None = None
     loop: AcmControlLoop = field(init=False)
     rngs: RngRegistry = field(init=False)
 
@@ -177,6 +183,7 @@ class AcmManager:
             autoscaler=(
                 Autoscaler(self.autoscale_config) if self.autoscale else None
             ),
+            telemetry=self.telemetry,
         )
 
     # ------------------------------------------------------------------ #
@@ -212,6 +219,7 @@ class AcmManager:
                 target_active=spec.target_active,
                 mean_demand=self.mix.mean_service_demand(),
             ),
+            telemetry=self.telemetry,
         )
 
     def _build_overlay(self, names: list[str]) -> OverlayNetwork:

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.metrics import PolicyAssessment
+from repro.obs.manifest import RunManifest
 from repro.sim.tracing import TraceRecorder, TraceSeries
 
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
@@ -58,6 +59,19 @@ def _downsample(series: TraceSeries, n_points: int) -> np.ndarray:
         return series.values
     buckets = np.array_split(series.values, n_points)
     return np.array([b.mean() for b in buckets])
+
+
+def manifest_line(manifest: RunManifest | None) -> str:
+    """One-line provenance stamp for reports (empty without a manifest)."""
+    if manifest is None:
+        return ""
+    extra = " ".join(
+        f"{k}={v}" for k, v in sorted(manifest.extra.items())
+    )
+    return (
+        f"run: seed={manifest.seed} config={manifest.config_digest} "
+        f"version={manifest.version}" + (f" {extra}" if extra else "")
+    )
 
 
 def assessment_table(assessments: list[PolicyAssessment]) -> str:

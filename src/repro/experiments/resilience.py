@@ -53,6 +53,8 @@ from repro.chaos import ChaosEngine, CorruptiblePredictor, FaultEvent, LossyBus
 from repro.core.degradation import DegradationConfig
 from repro.core.distributed import DistributedControlPlane, PlaneEraReport
 from repro.core.manager import AcmManager, RegionSpec
+from repro.obs.manifest import RunManifest
+from repro.obs.telemetry import Telemetry
 
 #: One scripted fault action, applied to the engine at an era boundary.
 FaultAction = Callable[[ChaosEngine], None]
@@ -111,21 +113,31 @@ class _Deployment:
     engine: ChaosEngine
 
 
-def _build_deployment(seed: int, era_s: float = 30.0) -> _Deployment:
+def _build_deployment(
+    seed: int,
+    era_s: float = 30.0,
+    telemetry: Telemetry | None = None,
+) -> _Deployment:
     manager = AcmManager(
         regions=list(CAMPAIGN_REGIONS),
         policy="available-resources",
         seed=seed,
         era_s=era_s,
+        telemetry=telemetry,
     )
     loop = manager.loop
     chaos_net_rng = manager.rngs.stream("chaos/network")
 
     def bus_factory(sim, router):
-        return LossyBus(sim=sim, router=router, rng=chaos_net_rng)
+        return LossyBus(
+            sim=sim, router=router, rng=chaos_net_rng, telemetry=telemetry
+        )
 
     plane = DistributedControlPlane(
-        loop, bus_factory=bus_factory, reliable_control=True
+        loop,
+        bus_factory=bus_factory,
+        reliable_control=True,
+        telemetry=telemetry,
     )
     predictors = {}
     for region, vmc in loop.vmcs.items():
@@ -140,6 +152,7 @@ def _build_deployment(seed: int, era_s: float = 30.0) -> _Deployment:
         vmcs=loop.vmcs,
         bus=plane.bus,
         predictors=predictors,
+        telemetry=telemetry,
     )
     return _Deployment(manager=manager, plane=plane, engine=engine)
 
@@ -228,24 +241,43 @@ def _collect_message_stats(plane: DistributedControlPlane) -> dict[str, int]:
 
 
 def _run_script(
-    name: str, script: FaultScript, eras: int, seed: int, era_s: float
+    name: str,
+    script: FaultScript,
+    eras: int,
+    seed: int,
+    era_s: float,
+    telemetry: Telemetry | None = None,
 ) -> CampaignResult:
-    dep = _build_deployment(seed, era_s=era_s)
+    dep = _build_deployment(seed, era_s=era_s, telemetry=telemetry)
     plane, engine = dep.plane, dep.engine
     reports: list[PlaneEraReport] = []
     healthy: list[bool] = []
     era_faults: dict[int, tuple[str, ...]] = {}
-    for era in range(eras):
-        before = len(engine.log)
-        for action in script.get(era, ()):
-            action(engine)
-        if len(engine.log) > before:
-            era_faults[era] = tuple(
-                ev.kind for ev in engine.log[before:]
+    tel = (
+        telemetry if telemetry is not None and telemetry.enabled else None
+    )
+    try:
+        for era in range(eras):
+            before = len(engine.log)
+            for action in script.get(era, ()):
+                action(engine)
+            if len(engine.log) > before:
+                era_faults[era] = tuple(
+                    ev.kind for ev in engine.log[before:]
+                )
+            report = plane.run_era()
+            reports.append(report)
+            healthy.append(_service_healthy(plane, report))
+    finally:
+        # even a crashed campaign leaves its flight recorder behind
+        if tel is not None:
+            tel.event(
+                "campaign.end",
+                campaign=name,
+                eras_completed=len(reports),
+                aborted=len(reports) < eras,
             )
-        report = plane.run_era()
-        reports.append(report)
-        healthy.append(_service_healthy(plane, report))
+            tel.maybe_autodump()
     windows = _unhealthy_windows(healthy)
     closed = [(a, b) for a, b in windows if b < eras]
     mttr_s = (
@@ -394,8 +426,16 @@ def run_campaign(
     eras: int | None = None,
     seed: int = 7,
     era_s: float = 30.0,
+    telemetry: Telemetry | None = None,
 ) -> CampaignResult:
-    """Run one canned campaign; see :data:`CAMPAIGNS` for the names."""
+    """Run one canned campaign; see :data:`CAMPAIGNS` for the names.
+
+    An enabled ``telemetry`` facade is threaded through the whole
+    deployment (manager, lossy bus, plane, chaos engine); the campaign
+    stamps it with a run manifest, records a ``campaign.end`` flight
+    event, and -- if ``telemetry.autodump_path`` is set -- dumps the
+    telemetry snapshot even when the campaign aborts mid-run.
+    """
     spec = CAMPAIGNS.get(name)
     if spec is None:
         raise ValueError(
@@ -404,8 +444,26 @@ def run_campaign(
     n_eras = spec.default_eras if eras is None else int(eras)
     if n_eras < 4:
         raise ValueError("campaigns need at least 4 eras")
+    if telemetry is not None and telemetry.enabled:
+        telemetry.set_manifest(
+            RunManifest.build(
+                seed=seed,
+                config={
+                    "campaign": spec.name,
+                    "eras": n_eras,
+                    "era_s": era_s,
+                },
+                campaign=spec.name,
+                eras=n_eras,
+            )
+        )
     return _run_script(
-        spec.name, spec.build_script(n_eras), n_eras, seed, era_s
+        spec.name,
+        spec.build_script(n_eras),
+        n_eras,
+        seed,
+        era_s,
+        telemetry=telemetry,
     )
 
 

@@ -18,9 +18,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.distributed import DistributedControlPlane
 from repro.core.manager import AcmManager
 from repro.core.metrics import PolicyAssessment, assess_policy_run
 from repro.experiments.scenarios import PAPER_POLICIES, Scenario
+from repro.obs.manifest import RunManifest
+from repro.obs.telemetry import Telemetry
 from repro.ml.derived import augment_runs_with_slopes
 from repro.ml.features import FEATURE_NAMES
 from repro.ml.toolchain import F2PMToolchain
@@ -50,6 +53,8 @@ class ExperimentResult:
     assessment: PolicyAssessment
     eras: int
     era_s: float
+    #: how to regenerate this result (seed, config digest, code version)
+    manifest: RunManifest | None = None
 
 
 def make_trained_predictor(
@@ -128,6 +133,37 @@ def _resolve_predictor(
     )
 
 
+def _experiment_manifest(
+    scenario: Scenario,
+    policy: str,
+    eras: int,
+    seed: int,
+    era_s: float,
+    beta: float,
+    predictor: str | RttfPredictor,
+    autoscale: bool,
+) -> RunManifest:
+    return RunManifest.build(
+        seed=seed,
+        config={
+            "scenario": scenario.name,
+            "policy": policy,
+            "eras": eras,
+            "era_s": era_s,
+            "beta": beta,
+            "predictor": (
+                predictor
+                if isinstance(predictor, str)
+                else type(predictor).__name__
+            ),
+            "autoscale": autoscale,
+        },
+        scenario=scenario.name,
+        policy=policy,
+        eras=eras,
+    )
+
+
 def run_policy_experiment(
     scenario: Scenario,
     policy: str,
@@ -137,14 +173,22 @@ def run_policy_experiment(
     beta: float = 0.5,
     predictor: str | RttfPredictor = "oracle",
     autoscale: bool = False,
+    telemetry: Telemetry | None = None,
 ) -> ExperimentResult:
     """Run one policy on one scenario and assess it.
 
     Returns the traces (the series Figures 3-4 plot) plus the quantified
-    policy verdict.
+    policy verdict.  An enabled ``telemetry`` facade gets threaded through
+    the whole deployment (loop, VMCs) and stamped with the run manifest;
+    disabled or absent telemetry leaves the run bit-identical.
     """
     if eras < 10:
         raise ValueError("eras must be >= 10 for a meaningful assessment")
+    manifest = _experiment_manifest(
+        scenario, policy, eras, seed, era_s, beta, predictor, autoscale
+    )
+    if telemetry is not None and telemetry.enabled:
+        telemetry.set_manifest(manifest)
     manager = AcmManager(
         regions=list(scenario.regions),
         policy=policy,
@@ -154,6 +198,7 @@ def run_policy_experiment(
         predictor=_resolve_predictor(predictor, scenario, seed),
         overlay=scenario.build_overlay(),
         autoscale=autoscale,
+        telemetry=telemetry,
     )
     manager.run(eras)
     return ExperimentResult(
@@ -163,7 +208,63 @@ def run_policy_experiment(
         assessment=assess_policy_run(policy, manager.traces),
         eras=eras,
         era_s=era_s,
+        manifest=manifest,
     )
+
+
+def run_instrumented_experiment(
+    scenario: Scenario,
+    policy: str,
+    eras: int = 240,
+    seed: int = 7,
+    era_s: float = 30.0,
+    beta: float = 0.5,
+    predictor: str | RttfPredictor = "oracle",
+    autoscale: bool = False,
+    flight_capacity: int = 512,
+) -> tuple[ExperimentResult, Telemetry]:
+    """A fully observable policy run: telemetry on, control traffic real.
+
+    Builds an enabled :class:`Telemetry`, threads it through the
+    deployment, and puts the loop's report/fraction exchange on a
+    :class:`~repro.overlay.reliable.ReliableChannel` via a
+    :class:`~repro.core.distributed.DistributedControlPlane` -- so the
+    resulting dump carries channel-send spans and plane events alongside
+    the MAPE/era/rejuvenation spans.  Returns the experiment result and
+    the telemetry facade (snapshot/export it for the ``repro obs`` CLI).
+    """
+    if eras < 10:
+        raise ValueError("eras must be >= 10 for a meaningful assessment")
+    telemetry = Telemetry(enabled=True, flight_capacity=flight_capacity)
+    manifest = _experiment_manifest(
+        scenario, policy, eras, seed, era_s, beta, predictor, autoscale
+    )
+    telemetry.set_manifest(manifest)
+    manager = AcmManager(
+        regions=list(scenario.regions),
+        policy=policy,
+        seed=seed,
+        era_s=era_s,
+        beta=beta,
+        predictor=_resolve_predictor(predictor, scenario, seed),
+        overlay=scenario.build_overlay(),
+        autoscale=autoscale,
+        telemetry=telemetry,
+    )
+    plane = DistributedControlPlane(
+        manager.loop, reliable_control=True, telemetry=telemetry
+    )
+    plane.run(eras)
+    result = ExperimentResult(
+        scenario=scenario.name,
+        policy=policy,
+        traces=manager.traces,
+        assessment=assess_policy_run(policy, manager.traces),
+        eras=eras,
+        era_s=era_s,
+        manifest=manifest,
+    )
+    return result, telemetry
 
 
 def compare_policies(

@@ -1,0 +1,67 @@
+"""Run manifests: make every exported artifact replayable from itself.
+
+An artifact without its seed and configuration is a screenshot; with
+them it is a reproduction recipe.  :class:`RunManifest` pins the three
+things needed to regenerate a result -- the RNG seed, a digest of the
+effective configuration, and the package version that produced it --
+plus free-form extras (scenario name, era count).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+
+def config_digest(config: Any) -> str:
+    """Short stable digest of an arbitrary JSON-able configuration.
+
+    Keys are sorted and non-JSON values fall back to ``str``, so two
+    runs with the same effective settings digest identically regardless
+    of dict ordering or dataclass identity.
+    """
+    payload = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=8).hexdigest()
+
+
+@dataclass(slots=True)
+class RunManifest:
+    """Seed + config digest + package version for one run."""
+
+    seed: int
+    config_digest: str
+    version: str
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, seed: int, config: Any, **extra: Any) -> "RunManifest":
+        from repro import __version__
+
+        return cls(
+            seed=int(seed),
+            config_digest=config_digest(config),
+            version=__version__,
+            extra=extra,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "config_digest": self.config_digest,
+            "version": self.version,
+            "extra": dict(self.extra),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        return cls(
+            seed=int(data["seed"]),
+            config_digest=str(data["config_digest"]),
+            version=str(data["version"]),
+            extra=dict(data.get("extra", {})),
+        )

@@ -22,10 +22,13 @@ guarantees layer :class:`repro.overlay.reliable.ReliableChannel` on top.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.overlay.routing import NoRouteError, Router
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:
+    from repro.obs.telemetry import Telemetry
 
 
 @dataclass(frozen=True, slots=True)
@@ -95,6 +98,11 @@ class MessageBus:
     on_drop:
         Optional callback invoked with the message when it is dropped
         (for any reason; consult :attr:`drop_counts` for the breakdown).
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` facade mirroring
+        ``delivered_count``/``drop_counts`` into the metrics registry and
+        recording a flight event per drop.  The integer attributes remain
+        authoritative and are maintained regardless.
     """
 
     sim: Simulator
@@ -103,9 +111,19 @@ class MessageBus:
     delivered_count: int = 0
     dropped_count: int = 0
     drop_counts: dict[str, int] = field(default_factory=dict)
+    telemetry: "Telemetry | None" = None
     _handlers: dict[str, Callable[[Message], None]] = field(
         default_factory=dict
     )
+
+    def __post_init__(self) -> None:
+        tel = self.telemetry
+        self._obs = tel if tel is not None and tel.enabled else None
+        self._obs_delivered = (
+            self._obs.counter("bus_delivered_total")
+            if self._obs is not None
+            else None
+        )
 
     def register(
         self, node: str, handler: Callable[[Message], None]
@@ -146,6 +164,8 @@ class MessageBus:
                 self._drop(msg, "dead_dst", on_outcome)
                 return
             self.delivered_count += 1
+            if self._obs_delivered is not None:
+                self._obs_delivered.inc()
             self._handlers[dst](msg)
             if on_outcome is not None:
                 on_outcome(msg, "delivered")
@@ -195,6 +215,15 @@ class MessageBus:
     ) -> None:
         self.dropped_count += 1
         self.drop_counts[reason] = self.drop_counts.get(reason, 0) + 1
+        if self._obs is not None:
+            self._obs.counter("bus_dropped_total", reason=reason).inc()
+            self._obs.event(
+                "bus.drop",
+                reason=reason,
+                src=msg.src,
+                dst=msg.dst,
+                msg_kind=msg.kind,
+            )
         if self.on_drop is not None:
             self.on_drop(msg)
         if on_outcome is not None:

@@ -28,11 +28,15 @@ resilience campaigns report (retries, duplicates, give-ups).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
 from repro.overlay.messaging import Message, MessageBus
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import Counter
+    from repro.obs.telemetry import Telemetry
 
 #: Bus message kind carrying an application payload envelope.
 DATA_KIND = "rc-data"
@@ -59,7 +63,13 @@ class SendHandle:
 
 @dataclass(slots=True)
 class ChannelStats:
-    """Send-outcome telemetry of one :class:`ReliableChannel`."""
+    """Send-outcome telemetry of one :class:`ReliableChannel`.
+
+    The integer attributes stay authoritative (campaign reports read them
+    directly); when bound to a metrics registry via :meth:`bind`, every
+    :meth:`bump` also increments the matching registry counter, so the
+    same numbers appear in `obs` exports without double bookkeeping.
+    """
 
     sent: int = 0  #: application messages submitted
     attempts: int = 0  #: bus transmissions (first tries + retries)
@@ -68,6 +78,30 @@ class ChannelStats:
     gave_up: int = 0  #: sends that exhausted their retries
     duplicates: int = 0  #: received data suppressed by dedup
     acks_sent: int = 0  #: acknowledgements transmitted
+    _mirror: "dict[str, Counter] | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    FIELDS = (
+        "sent",
+        "attempts",
+        "retries",
+        "acked",
+        "gave_up",
+        "duplicates",
+        "acks_sent",
+    )
+
+    def bind(self, counters: "dict[str, Counter]") -> None:
+        """Mirror future bumps into the given registry counters."""
+        self._mirror = counters
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        setattr(self, name, getattr(self, name) + amount)
+        if self._mirror is not None:
+            counter = self._mirror.get(name)
+            if counter is not None:
+                counter.inc(amount)
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -110,6 +144,12 @@ class ReliableChannel:
     on_give_up:
         Optional callback invoked with the :class:`SendHandle` of every
         send that exhausts its retries.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` facade.  When
+        enabled, :attr:`stats` mirrors into registry counters
+        (``channel_<field>_total``), every send records an async
+        ``channel`` span from submission to ack/give-up, and give-ups
+        leave a flight event.
     """
 
     def __init__(
@@ -121,6 +161,7 @@ class ReliableChannel:
         backoff_factor: float = 2.0,
         jitter_s: float = 0.05,
         on_give_up: Callable[[SendHandle], None] | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
@@ -139,6 +180,18 @@ class ReliableChannel:
         self.jitter_s = float(jitter_s)
         self.on_give_up = on_give_up
         self.stats = ChannelStats()
+        self._obs = (
+            telemetry if telemetry is not None and telemetry.enabled else None
+        )
+        if self._obs is not None:
+            self.stats.bind(
+                {
+                    name: self._obs.counter(f"channel_{name}_total")
+                    for name in ChannelStats.FIELDS
+                }
+            )
+        #: msg_id -> open async ``channel`` span (telemetry only)
+        self._obs_spans: dict[int, Any] = {}
         self._next_id = 0
         self._pending: dict[int, tuple[SendHandle, str, Any]] = {}
         self._timers: dict[int, Any] = {}
@@ -187,7 +240,15 @@ class ReliableChannel:
             msg_id=self._next_id, src=src, dst=dst, kind=kind
         )
         self._next_id += 1
-        self.stats.sent += 1
+        self.stats.bump("sent")
+        if self._obs is not None:
+            self._obs_spans[handle.msg_id] = self._obs.open_span(
+                f"send {src}->{dst}",
+                "channel",
+                msg_kind=kind,
+                src=src,
+                dst=dst,
+            )
         self._pending[handle.msg_id] = (handle, kind, payload)
         self._attempt(handle, kind, payload)
         return handle
@@ -198,7 +259,7 @@ class ReliableChannel:
 
     def _attempt(self, handle: SendHandle, kind: str, payload: Any) -> None:
         handle.attempts += 1
-        self.stats.attempts += 1
+        self.stats.bump("attempts")
         envelope = {"id": handle.msg_id, "kind": kind, "payload": payload}
         self.bus.send(handle.src, handle.dst, DATA_KIND, envelope)
         timeout = self.base_timeout_s * (
@@ -219,12 +280,25 @@ class ReliableChannel:
         self._timers.pop(handle.msg_id, None)
         if handle.attempts > self.max_retries:
             handle.status = "failed"
-            self.stats.gave_up += 1
+            self.stats.bump("gave_up")
             del self._pending[handle.msg_id]
+            if self._obs is not None:
+                span = self._obs_spans.pop(handle.msg_id, None)
+                if span is not None:
+                    self._obs.close_span(
+                        span, outcome="failed", attempts=handle.attempts
+                    )
+                self._obs.event(
+                    "channel.give_up",
+                    src=handle.src,
+                    dst=handle.dst,
+                    msg_kind=handle.kind,
+                    attempts=handle.attempts,
+                )
             if self.on_give_up is not None:
                 self.on_give_up(handle)
             return
-        self.stats.retries += 1
+        self.stats.bump("retries")
         self._attempt(handle, entry[1], entry[2])
 
     # ------------------------------------------------------------------ #
@@ -235,12 +309,12 @@ class ReliableChannel:
         envelope = msg.payload
         msg_id = envelope["id"]
         # Always ack, even duplicates: the previous ack may have been lost.
-        self.stats.acks_sent += 1
+        self.stats.bump("acks_sent")
         self.bus.send(node, msg.src, ACK_KIND, {"id": msg_id})
         seen = self._seen.setdefault(node, set())
         key = (msg.src, msg_id)
         if key in seen:
-            self.stats.duplicates += 1
+            self.stats.bump("duplicates")
             return
         seen.add(key)
         handler = self._app_handlers.get(node)
@@ -262,7 +336,13 @@ class ReliableChannel:
         handle = entry[0]
         handle.status = "acked"
         handle.acked_at = self.sim.now
-        self.stats.acked += 1
+        self.stats.bump("acked")
+        if self._obs is not None:
+            span = self._obs_spans.pop(handle.msg_id, None)
+            if span is not None:
+                self._obs.close_span(
+                    span, outcome="acked", attempts=handle.attempts
+                )
         timer = self._timers.pop(handle.msg_id, None)
         if timer is not None:
             timer.cancel()

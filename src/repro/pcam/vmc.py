@@ -20,10 +20,14 @@ global control loop.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.pcam.balancer import LocalBalancer
+
+if TYPE_CHECKING:
+    from repro.obs.telemetry import Telemetry
 from repro.pcam.monitor import FeatureMonitor
 from repro.pcam.predictor import RttfPredictor
 from repro.pcam.rejuvenation import (
@@ -104,6 +108,10 @@ class VirtualMachineController:
         :class:`~repro.pcam.rejuvenation.PeriodicRejuvenation` or
         :class:`~repro.pcam.rejuvenation.NoRejuvenation` for the
         literature baselines.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` facade recording
+        a ``rejuvenation`` instant span per swap decision, per-region
+        rejuvenation/failure counters, and ``vm.failure`` flight events.
     """
 
     def __init__(
@@ -114,6 +122,7 @@ class VirtualMachineController:
         config: VmcConfig | None = None,
         balancer: LocalBalancer | None = None,
         discipline: RejuvenationDiscipline | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         if not vms:
             raise ValueError(f"region {region_name!r}: empty VM pool")
@@ -135,6 +144,9 @@ class VirtualMachineController:
         self._target_active = self.config.target_active
         self.total_rejuvenations = 0
         self.total_failures = 0
+        self._obs = (
+            telemetry if telemetry is not None and telemetry.enabled else None
+        )
         self._ensure_active_pool()
 
     # ------------------------------------------------------------------ #
@@ -253,11 +265,38 @@ class VirtualMachineController:
                 continue  # postpone: no replacement and not imminent
             vm.start_rejuvenation()
             era_rejuvenations += 1
+            if self._obs is not None:
+                self._obs.instant(
+                    f"rejuvenate {vm.name}",
+                    kind="rejuvenation",
+                    region=self.region_name,
+                    reason="at_risk",
+                    rttf_s=rttf,
+                )
+                self._obs.counter(
+                    "rejuvenations_total", region=self.region_name
+                ).inc()
 
         # 3. reactive path: failed VMs go to rejuvenation too
         for vm in self.vms_in(VmState.FAILED):
             vm.start_rejuvenation()
             era_rejuvenations += 1
+            if self._obs is not None:
+                self._obs.instant(
+                    f"rejuvenate {vm.name}",
+                    kind="rejuvenation",
+                    region=self.region_name,
+                    reason="failed",
+                )
+                self._obs.counter(
+                    "rejuvenations_total", region=self.region_name
+                ).inc()
+                self._obs.event(
+                    "vm.failure", region=self.region_name, vm=vm.name
+                )
+                self._obs.counter(
+                    "vm_failures_total", region=self.region_name
+                ).inc()
 
         # 4. backfill the ACTIVE pool from STANDBY (the ACTIVATE command)
         self._ensure_active_pool()

@@ -25,9 +25,12 @@ callbacks.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.sim.events import Event, EventState
+
+if TYPE_CHECKING:
+    from repro.obs.telemetry import Telemetry
 
 #: Upper bound on the recycled-event free list.  The pool only needs to
 #: cover the steady-state number of in-flight fire-and-forget events; past
@@ -53,7 +56,11 @@ class Simulator:
     [2.0, 5.0]
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
         self._now = float(start_time)
         self._heap: list[Event] = []
         self._seq = 0
@@ -62,6 +69,13 @@ class Simulator:
         self._stopped = False
         self._cancelled_in_heap = 0
         self._free: list[Event] = []
+        # Telemetry attaches by handle so the per-event cost when disabled
+        # is a single is-None check (the dispatch loop is the hottest loop
+        # in the repo -- see benchmarks/bench_hotpath.py).
+        self._obs_dispatched = None
+        if telemetry is not None and telemetry.enabled:
+            telemetry.set_clock(lambda: self._now)
+            self._obs_dispatched = telemetry.counter("sim_events_dispatched_total")
 
     # ------------------------------------------------------------------ #
     # clock
@@ -251,6 +265,8 @@ class Simulator:
             self._now = event.time
             event.state = EventState.FIRED
             self._fired_count += 1
+            if self._obs_dispatched is not None:
+                self._obs_dispatched.inc()
             if event.args:
                 event.action(*event.args)
             else:

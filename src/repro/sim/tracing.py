@@ -13,9 +13,14 @@ guidance: keep the hot recording path allocation-free, batch the numerics.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.obs.manifest import RunManifest
 
 
 @dataclass
@@ -177,17 +182,28 @@ class TraceRecorder:
     # export (for external plotting of the figure series)
     # -------------------------------------------------------------- #
 
-    def to_csv(self, path: str, names: list[str] | None = None) -> None:
+    def to_csv(
+        self,
+        path: str,
+        names: list[str] | None = None,
+        manifest: "RunManifest | None" = None,
+    ) -> None:
         """Write series as long-format CSV: ``series,time,value`` rows.
 
         ``names`` restricts the export (default: everything).  Long format
-        keeps ragged series (different sampling instants) lossless.
+        keeps ragged series (different sampling instants) lossless.  A
+        ``manifest`` (seed, config digest, version) is embedded as a
+        leading ``# manifest: {...}`` comment so the artifact states how
+        to regenerate itself; read it back with
+        :func:`read_csv_manifest`.
         """
         selected = names if names is not None else self.names()
         missing = [n for n in selected if n not in self]
         if missing:
             raise KeyError(f"no such series: {missing}")
         with open(path, "w", encoding="utf-8") as fh:
+            if manifest is not None:
+                fh.write(f"# manifest: {manifest.to_json()}\n")
             fh.write("series,time,value\n")
             for name in selected:
                 s = self.series(name)
@@ -208,10 +224,12 @@ class TraceRecorder:
 
     @classmethod
     def from_csv(cls, path: str) -> "TraceRecorder":
-        """Inverse of :meth:`to_csv`."""
+        """Inverse of :meth:`to_csv` (leading ``#`` comments are skipped)."""
         rec = cls()
         with open(path, "r", encoding="utf-8") as fh:
             header = fh.readline().strip()
+            while header.startswith("#"):
+                header = fh.readline().strip()
             if header != "series,time,value":
                 raise ValueError(f"unexpected CSV header {header!r}")
             for line_no, line in enumerate(fh, start=2):
@@ -226,3 +244,15 @@ class TraceRecorder:
                         f"{path}:{line_no}: malformed row {line!r}"
                     ) from exc
         return rec
+
+
+def read_csv_manifest(path: str) -> dict | None:
+    """The run manifest embedded in a trace CSV, or None if absent."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line.startswith("# manifest:"):
+                return json.loads(line.split(":", 1)[1])
+            if not line.startswith("#"):
+                return None
+    return None

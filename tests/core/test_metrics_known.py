@@ -1,0 +1,126 @@
+"""Known-answer tests for the policy-assessment metrics.
+
+Hand-built series where convergence time, spread, and oscillation are
+computable by inspection, so a regression in the numerics cannot hide
+behind the stochastic experiment runs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    convergence_time,
+    mean_oscillation,
+    rmttf_spread,
+)
+from repro.sim.tracing import TraceSeries
+
+
+def _series(name, values, dt=30.0):
+    values = np.asarray(values, dtype=float)
+    return TraceSeries(name, np.arange(len(values)) * dt, values)
+
+
+class TestRmttfSpread:
+    def test_identical_series_have_zero_spread(self):
+        series = {
+            "a": _series("a", [100.0] * 10),
+            "b": _series("b", [100.0] * 10),
+        }
+        assert rmttf_spread(series) == 0.0
+
+    def test_known_gap(self):
+        # steady tails at 90 and 110: spread = (110-90)/100 = 0.2
+        series = {
+            "a": _series("a", [50.0] * 5 + [90.0] * 5),
+            "b": _series("b", [200.0] * 5 + [110.0] * 5),
+        }
+        assert rmttf_spread(series, tail=0.3) == pytest.approx(0.2)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            rmttf_spread({})
+
+
+class TestConvergenceTime:
+    def test_converged_from_the_start(self):
+        series = {
+            "a": _series("a", [100.0] * 20),
+            "b": _series("b", [101.0] * 20),
+        }
+        assert convergence_time(series) == 0.0
+
+    def test_step_convergence_at_known_time(self):
+        # apart for 10 eras (ratio 2:1, far outside the 15% band), then
+        # identical.  With zero violation allowance the first admissible
+        # instant is the first in-band sample: era 10 -> t = 300 s.
+        apart_a = [200.0] * 10 + [100.0] * 20
+        apart_b = [100.0] * 10 + [100.0] * 20
+        series = {
+            "a": _series("a", apart_a),
+            "b": _series("b", apart_b),
+        }
+        strict = convergence_time(series, allowed_violation_rate=0.0)
+        assert strict == pytest.approx(300.0)
+        # the default 5% allowance forgives the one remaining bad sample
+        # at era 9 (1 violation among 21 suffix samples) -> t = 270 s
+        assert convergence_time(series) == pytest.approx(270.0)
+
+    def test_never_converges(self):
+        series = {
+            "a": _series("a", [200.0] * 30),
+            "b": _series("b", [100.0] * 30),
+        }
+        assert math.isinf(convergence_time(series))
+
+    def test_single_excursion_is_forgiven(self):
+        # one out-of-band blip among 40 samples stays under the default
+        # 5% violation allowance, so convergence holds from the start
+        values = [100.0] * 40
+        values[20] = 400.0
+        series = {
+            "a": _series("a", values),
+            "b": _series("b", [100.0] * 40),
+        }
+        assert convergence_time(series) == 0.0
+
+    def test_short_series_returns_inf(self):
+        series = {"a": _series("a", [100.0] * 5)}
+        assert math.isinf(convergence_time(series, min_window=10))
+
+    def test_oscillating_series_never_converges(self):
+        a = [100.0, 300.0] * 15
+        b = [300.0, 100.0] * 15
+        series = {"a": _series("a", a), "b": _series("b", b)}
+        assert math.isinf(convergence_time(series))
+
+
+class TestOscillation:
+    def test_constant_series_zero(self):
+        assert mean_oscillation({"a": _series("a", [5.0] * 10)}) == 0.0
+
+    def test_known_sawtooth(self):
+        # alternating 1, 3: every step is |2|, mean |value| = 2,
+        # so the oscillation index is exactly 1.0
+        s = _series("a", [1.0, 3.0] * 10)
+        assert s.oscillation_index() == pytest.approx(1.0)
+
+    def test_linear_ramp_small_oscillation(self):
+        # steady drift is "oscillation" only in proportion to its slope:
+        # steps of 1 against a mean level of ~10 -> index ~0.1
+        s = _series("a", np.arange(1.0, 21.0))
+        # tail_fraction(1.0) == whole series
+        assert s.oscillation_index() == pytest.approx(
+            1.0 / np.mean(np.arange(1.0, 21.0)), rel=1e-9
+        )
+
+    def test_mean_over_regions(self):
+        series = {
+            "a": _series("a", [1.0, 3.0] * 10),   # index 1.0
+            "b": _series("b", [2.0] * 20),        # index 0.0
+        }
+        assert mean_oscillation(series, tail=1.0) == pytest.approx(0.5)
