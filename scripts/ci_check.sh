@@ -9,7 +9,10 @@
 #      against the hardened control plane; must finish well under 30 s
 #      and exit 0 only if the deployment ends the run healthy);
 #   4. an observability smoke: a short instrumented fig3 run must dump
-#      telemetry that `repro obs` can summarise with laminar spans.
+#      telemetry that `repro obs` can summarise with laminar spans;
+#   5. a fleet sweep smoke: a tiny 2-worker grid must run end to end,
+#      then a `--resume` re-invocation must satisfy every job from the
+#      content-addressed store (zero re-execution).
 #
 # Usage:  scripts/ci_check.sh   (from the repository root or anywhere)
 
@@ -30,8 +33,17 @@ python -m repro chaos smoke --seed 7
 
 echo "== observability smoke =="
 OBS_DUMP="$(mktemp -t repro_obs_smoke.XXXXXX.json)"
-trap 'rm -f "$OBS_DUMP"' EXIT
+SWEEP_STORE="$(mktemp -d -t repro_sweep_smoke.XXXXXX)"
+trap 'rm -f "$OBS_DUMP"; rm -rf "$SWEEP_STORE"' EXIT
 python -m repro fig3 --eras 12 --obs-dump "$OBS_DUMP" > /dev/null
 python -m repro obs "$OBS_DUMP"
+
+echo "== fleet sweep smoke =="
+SWEEP_ARGS=(--scenarios two-region --policies uniform --loads 0.5
+            --replicates 2 --eras 12 --workers 2 --store "$SWEEP_STORE")
+python -m repro sweep "${SWEEP_ARGS[@]}"
+python -m repro sweep "${SWEEP_ARGS[@]}" --resume \
+    | grep -q "0 executed, 2 store hits" \
+    || { echo "sweep --resume re-executed finished jobs" >&2; exit 1; }
 
 echo "ci_check: all gates passed"

@@ -5,13 +5,14 @@ Usage::
     python -m repro fig3 [--eras N] [--seed S] [--predictor oracle|rep-tree]
     python -m repro fig4 [--eras N] [--seed S] [--predictor oracle|rep-tree]
     python -m repro compare --regions 2|3 [--policies p1,p2,...]
-    python -m repro chaos <campaign>|list [--eras N] [--seed S]
+    python -m repro sweep [--workers N] [--resume] [--dry-run] [--gc]
+    python -m repro chaos <campaign>|all|list [--eras N] [--seed S]
     python -m repro obs <dump.json> [--chrome out.json] [--top N]
     python -m repro models          # F2PM model-selection table
 
-``fig3``, ``fig4`` and ``chaos`` accept ``--obs-dump PATH`` to write a
-telemetry dump (metrics, spans, flight events, run manifest) that
-``repro obs`` summarises.
+``fig3``, ``fig4``, ``chaos`` and ``sweep`` accept ``--obs-dump PATH``
+to write a telemetry dump (metrics, spans, flight events, run manifest)
+that ``repro obs`` summarises.
 """
 
 from __future__ import annotations
@@ -20,6 +21,28 @@ import argparse
 import sys
 
 import numpy as np
+
+#: The canonical root seed every subcommand defaults to.  All stochastic
+#: streams of a run (arrivals, anomalies, chaos faults, ML splits, fleet
+#: job seeds) derive from this one value, so two invocations with the
+#: same seed and settings are bit-identical.
+DEFAULT_SEED = 7
+
+
+def add_seed_option(
+    parser: argparse.ArgumentParser, default: int = DEFAULT_SEED
+) -> None:
+    """The one shared ``--seed`` definition (identical help + default
+    across fig3/fig4/compare/chaos/sweep/models/...)."""
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=default,
+        help=(
+            f"root RNG seed (default {default}); every stochastic "
+            "stream of the run derives from it"
+        ),
+    )
 
 
 def _write_obs_dump(scenario, args: argparse.Namespace) -> None:
@@ -197,9 +220,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.experiments.resilience import (
         CAMPAIGNS,
         report_campaign,
+        report_campaign_suite,
         run_campaign,
+        run_campaign_suite,
     )
 
+    if args.campaign == "all":
+        outcome = run_campaign_suite(
+            seed=args.seed, eras=args.eras, workers=args.workers
+        )
+        print(report_campaign_suite(outcome))
+        all_recovered = outcome.ok and all(
+            payload["recovered"] for payload in outcome.payloads
+        )
+        return 0 if all_recovered else 1
     if args.campaign == "list":
         for spec in CAMPAIGNS.values():
             print(f"{spec.name:<20} {spec.description}  "
@@ -218,6 +252,99 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if telemetry is not None:
         print(f"wrote telemetry dump: {args.obs_dump}")
     return 0 if result.recovered else 1
+
+
+def _split_csv(text: str) -> tuple[str, ...]:
+    return tuple(part for part in (p.strip() for p in text.split(",")) if part)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.fleet import (
+        FleetExecutor,
+        ResultStore,
+        SweepSpec,
+        aggregate,
+        listing,
+        markdown_report,
+        write_cells_csv,
+    )
+
+    try:
+        spec = SweepSpec(
+            scenarios=_split_csv(args.scenarios),
+            policies=_split_csv(args.policies),
+            loads=tuple(float(x) for x in _split_csv(args.loads)),
+            replicates=args.replicates,
+            root_seed=args.seed,
+            eras=args.eras,
+            predictor=args.predictor,
+            campaigns=_split_csv(args.campaigns),
+        )
+    except ValueError as exc:
+        print(f"invalid sweep spec: {exc}", file=sys.stderr)
+        return 2
+    jobs = spec.expand()
+    print(
+        f"sweep: {spec.cell_count} cells x {spec.replicates} replicates "
+        f"= {len(jobs)} jobs (root seed {spec.root_seed})"
+    )
+    if args.dry_run:
+        print(listing(jobs))
+        return 0
+
+    store = ResultStore(args.store)
+    if args.gc:
+        pruned = store.gc(keep=[job.digest for job in jobs])
+        print(
+            f"gc: pruned {len(pruned)} stale store entries "
+            f"({len(store)} kept) in {store.root}"
+        )
+    executor = FleetExecutor(
+        workers=args.workers,
+        store=store,
+        resume=args.resume,
+        job_timeout_s=args.timeout,
+        max_retries=args.retries,
+        progress=lambda line: print(f"  {line}"),
+    )
+    outcome = executor.run(jobs)
+    print(
+        f"done: {outcome.executed} executed, {outcome.store_hits} store "
+        f"hits, {outcome.retried} retries, {len(outcome.failures)} failures"
+    )
+    for digest, message in sorted(outcome.failures.items()):
+        print(f"  FAILED {digest}: {message}", file=sys.stderr)
+
+    completed = [p for p in outcome.payloads if p is not None]
+    if completed:
+        cells = aggregate(outcome.jobs, outcome.payloads)
+        manifest = spec.manifest()
+        print()
+        print(markdown_report(cells, manifest))
+        if args.csv:
+            write_cells_csv(cells, args.csv, manifest)
+            print(f"wrote {args.csv}")
+
+    if args.obs_dump:
+        first_policy = next((j for j in jobs if j.kind == "policy"), None)
+        if first_policy is None:
+            print(
+                "--obs-dump: no policy cells in this sweep", file=sys.stderr
+            )
+        else:
+            from repro.experiments.runner import run_instrumented_experiment
+            from repro.fleet import build_scenario
+
+            _, telemetry = run_instrumented_experiment(
+                build_scenario(first_policy.scenario, first_policy.load),
+                first_policy.policy,
+                eras=first_policy.eras,
+                seed=first_policy.seed,
+                predictor=first_policy.predictor,
+            )
+            telemetry.dump_json(args.obs_dump)
+            print(f"wrote telemetry dump: {args.obs_dump}")
+    return 0 if outcome.ok else 1
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -284,7 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--eras", type=int, default=240)
-        p.add_argument("--seed", type=int, default=7)
+        add_seed_option(p)
         p.add_argument(
             "--predictor",
             default="oracle",
@@ -367,10 +494,16 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos",
         help="run a seeded resilience campaign under fault injection",
     )
-    pk.add_argument("campaign", choices=(*CHAOS_CAMPAIGNS, "list"))
+    pk.add_argument("campaign", choices=(*CHAOS_CAMPAIGNS, "all", "list"))
     pk.add_argument("--eras", type=int, default=None,
                     help="override the campaign's default era count")
-    pk.add_argument("--seed", type=int, default=7)
+    add_seed_option(pk)
+    pk.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for 'chaos all' (fleet executor)",
+    )
     obs_dump_opt(pk)
     pk.set_defaults(func=_cmd_chaos)
 
@@ -388,8 +521,89 @@ def build_parser() -> argparse.ArgumentParser:
                     help="rows per summary section")
     po.set_defaults(func=_cmd_obs)
 
+    ps = sub.add_parser(
+        "sweep",
+        help="parallel, resumable grid sweep on the fleet executor",
+    )
+    ps.add_argument(
+        "--scenarios",
+        default="three-region",
+        help="comma list of scenario keys: two-region,three-region",
+    )
+    ps.add_argument(
+        "--policies",
+        default="sensible-routing,available-resources,exploration",
+        help="comma list of routing policies (one grid axis)",
+    )
+    ps.add_argument(
+        "--loads",
+        default="1.0",
+        help="comma list of client multipliers (one grid axis)",
+    )
+    ps.add_argument(
+        "--replicates",
+        type=int,
+        default=3,
+        help="seed replicates per cell (seeds derive from --seed)",
+    )
+    ps.add_argument("--eras", type=int, default=60)
+    add_seed_option(ps)
+    ps.add_argument(
+        "--predictor",
+        default="oracle",
+        help="'oracle' or an F2PM model name ('rep-tree', 'm5p', ...)",
+    )
+    ps.add_argument(
+        "--campaigns",
+        default="",
+        help="comma list of chaos campaigns appended as extra cells",
+    )
+    ps.add_argument("--workers", type=int, default=1)
+    ps.add_argument(
+        "--store",
+        default="results/fleet-store",
+        metavar="DIR",
+        help="content-addressed result store directory",
+    )
+    ps.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse completed jobs already in the store",
+    )
+    ps.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="list the expanded jobs (order, seeds, digests) and exit",
+    )
+    ps.add_argument(
+        "--gc",
+        action="store_true",
+        help="prune store entries not matching this spec's digests",
+    )
+    ps.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-job wall-clock timeout (hung workers are killed)",
+    )
+    ps.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="retries per crashed/hung/failed job",
+    )
+    ps.add_argument(
+        "--csv",
+        default=None,
+        metavar="PATH",
+        help="write the aggregate cell table as CSV (with manifest)",
+    )
+    obs_dump_opt(ps)
+    ps.set_defaults(func=_cmd_sweep)
+
     pm = sub.add_parser("models", help="F2PM model-selection table")
-    pm.add_argument("--seed", type=int, default=7)
+    add_seed_option(pm)
     pm.add_argument("--instance-type", default="m3.medium")
     pm.set_defaults(func=_cmd_models)
     return parser

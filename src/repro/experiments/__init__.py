@@ -17,14 +17,21 @@
 
 from repro.experiments.figure3 import run_figure3
 from repro.experiments.figure4 import run_figure4
-from repro.experiments.load_sweep import run_load_sweep, sweep_table
+from repro.experiments.load_sweep import (
+    run_load_sweep,
+    sweep_manifest,
+    sweep_table,
+    write_sweep_csv,
+)
 from repro.experiments.resilience import (
     CAMPAIGNS,
     CampaignResult,
     CampaignSpec,
     recovery_bound_eras,
     report_campaign,
+    report_campaign_suite,
     run_campaign,
+    run_campaign_suite,
 )
 from repro.experiments.runner import (
     ExperimentResult,
@@ -55,6 +62,8 @@ __all__ = [
     "run_figure4",
     "run_load_sweep",
     "sweep_table",
+    "sweep_manifest",
+    "write_sweep_csv",
     "assessment_table",
     "render_series",
     "sparkline",
@@ -64,4 +73,6 @@ __all__ = [
     "recovery_bound_eras",
     "report_campaign",
     "run_campaign",
+    "report_campaign_suite",
+    "run_campaign_suite",
 ]

@@ -4,16 +4,25 @@ Sec. VI-A: "We varied the number of active clients (towards each cloud
 region) in the interval [16, 512]".  The sweep quantifies how the steady
 RMTTF and the response time scale with offered load on the two-region
 deployment, and where the SLA would start to strain.
+
+The sweep runs on the :mod:`repro.fleet` executor: each client count is
+one content-addressed job, so ``workers > 1`` runs the points in
+parallel worker processes and a ``store`` makes the sweep resumable
+(killed runs continue from the last completed point; already-computed
+points are never re-simulated).  The per-point physics is unchanged
+from the original in-process loop -- serial, parallel, and resumed
+sweeps produce bit-identical points.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
-import numpy as np
-
-from repro.core.manager import AcmManager, RegionSpec
-from repro.core.metrics import assess_policy_run
+from repro.fleet.executor import FleetExecutor
+from repro.fleet.jobs import JobSpec
+from repro.fleet.store import ResultStore
+from repro.obs.manifest import RunManifest
 from repro.workload.browsers import CLIENT_RANGE
 
 
@@ -30,59 +39,109 @@ class SweepPoint:
     rejuvenations: float
 
 
+def sweep_jobs(
+    client_counts: tuple[int, ...],
+    policy: str = "available-resources",
+    eras: int = 120,
+    seed: int = 7,
+) -> list[JobSpec]:
+    """The fleet jobs of one client-count sweep (validated, in order)."""
+    lo, hi = CLIENT_RANGE
+    for n1 in client_counts:
+        if not lo <= n1 <= hi:
+            raise ValueError(f"{n1} clients outside paper range [{lo},{hi}]")
+    return [
+        JobSpec(
+            kind="load",
+            scenario="load-two-region",
+            policy=policy,
+            load=float(n1),
+            seed=seed,
+            replicate=0,
+            eras=eras,
+        )
+        for n1 in client_counts
+    ]
+
+
+def sweep_manifest(
+    client_counts: tuple[int, ...],
+    policy: str = "available-resources",
+    eras: int = 120,
+    seed: int = 7,
+) -> RunManifest:
+    """Provenance for the sweep's exported artifacts (CSV / table)."""
+    return RunManifest.build(
+        seed=seed,
+        config={
+            "experiment": "load_sweep",
+            "client_counts": [int(n) for n in client_counts],
+            "policy": policy,
+            "eras": eras,
+        },
+        experiment="load_sweep",
+        points=len(client_counts),
+    )
+
+
 def run_load_sweep(
     client_counts: tuple[int, ...] = (16, 32, 64, 128, 256, 512),
     policy: str = "available-resources",
     eras: int = 120,
     seed: int = 7,
+    workers: int = 1,
+    store: "ResultStore | str | Path | None" = None,
 ) -> list[SweepPoint]:
     """Sweep region-1 client counts (region 3 gets ~60 % as many).
 
     The per-region counts stay inside the paper's interval and remain
     "significantly different" between regions, as Sec. VI-A requires.
+    ``workers`` parallelises the points across worker processes;
+    ``store`` (a :class:`~repro.fleet.store.ResultStore` or directory
+    path) caches completed points for resume.
     """
-    lo, hi = CLIENT_RANGE
-    points: list[SweepPoint] = []
-    for n1 in client_counts:
-        if not lo <= n1 <= hi:
-            raise ValueError(f"{n1} clients outside paper range [{lo},{hi}]")
-        n3 = max(lo, int(n1 * 0.6))
-        mgr = AcmManager(
-            regions=[
-                RegionSpec("region1", "m3.medium", 8, 6, n1),
-                RegionSpec("region3", "private.small", 6, 4, n3),
-            ],
-            policy=policy,
-            seed=seed,
+    jobs = sweep_jobs(client_counts, policy=policy, eras=eras, seed=seed)
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    outcome = FleetExecutor(workers=workers, store=store).run(jobs)
+    if outcome.failures:
+        detail = "; ".join(
+            f"{digest}: {message}"
+            for digest, message in sorted(outcome.failures.items())
         )
-        mgr.run(eras)
-        a = assess_policy_run(policy, mgr.traces)
-        rmttf_tail = [
-            s.tail_fraction(0.3).mean()
-            for s in mgr.traces.matching("rmttf/").values()
-        ]
-        points.append(
-            SweepPoint(
-                clients_region1=n1,
-                clients_region3=n3,
-                mean_rmttf_s=float(np.mean(rmttf_tail)),
-                rmttf_spread=a.rmttf_spread,
-                mean_response_s=a.mean_response_time_s,
-                sla_met=a.sla_met,
-                rejuvenations=a.total_rejuvenations,
-            )
+        raise RuntimeError(f"load sweep jobs failed: {detail}")
+    return [
+        SweepPoint(
+            clients_region1=int(payload["clients_region1"]),
+            clients_region3=int(payload["clients_region3"]),
+            mean_rmttf_s=float(payload["mean_rmttf_s"]),
+            rmttf_spread=float(payload["rmttf_spread"]),
+            mean_response_s=float(payload["mean_response_s"]),
+            sla_met=bool(payload["sla_met"]),
+            rejuvenations=float(payload["rejuvenations"]),
         )
-    return points
+        for payload in outcome.payloads
+    ]
 
 
-def sweep_table(points: list[SweepPoint]) -> str:
-    """Render the sweep as a text table."""
+def sweep_table(
+    points: list[SweepPoint], manifest: RunManifest | None = None
+) -> str:
+    """Render the sweep as a text table.
+
+    With a ``manifest`` the table leads with the ``# manifest:``
+    provenance comment (the PR 3 artifact convention), so a pasted or
+    redirected table still states how to regenerate itself.
+    """
     if not points:
         raise ValueError("no sweep points")
-    lines = [
+    lines = []
+    if manifest is not None:
+        lines.append(f"# manifest: {manifest.to_json()}")
+    lines.append(
         f"{'clients(r1/r3)':>14} {'RMTTF':>9} {'spread':>8} "
         f"{'resp':>9} {'rejuv':>6} {'SLA':>4}"
-    ]
+    )
     for p in points:
         lines.append(
             f"{p.clients_region1:>7}/{p.clients_region3:<6} "
@@ -91,3 +150,33 @@ def sweep_table(points: list[SweepPoint]) -> str:
             f"{'ok' if p.sla_met else 'MISS':>4}"
         )
     return "\n".join(lines)
+
+
+def write_sweep_csv(
+    points: list[SweepPoint],
+    path: str,
+    manifest: RunManifest | None = None,
+) -> None:
+    """Export the sweep as CSV with an embedded provenance manifest.
+
+    The leading ``# manifest:`` comment round-trips through
+    :func:`repro.sim.tracing.read_csv_manifest`, closing the one gap
+    where an experiment artifact shipped without its reproduction
+    recipe.
+    """
+    if not points:
+        raise ValueError("no sweep points")
+    with open(path, "w", encoding="utf-8") as fh:
+        if manifest is not None:
+            fh.write(f"# manifest: {manifest.to_json()}\n")
+        fh.write(
+            "clients_region1,clients_region3,mean_rmttf_s,"
+            "rmttf_spread,mean_response_s,sla_met,rejuvenations\n"
+        )
+        for p in points:
+            fh.write(
+                f"{p.clients_region1},{p.clients_region3},"
+                f"{p.mean_rmttf_s!r},{p.rmttf_spread!r},"
+                f"{p.mean_response_s!r},{int(p.sla_met)},"
+                f"{p.rejuvenations!r}\n"
+            )

@@ -468,6 +468,109 @@ def run_campaign(
 
 
 # --------------------------------------------------------------------- #
+# fleet-backed campaign suite
+# --------------------------------------------------------------------- #
+
+
+def campaign_suite_jobs(
+    names: tuple[str, ...] | None = None,
+    seed: int = 7,
+    replicates: int = 1,
+    eras: int | None = None,
+) -> "list[JobSpec]":
+    """Fleet jobs covering several campaigns (x seed replicates).
+
+    Replicate 0 runs at the root seed itself, so a suite cell
+    reproduces ``repro chaos <name> --seed S`` bit-for-bit; additional
+    replicates get independent seeds derived from the root
+    (:func:`repro.sim.rng.derive_seed`).
+    """
+    from repro.fleet.jobs import JobSpec
+    from repro.sim.rng import derive_seed
+
+    selected = tuple(names) if names is not None else tuple(CAMPAIGNS)
+    unknown = [n for n in selected if n not in CAMPAIGNS]
+    if unknown:
+        raise ValueError(
+            f"unknown campaigns {unknown}; pick from {sorted(CAMPAIGNS)}"
+        )
+    if replicates < 1:
+        raise ValueError("replicates must be >= 1")
+    jobs = []
+    for name in selected:
+        for rep in range(replicates):
+            rep_seed = (
+                seed if rep == 0 else derive_seed(seed, f"{name}/rep{rep}")
+            )
+            jobs.append(
+                JobSpec(
+                    kind="chaos",
+                    scenario=name,
+                    policy="",
+                    load=1.0,
+                    seed=rep_seed,
+                    replicate=rep,
+                    eras=0 if eras is None else int(eras),
+                )
+            )
+    return jobs
+
+
+def run_campaign_suite(
+    names: tuple[str, ...] | None = None,
+    seed: int = 7,
+    replicates: int = 1,
+    eras: int | None = None,
+    workers: int = 1,
+    store=None,
+) -> "FleetOutcome":
+    """Run several campaigns on the fleet executor.
+
+    The historical driver executed campaigns one-by-one in-process;
+    this one gains parallel workers, per-campaign crash containment,
+    and store-backed resume for free.  Returns the raw
+    :class:`~repro.fleet.executor.FleetOutcome` (payloads in job
+    order); render it with :func:`report_campaign_suite`.
+    """
+    from repro.fleet.executor import FleetExecutor
+    from repro.fleet.store import ResultStore
+
+    jobs = campaign_suite_jobs(
+        names, seed=seed, replicates=replicates, eras=eras
+    )
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    return FleetExecutor(workers=workers, store=store).run(jobs)
+
+
+def report_campaign_suite(outcome: "FleetOutcome") -> str:
+    """One-line-per-campaign summary of a fleet suite run."""
+    lines = [
+        f"{'campaign':<20} {'seed':>20} {'avail':>7} {'MTTR':>8} "
+        f"{'faults':>6} {'recovered':>9}"
+    ]
+    for job, payload in zip(outcome.jobs, outcome.payloads):
+        if payload is None:
+            lines.append(
+                f"{job.scenario:<20} {job.seed:>20} "
+                f"{'-':>7} {'-':>8} {'-':>6} {'FAILED':>9}"
+            )
+            continue
+        mttr = (
+            f"{payload['mttr_s']:.0f}s"
+            if math.isfinite(payload["mttr_s"])
+            else "n/a"
+        )
+        lines.append(
+            f"{job.scenario:<20} {job.seed:>20} "
+            f"{payload['availability']:>6.1%} {mttr:>8} "
+            f"{payload['faults_injected']:>6} "
+            f"{'YES' if payload['recovered'] else 'NO':>9}"
+        )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
 # reporting
 # --------------------------------------------------------------------- #
 

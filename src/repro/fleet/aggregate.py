@@ -1,0 +1,211 @@
+"""Replicate aggregation and sweep reporting.
+
+Jobs that differ only in their replicate index belong to the same
+*cell*; this module folds each cell's payloads into per-metric
+mean / sample stddev / 95% confidence half-width (normal approximation,
+``1.96 * s / sqrt(n)`` -- we avoid a SciPy dependency in the report
+path and sweeps with n >= 5 replicates make the approximation honest).
+
+Boolean payload fields aggregate as rates (fraction of replicates that
+were true), so ``sla_met`` becomes an SLA-attainment rate per cell.
+
+Both renderers embed the sweep's ``# manifest:`` provenance comment
+(PR 3 convention), so every aggregate artifact states the root seed and
+spec digest that regenerate it; ``read_csv_manifest`` round-trips the
+CSV form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.fleet.jobs import JobSpec
+from repro.obs.manifest import RunManifest
+
+#: Headline metrics, in preferred column order; a report shows the ones
+#: present in the cell's payloads, in this order, then any others.
+PREFERRED_METRICS = (
+    "mean_rmttf_s",
+    "rmttf_spread",
+    "mean_response_s",
+    "convergence_time_s",
+    "rejuvenations",
+    "sla_met",
+    "availability",
+    "mttr_s",
+    "recovered",
+)
+
+#: z-score of the two-sided 95% interval (normal approximation).
+_Z95 = 1.96
+
+
+def cell_key(job: JobSpec) -> tuple[str, str, str, float]:
+    """The grid cell a job belongs to (replicate index erased)."""
+    return (job.kind, job.scenario, job.policy, float(job.load))
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Mean / spread of one metric over a cell's replicates."""
+
+    mean: float
+    std: float
+    ci95: float
+    n: int
+
+
+@dataclass
+class CellStats:
+    """Aggregated view of one sweep cell."""
+
+    kind: str
+    scenario: str
+    policy: str
+    load: float
+    n: int
+    metrics: dict[str, MetricStats] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        parts = [self.scenario]
+        if self.policy:
+            parts.append(self.policy)
+        parts.append(f"load{self.load:g}")
+        return "/".join(parts)
+
+
+def _stats(values: list[float]) -> MetricStats:
+    n = len(values)
+    mean = math.fsum(values) / n
+    if n > 1:
+        var = math.fsum((v - mean) ** 2 for v in values) / (n - 1)
+        std = math.sqrt(var)
+    else:
+        std = 0.0
+    return MetricStats(
+        mean=mean, std=std, ci95=_Z95 * std / math.sqrt(n), n=n
+    )
+
+
+def aggregate(
+    jobs: list[JobSpec], payloads: list[dict | None]
+) -> list[CellStats]:
+    """Fold per-job payloads into per-cell statistics.
+
+    Cells appear in first-seen job order (the spec's deterministic
+    expansion order), so serial and parallel sweeps render identical
+    reports.  Jobs whose payload is None (failed cells) are skipped;
+    a cell with no surviving replicates is dropped entirely.
+    """
+    if len(jobs) != len(payloads):
+        raise ValueError(
+            f"jobs ({len(jobs)}) and payloads ({len(payloads)}) differ"
+        )
+    order: list[tuple] = []
+    grouped: dict[tuple, list[dict]] = {}
+    for job, payload in zip(jobs, payloads):
+        if payload is None:
+            continue
+        key = cell_key(job)
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append(payload)
+
+    cells: list[CellStats] = []
+    for key in order:
+        kind, scenario, policy, load = key
+        rows = grouped[key]
+        numeric: dict[str, list[float]] = {}
+        for row in rows:
+            for name, value in row.items():
+                if isinstance(value, bool):
+                    numeric.setdefault(name, []).append(float(value))
+                elif isinstance(value, (int, float)):
+                    numeric.setdefault(name, []).append(float(value))
+        cell = CellStats(
+            kind=kind,
+            scenario=scenario,
+            policy=policy,
+            load=load,
+            n=len(rows),
+            metrics={
+                name: _stats(values)
+                for name, values in sorted(numeric.items())
+                if len(values) == len(rows)
+            },
+        )
+        cells.append(cell)
+    return cells
+
+
+def _metric_order(cells: list[CellStats]) -> list[str]:
+    present: set[str] = set()
+    for cell in cells:
+        present.update(cell.metrics)
+    ordered = [m for m in PREFERRED_METRICS if m in present]
+    ordered.extend(sorted(present - set(ordered)))
+    return ordered
+
+
+def _fmt(value: float) -> str:
+    if math.isnan(value):
+        return "nan"
+    return f"{value:.6g}"
+
+
+def markdown_report(
+    cells: list[CellStats],
+    manifest: RunManifest | None = None,
+    metrics: tuple[str, ...] | None = None,
+) -> str:
+    """A GitHub-style table: one row per cell, ``mean +/- ci95`` entries."""
+    if not cells:
+        raise ValueError("no cells to report")
+    columns = list(metrics) if metrics is not None else _metric_order(cells)
+    columns = columns[:8]
+    lines: list[str] = []
+    if manifest is not None:
+        lines.append(f"# manifest: {manifest.to_json()}")
+    header = ["cell", "n"] + columns
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for cell in cells:
+        row = [cell.label, str(cell.n)]
+        for name in columns:
+            stat = cell.metrics.get(name)
+            if stat is None:
+                row.append("-")
+            elif stat.n > 1:
+                row.append(f"{_fmt(stat.mean)} ± {_fmt(stat.ci95)}")
+            else:
+                row.append(_fmt(stat.mean))
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def write_cells_csv(
+    cells: list[CellStats],
+    path: str,
+    manifest: RunManifest | None = None,
+) -> None:
+    """Long-format CSV: one row per (cell, metric).
+
+    A leading ``# manifest:`` comment embeds the sweep provenance;
+    :func:`repro.sim.tracing.read_csv_manifest` reads it back.
+    """
+    if not cells:
+        raise ValueError("no cells to export")
+    with open(path, "w", encoding="utf-8") as fh:
+        if manifest is not None:
+            fh.write(f"# manifest: {manifest.to_json()}\n")
+        fh.write("kind,scenario,policy,load,n,metric,mean,std,ci95\n")
+        for cell in cells:
+            for name, stat in cell.metrics.items():
+                fh.write(
+                    f"{cell.kind},{cell.scenario},{cell.policy},"
+                    f"{cell.load!r},{cell.n},{name},"
+                    f"{stat.mean!r},{stat.std!r},{stat.ci95!r}\n"
+                )

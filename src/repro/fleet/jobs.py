@@ -1,0 +1,362 @@
+"""Fleet jobs: the unit of work a sweep campaign schedules.
+
+A :class:`JobSpec` is a frozen, JSON-able description of one simulation
+run -- everything :func:`execute_job` needs to reproduce it from scratch
+in a worker process.  The spec's :meth:`~JobSpec.config` dict is hashed
+with :func:`repro.obs.manifest.config_digest` to produce the job's
+identity; that digest keys the on-disk
+:class:`~repro.fleet.store.ResultStore`, so two jobs with the same
+effective configuration share one cached result and an edited sweep only
+recomputes the changed cells.
+
+Job kinds
+---------
+
+``policy``
+    One policy x scenario x load run through
+    :func:`repro.experiments.runner.run_policy_experiment`.  ``load`` is
+    a client multiplier applied to every region of the named scenario
+    (clamped to the paper's [16, 512] interval).
+``load``
+    One cell of the Sec. VI-A client-count sweep (the historical
+    ``run_load_sweep`` deployment, preserved bit-for-bit); ``load`` is
+    the region-1 client count.
+``chaos``
+    One seeded resilience campaign from
+    :mod:`repro.experiments.resilience`; ``scenario`` names the
+    campaign, ``eras == 0`` means the campaign's default length.
+``synthetic``
+    Harness-calibration jobs (sleep / crash / hang / flaky) used by the
+    executor tests and the scheduling benchmark; they exercise the
+    fleet machinery without simulating anything.
+
+Payloads are plain dicts of JSON-able scalars so that a store round-trip
+(`json.dumps` -> `json.loads`) is the identity: the determinism
+acceptance test compares payloads from serial and 4-worker runs with
+``==``.
+
+Heavyweight imports happen *inside* the executors: the module itself
+stays import-light (workers fork fast, and ``repro.experiments`` modules
+import this one).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.obs.manifest import RunManifest, config_digest
+
+#: Job kinds understood by :func:`execute_job`.
+JOB_KINDS = ("policy", "load", "chaos", "synthetic")
+
+#: Scenario keys accepted by ``policy`` jobs -> builder in
+#: :mod:`repro.experiments.scenarios` (resolved lazily).
+POLICY_SCENARIOS = ("two-region", "three-region")
+
+#: The paper's client interval; ``policy`` job load multipliers clamp
+#: scaled per-region counts into it (mirrors the load_sweep validation).
+_CLIENT_LO, _CLIENT_HI = 16, 512
+
+
+@dataclass(frozen=True, slots=True)
+class JobSpec:
+    """One schedulable, content-addressed simulation job."""
+
+    kind: str
+    #: scenario key ("two-region"), campaign name, or synthetic op
+    scenario: str
+    #: routing policy; empty for kinds that have none (chaos, synthetic)
+    policy: str
+    #: kind-dependent scalar: client multiplier (policy), region-1
+    #: client count (load), unused (chaos), duration in seconds
+    #: (synthetic sleep/hang)
+    load: float
+    seed: int
+    #: replicate index within the sweep cell (0-based)
+    replicate: int
+    eras: int
+    era_s: float = 30.0
+    predictor: str = "oracle"
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(
+                f"unknown job kind {self.kind!r}; expected one of {JOB_KINDS}"
+            )
+
+    def config(self) -> dict:
+        """The effective configuration this job is a pure function of."""
+        return {
+            "kind": self.kind,
+            "scenario": self.scenario,
+            "policy": self.policy,
+            "load": float(self.load),
+            "seed": int(self.seed),
+            "replicate": int(self.replicate),
+            "eras": int(self.eras),
+            "era_s": float(self.era_s),
+            "predictor": self.predictor,
+        }
+
+    @property
+    def digest(self) -> str:
+        """Content digest keying this job in the result store."""
+        return config_digest(self.config())
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable identity for listings and progress."""
+        parts = [self.kind, self.scenario]
+        if self.policy:
+            parts.append(self.policy)
+        parts.append(f"load{self.load:g}")
+        parts.append(f"rep{self.replicate}")
+        return "/".join(parts)
+
+    def manifest(self) -> RunManifest:
+        """Per-job provenance (seed + config digest + code version)."""
+        return RunManifest.build(
+            seed=self.seed,
+            config=self.config(),
+            kind=self.kind,
+            label=self.label,
+        )
+
+    @classmethod
+    def from_config(cls, config: dict) -> "JobSpec":
+        """Rebuild a spec from its :meth:`config` dict (store entries)."""
+        return cls(
+            kind=str(config["kind"]),
+            scenario=str(config["scenario"]),
+            policy=str(config["policy"]),
+            load=float(config["load"]),
+            seed=int(config["seed"]),
+            replicate=int(config["replicate"]),
+            eras=int(config["eras"]),
+            era_s=float(config["era_s"]),
+            predictor=str(config["predictor"]),
+        )
+
+
+# ------------------------------------------------------------------ #
+# scenario scaling
+# ------------------------------------------------------------------ #
+
+
+def build_scenario(key: str, load: float):
+    """The named paper scenario with every region's clients scaled.
+
+    ``load`` multiplies each region's client count, clamped to the
+    paper's [16, 512] interval so every cell of a sweep stays inside
+    the evaluated regime.
+    """
+    from dataclasses import replace
+
+    from repro.experiments.scenarios import (
+        three_region_scenario,
+        two_region_scenario,
+    )
+
+    builders = {
+        "two-region": two_region_scenario,
+        "three-region": three_region_scenario,
+    }
+    if key not in builders:
+        raise ValueError(
+            f"unknown policy-job scenario {key!r}; "
+            f"expected one of {POLICY_SCENARIOS}"
+        )
+    if load <= 0:
+        raise ValueError(f"load multiplier must be positive, got {load}")
+    base = builders[key]()
+    regions = tuple(
+        replace(
+            spec,
+            clients=max(
+                _CLIENT_LO, min(_CLIENT_HI, int(round(spec.clients * load)))
+            ),
+        )
+        for spec in base.regions
+    )
+    return replace(base, regions=regions)
+
+
+# ------------------------------------------------------------------ #
+# per-kind executors
+# ------------------------------------------------------------------ #
+
+
+def _tail_mean_rmttf(traces) -> float:
+    """Steady-state RMTTF: mean over the last 30% of every region series
+    (the statistic the historical load sweep reported)."""
+    import numpy as np
+
+    tails = [
+        s.tail_fraction(0.3).mean()
+        for s in traces.matching("rmttf/").values()
+    ]
+    return float(np.mean(tails))
+
+
+def _execute_policy(job: JobSpec) -> dict:
+    from repro.experiments.runner import run_policy_experiment
+
+    scenario = build_scenario(job.scenario, job.load)
+    result = run_policy_experiment(
+        scenario,
+        job.policy,
+        eras=job.eras,
+        seed=job.seed,
+        era_s=job.era_s,
+        predictor=job.predictor,
+    )
+    a = result.assessment
+    return {
+        "scenario": result.scenario,
+        "policy": job.policy,
+        "clients_total": sum(r.clients for r in scenario.regions),
+        "mean_rmttf_s": _tail_mean_rmttf(result.traces),
+        "rmttf_spread": a.rmttf_spread,
+        "convergence_time_s": a.convergence_time_s,
+        "converged": a.converged,
+        "fraction_oscillation": a.fraction_oscillation,
+        "rmttf_oscillation": a.rmttf_oscillation,
+        "mean_response_s": a.mean_response_time_s,
+        "max_response_s": a.max_response_time_s,
+        "sla_met": a.sla_met,
+        "rejuvenations": a.total_rejuvenations,
+        "failures": a.total_failures,
+    }
+
+
+def _execute_load(job: JobSpec) -> dict:
+    """One cell of the Sec. VI-A client sweep.
+
+    This is the historical ``run_load_sweep`` body verbatim (same
+    deployment shape, same region-3 scaling rule, same statistics) so
+    the migration onto the fleet executor is bit-identical.
+    """
+    from repro.core.manager import AcmManager, RegionSpec
+    from repro.core.metrics import assess_policy_run
+
+    n1 = int(job.load)
+    n3 = max(_CLIENT_LO, int(n1 * 0.6))
+    mgr = AcmManager(
+        regions=[
+            RegionSpec("region1", "m3.medium", 8, 6, n1),
+            RegionSpec("region3", "private.small", 6, 4, n3),
+        ],
+        policy=job.policy,
+        seed=job.seed,
+        era_s=job.era_s,
+    )
+    mgr.run(job.eras)
+    a = assess_policy_run(job.policy, mgr.traces)
+    return {
+        "clients_region1": n1,
+        "clients_region3": n3,
+        "mean_rmttf_s": _tail_mean_rmttf(mgr.traces),
+        "rmttf_spread": a.rmttf_spread,
+        "mean_response_s": a.mean_response_time_s,
+        "sla_met": a.sla_met,
+        "rejuvenations": a.total_rejuvenations,
+    }
+
+
+def _execute_chaos(job: JobSpec) -> dict:
+    from repro.experiments.resilience import run_campaign
+
+    result = run_campaign(
+        job.scenario,
+        eras=job.eras if job.eras > 0 else None,
+        seed=job.seed,
+        era_s=job.era_s,
+    )
+    hold = sum(1 for m in result.degradation if m == "hold")
+    fallback = sum(1 for m in result.degradation if m == "fallback")
+    return {
+        "campaign": result.name,
+        "eras": result.eras,
+        "availability": result.availability,
+        "unavailable_eras": result.unavailable_eras,
+        "mttr_s": result.mttr_s,
+        "recovered": result.recovered,
+        "faults_injected": len(result.fault_log),
+        "degraded_hold_eras": hold,
+        "degraded_fallback_eras": fallback,
+        "messages_sent": result.message_stats.get("sent", 0),
+        "messages_retried": result.message_stats.get("retries", 0),
+        "final_fractions": {
+            k: float(v) for k, v in sorted(result.final_fractions.items())
+        },
+    }
+
+
+def _execute_synthetic(job: JobSpec) -> dict:
+    """Calibration ops for executor tests and the scheduling benchmark.
+
+    ``sleep``  block for ``load`` seconds, then succeed;
+    ``hang``   block for ``load`` seconds (alias used by timeout tests);
+    ``crash``  raise;
+    ``exit``   kill the worker process without a Python exception;
+    ``flaky:<path>``  crash on the first attempt (creating ``path`` as
+    the attempt marker), succeed on retries -- exercises the bounded
+    retry loop end to end across real process boundaries.
+    """
+    op, _, arg = job.scenario.partition(":")
+    if op in ("sleep", "hang"):
+        time.sleep(job.load)
+    elif op == "crash":
+        raise RuntimeError(f"synthetic crash (rep {job.replicate})")
+    elif op == "exit":
+        os._exit(17)
+    elif op == "flaky":
+        if not os.path.exists(arg):
+            with open(arg, "w", encoding="utf-8") as fh:
+                fh.write("attempted\n")
+            raise RuntimeError("synthetic flaky first attempt")
+    else:
+        raise ValueError(f"unknown synthetic op {job.scenario!r}")
+    return {
+        "op": op,
+        "duration_s": float(job.load),
+        "seed": int(job.seed),
+        "replicate": int(job.replicate),
+    }
+
+
+_EXECUTORS = {
+    "policy": _execute_policy,
+    "load": _execute_load,
+    "chaos": _execute_chaos,
+    "synthetic": _execute_synthetic,
+}
+
+
+def _plain(value):
+    """Recursively strip NumPy scalar types so payloads are pure JSON.
+
+    ``np.bool_`` / ``np.float64`` leak out of assessments; ``.item()``
+    converts them losslessly, keeping the payload == its store
+    round-trip.
+    """
+    if isinstance(value, dict):
+        return {k: _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    item = getattr(value, "item", None)
+    if item is not None and type(value).__module__ == "numpy":
+        return item()
+    return value
+
+
+def execute_job(job: JobSpec) -> dict:
+    """Run one job to completion and return its JSON-able payload.
+
+    A pure function of the spec: no global state is read or written, so
+    the same spec produces a bit-identical payload whether it runs
+    inline, in a forked worker, or on another machine.
+    """
+    return _plain(_EXECUTORS[job.kind](job))

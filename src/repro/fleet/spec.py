@@ -1,0 +1,155 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names the grid the paper's evaluation implies --
+(scenario x policy x load x seed replicate), optionally extended with
+chaos campaigns -- and :meth:`~SweepSpec.expand` turns it into the
+deterministic, cartesian job list the fleet executor runs.
+
+Seeds derive from one root: each job's seed is
+``derive_seed(root_seed, cell-name/repN)`` (see
+:func:`repro.sim.rng.derive_seed`), so
+
+* the whole sweep is reproducible from ``(spec, root_seed)``;
+* replicates of a cell are statistically independent;
+* adding a policy or load level never perturbs the seeds of existing
+  cells (each cell's name, not its grid position, feeds the hash).
+
+Expansion order is fixed -- scenario-major, then policy, then load,
+then replicate, chaos cells last -- so a job list, its digests, and
+every downstream aggregate are identical across processes and machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fleet.jobs import POLICY_SCENARIOS, JobSpec
+from repro.obs.manifest import RunManifest
+from repro.sim.rng import derive_seed
+
+#: Documented default root seed, shared with the CLI (`--seed`).
+DEFAULT_ROOT_SEED = 7
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The declarative grid of one sweep campaign."""
+
+    scenarios: tuple[str, ...] = ("three-region",)
+    policies: tuple[str, ...] = (
+        "sensible-routing",
+        "available-resources",
+        "exploration",
+    )
+    #: client multipliers applied to every region of each scenario
+    loads: tuple[float, ...] = (1.0,)
+    #: seed replicates per cell
+    replicates: int = 1
+    root_seed: int = DEFAULT_ROOT_SEED
+    eras: int = 60
+    era_s: float = 30.0
+    predictor: str = "oracle"
+    #: chaos campaigns appended as extra cells (policy axis not applied)
+    campaigns: tuple[str, ...] = ()
+    #: era override for campaign cells; 0 = each campaign's default
+    campaign_eras: int = 0
+
+    def __post_init__(self) -> None:
+        for scenario in self.scenarios:
+            if scenario not in POLICY_SCENARIOS:
+                raise ValueError(
+                    f"unknown scenario {scenario!r}; "
+                    f"expected one of {POLICY_SCENARIOS}"
+                )
+        if self.replicates < 1:
+            raise ValueError("replicates must be >= 1")
+        if any(load <= 0 for load in self.loads):
+            raise ValueError(f"loads must be positive, got {self.loads}")
+        if self.eras < 10:
+            raise ValueError("eras must be >= 10 (assessment minimum)")
+        if self.cell_count == 0:
+            raise ValueError("spec expands to zero jobs")
+
+    @property
+    def cell_count(self) -> int:
+        """Grid cells (each cell holds ``replicates`` jobs)."""
+        return len(self.scenarios) * len(self.policies) * len(self.loads) + len(
+            self.campaigns
+        )
+
+    @property
+    def job_count(self) -> int:
+        return self.cell_count * self.replicates
+
+    def expand(self) -> list[JobSpec]:
+        """The full job list, in the fixed deterministic order."""
+        jobs: list[JobSpec] = []
+        for scenario in self.scenarios:
+            for policy in self.policies:
+                for load in self.loads:
+                    for rep in range(self.replicates):
+                        cell = f"{scenario}/{policy}/load{load:g}/rep{rep}"
+                        jobs.append(
+                            JobSpec(
+                                kind="policy",
+                                scenario=scenario,
+                                policy=policy,
+                                load=float(load),
+                                seed=derive_seed(self.root_seed, cell),
+                                replicate=rep,
+                                eras=self.eras,
+                                era_s=self.era_s,
+                                predictor=self.predictor,
+                            )
+                        )
+        for campaign in self.campaigns:
+            for rep in range(self.replicates):
+                cell = f"chaos/{campaign}/rep{rep}"
+                jobs.append(
+                    JobSpec(
+                        kind="chaos",
+                        scenario=campaign,
+                        policy="",
+                        load=1.0,
+                        seed=derive_seed(self.root_seed, cell),
+                        replicate=rep,
+                        eras=self.campaign_eras,
+                        era_s=self.era_s,
+                    )
+                )
+        return jobs
+
+    def config(self) -> dict:
+        """JSON-able form of the whole spec (digested into the sweep
+        manifest and embedded in every aggregate artifact)."""
+        return {
+            "scenarios": list(self.scenarios),
+            "policies": list(self.policies),
+            "loads": [float(x) for x in self.loads],
+            "replicates": self.replicates,
+            "root_seed": self.root_seed,
+            "eras": self.eras,
+            "era_s": self.era_s,
+            "predictor": self.predictor,
+            "campaigns": list(self.campaigns),
+            "campaign_eras": self.campaign_eras,
+        }
+
+    def manifest(self) -> RunManifest:
+        """Sweep-level provenance for reports and CSV exports."""
+        return RunManifest.build(
+            seed=self.root_seed,
+            config=self.config(),
+            cells=self.cell_count,
+            jobs=self.job_count,
+        )
+
+
+def listing(jobs: list[JobSpec]) -> str:
+    """The ``--dry-run`` job table: order, label, seed, digest."""
+    lines = [f"{'#':>4}  {'digest':<16} {'seed':>20}  label"]
+    for i, job in enumerate(jobs):
+        lines.append(
+            f"{i:>4}  {job.digest:<16} {job.seed:>20}  {job.label}"
+        )
+    return "\n".join(lines)

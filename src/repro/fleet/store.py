@@ -1,0 +1,135 @@
+"""Content-addressed, crash-safe result store for fleet jobs.
+
+One JSON document per completed job, named by the job's config digest
+(:func:`repro.obs.manifest.config_digest` over :meth:`JobSpec.config`).
+The digest *is* the cache key: re-running a sweep looks every job up
+here first, so a killed run resumes where it stopped and an edited spec
+only recomputes the cells whose effective configuration changed.
+
+Hygiene rules, enforced from day one:
+
+* **Atomic writes.**  Entries are written to a same-directory temp file
+  and ``os.replace``-d into place, so a Ctrl-C or OOM mid-write can
+  never leave a truncated entry that later resumes would trust.
+* **Self-describing entries.**  Each document embeds the full job
+  config and the per-job :class:`~repro.obs.manifest.RunManifest`;
+  :meth:`ResultStore.get` verifies the stored config digests to the
+  entry's filename and treats any mismatch or undecodable file as a
+  miss (quarantining it out of the resume path).
+* **Garbage collection.**  :meth:`ResultStore.gc` prunes entries whose
+  digest no longer matches any known spec (``repro sweep --gc``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.manifest import config_digest
+
+#: Filename suffix of store entries.
+_SUFFIX = ".json"
+
+
+class ResultStore:
+    """A directory of ``<digest>.json`` job-result documents."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / f"{digest}{_SUFFIX}"
+
+    # -------------------------------------------------------------- #
+    # read / write
+    # -------------------------------------------------------------- #
+
+    def get(self, digest: str) -> dict | None:
+        """The stored document for ``digest``, or None.
+
+        Corrupt, truncated, or mislabeled entries (digest of the
+        embedded job config not matching the filename) read as misses:
+        resume must never trust a half-written file.
+        """
+        path = self.path_for(digest)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(doc, dict) or "payload" not in doc:
+            return None
+        job_config = doc.get("job")
+        if not isinstance(job_config, dict):
+            return None
+        if config_digest(job_config) != digest:
+            return None
+        return doc
+
+    def put(self, digest: str, doc: dict) -> Path:
+        """Atomically persist ``doc`` as the entry for ``digest``.
+
+        Write-then-rename in the store directory itself, so the rename
+        never crosses a filesystem boundary and readers observe either
+        the old entry or the complete new one.
+        """
+        path = self.path_for(digest)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{digest}.", suffix=".tmp", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -------------------------------------------------------------- #
+    # inventory
+    # -------------------------------------------------------------- #
+
+    def digests(self) -> list[str]:
+        """Digests of every entry on disk (sorted; temp files ignored)."""
+        return sorted(
+            p.name[: -len(_SUFFIX)]
+            for p in self.root.glob(f"*{_SUFFIX}")
+            if not p.name.startswith(".")
+        )
+
+    def __len__(self) -> int:
+        return len(self.digests())
+
+    def __contains__(self, digest: str) -> bool:
+        return self.path_for(digest).is_file()
+
+    def gc(self, keep: Iterable[str]) -> list[str]:
+        """Remove entries whose digest is not in ``keep``.
+
+        Returns the pruned digests (sorted).  Stray temp files from
+        interrupted writes are swept too.
+        """
+        keep_set = set(keep)
+        pruned: list[str] = []
+        for digest in self.digests():
+            if digest not in keep_set:
+                try:
+                    self.path_for(digest).unlink()
+                    pruned.append(digest)
+                except OSError:
+                    pass
+        for tmp in self.root.glob(".*.tmp"):
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        return pruned

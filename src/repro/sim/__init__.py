@@ -28,7 +28,7 @@ from repro.sim.instances import (
     PRIVATE_SMALL,
     get_instance_type,
 )
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import RngRegistry, derive_seed
 from repro.sim.tracing import TraceRecorder, TraceSeries
 
 __all__ = [
@@ -43,6 +43,7 @@ __all__ = [
     "PRIVATE_SMALL",
     "get_instance_type",
     "RngRegistry",
+    "derive_seed",
     "TraceRecorder",
     "TraceSeries",
 ]

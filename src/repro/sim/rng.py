@@ -31,6 +31,25 @@ def _stable_name_words(name: str) -> list[int]:
     return [int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)]
 
 
+def derive_seed(root_seed: int, name: str) -> int:
+    """Stable 63-bit child seed for ``(root_seed, name)``.
+
+    The canonical seed-spawning rule for anything that needs a *seed*
+    (not a stream): fleet sweep jobs, replicate runs, worker processes.
+    Unlike :meth:`RngRegistry.child` (a legacy affine map kept for
+    golden-trace compatibility) this hashes the root seed together with
+    the name, so child seeds are uniform over the 63-bit space and two
+    different roots never produce colliding families.
+    """
+    if not isinstance(root_seed, (int, np.integer)):
+        raise TypeError(
+            f"root_seed must be an int, got {type(root_seed).__name__}"
+        )
+    payload = f"{int(root_seed)}\x1f{name}".encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "little") % (2**63)
+
+
 class RngRegistry:
     """Factory of named :class:`numpy.random.Generator` streams.
 
@@ -87,6 +106,16 @@ class RngRegistry:
         child_seed = (self._seed * 1_000_003 + words[0]) % (2**63)
         sub = RngRegistry(seed=child_seed)
         return sub
+
+    def spawn(self, name: str) -> "RngRegistry":
+        """Derive a sub-registry via :func:`derive_seed` (hash spawning).
+
+        The preferred derivation for new code (fleet jobs, replicate
+        sweeps): collision-resistant across the whole 63-bit seed space.
+        :meth:`child` keeps the historical affine derivation so existing
+        golden traces stay bit-identical.
+        """
+        return RngRegistry(seed=derive_seed(self._seed, name))
 
     def names(self) -> list[str]:
         """Names of streams created so far (sorted, for reproducible logs)."""

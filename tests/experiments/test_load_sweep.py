@@ -1,8 +1,16 @@
-"""Unit tests for the client-count load sweep."""
+"""Unit tests for the client-count load sweep (fleet-backed)."""
 
 import pytest
 
-from repro.experiments.load_sweep import SweepPoint, run_load_sweep, sweep_table
+from repro.experiments.load_sweep import (
+    SweepPoint,
+    run_load_sweep,
+    sweep_jobs,
+    sweep_manifest,
+    sweep_table,
+    write_sweep_csv,
+)
+from repro.sim.tracing import read_csv_manifest
 
 
 class TestRunLoadSweep:
@@ -22,6 +30,41 @@ class TestRunLoadSweep:
             run_load_sweep(client_counts=(8,), eras=40)
         with pytest.raises(ValueError, match="paper range"):
             run_load_sweep(client_counts=(1024,), eras=40)
+
+
+class TestFleetBackedSweep:
+    def test_parallel_workers_bit_identical(self):
+        serial = run_load_sweep(client_counts=(32, 96), eras=40, seed=3)
+        parallel = run_load_sweep(
+            client_counts=(32, 96), eras=40, seed=3, workers=2
+        )
+        assert serial == parallel
+
+    def test_store_resume_skips_completed_points(self, tmp_path):
+        from repro.fleet.store import ResultStore
+
+        store = ResultStore(tmp_path)
+        first = run_load_sweep(
+            client_counts=(32, 96), eras=40, seed=3, store=store
+        )
+        assert len(store) == 2
+        resumed = run_load_sweep(
+            client_counts=(32, 96), eras=40, seed=3, store=store
+        )
+        assert resumed == first
+
+    def test_store_accepts_a_path(self, tmp_path):
+        run_load_sweep(
+            client_counts=(32,), eras=40, seed=3,
+            store=tmp_path / "store",
+        )
+        assert list((tmp_path / "store").glob("*.json"))
+
+    def test_jobs_are_deterministic(self):
+        a = sweep_jobs((32, 96), eras=40, seed=3)
+        b = sweep_jobs((32, 96), eras=40, seed=3)
+        assert a == b
+        assert [j.digest for j in a] == [j.digest for j in b]
 
 
 class TestSweepTable:
@@ -47,3 +90,54 @@ class TestSweepTable:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             sweep_table([])
+
+    def test_table_embeds_manifest(self):
+        manifest = sweep_manifest((64,), eras=40, seed=3)
+        out = sweep_table([self.make_point()], manifest=manifest)
+        first = out.splitlines()[0]
+        assert first.startswith("# manifest:")
+        assert manifest.config_digest in first
+
+
+class TestSweepCsvManifest:
+    def test_csv_manifest_round_trips(self, tmp_path):
+        """The load sweep was the one experiment artifact without a
+        `# manifest:` comment; `read_csv_manifest` must round-trip it."""
+        path = str(tmp_path / "sweep.csv")
+        manifest = sweep_manifest((64,), policy="uniform", eras=40, seed=3)
+        point = SweepPoint(
+            clients_region1=64,
+            clients_region3=38,
+            mean_rmttf_s=500.0,
+            rmttf_spread=0.01,
+            mean_response_s=0.08,
+            sla_met=True,
+            rejuvenations=12,
+        )
+        write_sweep_csv([point], path, manifest=manifest)
+        restored = read_csv_manifest(path)
+        assert restored == manifest.as_dict()
+        assert restored["seed"] == 3
+        assert restored["extra"]["experiment"] == "load_sweep"
+
+    def test_csv_without_manifest_reads_none(self, tmp_path):
+        path = str(tmp_path / "bare.csv")
+        point = SweepPoint(64, 38, 500.0, 0.01, 0.08, True, 12)
+        write_sweep_csv([point], path)
+        assert read_csv_manifest(path) is None
+
+    def test_csv_rows_carry_every_field(self, tmp_path):
+        path = str(tmp_path / "sweep.csv")
+        point = SweepPoint(64, 38, 500.0, 0.01, 0.08, False, 12)
+        write_sweep_csv([point], path)
+        header, row = open(path, encoding="utf-8").read().splitlines()
+        assert header.split(",") == [
+            "clients_region1", "clients_region3", "mean_rmttf_s",
+            "rmttf_spread", "mean_response_s", "sla_met", "rejuvenations",
+        ]
+        assert row.split(",")[0] == "64"
+        assert row.split(",")[5] == "0"  # sla_met False
+
+    def test_empty_points_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_sweep_csv([], str(tmp_path / "x.csv"))

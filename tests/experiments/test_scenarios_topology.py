@@ -1,0 +1,123 @@
+"""Direct coverage for `experiments/scenarios.py`: overlay topology
+invariants of `build_overlay()` and `instance_types()` contents for both
+paper scenarios (previously only exercised indirectly)."""
+
+import pytest
+
+from repro.experiments.scenarios import (
+    REGION_1,
+    REGION_2,
+    REGION_3,
+    Scenario,
+    three_region_scenario,
+    two_region_scenario,
+)
+
+
+@pytest.fixture(params=["two", "three"])
+def scenario(request):
+    return (
+        two_region_scenario() if request.param == "two"
+        else three_region_scenario()
+    )
+
+
+class TestBuildOverlayInvariants:
+    def test_every_region_is_a_live_node(self, scenario):
+        net = scenario.build_overlay()
+        for spec in scenario.regions:
+            assert net.is_alive(spec.name)
+
+    def test_full_mesh_link_count(self, scenario):
+        net = scenario.build_overlay()
+        n = len(scenario.regions)
+        names = [s.name for s in scenario.regions]
+        pairs = [
+            (a, b)
+            for i, a in enumerate(names)
+            for b in names[i + 1 :]
+        ]
+        assert len(pairs) == n * (n - 1) // 2
+        for a, b in pairs:
+            assert net.has_link(a, b)
+            assert net.has_link(b, a)
+
+    def test_latencies_match_the_declared_map(self, scenario):
+        net = scenario.build_overlay()
+        for (a, b), expected in scenario.latencies_ms.items():
+            assert net.link_latency(a, b) == pytest.approx(expected)
+            assert net.link_latency(b, a) == pytest.approx(expected)
+
+    def test_fresh_overlay_each_call(self, scenario):
+        assert scenario.build_overlay() is not scenario.build_overlay()
+
+    def test_undeclared_pair_gets_default_latency(self):
+        s = Scenario(
+            name="bare",
+            regions=(REGION_1, REGION_3),
+            latencies_ms={},
+        )
+        net = s.build_overlay()
+        assert net.link_latency(
+            REGION_1.name, REGION_3.name
+        ) == pytest.approx(20.0)
+
+    def test_latency_lookup_is_symmetric(self):
+        """A (b, a) key in latencies_ms serves the (a, b) link too."""
+        s = Scenario(
+            name="flipped",
+            regions=(REGION_1, REGION_3),
+            latencies_ms={(REGION_3.name, REGION_1.name): 42.0},
+        )
+        net = s.build_overlay()
+        assert net.link_latency(
+            REGION_1.name, REGION_3.name
+        ) == pytest.approx(42.0)
+
+
+class TestInstanceTypes:
+    def test_two_region_contents_and_order(self):
+        assert two_region_scenario().instance_types() == [
+            "m3.medium",
+            "private.small",
+        ]
+
+    def test_three_region_contents_and_order(self):
+        assert three_region_scenario().instance_types() == [
+            "m3.medium",
+            "m3.small",
+            "private.small",
+        ]
+
+    def test_duplicate_types_deduplicated_in_deployment_order(self):
+        s = Scenario(
+            name="dup",
+            regions=(REGION_1, REGION_2, REGION_1, REGION_3),
+        )
+        assert s.instance_types() == [
+            "m3.medium",
+            "m3.small",
+            "private.small",
+        ]
+
+
+class TestPaperShape:
+    def test_two_region_is_fig3(self):
+        s = two_region_scenario()
+        assert s.name == "fig3-two-regions"
+        assert [r.name for r in s.regions] == [
+            "region1-ireland",
+            "region3-munich",
+        ]
+        assert all("frankfurt" not in k[0] and "frankfurt" not in k[1]
+                   for k in s.latencies_ms)
+
+    def test_three_region_is_fig4(self):
+        s = three_region_scenario()
+        assert s.name == "fig4-three-regions"
+        assert len(s.regions) == 3
+        assert len(s.latencies_ms) == 3
+        # the paper's client counts stay inside [16, 512] and differ
+        clients = [r.clients for r in s.regions]
+        assert all(16 <= c <= 512 for c in clients)
+        assert len(set(clients)) == len(clients)

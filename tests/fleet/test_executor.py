@@ -1,0 +1,144 @@
+"""FleetExecutor scheduling: retries, crashes, hangs, failure isolation.
+
+Synthetic jobs (sleep / crash / exit / hang / flaky) exercise every
+failure mode across real process boundaries without simulating anything,
+so these tests stay fast.
+"""
+
+import time
+
+import pytest
+
+from repro.fleet.executor import FleetExecutor
+from repro.fleet.jobs import JobSpec
+from repro.fleet.store import ResultStore
+
+
+def synthetic(op: str, n: int = 0, load: float = 0.0, **kw) -> JobSpec:
+    return JobSpec(
+        kind="synthetic",
+        scenario=op,
+        policy="",
+        load=load,
+        seed=n,
+        replicate=n,
+        eras=10,
+        **kw,
+    )
+
+
+class TestHappyPath:
+    def test_payloads_in_spec_order(self):
+        jobs = [synthetic("sleep", n) for n in range(5)]
+        outcome = FleetExecutor(workers=3).run(jobs)
+        assert outcome.ok
+        assert [p["replicate"] for p in outcome.payloads] == list(range(5))
+        assert outcome.executed == 5
+        assert outcome.store_hits == 0
+        assert outcome.retried == 0
+
+    def test_empty_job_list(self):
+        outcome = FleetExecutor(workers=2).run([])
+        assert outcome.ok
+        assert outcome.payloads == []
+
+    def test_duplicate_configs_rejected(self):
+        job = synthetic("sleep", 1)
+        with pytest.raises(ValueError, match="duplicate"):
+            FleetExecutor().run([job, job])
+
+    def test_progress_callback_sees_lifecycle(self):
+        lines = []
+        jobs = [synthetic("sleep", n) for n in range(2)]
+        FleetExecutor(workers=1, progress=lines.append).run(jobs)
+        assert any(line.startswith("run") for line in lines)
+        assert any(line.startswith("ok") for line in lines)
+
+
+class TestFailures:
+    def test_python_crash_fails_after_retries(self):
+        jobs = [synthetic("sleep", 0), synthetic("crash", 1)]
+        outcome = FleetExecutor(workers=2, max_retries=1).run(jobs)
+        assert not outcome.ok
+        assert outcome.payloads[0] is not None
+        assert outcome.payloads[1] is None
+        assert outcome.retried == 1
+        (message,) = outcome.failures.values()
+        assert "synthetic crash" in message
+
+    def test_hard_worker_death_is_contained(self):
+        """os._exit(17) kills the worker with no Python traceback; the
+        job fails with the exit code and other jobs are unaffected."""
+        jobs = [synthetic("exit", 0), synthetic("sleep", 1)]
+        outcome = FleetExecutor(workers=2, max_retries=0).run(jobs)
+        assert outcome.payloads[1] is not None
+        (message,) = outcome.failures.values()
+        assert "exit code 17" in message
+
+    def test_flaky_job_succeeds_on_retry(self, tmp_path):
+        marker = tmp_path / "attempted"
+        jobs = [synthetic(f"flaky:{marker}", 0)]
+        outcome = FleetExecutor(workers=1, max_retries=1).run(jobs)
+        assert outcome.ok
+        assert outcome.retried == 1
+        assert outcome.executed == 1
+        assert marker.exists()
+
+    def test_retries_are_bounded(self, tmp_path):
+        outcome = FleetExecutor(workers=1, max_retries=2).run(
+            [synthetic("crash", 0)]
+        )
+        assert outcome.retried == 2
+        assert not outcome.ok
+
+
+class TestTimeouts:
+    def test_hung_worker_is_killed_within_budget(self):
+        jobs = [synthetic("hang", 0, load=30.0), synthetic("sleep", 1)]
+        start = time.monotonic()
+        outcome = FleetExecutor(
+            workers=2, job_timeout_s=0.5, max_retries=0
+        ).run(jobs)
+        elapsed = time.monotonic() - start
+        assert elapsed < 10.0, "hung worker must not block the sweep"
+        assert outcome.payloads[1] is not None
+        (message,) = outcome.failures.values()
+        assert "timeout" in message
+
+    def test_fast_jobs_unaffected_by_timeout(self):
+        jobs = [synthetic("sleep", n, load=0.01) for n in range(3)]
+        outcome = FleetExecutor(workers=2, job_timeout_s=20.0).run(jobs)
+        assert outcome.ok
+
+
+class TestValidation:
+    def test_bad_workers(self):
+        with pytest.raises(ValueError):
+            FleetExecutor(workers=0)
+
+    def test_bad_timeout(self):
+        with pytest.raises(ValueError):
+            FleetExecutor(job_timeout_s=0.0)
+
+    def test_bad_retries(self):
+        with pytest.raises(ValueError):
+            FleetExecutor(max_retries=-1)
+
+
+class TestStoreIntegration:
+    def test_results_persisted_as_they_complete(self, tmp_path):
+        store = ResultStore(tmp_path)
+        jobs = [synthetic("sleep", n) for n in range(3)]
+        outcome = FleetExecutor(workers=2, store=store).run(jobs)
+        assert outcome.ok
+        assert len(store) == 3
+        doc = store.get(jobs[0].digest)
+        assert doc["payload"] == outcome.payloads[0]
+        assert doc["manifest"]["seed"] == jobs[0].seed
+
+    def test_failed_jobs_never_enter_the_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        FleetExecutor(workers=1, store=store, max_retries=0).run(
+            [synthetic("crash", 0)]
+        )
+        assert len(store) == 0

@@ -1,0 +1,100 @@
+"""Acceptance: killed sweeps resume without re-executing finished jobs.
+
+The store-hit counter is the observable: a re-invoked sweep must satisfy
+every already-completed job from the store (``store_hits``) and execute
+only the remainder (``executed``).
+"""
+
+from repro.fleet.executor import FleetExecutor
+from repro.fleet.jobs import JobSpec
+from repro.fleet.spec import SweepSpec
+from repro.fleet.store import ResultStore
+
+
+def fast_jobs(n: int = 6) -> list[JobSpec]:
+    return [
+        JobSpec(
+            kind="synthetic",
+            scenario="sleep",
+            policy="",
+            load=0.0,
+            seed=1000 + i,
+            replicate=i,
+            eras=10,
+        )
+        for i in range(n)
+    ]
+
+
+class TestResume:
+    def test_full_resume_executes_nothing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        jobs = fast_jobs()
+        first = FleetExecutor(workers=2, store=store).run(jobs)
+        assert first.store_hits == 0
+        assert first.executed == len(jobs)
+
+        second = FleetExecutor(workers=2, store=store).run(jobs)
+        assert second.store_hits == len(jobs)
+        assert second.executed == 0
+        assert second.payloads == first.payloads
+
+    def test_partial_resume_after_simulated_kill(self, tmp_path):
+        """Interrupting a sweep mid-run leaves a partial store; the next
+        invocation completes exactly the missing jobs."""
+        store = ResultStore(tmp_path)
+        jobs = fast_jobs()
+        FleetExecutor(workers=1, store=store).run(jobs)
+        # simulate a kill after 4 of 6 jobs: drop the last two entries
+        for job in jobs[4:]:
+            store.path_for(job.digest).unlink()
+
+        resumed = FleetExecutor(workers=2, store=store).run(jobs)
+        assert resumed.store_hits == 4
+        assert resumed.executed == 2
+        assert all(p is not None for p in resumed.payloads)
+
+    def test_resume_false_ignores_the_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        jobs = fast_jobs(3)
+        FleetExecutor(workers=1, store=store).run(jobs)
+        fresh = FleetExecutor(workers=1, store=store, resume=False).run(jobs)
+        assert fresh.store_hits == 0
+        assert fresh.executed == 3
+
+    def test_edited_spec_recomputes_only_changed_cells(self, tmp_path):
+        """Changing one axis value leaves every untouched cell cached:
+        the content digest, not the grid position, keys the store."""
+        store = ResultStore(tmp_path)
+        base = SweepSpec(
+            scenarios=("two-region",),
+            policies=("uniform",),
+            loads=(0.25,),
+            replicates=2,
+            root_seed=5,
+            eras=12,
+        )
+        FleetExecutor(workers=2, store=store).run(base.expand())
+
+        edited = SweepSpec(
+            scenarios=("two-region",),
+            policies=("uniform", "available-resources"),
+            loads=(0.25,),
+            replicates=2,
+            root_seed=5,
+            eras=12,
+        )
+        outcome = FleetExecutor(workers=2, store=store).run(edited.expand())
+        assert outcome.store_hits == 2  # the original uniform cell
+        assert outcome.executed == 2  # only the new policy's jobs
+
+    def test_corrupt_entry_is_recomputed_not_trusted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        jobs = fast_jobs(2)
+        FleetExecutor(workers=1, store=store).run(jobs)
+        store.path_for(jobs[0].digest).write_text("{broken", "utf-8")
+
+        resumed = FleetExecutor(workers=1, store=store).run(jobs)
+        assert resumed.store_hits == 1
+        assert resumed.executed == 1
+        assert resumed.ok

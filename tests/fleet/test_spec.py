@@ -1,0 +1,129 @@
+"""SweepSpec expansion: grid shape, ordering, derived seeds, digests."""
+
+import pytest
+
+from repro.fleet.jobs import JobSpec
+from repro.fleet.spec import SweepSpec, listing
+from repro.sim.rng import derive_seed
+
+
+def small_spec(**overrides):
+    base = dict(
+        scenarios=("two-region", "three-region"),
+        policies=("uniform", "available-resources"),
+        loads=(0.5, 1.0),
+        replicates=2,
+        root_seed=11,
+        eras=20,
+    )
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+class TestExpansion:
+    def test_cartesian_count(self):
+        spec = small_spec()
+        jobs = spec.expand()
+        assert len(jobs) == 2 * 2 * 2 * 2
+        assert spec.job_count == len(jobs)
+        assert spec.cell_count == 8
+
+    def test_campaign_cells_appended(self):
+        spec = small_spec(campaigns=("smoke",))
+        jobs = spec.expand()
+        chaos = [j for j in jobs if j.kind == "chaos"]
+        assert len(chaos) == 2  # one campaign x two replicates
+        # chaos cells come last, in replicate order
+        assert jobs[-2:] == chaos
+        assert chaos[0].scenario == "smoke"
+
+    def test_order_is_deterministic_and_scenario_major(self):
+        jobs1 = small_spec().expand()
+        jobs2 = small_spec().expand()
+        assert jobs1 == jobs2
+        assert [j.scenario for j in jobs1[:8]] == ["two-region"] * 8
+        assert [j.policy for j in jobs1[:4]] == ["uniform"] * 4
+
+    def test_replicates_get_distinct_derived_seeds(self):
+        jobs = small_spec().expand()
+        seeds = [j.seed for j in jobs]
+        assert len(set(seeds)) == len(seeds)
+        expected = derive_seed(11, "two-region/uniform/load0.5/rep0")
+        assert jobs[0].seed == expected
+
+    def test_adding_an_axis_value_keeps_existing_seeds(self):
+        """Cell names, not grid positions, feed the seed hash."""
+        before = {j.label: j.seed for j in small_spec().expand()}
+        after = {
+            j.label: j.seed
+            for j in small_spec(loads=(0.5, 1.0, 2.0)).expand()
+        }
+        for label, seed in before.items():
+            assert after[label] == seed
+
+    def test_digests_unique_and_stable(self):
+        jobs = small_spec().expand()
+        digests = [j.digest for j in jobs]
+        assert len(set(digests)) == len(digests)
+        assert digests == [j.digest for j in small_spec().expand()]
+
+    def test_root_seed_changes_every_job_seed(self):
+        a = [j.seed for j in small_spec().expand()]
+        b = [j.seed for j in small_spec(root_seed=12).expand()]
+        assert all(x != y for x, y in zip(a, b))
+
+
+class TestValidation:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            small_spec(scenarios=("mars-region",))
+
+    def test_zero_replicates_rejected(self):
+        with pytest.raises(ValueError, match="replicates"):
+            small_spec(replicates=0)
+
+    def test_nonpositive_load_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            small_spec(loads=(0.0,))
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="zero jobs"):
+            small_spec(scenarios=(), campaigns=())
+
+    def test_too_few_eras_rejected(self):
+        with pytest.raises(ValueError, match="eras"):
+            small_spec(eras=5)
+
+    def test_unknown_job_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            JobSpec(
+                kind="mystery",
+                scenario="two-region",
+                policy="uniform",
+                load=1.0,
+                seed=1,
+                replicate=0,
+                eras=20,
+            )
+
+
+class TestManifestAndListing:
+    def test_manifest_digest_tracks_spec(self):
+        m1 = small_spec().manifest()
+        m2 = small_spec().manifest()
+        m3 = small_spec(eras=30).manifest()
+        assert m1.config_digest == m2.config_digest
+        assert m1.config_digest != m3.config_digest
+        assert m1.seed == 11
+        assert m1.extra["jobs"] == 16
+
+    def test_listing_covers_every_job(self):
+        jobs = small_spec().expand()
+        text = listing(jobs)
+        for job in jobs:
+            assert job.label in text
+            assert job.digest in text
+
+    def test_from_config_round_trip(self):
+        job = small_spec().expand()[3]
+        assert JobSpec.from_config(job.config()) == job

@@ -1,0 +1,124 @@
+"""ResultStore hygiene: atomicity, corruption handling, gc."""
+
+import json
+import os
+
+from repro.fleet.jobs import JobSpec
+from repro.fleet.store import ResultStore
+
+
+def make_job(n: int = 0) -> JobSpec:
+    return JobSpec(
+        kind="synthetic",
+        scenario="sleep",
+        policy="",
+        load=0.0,
+        seed=100 + n,
+        replicate=n,
+        eras=10,
+    )
+
+
+def make_doc(job: JobSpec) -> dict:
+    return {
+        "digest": job.digest,
+        "job": job.config(),
+        "payload": {"value": 1.25, "seed": job.seed},
+        "manifest": job.manifest().as_dict(),
+    }
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        job = make_job()
+        store.put(job.digest, make_doc(job))
+        doc = store.get(job.digest)
+        assert doc is not None
+        assert doc["payload"] == {"value": 1.25, "seed": job.seed}
+        assert job.digest in store
+        assert len(store) == 1
+
+    def test_missing_is_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get("0" * 16) is None
+
+    def test_float_payloads_bit_exact(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = make_job()
+        payload = {"x": 0.1 + 0.2, "y": 1e-308, "inf": float("inf")}
+        doc = make_doc(job)
+        doc["payload"] = payload
+        store.put(job.digest, doc)
+        assert store.get(job.digest)["payload"] == payload
+
+
+class TestAtomicity:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for n in range(5):
+            job = make_job(n)
+            store.put(job.digest, make_doc(job))
+        leftovers = [p for p in os.listdir(tmp_path) if p.endswith(".tmp")]
+        assert leftovers == []
+        assert len(store) == 5
+
+    def test_overwrite_replaces_atomically(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = make_job()
+        doc = make_doc(job)
+        store.put(job.digest, doc)
+        doc2 = dict(doc, payload={"value": 2.0})
+        store.put(job.digest, doc2)
+        assert store.get(job.digest)["payload"] == {"value": 2.0}
+        assert len(store) == 1
+
+
+class TestCorruption:
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = make_job()
+        store.path_for(job.digest).write_text('{"payload": {"half', "utf-8")
+        assert store.get(job.digest) is None
+
+    def test_mislabeled_entry_is_a_miss(self, tmp_path):
+        """An entry whose embedded job doesn't hash to its filename must
+        not satisfy a resume lookup."""
+        store = ResultStore(tmp_path)
+        a, b = make_job(1), make_job(2)
+        store.put(a.digest, make_doc(a))
+        os.rename(store.path_for(a.digest), store.path_for(b.digest))
+        assert store.get(b.digest) is None
+
+    def test_payload_missing_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = make_job()
+        store.path_for(job.digest).write_text(
+            json.dumps({"job": job.config()}), "utf-8"
+        )
+        assert store.get(job.digest) is None
+
+
+class TestGc:
+    def test_gc_prunes_only_unknown_digests(self, tmp_path):
+        store = ResultStore(tmp_path)
+        jobs = [make_job(n) for n in range(4)]
+        for job in jobs:
+            store.put(job.digest, make_doc(job))
+        keep = {jobs[0].digest, jobs[1].digest}
+        pruned = store.gc(keep=keep)
+        assert sorted(pruned) == sorted(
+            j.digest for j in jobs[2:]
+        )
+        assert set(store.digests()) == keep
+
+    def test_gc_sweeps_stray_temp_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        stray = tmp_path / ".deadbeef.123.tmp"
+        stray.write_text("partial", "utf-8")
+        store.gc(keep=[])
+        assert not stray.exists()
+
+    def test_gc_with_empty_store(self, tmp_path):
+        store = ResultStore(tmp_path / "fresh")
+        assert store.gc(keep=["abc"]) == []

@@ -37,6 +37,117 @@ class TestParser:
             build_parser().parse_args(["compare", "--regions", "5"])
 
 
+class TestUnifiedSeedOption:
+    """Every seeded subcommand shares one --seed definition (same
+    default, same semantics) via `repro.cli.add_seed_option`."""
+
+    SEEDED_INVOCATIONS = [
+        ["fig3"],
+        ["fig4"],
+        ["compare"],
+        ["export", "fig3"],
+        ["plot", "fig3"],
+        ["reproduce"],
+        ["robustness", "fig3"],
+        ["chaos", "smoke"],
+        ["sweep"],
+        ["models"],
+    ]
+
+    def test_documented_default_everywhere(self):
+        from repro.cli import DEFAULT_SEED
+
+        parser = build_parser()
+        for argv in self.SEEDED_INVOCATIONS:
+            args = parser.parse_args(argv)
+            assert args.seed == DEFAULT_SEED, argv
+
+    def test_override_parses_everywhere(self):
+        parser = build_parser()
+        for argv in self.SEEDED_INVOCATIONS:
+            args = parser.parse_args(argv + ["--seed", "123"])
+            assert args.seed == 123, argv
+
+
+class TestSweepCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.workers == 1
+        assert args.replicates == 3
+        assert not args.resume and not args.dry_run and not args.gc
+        assert "available-resources" in args.policies
+
+    def test_dry_run_lists_jobs_without_executing(self, capsys, tmp_path):
+        rc = main(
+            ["sweep", "--scenarios", "two-region", "--policies",
+             "uniform", "--loads", "0.25", "--replicates", "2",
+             "--eras", "12", "--dry-run",
+             "--store", str(tmp_path / "store")]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 cells x 2 replicates = 2 jobs" in out
+        assert "policy/two-region/uniform/load0.25/rep0" in out
+        assert not (tmp_path / "store").exists()
+
+    def test_invalid_spec_exits_2(self, capsys):
+        rc = main(["sweep", "--scenarios", "mars", "--dry-run"])
+        assert rc == 2
+        assert "invalid sweep spec" in capsys.readouterr().err
+
+    def test_run_resume_and_gc(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        base = [
+            "sweep", "--scenarios", "two-region", "--policies", "uniform",
+            "--loads", "0.25", "--replicates", "1", "--eras", "12",
+            "--store", store,
+        ]
+        assert main(base) == 0
+        out = capsys.readouterr().out
+        assert "1 executed, 0 store hits" in out
+        assert "| cell |" in out
+
+        assert main(base + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 1 store hits" in out
+
+        # an edited spec plus --gc prunes the now-stale entry
+        edited = [
+            "sweep", "--scenarios", "two-region", "--policies", "uniform",
+            "--loads", "0.5", "--replicates", "1", "--eras", "12",
+            "--store", store, "--dry-run", "--gc",
+        ]
+        # gc runs only on real invocations; drop dry-run
+        edited.remove("--dry-run")
+        assert main(edited + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "gc: pruned 1 stale store entries" in out
+
+    def test_csv_export_embeds_manifest(self, tmp_path):
+        from repro.sim.tracing import read_csv_manifest
+
+        csv_path = str(tmp_path / "cells.csv")
+        rc = main(
+            ["sweep", "--scenarios", "two-region", "--policies",
+             "uniform", "--loads", "0.25", "--replicates", "1",
+             "--eras", "12", "--store", str(tmp_path / "store"),
+             "--csv", csv_path]
+        )
+        assert rc == 0
+        manifest = read_csv_manifest(csv_path)
+        assert manifest is not None
+        assert manifest["seed"] == 7
+
+
+class TestChaosSuite:
+    def test_chaos_all_parses(self):
+        args = build_parser().parse_args(
+            ["chaos", "all", "--workers", "2"]
+        )
+        assert args.campaign == "all"
+        assert args.workers == 2
+
+
 class TestExecution:
     def test_compare_runs(self, capsys):
         rc = main(
