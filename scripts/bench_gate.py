@@ -77,6 +77,30 @@ def _check_telemetry_overhead(payload: dict, tolerance: float) -> list[str]:
     return []
 
 
+def report_ml_datapoint(path: Path | None = None) -> None:
+    """Print the committed ``BENCH_ml.json`` datapoint (info-only).
+
+    The ML-inference bench (``benchmarks/bench_ml.py``) records the
+    per-era latency of batched vs per-VM model prediction.  Absolute
+    numbers depend on the trained tree's depth, so nothing is gated --
+    the line exists so a vanished speedup (batched slower than the
+    scalar loop) is visible in the same place as the hot-path gate.
+    """
+    path = path or REPO_ROOT / "BENCH_ml.json"
+    try:
+        payload = json.loads(Path(path).read_text())
+        pools = payload["pools"]
+    except (FileNotFoundError, json.JSONDecodeError, KeyError):
+        return
+    for n, by_pred in pools.items():
+        for name, row in by_pred.items():
+            print(
+                f"  info ml pool={n:>4} {name:<12} "
+                f"batched {float(row['batched_ms']):8.3f} ms  "
+                f"speedup {float(row['speedup']):4.1f}x  (not gated)"
+            )
+
+
 def check_against_baseline(
     payload: dict,
     baseline_path: Path,
@@ -176,9 +200,11 @@ def main(argv: list[str] | None = None) -> int:
     from bench_hotpath import run_benchmark
 
     payload = run_benchmark()
-    return check_against_baseline(
+    code = check_against_baseline(
         payload, args.baseline, tolerance=args.tolerance
     )
+    report_ml_datapoint()
+    return code
 
 
 if __name__ == "__main__":

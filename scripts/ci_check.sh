@@ -12,7 +12,10 @@
 #      telemetry that `repro obs` can summarise with laminar spans;
 #   5. a fleet sweep smoke: a tiny 2-worker grid must run end to end,
 #      then a `--resume` re-invocation must satisfy every job from the
-#      content-addressed store (zero re-execution).
+#      content-addressed store (zero re-execution);
+#   6. an online-lifecycle smoke: a short fig3 run with the model
+#      lifecycle enabled must export the drift metrics (ml_drift_mape,
+#      ml_lives_total) through the telemetry dump.
 #
 # Usage:  scripts/ci_check.sh   (from the repository root or anywhere)
 
@@ -45,5 +48,15 @@ python -m repro sweep "${SWEEP_ARGS[@]}"
 python -m repro sweep "${SWEEP_ARGS[@]}" --resume \
     | grep -q "0 executed, 2 store hits" \
     || { echo "sweep --resume re-executed finished jobs" >&2; exit 1; }
+
+echo "== online-lifecycle smoke =="
+ONLINE_DUMP="$(mktemp -t repro_online_smoke.XXXXXX.json)"
+trap 'rm -f "$OBS_DUMP" "$ONLINE_DUMP"; rm -rf "$SWEEP_STORE"' EXIT
+python -m repro fig3 --eras 24 --online-retrain 8 \
+    --obs-dump "$ONLINE_DUMP" > /dev/null
+for metric in ml_drift_mape ml_lives_total; do
+    grep -q "$metric" "$ONLINE_DUMP" \
+        || { echo "lifecycle smoke: $metric missing from dump" >&2; exit 1; }
+done
 
 echo "ci_check: all gates passed"

@@ -55,6 +55,7 @@ def _write_obs_dump(scenario, args: argparse.Namespace) -> None:
         eras=args.eras,
         seed=args.seed,
         predictor=args.predictor,
+        online_retrain=getattr(args, "online_retrain", 0),
     )
     telemetry.dump_json(args.obs_dump)
     print(f"wrote telemetry dump: {args.obs_dump}")
@@ -65,7 +66,16 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
     from repro.experiments.figure3 import report_figure3
     from repro.experiments.scenarios import two_region_scenario
 
-    print(report_figure3(run_figure3(args.eras, args.seed, args.predictor)))
+    print(
+        report_figure3(
+            run_figure3(
+                args.eras,
+                args.seed,
+                args.predictor,
+                online_retrain=args.online_retrain,
+            )
+        )
+    )
     if args.obs_dump:
         _write_obs_dump(two_region_scenario(), args)
     return 0
@@ -76,10 +86,42 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
     from repro.experiments.figure4 import report_figure4
     from repro.experiments.scenarios import three_region_scenario
 
-    print(report_figure4(run_figure4(args.eras, args.seed, args.predictor)))
+    print(
+        report_figure4(
+            run_figure4(
+                args.eras,
+                args.seed,
+                args.predictor,
+                online_retrain=args.online_retrain,
+            )
+        )
+    )
     if args.obs_dump:
         _write_obs_dump(three_region_scenario(), args)
     return 0
+
+
+def _cmd_online(args: argparse.Namespace) -> int:
+    from repro.experiments.online import run_retrain_vs_frozen
+
+    comparison = run_retrain_vs_frozen(
+        eras=args.eras,
+        seed=args.seed,
+        drift_factor=args.drift_factor,
+        retrain_interval_eras=args.retrain_interval,
+    )
+    print(
+        f"drifted workload (leak probability x{comparison.drift_factor:g}, "
+        f"{comparison.eras} eras):"
+    )
+    print(comparison.table())
+    print(
+        "verdict:",
+        "retraining reduced model MAPE on the realized labels"
+        if comparison.improved
+        else "NO IMPROVEMENT from retraining",
+    )
+    return 0 if comparison.improved else 1
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -278,6 +320,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             root_seed=args.seed,
             eras=args.eras,
             predictor=args.predictor,
+            retrain=tuple(int(x) for x in _split_csv(args.retrain)),
             campaigns=_split_csv(args.campaigns),
         )
     except ValueError as exc:
@@ -426,15 +469,51 @@ def build_parser() -> argparse.ArgumentParser:
             help="write a telemetry dump (summarise it with 'repro obs')",
         )
 
+    def online_retrain_opt(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--online-retrain",
+            type=int,
+            default=0,
+            metavar="N",
+            help=(
+                "enable the online model lifecycle, retraining every N "
+                "eras (0 = off; streaming labels + drift tracking come "
+                "with it)"
+            ),
+        )
+
     p3 = sub.add_parser("fig3", help="reproduce Figure 3 (two regions)")
     common(p3)
     obs_dump_opt(p3)
+    online_retrain_opt(p3)
     p3.set_defaults(func=_cmd_fig3)
 
     p4 = sub.add_parser("fig4", help="reproduce Figure 4 (three regions)")
     common(p4)
     obs_dump_opt(p4)
+    online_retrain_opt(p4)
     p4.set_defaults(func=_cmd_fig4)
+
+    pon = sub.add_parser(
+        "online",
+        help="retrain-vs-frozen comparison on a drifted workload",
+    )
+    pon.add_argument("--eras", type=int, default=90)
+    add_seed_option(pon)
+    pon.add_argument(
+        "--drift-factor",
+        type=float,
+        default=2.0,
+        help="deployed leak-probability multiplier vs the profiled rate",
+    )
+    pon.add_argument(
+        "--retrain-interval",
+        type=int,
+        default=15,
+        metavar="N",
+        help="eras between online retrains",
+    )
+    pon.set_defaults(func=_cmd_online)
 
     pc = sub.add_parser("compare", help="compare policies on a scenario")
     common(pc)
@@ -552,6 +631,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--predictor",
         default="oracle",
         help="'oracle' or an F2PM model name ('rep-tree', 'm5p', ...)",
+    )
+    ps.add_argument(
+        "--retrain",
+        default="0",
+        help=(
+            "comma list of online-retrain intervals in eras (one grid "
+            "axis; 0 = lifecycle off)"
+        ),
     )
     ps.add_argument(
         "--campaigns",

@@ -137,6 +137,11 @@ class AcmControlLoop:
         MAPE phase spans, per-era latency histograms, and leader-change /
         degradation flight events.  Disabled (the default) it is a strict
         no-op.
+    lifecycle:
+        Optional :class:`~repro.ml.online.lifecycle.OnlineLifecycle`
+        whose era clock (retrain schedule) the loop drives; the same
+        instance must be wired into the VMCs for sample collection.
+        ``None`` (the default) takes no lifecycle code path at all.
     """
 
     def __init__(
@@ -151,6 +156,7 @@ class AcmControlLoop:
         degradation: DegradationConfig | None = None,
         transport=None,
         telemetry: Telemetry | None = None,
+        lifecycle=None,
     ) -> None:
         if not vmcs:
             raise ValueError("need at least one region")
@@ -178,6 +184,7 @@ class AcmControlLoop:
             telemetry=telemetry,
         )
         self.transport = transport
+        self.lifecycle = lifecycle
         self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
         self._obs_on = self._tel.enabled
         self._last_leader: str | None = None
@@ -389,6 +396,10 @@ class AcmControlLoop:
             tel.histogram("era_response_time_s").observe(global_rt)
             for region, rt in per_region_rt.items():
                 tel.histogram("era_response_time_s", region=region).observe(rt)
+        if self.lifecycle is not None:
+            # era boundary: advance the online-model clock (may retrain
+            # and hot-swap the deployed model for the *next* era)
+            self.lifecycle.end_era(now + dt)
         self.summaries.append(summary)
         self.era_index += 1
         return summary

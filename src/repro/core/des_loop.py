@@ -457,12 +457,16 @@ class DesControlLoop:
                     vm.last_request_rate = rate_per_vm
                 elif vm.state in (VmState.STANDBY, VmState.REJUVENATING):
                     vm.idle(self.era_s)
-            # PCAM: predict, swap at-risk VMs against standbys
+            # PCAM: predict (one stacked call for the pool), swap at-risk
+            # VMs against standbys.  MTTF derives from the in-hand RTTF:
+            # calling predict_mttf would re-predict, double-appending to
+            # trend-predictor histories.
             mttf_values = []
             at_risk: list[tuple[float, VirtualMachine]] = []
-            for vm in state.active():
-                rttf = self.predictor.predict_rttf(vm)
-                mttf_values.append(self.predictor.predict_mttf(vm))
+            pool = state.active()
+            for vm, rttf in zip(pool, self.predictor.predict_rttf_batch(pool)):
+                rttf = float(rttf)
+                mttf_values.append(vm.uptime_s + max(rttf, 0.0))
                 if rttf < self.rttf_threshold_s:
                     at_risk.append((rttf, vm))
             at_risk.sort(key=lambda p: p[0])

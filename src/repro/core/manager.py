@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from repro.core.autoscale import Autoscaler, AutoscaleConfig
 from repro.core.control_loop import AcmControlLoop, ControlLoopConfig, EraSummary
 from repro.core.policy import Policy, get_policy
+from repro.ml.online.lifecycle import OnlineLifecycle, OnlineLifecycleConfig
 from repro.obs.telemetry import Telemetry
 from repro.overlay.network import OverlayNetwork
 from repro.pcam.predictor import OracleRttfPredictor, RttfPredictor
@@ -120,6 +121,14 @@ class AcmManager:
         Optional :class:`~repro.obs.telemetry.Telemetry` facade threaded
         through the loop and every VMC.  Disabled (the default) the whole
         deployment runs bit-identically to an un-instrumented one.
+    online:
+        Optional :class:`~repro.ml.online.lifecycle.OnlineLifecycleConfig`
+        enabling the online model lifecycle: streaming label collection,
+        drift tracking with the conservative-margin fallback, and (when
+        ``retrain_interval_eras > 0``) periodic retraining that hot-swaps
+        the deployed model.  ``None`` (the default) leaves every control
+        path untouched.  The built lifecycle is exposed as
+        ``manager.online_lifecycle``.
     """
 
     regions: list[RegionSpec]
@@ -138,8 +147,12 @@ class AcmManager:
     stochastic_arrivals: bool = True
     sla_response_time_s: float = 1.0
     telemetry: Telemetry | None = None
+    online: "OnlineLifecycleConfig | None" = None
     loop: AcmControlLoop = field(init=False)
     rngs: RngRegistry = field(init=False)
+    online_lifecycle: "OnlineLifecycle | None" = field(
+        init=False, default=None
+    )
 
     def __post_init__(self) -> None:
         if not self.regions:
@@ -156,6 +169,11 @@ class AcmManager:
         predictor = self.predictor or OracleRttfPredictor(
             mean_demand=self.mix.mean_service_demand()
         )
+        if self.online is not None:
+            self.online_lifecycle = OnlineLifecycle(
+                self.online, seed=self.seed, telemetry=self.telemetry
+            )
+            self.online_lifecycle.bind(predictor)
 
         vmcs: dict[str, VirtualMachineController] = {}
         populations: dict[str, BrowserPopulation] = {}
@@ -184,6 +202,7 @@ class AcmManager:
                 Autoscaler(self.autoscale_config) if self.autoscale else None
             ),
             telemetry=self.telemetry,
+            lifecycle=self.online_lifecycle,
         )
 
     # ------------------------------------------------------------------ #
@@ -220,6 +239,7 @@ class AcmManager:
                 mean_demand=self.mix.mean_service_demand(),
             ),
             telemetry=self.telemetry,
+            lifecycle=self.online_lifecycle,
         )
 
     def _build_overlay(self, names: list[str]) -> OverlayNetwork:

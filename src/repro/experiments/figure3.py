@@ -24,12 +24,14 @@ def run_figure3(
     eras: int = 240,
     seed: int = 7,
     predictor: str = "oracle",
+    online_retrain: int = 0,
 ) -> dict[str, ExperimentResult]:
     """Run all three policies on the Fig. 3 deployment.
 
     Returns policy name -> result; each result's traces contain the three
     rows the figure plots (``rmttf/*``, ``fraction/*``,
-    ``response_time``).
+    ``response_time``).  ``online_retrain`` (eras between retrains; 0 =
+    off) enables the online model lifecycle in every run.
     """
     return compare_policies(
         two_region_scenario(),
@@ -37,6 +39,7 @@ def run_figure3(
         eras=eras,
         seed=seed,
         predictor=predictor,
+        online_retrain=online_retrain,
     )
 
 

@@ -27,14 +27,20 @@ def run_figure4(
     eras: int = 240,
     seed: int = 7,
     predictor: str = "oracle",
+    online_retrain: int = 0,
 ) -> dict[str, ExperimentResult]:
-    """Run all three policies on the Fig. 4 deployment (3 regions)."""
+    """Run all three policies on the Fig. 4 deployment (3 regions).
+
+    ``online_retrain`` (eras between retrains; 0 = off) enables the
+    online model lifecycle in every run.
+    """
     return compare_policies(
         three_region_scenario(),
         policies=PAPER_POLICIES,
         eras=eras,
         seed=seed,
         predictor=predictor,
+        online_retrain=online_retrain,
     )
 
 

@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.distributed import DistributedControlPlane
 from repro.core.manager import AcmManager
 from repro.core.metrics import PolicyAssessment, assess_policy_run
+from repro.ml.online.lifecycle import OnlineLifecycleConfig
 from repro.experiments.scenarios import PAPER_POLICIES, Scenario
 from repro.obs.manifest import RunManifest
 from repro.obs.telemetry import Telemetry
@@ -55,6 +56,9 @@ class ExperimentResult:
     era_s: float
     #: how to regenerate this result (seed, config digest, code version)
     manifest: RunManifest | None = None
+    #: online-lifecycle summary (retrains, drift, margins); ``None``
+    #: when the run had no lifecycle
+    online_stats: dict | None = None
 
 
 def make_trained_predictor(
@@ -133,6 +137,17 @@ def _resolve_predictor(
     )
 
 
+def _resolve_online(
+    online: OnlineLifecycleConfig | None, online_retrain: int
+) -> OnlineLifecycleConfig | None:
+    """``online`` config wins; a bare interval builds the default config."""
+    if online is not None:
+        return online
+    if online_retrain > 0:
+        return OnlineLifecycleConfig(retrain_interval_eras=online_retrain)
+    return None
+
+
 def _experiment_manifest(
     scenario: Scenario,
     policy: str,
@@ -142,22 +157,28 @@ def _experiment_manifest(
     beta: float,
     predictor: str | RttfPredictor,
     autoscale: bool,
+    online: OnlineLifecycleConfig | None = None,
 ) -> RunManifest:
+    config = {
+        "scenario": scenario.name,
+        "policy": policy,
+        "eras": eras,
+        "era_s": era_s,
+        "beta": beta,
+        "predictor": (
+            predictor
+            if isinstance(predictor, str)
+            else type(predictor).__name__
+        ),
+        "autoscale": autoscale,
+    }
+    if online is not None:
+        # only stamped when the lifecycle is on, so pre-lifecycle
+        # manifest digests are unchanged
+        config["online_retrain_eras"] = online.retrain_interval_eras
     return RunManifest.build(
         seed=seed,
-        config={
-            "scenario": scenario.name,
-            "policy": policy,
-            "eras": eras,
-            "era_s": era_s,
-            "beta": beta,
-            "predictor": (
-                predictor
-                if isinstance(predictor, str)
-                else type(predictor).__name__
-            ),
-            "autoscale": autoscale,
-        },
+        config=config,
         scenario=scenario.name,
         policy=policy,
         eras=eras,
@@ -174,6 +195,8 @@ def run_policy_experiment(
     predictor: str | RttfPredictor = "oracle",
     autoscale: bool = False,
     telemetry: Telemetry | None = None,
+    online: OnlineLifecycleConfig | None = None,
+    online_retrain: int = 0,
 ) -> ExperimentResult:
     """Run one policy on one scenario and assess it.
 
@@ -181,11 +204,17 @@ def run_policy_experiment(
     policy verdict.  An enabled ``telemetry`` facade gets threaded through
     the whole deployment (loop, VMCs) and stamped with the run manifest;
     disabled or absent telemetry leaves the run bit-identical.
+
+    ``online`` (a full :class:`OnlineLifecycleConfig`) or
+    ``online_retrain`` (a bare retrain interval in eras; 0 = off)
+    enables the online model lifecycle.
     """
     if eras < 10:
         raise ValueError("eras must be >= 10 for a meaningful assessment")
+    online_cfg = _resolve_online(online, online_retrain)
     manifest = _experiment_manifest(
-        scenario, policy, eras, seed, era_s, beta, predictor, autoscale
+        scenario, policy, eras, seed, era_s, beta, predictor, autoscale,
+        online=online_cfg,
     )
     if telemetry is not None and telemetry.enabled:
         telemetry.set_manifest(manifest)
@@ -199,6 +228,7 @@ def run_policy_experiment(
         overlay=scenario.build_overlay(),
         autoscale=autoscale,
         telemetry=telemetry,
+        online=online_cfg,
     )
     manager.run(eras)
     return ExperimentResult(
@@ -209,6 +239,11 @@ def run_policy_experiment(
         eras=eras,
         era_s=era_s,
         manifest=manifest,
+        online_stats=(
+            manager.online_lifecycle.stats()
+            if manager.online_lifecycle is not None
+            else None
+        ),
     )
 
 
@@ -222,6 +257,8 @@ def run_instrumented_experiment(
     predictor: str | RttfPredictor = "oracle",
     autoscale: bool = False,
     flight_capacity: int = 512,
+    online: OnlineLifecycleConfig | None = None,
+    online_retrain: int = 0,
 ) -> tuple[ExperimentResult, Telemetry]:
     """A fully observable policy run: telemetry on, control traffic real.
 
@@ -236,8 +273,10 @@ def run_instrumented_experiment(
     if eras < 10:
         raise ValueError("eras must be >= 10 for a meaningful assessment")
     telemetry = Telemetry(enabled=True, flight_capacity=flight_capacity)
+    online_cfg = _resolve_online(online, online_retrain)
     manifest = _experiment_manifest(
-        scenario, policy, eras, seed, era_s, beta, predictor, autoscale
+        scenario, policy, eras, seed, era_s, beta, predictor, autoscale,
+        online=online_cfg,
     )
     telemetry.set_manifest(manifest)
     manager = AcmManager(
@@ -250,6 +289,7 @@ def run_instrumented_experiment(
         overlay=scenario.build_overlay(),
         autoscale=autoscale,
         telemetry=telemetry,
+        online=online_cfg,
     )
     plane = DistributedControlPlane(
         manager.loop, reliable_control=True, telemetry=telemetry
@@ -263,6 +303,11 @@ def run_instrumented_experiment(
         eras=eras,
         era_s=era_s,
         manifest=manifest,
+        online_stats=(
+            manager.online_lifecycle.stats()
+            if manager.online_lifecycle is not None
+            else None
+        ),
     )
     return result, telemetry
 

@@ -79,16 +79,21 @@ class JobSpec:
     eras: int
     era_s: float = 30.0
     predictor: str = "oracle"
+    #: online-lifecycle retrain interval in eras; 0 = lifecycle off
+    #: (only meaningful for ``policy`` jobs)
+    online_retrain: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
             raise ValueError(
                 f"unknown job kind {self.kind!r}; expected one of {JOB_KINDS}"
             )
+        if self.online_retrain < 0:
+            raise ValueError("online_retrain must be >= 0")
 
     def config(self) -> dict:
         """The effective configuration this job is a pure function of."""
-        return {
+        config = {
             "kind": self.kind,
             "scenario": self.scenario,
             "policy": self.policy,
@@ -99,6 +104,11 @@ class JobSpec:
             "era_s": float(self.era_s),
             "predictor": self.predictor,
         }
+        if self.online_retrain:
+            # keyed only when on, so pre-lifecycle job digests (and the
+            # store entries they address) are unchanged
+            config["online_retrain"] = int(self.online_retrain)
+        return config
 
     @property
     def digest(self) -> str:
@@ -112,6 +122,8 @@ class JobSpec:
         if self.policy:
             parts.append(self.policy)
         parts.append(f"load{self.load:g}")
+        if self.online_retrain:
+            parts.append(f"retrain{self.online_retrain}")
         parts.append(f"rep{self.replicate}")
         return "/".join(parts)
 
@@ -137,6 +149,7 @@ class JobSpec:
             eras=int(config["eras"]),
             era_s=float(config["era_s"]),
             predictor=str(config["predictor"]),
+            online_retrain=int(config.get("online_retrain", 0)),
         )
 
 
@@ -211,9 +224,10 @@ def _execute_policy(job: JobSpec) -> dict:
         seed=job.seed,
         era_s=job.era_s,
         predictor=job.predictor,
+        online_retrain=job.online_retrain,
     )
     a = result.assessment
-    return {
+    payload = {
         "scenario": result.scenario,
         "policy": job.policy,
         "clients_total": sum(r.clients for r in scenario.regions),
@@ -229,6 +243,16 @@ def _execute_policy(job: JobSpec) -> dict:
         "rejuvenations": a.total_rejuvenations,
         "failures": a.total_failures,
     }
+    if result.online_stats is not None:
+        stats = result.online_stats
+        payload["online"] = {
+            "retrains": stats["retrains"],
+            "lives_total": stats["lives_total"],
+            "labelled_samples_total": stats["labelled_samples_total"],
+            "rolling_drift_mape": stats["rolling_drift_mape"],
+            "fallbacks": stats["fallbacks"],
+        }
+    return payload
 
 
 def _execute_load(job: JobSpec) -> dict:

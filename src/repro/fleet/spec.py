@@ -49,6 +49,9 @@ class SweepSpec:
     eras: int = 60
     era_s: float = 30.0
     predictor: str = "oracle"
+    #: online-lifecycle retrain intervals (eras; 0 = lifecycle off), an
+    #: on/off (or interval-comparison) grid axis over the policy cells
+    retrain: tuple[int, ...] = (0,)
     #: chaos campaigns appended as extra cells (policy axis not applied)
     campaigns: tuple[str, ...] = ()
     #: era override for campaign cells; 0 = each campaign's default
@@ -65,6 +68,10 @@ class SweepSpec:
             raise ValueError("replicates must be >= 1")
         if any(load <= 0 for load in self.loads):
             raise ValueError(f"loads must be positive, got {self.loads}")
+        if not self.retrain or any(r < 0 for r in self.retrain):
+            raise ValueError(
+                f"retrain intervals must be >= 0, got {self.retrain}"
+            )
         if self.eras < 10:
             raise ValueError("eras must be >= 10 (assessment minimum)")
         if self.cell_count == 0:
@@ -73,9 +80,9 @@ class SweepSpec:
     @property
     def cell_count(self) -> int:
         """Grid cells (each cell holds ``replicates`` jobs)."""
-        return len(self.scenarios) * len(self.policies) * len(self.loads) + len(
-            self.campaigns
-        )
+        return len(self.scenarios) * len(self.policies) * len(
+            self.loads
+        ) * len(self.retrain) + len(self.campaigns)
 
     @property
     def job_count(self) -> int:
@@ -87,21 +94,30 @@ class SweepSpec:
         for scenario in self.scenarios:
             for policy in self.policies:
                 for load in self.loads:
-                    for rep in range(self.replicates):
-                        cell = f"{scenario}/{policy}/load{load:g}/rep{rep}"
-                        jobs.append(
-                            JobSpec(
-                                kind="policy",
-                                scenario=scenario,
-                                policy=policy,
-                                load=float(load),
-                                seed=derive_seed(self.root_seed, cell),
-                                replicate=rep,
-                                eras=self.eras,
-                                era_s=self.era_s,
-                                predictor=self.predictor,
+                    for retrain in self.retrain:
+                        # the retrain-off cell keeps the historical cell
+                        # name, so adding the axis never perturbs the
+                        # seeds (or store digests) of existing cells
+                        suffix = f"/retrain{retrain}" if retrain else ""
+                        for rep in range(self.replicates):
+                            cell = (
+                                f"{scenario}/{policy}/load{load:g}"
+                                f"{suffix}/rep{rep}"
                             )
-                        )
+                            jobs.append(
+                                JobSpec(
+                                    kind="policy",
+                                    scenario=scenario,
+                                    policy=policy,
+                                    load=float(load),
+                                    seed=derive_seed(self.root_seed, cell),
+                                    replicate=rep,
+                                    eras=self.eras,
+                                    era_s=self.era_s,
+                                    predictor=self.predictor,
+                                    online_retrain=retrain,
+                                )
+                            )
         for campaign in self.campaigns:
             for rep in range(self.replicates):
                 cell = f"chaos/{campaign}/rep{rep}"
@@ -122,7 +138,7 @@ class SweepSpec:
     def config(self) -> dict:
         """JSON-able form of the whole spec (digested into the sweep
         manifest and embedded in every aggregate artifact)."""
-        return {
+        config = {
             "scenarios": list(self.scenarios),
             "policies": list(self.policies),
             "loads": [float(x) for x in self.loads],
@@ -134,6 +150,11 @@ class SweepSpec:
             "campaigns": list(self.campaigns),
             "campaign_eras": self.campaign_eras,
         }
+        if self.retrain != (0,):
+            # keyed only when the axis is used: pre-lifecycle sweep
+            # manifests keep their digests
+            config["retrain"] = [int(r) for r in self.retrain]
+        return config
 
     def manifest(self) -> RunManifest:
         """Sweep-level provenance for reports and CSV exports."""

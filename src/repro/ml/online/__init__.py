@@ -1,0 +1,34 @@
+"""Online F2PM model lifecycle.
+
+The paper's feature-monitor agent "builds a database of system features,
+for later usage by the ML algorithms" (Sec. III): monitoring is not just
+an inference input, it is a continuously growing training set.  This
+package closes that loop for the reproduction:
+
+* :mod:`~repro.ml.online.collector` -- streaming label collection: when
+  a VM life ends, its buffered ``(time, features)`` samples are
+  retro-labelled with realized RTTF and appended to a growing dataset;
+* :mod:`~repro.ml.online.drift` -- predicted-vs-realized drift tracking
+  per completed life (rolling MAPE over recent lives);
+* :mod:`~repro.ml.online.retrain` -- seeded, budgeted periodic
+  retraining through the :class:`~repro.ml.toolchain.F2PMToolchain`;
+* :mod:`~repro.ml.online.lifecycle` -- the orchestrator the VMC and
+  control loop call into: collects, tracks drift, retrains every N
+  eras, hot-swaps the deployed :class:`~repro.ml.toolchain.TrainedModel`
+  and engages the conservative-margin fallback when drift exceeds its
+  threshold.
+"""
+
+from repro.ml.online.collector import CompletedLife, StreamingLabelCollector
+from repro.ml.online.drift import DriftTracker
+from repro.ml.online.lifecycle import OnlineLifecycle, OnlineLifecycleConfig
+from repro.ml.online.retrain import PeriodicRetrainer
+
+__all__ = [
+    "CompletedLife",
+    "StreamingLabelCollector",
+    "DriftTracker",
+    "OnlineLifecycle",
+    "OnlineLifecycleConfig",
+    "PeriodicRetrainer",
+]

@@ -1,0 +1,191 @@
+"""Streaming label collection: live monitoring samples -> RTTF labels.
+
+During normal operation the VMC samples every ACTIVE VM's features once
+per era, but none of those samples carry a label -- the RTTF at sampling
+time is only knowable in hindsight, once the VM's *life* ends.  The
+:class:`StreamingLabelCollector` buffers each VM's in-flight samples
+and, at life end (hard failure or proactive rejuvenation), retro-labels
+them with the realized time-to-event, exactly the
+``(sample_times, features, failure_time)`` run format of
+:meth:`repro.ml.dataset.Dataset.from_run_traces`.
+
+Labels from lives ending in *failure* are exact realized RTTFs.  Labels
+from lives ending in *rejuvenation* are right-censored (the VM would
+have lived longer had PCAM not restarted it), so they under-state the
+true RTTF; they are collected by default -- a conservatively biased
+label is still informative, and a healthy proactive system produces few
+hard failures -- but :meth:`StreamingLabelCollector.runs` can filter by
+reason and ``label_rejuvenations=False`` drops them at the source.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.dataset import Dataset
+from repro.ml.derived import augment_runs_with_slopes
+from repro.ml.features import FEATURE_NAMES
+
+#: Life-end reasons the collector understands.
+LIFE_END_REASONS = ("failure", "rejuvenation")
+
+
+@dataclass(frozen=True, slots=True)
+class CompletedLife:
+    """One labelled run-to-event trace."""
+
+    times: np.ndarray  # (k,) sample times, strictly before end_time
+    rows: np.ndarray  # (k, n_features) schema-ordered samples
+    end_time: float
+    reason: str  # "failure" | "rejuvenation"
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.times.shape[0])
+
+    def as_run(self) -> tuple[np.ndarray, np.ndarray, float]:
+        """The ``from_run_traces`` tuple form."""
+        return (self.times, self.rows, self.end_time)
+
+
+class StreamingLabelCollector:
+    """Buffer per-VM samples and label them at life end.
+
+    Parameters
+    ----------
+    max_runs:
+        Completed lives retained (oldest dropped first) -- the retraining
+        data budget.
+    max_life_samples:
+        In-flight samples buffered per VM life; a life longer than this
+        keeps only its most recent samples (the near-failure regime the
+        model most needs).
+    label_rejuvenations:
+        Keep censored labels from proactively rejuvenated lives (see
+        module docstring).
+    """
+
+    def __init__(
+        self,
+        max_runs: int = 256,
+        max_life_samples: int = 128,
+        label_rejuvenations: bool = True,
+    ) -> None:
+        if max_runs < 1:
+            raise ValueError("max_runs must be >= 1")
+        if max_life_samples < 1:
+            raise ValueError("max_life_samples must be >= 1")
+        self.max_runs = int(max_runs)
+        self.max_life_samples = int(max_life_samples)
+        self.label_rejuvenations = bool(label_rejuvenations)
+        self._buffers: dict[str, deque[tuple[float, np.ndarray]]] = {}
+        self._last_uptime: dict[str, float] = {}
+        self._lives: deque[CompletedLife] = deque(maxlen=self.max_runs)
+        #: lives observed ending (labelled or not)
+        self.lives_total = 0
+        #: samples ever labelled (monotone; survives budget eviction)
+        self.labelled_samples_total = 0
+
+    # -------------------------------------------------------------- #
+    # streaming side
+    # -------------------------------------------------------------- #
+
+    def observe(
+        self, key: str, time: float, features: np.ndarray, uptime_s: float
+    ) -> None:
+        """Buffer one monitoring sample for the VM identified by ``key``.
+
+        ``uptime_s`` guards against missed life boundaries: if a VM was
+        restarted without :meth:`life_end` being reported (e.g. an
+        autoscale retirement), its uptime rewinds and the stale buffer
+        is dropped rather than straddling two lives.
+        """
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = deque(maxlen=self.max_life_samples)
+            self._buffers[key] = buf
+        if buf and uptime_s < self._last_uptime.get(key, 0.0):
+            buf.clear()
+        self._last_uptime[key] = float(uptime_s)
+        buf.append((float(time), np.asarray(features, dtype=float)))
+
+    def life_end(self, key: str, end_time: float, reason: str) -> int:
+        """Label the VM's buffered samples with realized time-to-event.
+
+        Returns the number of samples labelled (0 if the buffer was
+        empty, the reason is filtered out, or no sample predates
+        ``end_time``).
+        """
+        if reason not in LIFE_END_REASONS:
+            raise ValueError(
+                f"reason must be one of {LIFE_END_REASONS}, got {reason!r}"
+            )
+        self.lives_total += 1
+        buf = self._buffers.pop(key, None)
+        self._last_uptime.pop(key, None)
+        if not buf:
+            return 0
+        if reason == "rejuvenation" and not self.label_rejuvenations:
+            return 0
+        pairs = [(t, row) for t, row in buf if t < end_time]
+        if not pairs:
+            return 0
+        times = np.array([t for t, _ in pairs], dtype=float)
+        rows = np.vstack([row for _, row in pairs])
+        self._lives.append(
+            CompletedLife(
+                times=times, rows=rows, end_time=float(end_time), reason=reason
+            )
+        )
+        self.labelled_samples_total += len(pairs)
+        return len(pairs)
+
+    def discard(self, key: str) -> None:
+        """Drop the in-flight buffer of a VM leaving the pool unlabelled."""
+        self._buffers.pop(key, None)
+        self._last_uptime.pop(key, None)
+
+    # -------------------------------------------------------------- #
+    # training side
+    # -------------------------------------------------------------- #
+
+    @property
+    def n_runs(self) -> int:
+        return len(self._lives)
+
+    @property
+    def n_samples(self) -> int:
+        """Labelled samples currently inside the retention budget."""
+        return sum(life.n_samples for life in self._lives)
+
+    def runs(
+        self, reasons: tuple[str, ...] = LIFE_END_REASONS
+    ) -> list[tuple[np.ndarray, np.ndarray, float]]:
+        """Retained lives in arrival order, as ``from_run_traces`` tuples."""
+        return [
+            life.as_run() for life in self._lives if life.reason in reasons
+        ]
+
+    def dataset(
+        self, schema: str = "levels", window: int = 4
+    ) -> Dataset | None:
+        """The labelled dataset in the deployed model's schema.
+
+        ``schema="levels"`` matches
+        :class:`~repro.pcam.predictor.TrainedRttfPredictor`;
+        ``schema="derived"`` rebuilds levels+slopes rows (per run, with
+        the given ``window``) for
+        :class:`~repro.pcam.predictor.TrendAwareRttfPredictor`.
+        Returns ``None`` when no life has been labelled yet.
+        """
+        runs = self.runs()
+        if not runs:
+            return None
+        if schema == "levels":
+            return Dataset.from_run_traces(runs, FEATURE_NAMES)
+        if schema == "derived":
+            return augment_runs_with_slopes(runs, FEATURE_NAMES, window=window)
+        raise ValueError(f"unknown schema {schema!r}")

@@ -1,0 +1,104 @@
+"""Prediction-drift tracking: predicted vs realized RTTF per life.
+
+A deployed F2PM model was fitted on profiling data; the workload it
+serves can drift away from that regime (anomaly rates change, the model
+server misbehaves).  The only ground truth available online is the same
+signal the label collector uses: when a VM life ends, every earlier
+prediction for that VM can be scored against the realized time-to-event.
+
+Scoring is censoring-aware:
+
+* a life ending in **failure** yields exact realized RTTFs -- the life's
+  score is the mean absolute percentage error of its predictions;
+* a life ending in **rejuvenation** only bounds the truth from below
+  (the VM demonstrably survived until the restart) -- the life's score
+  counts only *under*-predictions relative to that bound; a prediction
+  at or above the bound is consistent with the censored observation and
+  scores zero.
+
+A healthy predictor therefore scores ~0 even when PCAM rejuvenates
+everything proactively, while an over-predicting (drifted or corrupted)
+model is caught by the hard failures it causes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+
+class DriftTracker:
+    """Rolling per-life MAPE between predicted and realized RTTF.
+
+    Parameters
+    ----------
+    window_lives:
+        Completed lives in the rolling drift window.
+    floor_s:
+        Relative errors are computed against ``max(realized, floor_s)``
+        so near-zero realized RTTFs do not blow the percentage up.
+    """
+
+    def __init__(self, window_lives: int = 12, floor_s: float = 30.0) -> None:
+        if window_lives < 1:
+            raise ValueError("window_lives must be >= 1")
+        if floor_s <= 0:
+            raise ValueError("floor_s must be positive")
+        self.window_lives = int(window_lives)
+        self.floor_s = float(floor_s)
+        self._pending: dict[str, list[tuple[float, float]]] = {}
+        self._window: deque[float] = deque(maxlen=self.window_lives)
+        #: all per-life scores ever computed, in completion order
+        self.life_scores: list[float] = []
+
+    def observe(self, key: str, time: float, predicted: float) -> None:
+        """Record one prediction for later scoring (non-finite dropped)."""
+        if np.isfinite(predicted):
+            self._pending.setdefault(key, []).append(
+                (float(time), float(predicted))
+            )
+
+    def life_end(self, key: str, end_time: float, reason: str) -> float | None:
+        """Score the life's predictions; returns its MAPE (or ``None``).
+
+        ``None`` means no prediction was pending for this VM.
+        """
+        pending = self._pending.pop(key, None)
+        if not pending:
+            return None
+        errors = []
+        for t, predicted in pending:
+            realized = end_time - t
+            if realized <= 0:
+                continue
+            if reason == "failure":
+                err = abs(predicted - realized)
+            else:  # censored: only a prediction below the bound is wrong
+                err = max(realized - predicted, 0.0)
+            errors.append(err / max(realized, self.floor_s))
+        if not errors:
+            return None
+        score = float(np.mean(errors))
+        self._window.append(score)
+        self.life_scores.append(score)
+        return score
+
+    def discard(self, key: str) -> None:
+        """Drop pending predictions for a VM leaving the pool unscored."""
+        self._pending.pop(key, None)
+
+    @property
+    def lives_scored(self) -> int:
+        """Lives currently inside the rolling window."""
+        return len(self._window)
+
+    def rolling(self) -> float | None:
+        """Mean per-life MAPE over the rolling window (``None`` if empty)."""
+        if not self._window:
+            return None
+        return float(np.mean(self._window))
+
+    def reset_window(self) -> None:
+        """Restart the rolling window (hysteresis after a fallback fires)."""
+        self._window.clear()

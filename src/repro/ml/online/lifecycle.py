@@ -1,0 +1,391 @@
+"""The online model lifecycle orchestrator.
+
+One :class:`OnlineLifecycle` instance is shared by every VMC of a
+deployment and by the control loop:
+
+* each era, :meth:`observe_era` receives the VMC's fresh monitoring
+  samples and predictions (streamed into the label collector and the
+  drift tracker);
+* each completed VM life, :meth:`observe_life_end` retro-labels the
+  buffered samples and scores the life's predictions, engaging the
+  conservative-margin fallback (and optionally freezing retraining)
+  when the rolling drift crosses its threshold;
+* each era end, :meth:`end_era` retrains the deployed
+  :class:`~repro.ml.toolchain.TrainedModel` on the accumulated labels
+  every ``retrain_interval_eras`` eras and hot-swaps it in place.
+
+The lifecycle is attached *behind* the predictor interface: hot-swapping
+replaces ``predictor.model``, so every VMC sharing the predictor picks
+the new model up on its next prediction with no rewiring.  A deployment
+built without a lifecycle (the default everywhere) takes none of these
+code paths and stays bit-identical to earlier builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.ml.online.collector import StreamingLabelCollector
+from repro.ml.online.drift import DriftTracker
+from repro.ml.online.retrain import PeriodicRetrainer
+from repro.ml.toolchain import DEFAULT_SUITE, F2PMToolchain
+from repro.ml.validation import mean_absolute_percentage_error
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.pcam.predictor import (
+    ConservativeRttfPredictor,
+    RttfPredictor,
+    TrendAwareRttfPredictor,
+)
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.pcam.monitor import MonitorSample
+    from repro.pcam.vm import VirtualMachine
+
+
+@dataclass(frozen=True)
+class OnlineLifecycleConfig:
+    """Tuning of the online model lifecycle.
+
+    Parameters
+    ----------
+    retrain_interval_eras:
+        Retrain every N eras; ``0`` disables retraining (the lifecycle
+        still collects labels and tracks drift -- the "frozen"
+        comparator configuration).
+    min_new_samples:
+        Newly labelled samples required since the last retrain before
+        the next one fires (prevents retraining on a stale dataset).
+    max_runs, max_life_samples, label_rejuvenations:
+        Collector budgets (see
+        :class:`~repro.ml.online.collector.StreamingLabelCollector`).
+    model_name:
+        Suite member retrained; ``None`` keeps the deployed model's
+        family.
+    max_features, cv_folds:
+        Retraining-toolchain settings (smaller than the offline defaults:
+        retraining runs inside the control loop's budget).
+    drift_window_lives, drift_floor_s:
+        Drift tracker settings (see
+        :class:`~repro.ml.online.drift.DriftTracker`).
+    drift_threshold:
+        Rolling per-life MAPE above which the fallback engages.
+    min_drift_lives:
+        Scored lives required in the window before the threshold is
+        trusted (a single unlucky life must not trip it).
+    margin_tighten, margin_floor:
+        Each fallback multiplies every
+        :class:`~repro.pcam.predictor.ConservativeRttfPredictor` margin
+        in the wrapper chain by ``margin_tighten``, never below
+        ``margin_floor``.
+    freeze_on_drift:
+        Also stop retraining once the fallback engages (a drifted label
+        stream would otherwise poison the next model).
+    """
+
+    retrain_interval_eras: int = 0
+    min_new_samples: int = 48
+    max_runs: int = 256
+    max_life_samples: int = 128
+    label_rejuvenations: bool = True
+    model_name: str | None = None
+    max_features: int | None = 8
+    cv_folds: int = 3
+    drift_window_lives: int = 12
+    drift_floor_s: float = 30.0
+    drift_threshold: float = 0.75
+    min_drift_lives: int = 6
+    margin_tighten: float = 0.85
+    margin_floor: float = 0.5
+    freeze_on_drift: bool = False
+
+    def __post_init__(self) -> None:
+        if self.retrain_interval_eras < 0:
+            raise ValueError("retrain_interval_eras must be >= 0")
+        if self.min_new_samples < 1:
+            raise ValueError("min_new_samples must be >= 1")
+        if self.drift_threshold <= 0:
+            raise ValueError("drift_threshold must be positive")
+        if self.min_drift_lives < 1:
+            raise ValueError("min_drift_lives must be >= 1")
+        if not 0.0 < self.margin_tighten < 1.0:
+            raise ValueError("margin_tighten must be in (0, 1)")
+        if not 0.0 < self.margin_floor <= 1.0:
+            raise ValueError("margin_floor must be in (0, 1]")
+
+
+class OnlineLifecycle:
+    """Streaming labels + drift tracking + periodic retrain + fallback.
+
+    Parameters
+    ----------
+    config:
+        Lifecycle tuning.
+    seed:
+        Root seed; retrain ``n`` derives its stream from
+        ``derive_seed(seed, "online-retrain/n")``.
+    telemetry:
+        Optional facade; every lifecycle decision is exported through it
+        (``ml_*`` counters/gauges, ``ml.*`` flight events).
+    """
+
+    def __init__(
+        self,
+        config: OnlineLifecycleConfig | None = None,
+        seed: int = 0,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.config = config or OnlineLifecycleConfig()
+        self.seed = int(seed)
+        self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.collector = StreamingLabelCollector(
+            max_runs=self.config.max_runs,
+            max_life_samples=self.config.max_life_samples,
+            label_rejuvenations=self.config.label_rejuvenations,
+        )
+        self.drift = DriftTracker(
+            window_lives=self.config.drift_window_lives,
+            floor_s=self.config.drift_floor_s,
+        )
+        self.era = 0
+        self.frozen = False
+        self.fallbacks = 0
+        self.retrainer: PeriodicRetrainer | None = None
+        self._target: RttfPredictor | None = None
+        self._margins: list[ConservativeRttfPredictor] = []
+        self._schema = "levels"
+        self._trend_window = 4
+        self._samples_at_last_retrain = 0
+        #: one entry per retrain: era, dataset size, and the deployed
+        #: model's MAPE on the realized labels before vs after the swap
+        self.retrain_history: list[dict] = []
+
+    # -------------------------------------------------------------- #
+    # binding
+    # -------------------------------------------------------------- #
+
+    def bind(self, predictor: RttfPredictor) -> None:
+        """Attach to a deployed predictor (wrapper chains included).
+
+        Walks the ``.inner`` chain collecting every
+        :class:`ConservativeRttfPredictor` (the fallback's margin knobs)
+        down to the leaf.  A leaf carrying a ``model`` attribute (the
+        trained-predictor family) becomes the hot-swap target and fixes
+        the retraining schema; any other leaf (the oracle) leaves
+        retraining disabled while drift tracking and the margin fallback
+        stay active.
+        """
+        self._margins = []
+        leaf = predictor
+        seen: set[int] = set()
+        while hasattr(leaf, "inner") and id(leaf) not in seen:
+            seen.add(id(leaf))
+            if isinstance(leaf, ConservativeRttfPredictor):
+                self._margins.append(leaf)
+            leaf = leaf.inner
+        if hasattr(leaf, "model"):
+            self._target = leaf
+            if isinstance(leaf, TrendAwareRttfPredictor):
+                self._schema = "derived"
+                self._trend_window = leaf.window
+            else:
+                self._schema = "levels"
+            name = self.config.model_name or leaf.model.name
+            suite = (
+                {name: DEFAULT_SUITE[name]}
+                if name in DEFAULT_SUITE
+                else dict(DEFAULT_SUITE)
+            )
+            self.retrainer = PeriodicRetrainer(
+                F2PMToolchain(
+                    suite=suite,
+                    max_features=self.config.max_features,
+                    cv_folds=self.config.cv_folds,
+                ),
+                seed=self.seed,
+                model_name=name if name in DEFAULT_SUITE else None,
+            )
+        else:
+            self._target = None
+            self.retrainer = None
+        for wrapper in self._margins:
+            self._tel.gauge("ml_conservative_margin").set(wrapper.margin)
+
+    # -------------------------------------------------------------- #
+    # VMC-facing hooks
+    # -------------------------------------------------------------- #
+
+    @staticmethod
+    def _key(region: str, vm_name: str) -> str:
+        return f"{region}/{vm_name}"
+
+    def observe_era(
+        self,
+        region: str,
+        now: float,
+        vms: "list[VirtualMachine]",
+        samples: "list[MonitorSample]",
+        rttf: "np.ndarray",
+    ) -> None:
+        """Stream one era's (sample, prediction) pairs for a region."""
+        for vm, sample, predicted in zip(vms, samples, rttf):
+            key = self._key(region, vm.name)
+            self.collector.observe(
+                key, sample.time, sample.features, vm.uptime_s
+            )
+            self.drift.observe(key, sample.time, float(predicted))
+
+    def observe_life_end(
+        self, region: str, vm_name: str, now: float, reason: str
+    ) -> None:
+        """Label + score one completed VM life; check the drift fallback."""
+        key = self._key(region, vm_name)
+        labelled = self.collector.life_end(key, now, reason)
+        score = self.drift.life_end(key, now, reason)
+        self._tel.counter("ml_lives_total", region=region).inc()
+        if labelled:
+            self._tel.counter("ml_labelled_samples_total").inc(labelled)
+        self._tel.gauge("ml_dataset_samples").set(self.collector.n_samples)
+        self._tel.event(
+            "ml.life_end",
+            region=region,
+            vm=vm_name,
+            reason=reason,
+            labelled=labelled,
+            life_mape=score,
+        )
+        rolling = self.drift.rolling()
+        if rolling is not None:
+            self._tel.gauge("ml_drift_mape").set(rolling)
+            if (
+                rolling > self.config.drift_threshold
+                and self.drift.lives_scored >= self.config.min_drift_lives
+            ):
+                self._engage_fallback(rolling)
+
+    def discard_vm(self, region: str, vm_name: str) -> None:
+        """A VM left the pool without a life end: drop its partial state."""
+        key = self._key(region, vm_name)
+        self.collector.discard(key)
+        self.drift.discard(key)
+
+    # -------------------------------------------------------------- #
+    # control-loop hook
+    # -------------------------------------------------------------- #
+
+    def end_era(self, now: float) -> None:
+        """Era boundary: bump the clock and retrain when due."""
+        self.era += 1
+        interval = self.config.retrain_interval_eras
+        if (
+            interval <= 0
+            or self.frozen
+            or self.retrainer is None
+            or self.era % interval != 0
+        ):
+            return
+        new_samples = (
+            self.collector.labelled_samples_total
+            - self._samples_at_last_retrain
+        )
+        if new_samples < self.config.min_new_samples:
+            return
+        if self.collector.n_samples < self.retrainer.min_samples():
+            return
+        dataset = self.collector.dataset(
+            schema=self._schema, window=self._trend_window
+        )
+        if dataset is None:
+            return
+        # The deployed model's error on the realized labels, measured
+        # just before the swap: against the retrained model's out-of-fold
+        # CV MAPE on the same dataset, this is the per-retrain
+        # "what did retraining buy us" record.
+        pre_mape = mean_absolute_percentage_error(
+            dataset.y,
+            self._target.model.predict(dataset.X),
+            floor=self.config.drift_floor_s,
+        )
+        try:
+            trained = self.retrainer.retrain(dataset)
+        except Exception as exc:  # noqa: BLE001 -- a failed retrain must
+            # never take the control plane down; keep serving the old model.
+            self._tel.event(
+                "ml.retrain_failed", era=self.era, error=repr(exc)
+            )
+            return
+        self._target.model = trained
+        self._samples_at_last_retrain = (
+            self.collector.labelled_samples_total
+        )
+        self.retrain_history.append(
+            {
+                "era": self.era,
+                "samples": len(dataset),
+                "pre_mape": pre_mape,
+                "post_mape": trained.report.mape,
+            }
+        )
+        self._tel.counter("ml_retrains_total").inc()
+        self._tel.event(
+            "ml.retrain",
+            era=self.era,
+            model=trained.name,
+            samples=len(dataset),
+            cv_rmse=trained.report.rmse,
+            pre_mape=pre_mape,
+            post_mape=trained.report.mape,
+        )
+
+    # -------------------------------------------------------------- #
+    # fallback
+    # -------------------------------------------------------------- #
+
+    def _engage_fallback(self, rolling: float) -> None:
+        self.fallbacks += 1
+        tightened = []
+        for wrapper in self._margins:
+            wrapper.margin = max(
+                wrapper.margin * self.config.margin_tighten,
+                self.config.margin_floor,
+            )
+            tightened.append(wrapper.margin)
+            self._tel.gauge("ml_conservative_margin").set(wrapper.margin)
+        if self.config.freeze_on_drift:
+            self.frozen = True
+        self._tel.counter("ml_drift_fallbacks_total").inc()
+        self._tel.event(
+            "ml.drift_fallback",
+            rolling_mape=rolling,
+            margins=tightened,
+            frozen=self.frozen,
+        )
+        # Hysteresis: score the tightened configuration on fresh lives
+        # instead of re-tripping on the same window next era.
+        self.drift.reset_window()
+
+    # -------------------------------------------------------------- #
+    # reporting
+    # -------------------------------------------------------------- #
+
+    @property
+    def retrains(self) -> int:
+        return self.retrainer.count if self.retrainer is not None else 0
+
+    def stats(self) -> dict:
+        """JSON-able lifecycle summary for experiment payloads."""
+        return {
+            "eras": self.era,
+            "retrains": self.retrains,
+            "lives_total": self.collector.lives_total,
+            "labelled_samples_total": self.collector.labelled_samples_total,
+            "dataset_samples": self.collector.n_samples,
+            "rolling_drift_mape": self.drift.rolling(),
+            "life_scores": list(self.drift.life_scores),
+            "retrain_history": [dict(r) for r in self.retrain_history],
+            "fallbacks": self.fallbacks,
+            "frozen": self.frozen,
+            "margins": [w.margin for w in self._margins],
+        }

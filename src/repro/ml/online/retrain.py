@@ -1,0 +1,66 @@
+"""Seeded periodic retraining through the F2PM toolchain.
+
+Each retrain re-runs the full pipeline (Lasso selection, CV, fit) on the
+collector's accumulated dataset and returns a fresh
+:class:`~repro.ml.toolchain.TrainedModel` for hot-swapping.  Every
+retrain draws its RNG from ``derive_seed(seed, "online-retrain/<n>")``,
+so a run is reproducible from its root seed regardless of *when* (in
+wall-clock or era terms) the retrains happen, and two runs that retrain
+the same number of times use identical CV shuffles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.dataset import Dataset
+from repro.ml.toolchain import F2PMToolchain, TrainedModel
+from repro.sim.rng import derive_seed
+
+
+class PeriodicRetrainer:
+    """Stateful retrain counter around one :class:`F2PMToolchain`.
+
+    Parameters
+    ----------
+    toolchain:
+        The pipeline to re-run; callers typically restrict its suite to
+        the deployed model family (retraining six models per cycle, LS-SVM
+        included, is an offline-scale budget).
+    seed:
+        Root seed; retrain ``n`` uses ``derive_seed(seed,
+        "online-retrain/n")``.
+    model_name:
+        Forced suite member (``None`` lets each retrain's CV pick).
+    """
+
+    def __init__(
+        self,
+        toolchain: F2PMToolchain,
+        seed: int,
+        model_name: str | None = None,
+    ) -> None:
+        self.toolchain = toolchain
+        self.seed = int(seed)
+        self.model_name = model_name
+        self.count = 0
+
+    def min_samples(self) -> int:
+        """Smallest dataset the toolchain can cross-validate."""
+        return 2 * self.toolchain.cv_folds
+
+    def retrain(self, dataset: Dataset) -> TrainedModel:
+        """Run one seeded retrain cycle on ``dataset``."""
+        if len(dataset) < self.min_samples():
+            raise ValueError(
+                f"dataset too small to retrain: {len(dataset)} samples "
+                f"< {self.min_samples()}"
+            )
+        rng = np.random.default_rng(
+            derive_seed(self.seed, f"online-retrain/{self.count}")
+        )
+        trained = self.toolchain.train_best(
+            dataset, rng, model_name=self.model_name
+        )
+        self.count += 1
+        return trained

@@ -96,10 +96,19 @@ class ModelComparison:
     selected_features: tuple[str, ...]
 
     def ranked(self) -> list[tuple[str, ValidationReport]]:
-        """Model names best-first by the ranking metric."""
+        """Model names best-first by the ranking metric.
+
+        Non-finite metrics (a NaN from a singular fold, an overflowed
+        error) rank worst-possible: raw ``sorted`` would otherwise place
+        NaN wherever the comparison sequence happened to leave it --
+        including first, silently deploying a diverged model via
+        ``train_best``.
+        """
         def key(item: tuple[str, ValidationReport]) -> float:
             r = item[1]
             value = getattr(r, self.ranking_metric)
+            if not np.isfinite(value):
+                return float("inf")
             # r2 ranks descending, error metrics ascending.
             return -value if self.ranking_metric == "r2" else value
 

@@ -150,14 +150,28 @@ def cross_validate(
 
 
 def summarize_cv(reports: list[ValidationReport]) -> ValidationReport:
-    """Sample-weighted average of fold reports."""
+    """Sample-weighted pooling of fold reports.
+
+    ``mae`` and ``mape`` are means of per-sample statistics, so their
+    pooled values are the sample-weighted means of the fold values.
+    ``rmse`` is *not*: the root of a mean does not average linearly
+    across folds (a linear average understates the pooled error whenever
+    folds differ).  The pooled RMSE therefore averages the fold *MSEs*
+    (sample-weighted) and takes the square root, which equals the RMSE
+    over the union of all held-out predictions.  ``r2`` is reported as
+    the sample-weighted mean of the fold R² values -- a conventional CV
+    summary, not a pooled statistic (pooling R² would need each fold's
+    target variance).
+    """
     if not reports:
         raise ValueError("no fold reports")
     weights = np.array([r.n_samples for r in reports], dtype=float)
     weights /= weights.sum()
     return ValidationReport(
         mae=float(sum(w * r.mae for w, r in zip(weights, reports))),
-        rmse=float(sum(w * r.rmse for w, r in zip(weights, reports))),
+        rmse=float(
+            np.sqrt(sum(w * r.rmse**2 for w, r in zip(weights, reports)))
+        ),
         mape=float(sum(w * r.mape for w, r in zip(weights, reports))),
         r2=float(sum(w * r.r2 for w, r in zip(weights, reports))),
         n_samples=int(sum(r.n_samples for r in reports)),

@@ -37,13 +37,44 @@ class RttfPredictor(abc.ABC):
     def predict_rttf(self, vm: VirtualMachine) -> float:
         """Predicted seconds until the VM reaches its failure point."""
 
+    def predict_rttf_batch(
+        self, vms: "list[VirtualMachine]"
+    ) -> np.ndarray:
+        """Predicted RTTF for several VMs at once, in ``vms`` order.
+
+        The base implementation loops :meth:`predict_rttf` (preserving
+        any per-VM side effects such as RNG draws or history updates, in
+        the same order a caller's own loop would).  Model-backed
+        predictors override this to stack every VM's feature row into a
+        single ``model.predict`` call -- the per-era inference hot path
+        of the VMC and the DES loop.
+        """
+        return np.array([self.predict_rttf(vm) for vm in vms], dtype=float)
+
     def predict_mttf(self, vm: VirtualMachine) -> float:
         """Estimated total MTTF of the VM: elapsed uptime + remaining time.
 
         This is the per-VM quantity the VMC averages into the region's
         lastRMTTF (Sec. IV).
+
+        .. warning::
+           This calls :meth:`predict_rttf` internally.  A caller that
+           already holds the VM's RTTF for this era must compute
+           ``vm.uptime_s + max(rttf, 0.0)`` instead of calling both
+           methods: a second prediction per era double-appends to
+           stateful predictors' history windows (see
+           :class:`TrendAwareRttfPredictor`).
         """
         return vm.uptime_s + max(self.predict_rttf(vm), 0.0)
+
+    def evict(self, vm_name: str) -> None:
+        """Forget any per-VM state held for ``vm_name``.
+
+        Called by the VMC when a VM leaves the pool.  Stateless
+        predictors need not override; stateful ones (trend windows,
+        stale-value caches) must drop the entry so a future VM reusing
+        the name starts clean.
+        """
 
 
 class TrainedRttfPredictor(RttfPredictor):
@@ -68,6 +99,14 @@ class TrainedRttfPredictor(RttfPredictor):
     def predict_rttf(self, vm: VirtualMachine) -> float:
         row = vm.sample_features().to_array()
         return max(float(self.model.predict_one(row)), self.floor_s)
+
+    def predict_rttf_batch(
+        self, vms: list[VirtualMachine]
+    ) -> np.ndarray:
+        if not vms:
+            return np.empty(0, dtype=float)
+        rows = np.vstack([vm.sample_features().to_array() for vm in vms])
+        return np.maximum(self.model.predict(rows), self.floor_s)
 
 
 class TrendAwareRttfPredictor(RttfPredictor):
@@ -105,7 +144,12 @@ class TrendAwareRttfPredictor(RttfPredictor):
         self.floor_s = float(floor_s)
         self._history: dict[str, deque[tuple[float, np.ndarray]]] = {}
 
-    def predict_rttf(self, vm: VirtualMachine) -> float:
+    def _derived_row(self, vm: VirtualMachine) -> np.ndarray:
+        """Update ``vm``'s history window and build its derived row.
+
+        Exactly one history append per call -- callers must sample each
+        VM once per era (see :meth:`RttfPredictor.predict_mttf`).
+        """
         row = vm.sample_features().to_array()
         hist = self._history.get(vm.name)
         if hist is None:
@@ -118,8 +162,22 @@ class TrendAwareRttfPredictor(RttfPredictor):
         times = np.array([t for t, _ in hist])
         feats = np.vstack([f for _, f in hist])
         slopes = slope_features(times, feats, window=self.window)
-        derived_row = np.concatenate([row, slopes[-1]])
+        return np.concatenate([row, slopes[-1]])
+
+    def predict_rttf(self, vm: VirtualMachine) -> float:
+        derived_row = self._derived_row(vm)
         return max(float(self.model.predict_one(derived_row)), self.floor_s)
+
+    def predict_rttf_batch(
+        self, vms: list[VirtualMachine]
+    ) -> np.ndarray:
+        if not vms:
+            return np.empty(0, dtype=float)
+        rows = np.vstack([self._derived_row(vm) for vm in vms])
+        return np.maximum(self.model.predict(rows), self.floor_s)
+
+    def evict(self, vm_name: str) -> None:
+        self._history.pop(vm_name, None)
 
 
 class ConservativeRttfPredictor(RttfPredictor):
@@ -148,6 +206,14 @@ class ConservativeRttfPredictor(RttfPredictor):
 
     def predict_rttf(self, vm: VirtualMachine) -> float:
         return self.margin * self.inner.predict_rttf(vm)
+
+    def predict_rttf_batch(
+        self, vms: list[VirtualMachine]
+    ) -> np.ndarray:
+        return self.margin * self.inner.predict_rttf_batch(vms)
+
+    def evict(self, vm_name: str) -> None:
+        self.inner.evict(vm_name)
 
 
 class OracleRttfPredictor(RttfPredictor):

@@ -27,6 +27,7 @@ import numpy as np
 from repro.pcam.balancer import LocalBalancer
 
 if TYPE_CHECKING:
+    from repro.ml.online.lifecycle import OnlineLifecycle
     from repro.obs.telemetry import Telemetry
 from repro.pcam.monitor import FeatureMonitor
 from repro.pcam.predictor import RttfPredictor
@@ -112,6 +113,13 @@ class VirtualMachineController:
         Optional :class:`~repro.obs.telemetry.Telemetry` facade recording
         a ``rejuvenation`` instant span per swap decision, per-region
         rejuvenation/failure counters, and ``vm.failure`` flight events.
+    lifecycle:
+        Optional :class:`~repro.ml.online.lifecycle.OnlineLifecycle`
+        observer.  When set, the VMC feeds it each era's monitoring
+        samples + predictions (``observe_era``) and every completed VM
+        life (``observe_life_end``), closing the loop from live
+        monitoring back into training.  ``None`` (the default) leaves
+        the per-era control path untouched.
     """
 
     def __init__(
@@ -123,6 +131,7 @@ class VirtualMachineController:
         balancer: LocalBalancer | None = None,
         discipline: RejuvenationDiscipline | None = None,
         telemetry: "Telemetry | None" = None,
+        lifecycle: "OnlineLifecycle | None" = None,
     ) -> None:
         if not vms:
             raise ValueError(f"region {region_name!r}: empty VM pool")
@@ -147,6 +156,7 @@ class VirtualMachineController:
         self._obs = (
             telemetry if telemetry is not None and telemetry.enabled else None
         )
+        self.lifecycle = lifecycle
         self._ensure_active_pool()
 
     # ------------------------------------------------------------------ #
@@ -247,15 +257,24 @@ class VirtualMachineController:
         per_vm_rttf: dict[str, float] = {}
         mttf_values: list[float] = []
         at_risk: list[tuple[float, float, VirtualMachine]] = []
-        for vm in self.vms_in(VmState.ACTIVE):
-            self.monitors[vm.name].sample(now)
-            rttf = self.predictor.predict_rttf(vm)
+        monitored = self.vms_in(VmState.ACTIVE)
+        samples = [self.monitors[vm.name].sample(now) for vm in monitored]
+        # One stacked model.predict call for the whole ACTIVE pool; MTTF
+        # derives from the RTTF already in hand (a second predict_rttf
+        # per era would double-append to trend-predictor histories).
+        rttf_batch = self.predictor.predict_rttf_batch(monitored)
+        for vm, rttf in zip(monitored, rttf_batch):
+            rttf = float(rttf)
             per_vm_rttf[vm.name] = rttf
-            mttf_values.append(self.predictor.predict_mttf(vm))
+            mttf_values.append(vm.uptime_s + max(rttf, 0.0))
             if self.discipline.should_rejuvenate(vm, rttf, dt):
                 at_risk.append(
                     (self.discipline.urgency(vm, rttf), rttf, vm)
                 )
+        if self.lifecycle is not None:
+            self.lifecycle.observe_era(
+                self.region_name, now, monitored, samples, rttf_batch
+            )
         at_risk.sort(key=lambda triple: triple[0])
         n_standby = len(self.vms_in(VmState.STANDBY))
         for _, rttf, vm in at_risk:
@@ -265,6 +284,10 @@ class VirtualMachineController:
                 continue  # postpone: no replacement and not imminent
             vm.start_rejuvenation()
             era_rejuvenations += 1
+            if self.lifecycle is not None:
+                self.lifecycle.observe_life_end(
+                    self.region_name, vm.name, now, "rejuvenation"
+                )
             if self._obs is not None:
                 self._obs.instant(
                     f"rejuvenate {vm.name}",
@@ -281,6 +304,10 @@ class VirtualMachineController:
         for vm in self.vms_in(VmState.FAILED):
             vm.start_rejuvenation()
             era_rejuvenations += 1
+            if self.lifecycle is not None:
+                self.lifecycle.observe_life_end(
+                    self.region_name, vm.name, now, "failure"
+                )
             if self._obs is not None:
                 self._obs.instant(
                     f"rejuvenate {vm.name}",
@@ -374,5 +401,10 @@ class VirtualMachineController:
                     )
                 del self.vms[i]
                 del self.monitors[name]
+                # Drop any per-VM predictor state (trend windows, stale
+                # caches): a future same-named VM must start clean.
+                self.predictor.evict(name)
+                if self.lifecycle is not None:
+                    self.lifecycle.discard_vm(self.region_name, name)
                 return vm
         raise KeyError(f"no VM named {name!r} in region {self.region_name!r}")

@@ -1,0 +1,59 @@
+"""Batch-path and eviction behaviour of the corruptible predictor."""
+
+import numpy as np
+
+from repro.chaos.predictor import CorruptiblePredictor
+from repro.pcam.predictor import OracleRttfPredictor
+from repro.pcam.vm import VirtualMachine
+from repro.sim import PRIVATE_SMALL, RngRegistry
+from repro.workload import AnomalyInjector
+
+
+def make_vms(n=3, seed=17):
+    rngs = RngRegistry(seed=seed)
+    vms = []
+    for i in range(n):
+        name = f"vm{i}"
+        vm = VirtualMachine(
+            name,
+            PRIVATE_SMALL,
+            AnomalyInjector(rngs.child(name).stream("anomalies")),
+        )
+        vm.activate()
+        vm.apply_load(60, 30.0)
+        vms.append(vm)
+    return vms
+
+
+class TestCorruptibleBatch:
+    def test_off_mode_batch_matches_inner_and_caches(self):
+        vms = make_vms()
+        pred = CorruptiblePredictor(OracleRttfPredictor())
+        batch = pred.predict_rttf_batch(vms)
+        np.testing.assert_allclose(
+            batch, OracleRttfPredictor().predict_rttf_batch(vms)
+        )
+        # healthy batch predictions seed the stale cache, same as scalars
+        pred.set_mode("stale")
+        np.testing.assert_allclose(pred.predict_rttf_batch(vms), batch)
+
+    def test_nan_and_zero_modes_corrupt_the_batch(self):
+        vms = make_vms()
+        pred = CorruptiblePredictor(OracleRttfPredictor(), mode="nan")
+        assert np.isnan(pred.predict_rttf_batch(vms)).all()
+        pred.set_mode("zero")
+        np.testing.assert_array_equal(
+            pred.predict_rttf_batch(vms), np.zeros(len(vms))
+        )
+
+    def test_evict_clears_stale_cache_and_delegates(self):
+        vms = make_vms()
+        pred = CorruptiblePredictor(OracleRttfPredictor())
+        pred.predict_rttf_batch(vms)
+        assert vms[0].name in pred._last
+        pred.evict(vms[0].name)
+        assert vms[0].name not in pred._last
+        # a never-cached VM in stale mode falls through to the inner oracle
+        pred.set_mode("stale")
+        value = pred.predict_rttf(vms[0])
+        assert np.isfinite(value)

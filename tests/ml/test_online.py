@@ -1,0 +1,373 @@
+"""Tests for the online model lifecycle (repro.ml.online)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import Dataset
+from repro.ml.features import FEATURE_NAMES
+from repro.ml.online import (
+    DriftTracker,
+    OnlineLifecycle,
+    OnlineLifecycleConfig,
+    PeriodicRetrainer,
+    StreamingLabelCollector,
+)
+from repro.ml.toolchain import F2PMToolchain
+from repro.obs.telemetry import Telemetry
+from repro.pcam.predictor import (
+    ConservativeRttfPredictor,
+    OracleRttfPredictor,
+    TrainedRttfPredictor,
+)
+
+N_FEATURES = len(FEATURE_NAMES)
+
+
+def _row(fill=1.0):
+    return np.full(N_FEATURES, fill)
+
+
+class TestStreamingLabelCollector:
+    def test_life_end_labels_buffered_samples(self):
+        col = StreamingLabelCollector()
+        for i in range(4):
+            col.observe("r1/vm0", time=30.0 * i, features=_row(i), uptime_s=30.0 * i)
+        labelled = col.life_end("r1/vm0", end_time=150.0, reason="failure")
+        assert labelled == 4
+        assert col.n_runs == 1
+        assert col.lives_total == 1
+        # retro-labels are realized time-to-event at each sample instant
+        ds = col.dataset()
+        assert ds is not None
+        np.testing.assert_allclose(ds.y, [150.0, 120.0, 90.0, 60.0])
+
+    def test_samples_at_or_after_end_time_excluded(self):
+        col = StreamingLabelCollector()
+        col.observe("k", time=0.0, features=_row(), uptime_s=0.0)
+        col.observe("k", time=100.0, features=_row(), uptime_s=100.0)
+        assert col.life_end("k", end_time=100.0, reason="failure") == 1
+
+    def test_rejuvenation_labels_filterable(self):
+        col = StreamingLabelCollector(label_rejuvenations=False)
+        col.observe("k", time=0.0, features=_row(), uptime_s=0.0)
+        assert col.life_end("k", end_time=60.0, reason="rejuvenation") == 0
+        assert col.n_runs == 0
+        # lives are still counted even when their labels are dropped
+        assert col.lives_total == 1
+
+    def test_runs_filter_by_reason(self):
+        col = StreamingLabelCollector()
+        col.observe("a", time=0.0, features=_row(), uptime_s=0.0)
+        col.life_end("a", end_time=50.0, reason="failure")
+        col.observe("b", time=0.0, features=_row(), uptime_s=0.0)
+        col.life_end("b", end_time=50.0, reason="rejuvenation")
+        assert len(col.runs()) == 2
+        assert len(col.runs(reasons=("failure",))) == 1
+
+    def test_unknown_reason_rejected(self):
+        col = StreamingLabelCollector()
+        with pytest.raises(ValueError, match="reason"):
+            col.life_end("k", end_time=1.0, reason="retired")
+
+    def test_uptime_rewind_clears_stale_buffer(self):
+        # a missed life boundary (e.g. autoscale retirement + reuse of the
+        # name) must not produce labels straddling two lives
+        col = StreamingLabelCollector()
+        col.observe("k", time=0.0, features=_row(), uptime_s=0.0)
+        col.observe("k", time=30.0, features=_row(), uptime_s=30.0)
+        col.observe("k", time=60.0, features=_row(), uptime_s=0.0)  # rewind
+        assert col.life_end("k", end_time=90.0, reason="failure") == 1
+
+    def test_discard_drops_inflight_buffer(self):
+        col = StreamingLabelCollector()
+        col.observe("k", time=0.0, features=_row(), uptime_s=0.0)
+        col.discard("k")
+        assert col.life_end("k", end_time=50.0, reason="failure") == 0
+
+    def test_run_budget_evicts_oldest(self):
+        col = StreamingLabelCollector(max_runs=2)
+        for i in range(3):
+            col.observe(f"vm{i}", time=0.0, features=_row(i), uptime_s=0.0)
+            col.life_end(f"vm{i}", end_time=10.0 * (i + 1), reason="failure")
+        assert col.n_runs == 2
+        assert col.lives_total == 3
+        assert col.labelled_samples_total == 3  # monotone, survives eviction
+        # the oldest life (end_time 10) was evicted
+        assert [run[2] for run in col.runs()] == [20.0, 30.0]
+
+    def test_per_life_sample_budget_keeps_most_recent(self):
+        col = StreamingLabelCollector(max_life_samples=3)
+        for i in range(6):
+            col.observe("k", time=float(i), features=_row(i), uptime_s=float(i))
+        assert col.life_end("k", end_time=10.0, reason="failure") == 3
+        ds = col.dataset()
+        np.testing.assert_allclose(ds.y, [7.0, 6.0, 5.0])
+
+    def test_dataset_none_when_empty(self):
+        assert StreamingLabelCollector().dataset() is None
+
+    def test_derived_schema_doubles_columns(self):
+        col = StreamingLabelCollector()
+        rng = np.random.default_rng(0)
+        for i in range(5):
+            col.observe(
+                "k", time=30.0 * i,
+                features=rng.normal(size=N_FEATURES), uptime_s=30.0 * i,
+            )
+        col.life_end("k", end_time=300.0, reason="failure")
+        levels = col.dataset(schema="levels")
+        derived = col.dataset(schema="derived", window=3)
+        assert levels.X.shape[1] == N_FEATURES
+        assert derived.X.shape[1] == 2 * N_FEATURES
+        with pytest.raises(ValueError, match="schema"):
+            col.dataset(schema="wavelets")
+
+
+class TestDriftTracker:
+    def test_failure_life_scores_exact_mape(self):
+        tracker = DriftTracker(floor_s=30.0)
+        tracker.observe("k", time=0.0, predicted=200.0)  # realized 100
+        tracker.observe("k", time=50.0, predicted=75.0)  # realized 50
+        score = tracker.life_end("k", end_time=100.0, reason="failure")
+        # |200-100|/100 = 1.0 ; |75-50|/max(50, 30) = 0.5
+        assert score == pytest.approx(0.75)
+        assert tracker.rolling() == pytest.approx(0.75)
+
+    def test_rejuvenation_only_penalises_under_prediction(self):
+        tracker = DriftTracker(floor_s=30.0)
+        # over-predicting the censored bound is consistent with it
+        tracker.observe("a", time=0.0, predicted=500.0)
+        assert tracker.life_end("a", 100.0, "rejuvenation") == pytest.approx(0.0)
+        # under-predicting the bound is a real error
+        tracker.observe("b", time=0.0, predicted=40.0)
+        assert tracker.life_end("b", 100.0, "rejuvenation") == pytest.approx(0.6)
+
+    def test_non_finite_predictions_dropped(self):
+        tracker = DriftTracker()
+        tracker.observe("k", time=0.0, predicted=float("nan"))
+        assert tracker.life_end("k", 100.0, "failure") is None
+
+    def test_rolling_window_and_reset(self):
+        tracker = DriftTracker(window_lives=2)
+        for i, pred in enumerate([100.0, 200.0, 300.0]):
+            tracker.observe(f"vm{i}", time=0.0, predicted=pred)
+            tracker.life_end(f"vm{i}", end_time=100.0, reason="failure")
+        assert tracker.lives_scored == 2  # window holds the last two
+        assert len(tracker.life_scores) == 3  # full history kept
+        assert tracker.rolling() == pytest.approx((1.0 + 2.0) / 2)
+        tracker.reset_window()
+        assert tracker.rolling() is None
+        assert len(tracker.life_scores) == 3
+
+    def test_discard_drops_pending(self):
+        tracker = DriftTracker()
+        tracker.observe("k", time=0.0, predicted=100.0)
+        tracker.discard("k")
+        assert tracker.life_end("k", 100.0, "failure") is None
+
+
+class TestPeriodicRetrainer:
+    @pytest.fixture
+    def retrainer(self):
+        return PeriodicRetrainer(
+            F2PMToolchain(max_features=4, cv_folds=3),
+            seed=11,
+            model_name="rep-tree",
+        )
+
+    def test_rejects_tiny_dataset(self, retrainer, linear_dataset):
+        tiny = Dataset(
+            linear_dataset.X[:4], linear_dataset.y[:4], FEATURE_NAMES
+        )
+        with pytest.raises(ValueError, match="too small"):
+            retrainer.retrain(tiny)
+        assert retrainer.count == 0
+
+    def test_retrain_is_seed_deterministic(self, retrainer, linear_dataset):
+        twin = PeriodicRetrainer(
+            F2PMToolchain(max_features=4, cv_folds=3),
+            seed=11,
+            model_name="rep-tree",
+        )
+        a = retrainer.retrain(linear_dataset)
+        b = twin.retrain(linear_dataset)
+        assert retrainer.count == twin.count == 1
+        np.testing.assert_array_equal(
+            a.predict(linear_dataset.X), b.predict(linear_dataset.X)
+        )
+
+
+class TestOnlineLifecycle:
+    @pytest.fixture
+    def trained_predictor(self, linear_dataset):
+        toolchain = F2PMToolchain(max_features=4, cv_folds=3)
+        model = toolchain.train_best(
+            linear_dataset, np.random.default_rng(0), model_name="rep-tree"
+        )
+        return TrainedRttfPredictor(model)
+
+    def test_bind_walks_wrapper_chain(self, trained_predictor):
+        wrapped = ConservativeRttfPredictor(trained_predictor, margin=0.8)
+        lc = OnlineLifecycle(OnlineLifecycleConfig(retrain_interval_eras=5))
+        lc.bind(wrapped)
+        assert lc._target is trained_predictor
+        assert lc._margins == [wrapped]
+        assert lc.retrainer is not None
+        # the retraining suite is restricted to the deployed family
+        assert set(lc.retrainer.toolchain.suite) == {"rep-tree"}
+
+    def test_bind_oracle_disables_retraining(self):
+        lc = OnlineLifecycle(OnlineLifecycleConfig(retrain_interval_eras=5))
+        lc.bind(OracleRttfPredictor())
+        assert lc._target is None
+        assert lc.retrainer is None
+        lc.end_era(30.0)  # must be a no-op, not a crash
+        assert lc.retrains == 0
+
+    def _feed_lives(self, lc, n_lives, samples_per_life, rng):
+        """Synthesise ``n_lives`` completed failure lives through the hooks."""
+
+        class _FakeVm:
+            def __init__(self, name, uptime_s):
+                self.name = name
+                self.uptime_s = uptime_s
+
+        class _FakeSample:
+            def __init__(self, time, features):
+                self.time = time
+                self.features = features
+
+        t = 0.0
+        for life in range(n_lives):
+            name = f"vm{life}"
+            for i in range(samples_per_life):
+                vm = _FakeVm(name, uptime_s=30.0 * i)
+                sample = _FakeSample(t, rng.normal(size=N_FEATURES))
+                lc.observe_era(
+                    "r1", t, [vm], [sample], np.array([500.0 - t % 400])
+                )
+                t += 30.0
+            lc.observe_life_end("r1", name, t, "failure")
+
+    def test_end_era_retrains_on_schedule_and_hot_swaps(
+        self, trained_predictor
+    ):
+        lc = OnlineLifecycle(
+            OnlineLifecycleConfig(
+                retrain_interval_eras=2, min_new_samples=8, cv_folds=3
+            ),
+            seed=5,
+        )
+        lc.bind(trained_predictor)
+        before = trained_predictor.model
+        self._feed_lives(lc, n_lives=4, samples_per_life=5,
+                         rng=np.random.default_rng(1))
+        lc.end_era(30.0)
+        assert lc.retrains == 0  # era 1: off the schedule
+        lc.end_era(60.0)
+        assert lc.retrains == 1
+        assert trained_predictor.model is not before  # hot-swapped in place
+
+    def test_retrain_gated_on_new_samples(self, trained_predictor):
+        lc = OnlineLifecycle(
+            OnlineLifecycleConfig(
+                retrain_interval_eras=1, min_new_samples=1000
+            ),
+            seed=5,
+        )
+        lc.bind(trained_predictor)
+        self._feed_lives(lc, n_lives=3, samples_per_life=5,
+                         rng=np.random.default_rng(1))
+        lc.end_era(30.0)
+        assert lc.retrains == 0
+
+    def test_fallback_tightens_margins_with_floor(self):
+        inner = ConservativeRttfPredictor(OracleRttfPredictor(), margin=0.8)
+        lc = OnlineLifecycle(
+            OnlineLifecycleConfig(
+                drift_threshold=0.5,
+                min_drift_lives=1,
+                margin_tighten=0.5,
+                margin_floor=0.3,
+            )
+        )
+        lc.bind(inner)
+
+        def bad_life(name):
+            lc.drift.observe(name, time=0.0, predicted=1000.0)
+            lc.observe_life_end("r1", name.split("/", 1)[1], 100.0, "failure")
+
+        # keys must match what observe_life_end derives from (region, vm)
+        bad_life("r1/vm0")
+        assert lc.fallbacks == 1
+        assert inner.margin == pytest.approx(0.4)
+        # hysteresis: the window restarts, the same life can't re-trip it
+        assert lc.drift.rolling() is None
+        bad_life("r1/vm1")
+        assert lc.fallbacks == 2
+        assert inner.margin == pytest.approx(0.3)  # floored, not 0.2
+        bad_life("r1/vm2")
+        assert inner.margin == pytest.approx(0.3)
+
+    def test_freeze_on_drift_stops_retraining(self, trained_predictor):
+        lc = OnlineLifecycle(
+            OnlineLifecycleConfig(
+                retrain_interval_eras=1,
+                min_new_samples=1,
+                drift_threshold=0.5,
+                min_drift_lives=1,
+                freeze_on_drift=True,
+            ),
+            seed=5,
+        )
+        lc.bind(trained_predictor)
+        self._feed_lives(lc, n_lives=4, samples_per_life=5,
+                         rng=np.random.default_rng(1))
+        # those synthetic lives over-predict wildly -> fallback freezes
+        assert lc.frozen
+        before = trained_predictor.model
+        lc.end_era(30.0)
+        assert lc.retrains == 0
+        assert trained_predictor.model is before
+
+    def test_telemetry_exports_lifecycle_metrics(self, trained_predictor):
+        tel = Telemetry(enabled=True)
+        lc = OnlineLifecycle(
+            OnlineLifecycleConfig(retrain_interval_eras=1, min_new_samples=8),
+            seed=5,
+            telemetry=tel,
+        )
+        lc.bind(trained_predictor)
+        self._feed_lives(lc, n_lives=4, samples_per_life=5,
+                         rng=np.random.default_rng(1))
+        lc.end_era(30.0)
+        snap = tel.snapshot()
+        counters = {m["name"] for m in snap["metrics"]["counters"]}
+        gauges = {m["name"] for m in snap["metrics"]["gauges"]}
+        assert "ml_lives_total" in counters
+        assert "ml_labelled_samples_total" in counters
+        assert "ml_retrains_total" in counters
+        assert "ml_drift_mape" in gauges
+        assert "ml_dataset_samples" in gauges
+        kinds = {e["kind"] for e in snap["events"]["events"]}
+        assert "ml.life_end" in kinds
+        assert "ml.retrain" in kinds
+
+    def test_stats_shape(self, trained_predictor):
+        lc = OnlineLifecycle(seed=5)
+        lc.bind(trained_predictor)
+        stats = lc.stats()
+        for key in (
+            "eras", "retrains", "lives_total", "labelled_samples_total",
+            "dataset_samples", "rolling_drift_mape", "retrain_history",
+            "fallbacks", "frozen", "margins",
+        ):
+            assert key in stats
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            OnlineLifecycleConfig(retrain_interval_eras=-1)
+        with pytest.raises(ValueError):
+            OnlineLifecycleConfig(margin_tighten=1.5)
+        with pytest.raises(ValueError):
+            OnlineLifecycleConfig(drift_threshold=0.0)

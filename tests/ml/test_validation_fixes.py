@@ -1,0 +1,89 @@
+"""Regression tests for CV summary pooling and NaN-safe model ranking."""
+
+import numpy as np
+import pytest
+
+from repro.ml.toolchain import ModelComparison
+from repro.ml.validation import ValidationReport, summarize_cv
+
+
+class TestSummarizeCvPooling:
+    def test_rmse_pools_fold_mses(self):
+        # fold residuals: fold A all 1.0 (n=10), fold B all 3.0 (n=30).
+        a = ValidationReport(mae=1.0, rmse=1.0, mape=0.1, r2=0.9, n_samples=10)
+        b = ValidationReport(mae=3.0, rmse=3.0, mape=0.3, r2=0.7, n_samples=30)
+        pooled = summarize_cv([a, b])
+        # RMSE over the union of residuals: sqrt((10*1 + 30*9)/40)
+        assert pooled.rmse == pytest.approx(np.sqrt(280.0 / 40.0))
+        # the old linear average is strictly smaller -- the bug this guards
+        linear = 0.25 * 1.0 + 0.75 * 3.0
+        assert pooled.rmse > linear
+
+    def test_rmse_matches_union_of_predictions(self):
+        rng = np.random.default_rng(3)
+        y = rng.normal(size=40)
+        pred = y + rng.normal(0, [0.1] * 20 + [2.0] * 20)
+        folds = [
+            ValidationReport.from_predictions(y[:20], pred[:20]),
+            ValidationReport.from_predictions(y[20:], pred[20:]),
+        ]
+        pooled = summarize_cv(folds)
+        union = ValidationReport.from_predictions(y, pred)
+        assert pooled.rmse == pytest.approx(union.rmse)
+        assert pooled.mae == pytest.approx(union.mae)
+        assert pooled.n_samples == 40
+
+    def test_identical_folds_are_a_fixed_point(self):
+        r = ValidationReport(mae=2.0, rmse=2.5, mape=0.2, r2=0.8, n_samples=50)
+        pooled = summarize_cv([r, r, r])
+        assert pooled.rmse == pytest.approx(2.5)
+        assert pooled.mae == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_cv([])
+
+
+class TestRankedNonFinite:
+    def _comparison(self, metric="rmse", **rmses):
+        reports = {
+            name: ValidationReport(
+                mae=1.0, rmse=value, mape=0.1, r2=0.5, n_samples=10
+            )
+            for name, value in rmses.items()
+        }
+        return ModelComparison(
+            reports=reports,
+            ranking_metric=metric,
+            selected_features=("a",),
+        )
+
+    def test_nan_ranks_last_not_first(self):
+        cmp = self._comparison(
+            diverged=float("nan"), good=1.0, ok=2.0
+        )
+        names = [name for name, _ in cmp.ranked()]
+        assert names == ["good", "ok", "diverged"]
+        assert cmp.best_name == "good"
+
+    def test_inf_ranks_last(self):
+        cmp = self._comparison(blown=float("inf"), good=1.0)
+        assert cmp.best_name == "good"
+
+    def test_nan_r2_ranks_last_despite_descending_metric(self):
+        reports = {
+            "diverged": ValidationReport(
+                mae=1.0, rmse=1.0, mape=0.1, r2=float("nan"), n_samples=10
+            ),
+            "good": ValidationReport(
+                mae=1.0, rmse=1.0, mape=0.1, r2=0.2, n_samples=10
+            ),
+        }
+        cmp = ModelComparison(
+            reports=reports, ranking_metric="r2", selected_features=("a",)
+        )
+        assert cmp.best_name == "good"
+
+    def test_table_renders_nan_rows(self):
+        cmp = self._comparison(diverged=float("nan"), good=1.0)
+        assert "diverged" in cmp.table()
