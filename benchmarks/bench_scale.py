@@ -49,6 +49,65 @@ def test_loop_throughput_vs_vms(benchmark, vms):
     assert mgr.loop.era_index == 10
 
 
+@pytest.mark.parametrize("columnar", [True, False], ids=["columnar", "objects"])
+def test_huge_fleet_era_throughput(benchmark, columnar):
+    """One fluid era over a 10k-VM pool: columnar table vs object path.
+
+    The ``columnar``/``objects`` pair is the pytest-benchmark view of the
+    huge tier recorded in ``BENCH_hotpath.json`` (see
+    ``benchmarks/bench_hotpath.py::measure_huge``); comparing the two ids
+    in ``--benchmark-compare`` output shows the struct-of-arrays speedup.
+    Single-round pedantic timing keeps the objects leg bounded.
+    """
+    import numpy as np
+
+    from repro.pcam import (
+        TrainedRttfPredictor,
+        VirtualMachineController,
+        VmcConfig,
+    )
+    from repro.pcam.vm import VirtualMachine
+    from repro.sim.instances import get_instance_type
+    from repro.workload.anomalies import AnomalyInjector
+
+    class _Flat:
+        def predict(self, rows):
+            rows = np.atleast_2d(np.asarray(rows, dtype=float))
+            return np.full(rows.shape[0], 1e9)
+
+        def predict_one(self, row):
+            return 1e9
+
+    n_vms = 10_000
+    m3 = get_instance_type("m3.medium")
+    ps = get_instance_type("private.small")
+
+    def build():
+        vms = [
+            VirtualMachine(
+                f"vm{i:05d}",
+                m3 if i % 2 else ps,
+                AnomalyInjector(np.random.default_rng(i)),
+            )
+            for i in range(n_vms)
+        ]
+        return VirtualMachineController(
+            "fleet",
+            vms,
+            TrainedRttfPredictor(_Flat()),
+            VmcConfig(target_active=9_000, columnar=columnar),
+        )
+
+    def one_era(vmc):
+        vmc.process_era(200_000, 30.0, 0.0)
+        return vmc
+
+    vmc = benchmark.pedantic(
+        one_era, setup=lambda: ((build(),), {}), rounds=3, iterations=1
+    )
+    assert sum(1 for vm in vmc.vms if vm.total_requests > 0) > 0
+
+
 def test_policy_step_scales_to_many_regions(benchmark):
     """A single POLICY() step on 10k regions stays vectorised-fast."""
     import numpy as np

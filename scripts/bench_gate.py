@@ -77,6 +77,42 @@ def _check_telemetry_overhead(payload: dict, tolerance: float) -> list[str]:
     return []
 
 
+def _check_huge_speedup(payload: dict) -> list[str]:
+    """Gate the columnar speedup at the huge (10k-VM) tier.
+
+    The huge tier runs the same fleet-scale era workload on the columnar
+    :class:`~repro.pcam.state_table.VmStateTable` path and on the
+    per-VM-object reference path; the two are bit-identical, so the ratio
+    must stay at or above the floor the refactor bought
+    (``benchmarks/bench_hotpath.py::HUGE_MIN_SPEEDUP``).  The check is on
+    the *fresh* measurement -- the committed baseline records the tier
+    for the trajectory, and baselines predating the tier pass vacuously.
+    """
+    huge = payload.get("huge")
+    if not huge:
+        return []
+    try:
+        from bench_hotpath import HUGE_MIN_SPEEDUP
+    except ImportError:
+        HUGE_MIN_SPEEDUP = 5.0
+    speedup = float(huge["speedup"])
+    col = float(huge["columnar"]["events_per_s"])
+    obj = float(huge["objects"]["events_per_s"])
+    status = "OK  " if speedup >= HUGE_MIN_SPEEDUP else "FAIL"
+    print(
+        f"  {status}    huge: {col:>12,.1f} VM-eras/s  "
+        f"objects  {obj:>12,.1f}  ({speedup:.2f}x, "
+        f"floor {HUGE_MIN_SPEEDUP:.1f}x)"
+    )
+    if speedup < HUGE_MIN_SPEEDUP:
+        return [
+            f"huge tier: columnar speedup {speedup:.2f}x fell below the "
+            f"{HUGE_MIN_SPEEDUP:.1f}x floor ({col:,.1f} vs {obj:,.1f} "
+            "VM-eras/s)"
+        ]
+    return []
+
+
 def report_ml_datapoint(path: Path | None = None) -> None:
     """Print the committed ``BENCH_ml.json`` datapoint (info-only).
 
@@ -133,6 +169,7 @@ def check_against_baseline(
 
     failures = []
     failures.extend(_check_telemetry_overhead(payload, tolerance))
+    failures.extend(_check_huge_speedup(payload))
     for scale, base in base_scales.items():
         current = payload["scales"].get(scale)
         if current is None:

@@ -15,7 +15,10 @@
 #      content-addressed store (zero re-execution);
 #   6. an online-lifecycle smoke: a short fig3 run with the model
 #      lifecycle enabled must export the drift metrics (ml_drift_mape,
-#      ml_lives_total) through the telemetry dump.
+#      ml_lives_total) through the telemetry dump;
+#   7. a columnar-parity smoke: the scalar/columnar differential harness
+#      (era oracle + chaos/churn + DES loop pairing) must show the two
+#      VM-state representations bit-identical.
 #
 # Usage:  scripts/ci_check.sh   (from the repository root or anywhere)
 
@@ -58,5 +61,11 @@ for metric in ml_drift_mape ml_lives_total; do
     grep -q "$metric" "$ONLINE_DUMP" \
         || { echo "lifecycle smoke: $metric missing from dump" >&2; exit 1; }
 done
+
+echo "== columnar parity smoke =="
+python -m pytest -q \
+    "tests/pcam/test_columnar_parity.py::test_vmc_era_parity_oracle" \
+    "tests/pcam/test_columnar_parity.py::test_vmc_parity_under_chaos_and_churn" \
+    "tests/pcam/test_columnar_parity.py::test_des_loop_parity"
 
 echo "ci_check: all gates passed"

@@ -69,6 +69,16 @@ class CorruptiblePredictor(RttfPredictor):
         # bookkeeping stays exact.
         return super().predict_rttf_batch(vms)
 
+    def predict_rttf_rows(self, rows, vms: list[VirtualMachine]):
+        if self.mode == "off":
+            values = self.inner.predict_rttf_rows(rows, vms)
+            for vm, value in zip(vms, values):
+                self._last[vm.name] = float(value)
+            return values
+        # Corruption modes keep the scalar path so per-VM staleness
+        # bookkeeping stays exact.
+        return super().predict_rttf_batch(vms)
+
     def evict(self, vm_name: str) -> None:
         self._last.pop(vm_name, None)
         self.inner.evict(vm_name)

@@ -54,6 +54,12 @@ from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.overlay.network import OverlayNetwork
 from repro.overlay.routing import NoRouteError, Router
 from repro.pcam.predictor import RttfPredictor
+from repro.pcam.state_table import (
+    CODE_ACTIVE,
+    CODE_FAILED,
+    CODE_STANDBY,
+    VmStateTable,
+)
 from repro.pcam.vm import VirtualMachine, VmState
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
@@ -80,6 +86,14 @@ class _RegionState:
     target_active: int
     #: Outstanding requests per VM, indexed by slot (position in ``vms``).
     in_flight: np.ndarray
+    #: Life (incarnation) number per slot, incremented every time the VM
+    #: is sent to rejuvenation.  A completion whose request was issued in
+    #: a previous life must not mutate the fresh VM: without this gate a
+    #: long-queued request could dump its (rejuvenation-spanning) response
+    #: time into a just-reactivated VM and instantly SLA-fail it.
+    life: np.ndarray
+    #: Columnar VM state (row index == slot); ``None`` in object mode.
+    table: VmStateTable | None = None
     #: Slots of ACTIVE VMs in ``vms`` order; rebuilt at era boundaries and
     #: maintained incrementally on mid-era failures.
     active_slots: list[int] = field(default_factory=list)
@@ -100,6 +114,12 @@ class _RegionState:
         return [vm for vm in self.vms if vm.state is VmState.STANDBY]
 
     def rebuild_active_slots(self) -> None:
+        if self.table is not None:
+            self.active_arr = np.flatnonzero(
+                self.table.state_code == CODE_ACTIVE
+            )
+            self.active_slots = self.active_arr.tolist()
+            return
         self.active_slots = [
             slot
             for slot, vm in enumerate(self.vms)
@@ -139,6 +159,11 @@ class DesControlLoop:
         Optional :class:`~repro.obs.telemetry.Telemetry` facade.  Disabled
         (the default) it is a strict no-op and the loop stays bit-identical
         to an un-instrumented one.
+    columnar:
+        Keep each region's VM state in a
+        :class:`~repro.pcam.state_table.VmStateTable` (row index == slot)
+        and vectorise the era-boundary analytics.  Bit-identical to the
+        object mode (pinned by the golden-trace and parity tests).
     """
 
     def __init__(
@@ -153,6 +178,7 @@ class DesControlLoop:
         overlay: OverlayNetwork | None = None,
         mean_demand: float = 1.5,
         telemetry: Telemetry | None = None,
+        columnar: bool = True,
     ) -> None:
         if not regions:
             raise ValueError("need at least one region")
@@ -187,7 +213,14 @@ class DesControlLoop:
                 population=population,
                 target_active=target,
                 in_flight=np.zeros(len(vms), dtype=np.int64),
+                life=np.zeros(len(vms), dtype=np.int64),
             )
+            if columnar:
+                state.table = VmStateTable(len(vms))
+                rows = state.table.adopt_all(vms)
+                # adoption in pool order makes row index == slot index,
+                # which the per-request path relies on
+                assert rows.size == 0 or int(rows[-1]) == len(vms) - 1
             self._states[name] = state
             self._ensure_active(state)
             state.rebuild_active_slots()
@@ -232,6 +265,16 @@ class DesControlLoop:
         return counts / counts.sum()
 
     def _ensure_active(self, state: _RegionState) -> None:
+        if state.table is not None:
+            codes = state.table.state_code
+            need = state.target_active - int(
+                np.count_nonzero(codes == CODE_ACTIVE)
+            )
+            if need > 0:
+                standby = np.flatnonzero(codes == CODE_STANDBY)[:need]
+                if standby.size:
+                    state.table.activate(standby)
+            return
         while len(state.active()) < state.target_active and state.standby():
             state.standby()[0].activate()
 
@@ -332,7 +375,11 @@ class DesControlLoop:
             candidates = np.flatnonzero(loads == loads.min())
             pos = candidates[int(rng.integers(0, candidates.size))]
             slot = active[pos]
-        vm = state.vms[slot]
+        capacity = (
+            state.table.capacity_at(slot)
+            if state.table is not None
+            else state.vms[slot].effective_capacity
+        )
         share = in_flight[slot] = in_flight[slot] + 1
         t_start = self.sim.now
         extra = (
@@ -342,14 +389,22 @@ class DesControlLoop:
                 self.region_names[i], self.region_names[j]
             )
         )
-        mu = vm.effective_capacity / self.mean_demand / share
+        mu = capacity / self.mean_demand / share
         service = float(rng.exponential(1.0 / mu)) if mu > 0 else 1.0
         self.sim.schedule_pooled(
-            service, self._complete, (i, j, slot, t_start, extra)
+            service,
+            self._complete,
+            (i, j, slot, state.life[slot], t_start, extra),
         )
 
     def _complete(
-        self, i: int, j: int, slot: int, t_start: float, extra: float
+        self,
+        i: int,
+        j: int,
+        slot: int,
+        life: int,
+        t_start: float,
+        extra: float,
     ) -> None:
         state = self._state_by_idx[j]
         state.in_flight[slot] -= 1
@@ -358,8 +413,34 @@ class DesControlLoop:
         state.era_response_sum += rt
         if self._obs_resp is not None:
             self._obs_resp[j].observe(rt)
+        # the life gate drops completions issued to a previous incarnation
+        # of this slot (queued before a rejuvenation, finishing after the
+        # reactivation) -- see _RegionState.life
+        table = state.table
+        if table is not None:
+            if (
+                table.state_code[slot] == CODE_ACTIVE
+                and state.life[slot] == life
+            ):
+                vm = state.vms[slot]
+                effect = vm.injector.inject(1)
+                table.leaked_mb[slot] += effect.leaked_mb
+                table.stuck_threads[slot] += effect.stuck_threads
+                table.total_requests[slot] += 1
+                table.last_response_time_s[slot] = rt
+                if table.failure_point_at(slot):
+                    table.state_code[slot] = CODE_FAILED
+                    table.failure_count[slot] += 1
+                    state.drop_active_slot(slot)
+                    self.total_failures += 1
+                    if self._obs_on:
+                        self._tel.event(
+                            "vm.failure", region=state.name, vm=vm.name
+                        )
+            self._schedule_next(i)
+            return
         vm = state.vms[slot]
-        if vm.state is VmState.ACTIVE:
+        if vm.state is VmState.ACTIVE and state.life[slot] == life:
             effect = vm.injector.inject(1)
             vm.leaked_mb += effect.leaked_mb
             vm.stuck_threads += effect.stuck_threads
@@ -451,57 +532,21 @@ class DesControlLoop:
                 / max(state.era_active_start, 1)
                 / self.era_s
             )
-            for vm in state.vms:
-                if vm.state is VmState.ACTIVE:
-                    vm.uptime_s += self.era_s
-                    vm.last_request_rate = rate_per_vm
-                elif vm.state in (VmState.STANDBY, VmState.REJUVENATING):
-                    vm.idle(self.era_s)
-            # PCAM: predict (one stacked call for the pool), swap at-risk
-            # VMs against standbys.  MTTF derives from the in-hand RTTF:
-            # calling predict_mttf would re-predict, double-appending to
-            # trend-predictor histories.
-            mttf_values = []
-            at_risk: list[tuple[float, VirtualMachine]] = []
-            pool = state.active()
-            for vm, rttf in zip(pool, self.predictor.predict_rttf_batch(pool)):
-                rttf = float(rttf)
-                mttf_values.append(vm.uptime_s + max(rttf, 0.0))
-                if rttf < self.rttf_threshold_s:
-                    at_risk.append((rttf, vm))
-            at_risk.sort(key=lambda p: p[0])
-            n_standby = len(state.standby())
-            for rttf, vm in at_risk:
-                if n_standby > 0:
-                    n_standby -= 1
-                elif rttf >= self.era_s:
-                    continue
-                vm.start_rejuvenation()
-                self.total_rejuvenations += 1
-                if self._obs_on:
-                    self._tel.instant(
-                        f"rejuvenate {vm.name}",
-                        kind="rejuvenation",
-                        region=name,
-                        reason="at_risk",
-                        rttf_s=rttf,
-                    )
-            for vm in state.vms:
-                if vm.state is VmState.FAILED:
-                    vm.start_rejuvenation()
-                    self.total_rejuvenations += 1
-                    if self._obs_on:
-                        self._tel.instant(
-                            f"rejuvenate {vm.name}",
-                            kind="rejuvenation",
-                            region=name,
-                            reason="failed",
-                        )
+            if state.table is not None:
+                mttf_values = self._region_pcam_columnar(
+                    state, name, rate_per_vm
+                )
+            else:
+                mttf_values = self._region_pcam_objects(
+                    state, name, rate_per_vm
+                )
             self._ensure_active(state)
             state.rebuild_active_slots()
             state.era_active_start = len(state.active_slots)
 
-            reports[name] = float(np.mean(mttf_values)) if mttf_values else 0.0
+            reports[name] = (
+                float(np.mean(mttf_values)) if len(mttf_values) else 0.0
+            )
             rate = state.era_completed / self.era_s
             lam += rate
             mean_rt = (
@@ -514,6 +559,126 @@ class DesControlLoop:
             state.era_completed = 0
             state.era_response_sum = 0.0
         return reports, lam
+
+    def _region_pcam_objects(
+        self, state: _RegionState, name: str, rate_per_vm: float
+    ) -> list[float]:
+        """Era accounting + PCAM swaps, one VM object at a time."""
+        for vm in state.vms:
+            if vm.state is VmState.ACTIVE:
+                vm.uptime_s += self.era_s
+                vm.last_request_rate = rate_per_vm
+            elif vm.state in (VmState.STANDBY, VmState.REJUVENATING):
+                vm.idle(self.era_s)
+        # PCAM: predict (one stacked call for the pool), swap at-risk
+        # VMs against standbys.  MTTF derives from the in-hand RTTF:
+        # calling predict_mttf would re-predict, double-appending to
+        # trend-predictor histories.
+        mttf_values: list[float] = []
+        at_risk: list[tuple[float, int, VirtualMachine]] = []
+        pool_slots = [
+            slot
+            for slot, vm in enumerate(state.vms)
+            if vm.state is VmState.ACTIVE
+        ]
+        pool = [state.vms[slot] for slot in pool_slots]
+        rttf_batch = self.predictor.predict_rttf_batch(pool)
+        for slot, vm, rttf in zip(pool_slots, pool, rttf_batch):
+            rttf = float(rttf)
+            mttf_values.append(vm.uptime_s + max(rttf, 0.0))
+            if rttf < self.rttf_threshold_s:
+                at_risk.append((rttf, slot, vm))
+        at_risk.sort(key=lambda p: p[0])
+        n_standby = len(state.standby())
+        for rttf, slot, vm in at_risk:
+            if n_standby > 0:
+                n_standby -= 1
+            elif rttf >= self.era_s:
+                continue
+            vm.start_rejuvenation()
+            state.life[slot] += 1
+            self.total_rejuvenations += 1
+            if self._obs_on:
+                self._tel.instant(
+                    f"rejuvenate {vm.name}",
+                    kind="rejuvenation",
+                    region=name,
+                    reason="at_risk",
+                    rttf_s=rttf,
+                )
+        for slot, vm in enumerate(state.vms):
+            if vm.state is VmState.FAILED:
+                vm.start_rejuvenation()
+                state.life[slot] += 1
+                self.total_rejuvenations += 1
+                if self._obs_on:
+                    self._tel.instant(
+                        f"rejuvenate {vm.name}",
+                        kind="rejuvenation",
+                        region=name,
+                        reason="failed",
+                    )
+        return mttf_values
+
+    def _region_pcam_columnar(
+        self, state: _RegionState, name: str, rate_per_vm: float
+    ) -> np.ndarray:
+        """Era accounting + PCAM swaps as array passes over the table.
+
+        Mirrors :meth:`_region_pcam_objects` op-for-op (bit-identical);
+        only the swap actuation itself walks the (few) affected VMs.
+        """
+        table = state.table
+        assert table is not None
+        active_mask = table.state_code == CODE_ACTIVE
+        table.uptime_s[active_mask] += self.era_s
+        table.last_request_rate[active_mask] = rate_per_vm
+        table.idle_tick(np.arange(len(state.vms)), self.era_s)
+        slots = np.flatnonzero(active_mask)
+        pool = [state.vms[s] for s in slots.tolist()]
+        features = table.feature_matrix(slots)
+        rttf_arr = np.asarray(
+            self.predictor.predict_rttf_rows(features, pool),
+            dtype=np.float64,
+        )
+        mttf_values = table.uptime_s[slots] + np.maximum(rttf_arr, 0.0)
+        at_pos = np.flatnonzero(rttf_arr < self.rttf_threshold_s)
+        order = np.argsort(rttf_arr[at_pos], kind="stable")
+        n_standby = int(np.count_nonzero(table.state_code == CODE_STANDBY))
+        for p in at_pos[order].tolist():
+            rttf = float(rttf_arr[p])
+            if n_standby > 0:
+                n_standby -= 1
+            elif rttf >= self.era_s:
+                continue
+            slot = int(slots[p])
+            vm = state.vms[slot]
+            vm.start_rejuvenation()
+            state.life[slot] += 1
+            self.total_rejuvenations += 1
+            if self._obs_on:
+                self._tel.instant(
+                    f"rejuvenate {vm.name}",
+                    kind="rejuvenation",
+                    region=name,
+                    reason="at_risk",
+                    rttf_s=rttf,
+                )
+        for slot in np.flatnonzero(
+            table.state_code == CODE_FAILED
+        ).tolist():
+            vm = state.vms[slot]
+            vm.start_rejuvenation()
+            state.life[slot] += 1
+            self.total_rejuvenations += 1
+            if self._obs_on:
+                self._tel.instant(
+                    f"rejuvenate {vm.name}",
+                    kind="rejuvenation",
+                    region=name,
+                    reason="failed",
+                )
+        return mttf_values
 
     def run(self, n_eras: int) -> dict[str, float]:
         """Run several eras; returns the final RMTTF snapshot."""

@@ -34,6 +34,7 @@ from repro.pcam.rejuvenation import (
     RejuvenationDiscipline,
     RttfThresholdRejuvenation,
 )
+from repro.pcam.state_table import TableBackedVM, VmStateTable
 from repro.pcam.vm import FailurePolicy, VirtualMachine, VmState
 from repro.pcam.vmc import VirtualMachineController, VmcConfig
 
@@ -55,6 +56,8 @@ __all__ = [
     "PeriodicRejuvenation",
     "NoRejuvenation",
     "LocalBalancer",
+    "TableBackedVM",
     "VirtualMachineController",
     "VmcConfig",
+    "VmStateTable",
 ]

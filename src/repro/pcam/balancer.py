@@ -99,11 +99,22 @@ class LocalBalancer:
                 "no ACTIVE VM available to serve "
                 f"{n_requests} requests (region outage)"
             )
-        w = self.weights(active)
-        if w.sum() <= 0:
-            w = np.ones(len(active))
-        if self._rng is not None:
-            counts = self._rng.multinomial(n_requests, w / w.sum())
-        else:
-            counts = largest_remainder_split(n_requests, w)
+        counts = self.split_counts(n_requests, self.weights(active))
         return {vm.name: int(c) for vm, c in zip(active, counts)}
+
+    def split_counts(
+        self, n_requests: int, weights: np.ndarray
+    ) -> np.ndarray:
+        """Assign ``n_requests`` proportionally to ``weights``, by position.
+
+        The weight-level core of :meth:`split`: the columnar VMC computes
+        the ACTIVE pool's weights straight from the state table
+        (bit-identical to :meth:`weights` over the same VMs) and calls
+        this to skip the per-VM object walk and the name dict.
+        """
+        w = weights
+        if w.sum() <= 0:
+            w = np.ones(len(w))
+        if self._rng is not None:
+            return self._rng.multinomial(n_requests, w / w.sum())
+        return largest_remainder_split(n_requests, w)

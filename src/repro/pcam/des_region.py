@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.pcam.state_table import CODE_ACTIVE, CODE_FAILED, VmStateTable
 from repro.pcam.vm import VirtualMachine, VmState
 from repro.sim.engine import Simulator
 from repro.workload.browsers import BrowserPopulation
@@ -80,6 +81,11 @@ class DesRegion:
         chain, and every request's service demand is its interaction's
         catalog cost (heavy Buy Confirms, cheap Home hits) instead of a
         single mean -- the demand mix the real benchmark produces.
+    columnar:
+        Keep the pool's VM state in a
+        :class:`~repro.pcam.state_table.VmStateTable` (row index == slot)
+        so the JSQ scan and the per-completion bookkeeping read columns
+        instead of objects.  Bit-identical to the object mode.
     """
 
     def __init__(
@@ -90,6 +96,7 @@ class DesRegion:
         rng: np.random.Generator,
         mean_demand: float = 1.5,
         session_chain: SessionChain | None = None,
+        columnar: bool = True,
     ) -> None:
         if not vms:
             raise ValueError("need at least one VM")
@@ -102,7 +109,12 @@ class DesRegion:
         self.mean_demand = float(mean_demand)
         self.session_chain = session_chain
         self.stats = DesStats()
-        self._in_flight: dict[str, int] = {vm.name: 0 for vm in vms}
+        #: Outstanding requests per VM, indexed by slot (position in vms).
+        self._in_flight = np.zeros(len(vms), dtype=np.int64)
+        self.table: VmStateTable | None = None
+        if columnar:
+            self.table = VmStateTable(len(vms))
+            self.table.adopt_all(vms)  # adoption order: row == slot
         # per-browser navigation state (index into the chain's STATES)
         self._browser_page: dict[int, int] = {}
         self.interaction_counts: dict[str, int] = {}
@@ -143,50 +155,78 @@ class DesRegion:
         self.interaction_counts[key] = self.interaction_counts.get(key, 0) + 1
         return TPCW_INTERACTIONS[interaction]
 
-    def _pick_vm(self) -> VirtualMachine | None:
-        """Least-loaded ACTIVE VM (join-the-shortest-queue).
+    def _pick_slot(self) -> int | None:
+        """Slot of the least-loaded ACTIVE VM (join-the-shortest-queue).
 
         Ties are broken uniformly at random -- under light load every
         queue is empty, and deterministic tie-breaking would funnel the
         whole stream to the first VM in the list.
         """
-        active = [vm for vm in self.vms if vm.state is VmState.ACTIVE]
-        if not active:
+        if self.table is not None:
+            active = np.flatnonzero(self.table.state_code == CODE_ACTIVE)
+        else:
+            active = np.array(
+                [
+                    slot
+                    for slot, vm in enumerate(self.vms)
+                    if vm.state is VmState.ACTIVE
+                ],
+                dtype=np.intp,
+            )
+        if active.size == 0:
             return None
-        loads = np.array([self._in_flight[vm.name] for vm in active])
+        loads = self._in_flight[active]
         candidates = np.flatnonzero(loads == loads.min())
-        return active[int(self.rng.choice(candidates))]
+        return int(active[int(self.rng.choice(candidates))])
 
     def _issue_request(self, browser: int) -> None:
-        vm = self._pick_vm()
-        if vm is None:
+        slot = self._pick_slot()
+        if slot is None:
             # outage: request dropped; browser retries after thinking
             self.stats.dropped += 1
             self._schedule_next_request(browser)
             return
-        self._in_flight[vm.name] += 1
+        self._in_flight[slot] += 1
         t_start = self.sim.now
         demand = self._next_demand(browser)
         # processor sharing approximation: service rate divided by the
         # number of requests now in flight at this VM
-        share = max(self._in_flight[vm.name], 1)
-        mu = vm.effective_capacity / demand / share
+        share = max(int(self._in_flight[slot]), 1)
+        capacity = (
+            self.table.capacity_at(slot)
+            if self.table is not None
+            else self.vms[slot].effective_capacity
+        )
+        mu = capacity / demand / share
         service = float(self.rng.exponential(1.0 / mu)) if mu > 0 else 1.0
 
-        def complete(vm=vm, t_start=t_start, browser=browser) -> None:
-            self._in_flight[vm.name] -= 1
+        def complete(slot=slot, t_start=t_start, browser=browser) -> None:
+            self._in_flight[slot] -= 1
             rt = self.sim.now - t_start
             self.stats.completed += 1
             self.stats.response_times.append(rt)
             # anomaly injection on completion (one request's worth)
-            if vm.state is VmState.ACTIVE:
-                effect = vm.injector.inject(1)
-                vm.leaked_mb += effect.leaked_mb
-                vm.stuck_threads += effect.stuck_threads
-                vm.total_requests += 1
-                vm.last_response_time_s = rt
-                if vm.failure_point_reached():
-                    vm.fail()
+            table = self.table
+            if table is not None:
+                if table.state_code[slot] == CODE_ACTIVE:
+                    effect = self.vms[slot].injector.inject(1)
+                    table.leaked_mb[slot] += effect.leaked_mb
+                    table.stuck_threads[slot] += effect.stuck_threads
+                    table.total_requests[slot] += 1
+                    table.last_response_time_s[slot] = rt
+                    if table.failure_point_at(slot):
+                        table.state_code[slot] = CODE_FAILED
+                        table.failure_count[slot] += 1
+            else:
+                vm = self.vms[slot]
+                if vm.state is VmState.ACTIVE:
+                    effect = vm.injector.inject(1)
+                    vm.leaked_mb += effect.leaked_mb
+                    vm.stuck_threads += effect.stuck_threads
+                    vm.total_requests += 1
+                    vm.last_response_time_s = rt
+                    if vm.failure_point_reached():
+                        vm.fail()
             self._schedule_next_request(browser)
 
         self.sim.schedule_after(service, complete)
@@ -208,17 +248,39 @@ class DesRegion:
         if duration_s <= 0:
             raise ValueError("duration_s must be positive")
         t_end = self.sim.now + duration_s
+        # Rate accounting snapshots taken at run start: the per-VM rate
+        # must use only *this* run's completions (``self.stats`` is
+        # cumulative across repeated run() calls) and divide by the
+        # active count that started the run -- VMs that fail mid-run
+        # served part of it, and dividing by the survivors would inflate
+        # the rate downstream predictors see (same fix as the DES loop's
+        # ``era_active_start``).
+        completed_at_start = self.stats.completed
+        if self.table is not None:
+            n_active_start = int(
+                np.count_nonzero(self.table.state_code == CODE_ACTIVE)
+            )
+        else:
+            n_active_start = len(
+                [v for v in self.vms if v.state is VmState.ACTIVE]
+            )
         self.start()
         self.sim.run_until(t_end)
-        for vm in self.vms:
-            if vm.state is VmState.ACTIVE:
-                vm.uptime_s += duration_s
-                # refresh last_request_rate for downstream predictors
-                vm.last_request_rate = (
-                    self.stats.completed
-                    / max(len([v for v in self.vms if v.state is VmState.ACTIVE]), 1)
-                    / duration_s
-                )
+        rate = (
+            (self.stats.completed - completed_at_start)
+            / max(n_active_start, 1)
+            / duration_s
+        )
+        if self.table is not None:
+            active = self.table.state_code == CODE_ACTIVE
+            self.table.uptime_s[active] += duration_s
+            # refresh last_request_rate for downstream predictors
+            self.table.last_request_rate[active] = rate
+        else:
+            for vm in self.vms:
+                if vm.state is VmState.ACTIVE:
+                    vm.uptime_s += duration_s
+                    vm.last_request_rate = rate
         return self.stats
 
     def offered_rate_estimate(self) -> float:

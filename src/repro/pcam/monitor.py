@@ -51,14 +51,46 @@ class FeatureMonitor:
         if history < 1:
             raise ValueError("history must be >= 1")
         self.vm = vm
-        self._buffer: deque[MonitorSample] = deque(maxlen=history)
+        # The ring holds either materialised samples (record/sample) or
+        # bare ``(time, row)`` tuples (push); accessors normalise on the
+        # way out so the fleet-scale path never pays for the wrapper.
+        self._buffer: deque[MonitorSample | tuple[float, np.ndarray]] = (
+            deque(maxlen=history)
+        )
+
+    @staticmethod
+    def _wrap(item: "MonitorSample | tuple[float, np.ndarray]") -> MonitorSample:
+        if type(item) is MonitorSample:
+            return item
+        return MonitorSample(time=item[0], features=item[1])
 
     def sample(self, now: float) -> MonitorSample:
         """Take and store one sample at simulated time ``now``."""
-        row = self.vm.sample_features().to_array()
+        return self.record(now, self.vm.sample_features().to_array())
+
+    def record(self, now: float, row: np.ndarray) -> MonitorSample:
+        """Store a pre-computed feature row for this VM.
+
+        The columnar VMC builds the whole ACTIVE pool's feature matrix in
+        one pass (:meth:`repro.pcam.state_table.VmStateTable.feature_matrix`)
+        and hands each monitor its row here, instead of re-deriving it
+        per VM through :meth:`sample`.  The row must follow the
+        ``FEATURE_NAMES`` schema.
+        """
         s = MonitorSample(time=float(now), features=row)
         self._buffer.append(s)
         return s
+
+    def push(self, now: float, row: np.ndarray) -> None:
+        """Store a feature row without materialising a :class:`MonitorSample`.
+
+        Same contract as :meth:`record` minus the return value: the
+        columnar VMC uses this when nothing downstream consumes the
+        sample object this era, saving one allocation per ACTIVE VM.
+        The ring's accessors (:attr:`latest`, :meth:`window`) wrap the
+        raw row on demand.
+        """
+        self._buffer.append((float(now), row))
 
     @property
     def latest(self) -> MonitorSample:
@@ -71,7 +103,7 @@ class FeatureMonitor:
         """
         if not self._buffer:
             raise LookupError(f"no samples collected for {self.vm.name}")
-        return self._buffer[-1]
+        return self._wrap(self._buffer[-1])
 
     def __len__(self) -> int:
         return len(self._buffer)
@@ -81,7 +113,7 @@ class FeatureMonitor:
         if n < 0:
             raise ValueError("n must be >= 0")
         items = list(self._buffer)
-        return items[-n:] if n else []
+        return [self._wrap(item) for item in items[-n:]] if n else []
 
 
 class ProfilingHarness:

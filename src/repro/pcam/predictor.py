@@ -51,6 +51,23 @@ class RttfPredictor(abc.ABC):
         """
         return np.array([self.predict_rttf(vm) for vm in vms], dtype=float)
 
+    def predict_rttf_rows(
+        self, rows: np.ndarray, vms: "list[VirtualMachine]"
+    ) -> np.ndarray:
+        """Predict RTTF from pre-computed feature rows, in ``vms`` order.
+
+        ``rows`` is the ``(len(vms), len(FEATURE_NAMES))`` matrix the
+        columnar VMC builds with
+        :meth:`repro.pcam.state_table.VmStateTable.feature_matrix`; its
+        values are bit-identical to each VM's
+        ``sample_features().to_array()``.  The base implementation
+        ignores the rows and defers to :meth:`predict_rttf_batch`, so
+        oracle and wrapper predictors keep their exact semantics;
+        model-backed predictors override it to feed the matrix straight
+        into ``model.predict`` with no per-VM feature construction.
+        """
+        return self.predict_rttf_batch(vms)
+
     def predict_mttf(self, vm: VirtualMachine) -> float:
         """Estimated total MTTF of the VM: elapsed uptime + remaining time.
 
@@ -106,6 +123,13 @@ class TrainedRttfPredictor(RttfPredictor):
         if not vms:
             return np.empty(0, dtype=float)
         rows = np.vstack([vm.sample_features().to_array() for vm in vms])
+        return self.predict_rttf_rows(rows, vms)
+
+    def predict_rttf_rows(
+        self, rows: np.ndarray, vms: list[VirtualMachine]
+    ) -> np.ndarray:
+        if not vms:
+            return np.empty(0, dtype=float)
         return np.maximum(self.model.predict(rows), self.floor_s)
 
 
@@ -150,7 +174,10 @@ class TrendAwareRttfPredictor(RttfPredictor):
         Exactly one history append per call -- callers must sample each
         VM once per era (see :meth:`RttfPredictor.predict_mttf`).
         """
-        row = vm.sample_features().to_array()
+        return self._derived_from(vm, vm.sample_features().to_array())
+
+    def _derived_from(self, vm: VirtualMachine, row: np.ndarray) -> np.ndarray:
+        """Like :meth:`_derived_row` but from an already-sampled row."""
         hist = self._history.get(vm.name)
         if hist is None:
             hist = deque(maxlen=self.window + 1)
@@ -175,6 +202,16 @@ class TrendAwareRttfPredictor(RttfPredictor):
             return np.empty(0, dtype=float)
         rows = np.vstack([self._derived_row(vm) for vm in vms])
         return np.maximum(self.model.predict(rows), self.floor_s)
+
+    def predict_rttf_rows(
+        self, rows: np.ndarray, vms: list[VirtualMachine]
+    ) -> np.ndarray:
+        if not vms:
+            return np.empty(0, dtype=float)
+        derived = np.vstack(
+            [self._derived_from(vm, rows[k]) for k, vm in enumerate(vms)]
+        )
+        return np.maximum(self.model.predict(derived), self.floor_s)
 
     def evict(self, vm_name: str) -> None:
         self._history.pop(vm_name, None)
@@ -211,6 +248,11 @@ class ConservativeRttfPredictor(RttfPredictor):
         self, vms: list[VirtualMachine]
     ) -> np.ndarray:
         return self.margin * self.inner.predict_rttf_batch(vms)
+
+    def predict_rttf_rows(
+        self, rows: np.ndarray, vms: list[VirtualMachine]
+    ) -> np.ndarray:
+        return self.margin * self.inner.predict_rttf_rows(rows, vms)
 
     def evict(self, vm_name: str) -> None:
         self.inner.evict(vm_name)

@@ -1,0 +1,633 @@
+"""Columnar (struct-of-arrays) VM state for fleet-scale simulation.
+
+The per-VM object model in :mod:`repro.pcam.vm` is the *reference*
+implementation: every quantity lives as a Python attribute on a
+:class:`~repro.pcam.vm.VirtualMachine` and every era touches every VM from
+the interpreter.  That is exactly the right shape for the control plane
+and for tests, and exactly the wrong shape for 10k--100k-VM fleets, where
+anomaly decay, failure checks, rejuvenation-threshold scans and feature
+extraction must be array operations.
+
+:class:`VmStateTable` stores the mutable per-VM state of one region pool
+as parallel NumPy columns (one row per VM) plus per-VM static columns
+derived from the instance type and failure policy at adoption time.  The
+table *adopts* existing ``VirtualMachine`` objects in place: their state
+is copied into a table row and the object itself is re-classed into
+:class:`TableBackedVM`, a thin view whose attributes are properties over
+the row.  Every reference the control plane, the chaos engine, or a test
+already holds keeps working -- ``vm.fail()``, ``vm.leaked_mb``,
+``vm.state is VmState.ACTIVE`` all read and write the columns -- while
+the hot paths batch whole pools per NumPy call.
+
+Bit-parity contract
+-------------------
+Every vectorised kernel in this module replicates the scalar arithmetic
+of :class:`~repro.pcam.vm.VirtualMachine` expression-for-expression in
+float64, so a columnar era is *bit-identical* to the per-VM object era
+(pinned by ``tests/pcam/test_columnar_parity.py``).  Anything stochastic
+(anomaly injection) stays per-VM in the caller, consuming each VM's own
+RNG stream in the same order the scalar loop would.
+
+Slot lifecycle invariants
+-------------------------
+* a freed row is scrubbed to poison values (``state_code == FREED``) so a
+  stale index read fails loudly instead of resurrecting the dead VM;
+* :meth:`VmStateTable.adopt` overwrites **every** column of a reused
+  slot -- the new tenant can never observe its predecessor's anomaly
+  level, counters, or rejuvenation clock;
+* :meth:`VmStateTable.compact` repacks live rows (updating each view's
+  row index) so a churn-heavy pool does not fragment forever.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.features import FEATURE_NAMES
+from repro.pcam.vm import (
+    BASELINE_MEMORY_MB,
+    BASELINE_THREADS,
+    SWAP_CAPACITY_PENALTY,
+    FailurePolicy,
+    VirtualMachine,
+    VmState,
+)
+from repro.sim.instances import InstanceType
+
+#: Row state codes.  ``FREED`` poisons released slots.
+CODE_ACTIVE = 0
+CODE_STANDBY = 1
+CODE_REJUVENATING = 2
+CODE_FAILED = 3
+FREED = -1
+
+#: Code -> enum member (index by code).
+CODE_TO_STATE: tuple[VmState, ...] = (
+    VmState.ACTIVE,
+    VmState.STANDBY,
+    VmState.REJUVENATING,
+    VmState.FAILED,
+)
+
+#: Enum member -> code.
+STATE_TO_CODE: dict[VmState, int] = {
+    state: code for code, state in enumerate(CODE_TO_STATE)
+}
+
+#: (column name, dtype) of every mutable column, in copy order.  Names
+#: match the ``VirtualMachine`` attribute they mirror (the rejuvenation
+#: clock drops the leading underscore).
+MUTABLE_COLUMNS: tuple[tuple[str, type], ...] = (
+    ("leaked_mb", np.float64),
+    ("stuck_threads", np.int64),
+    ("uptime_s", np.float64),
+    ("rejuvenation_remaining_s", np.float64),
+    ("last_request_rate", np.float64),
+    ("last_response_time_s", np.float64),
+    ("total_requests", np.int64),
+    ("rejuvenation_count", np.int64),
+    ("failure_count", np.int64),
+)
+
+#: Static per-VM columns frozen from ``itype``/``failure_policy`` at
+#: adoption (re-synced if a view reassigns either object).
+STATIC_COLUMNS: tuple[tuple[str, type], ...] = (
+    ("cpu_power", np.float64),
+    ("memory_mb", np.float64),
+    ("swap_mb", np.float64),
+    ("usable_memory_mb", np.float64),
+    ("anomaly_budget_mb", np.float64),
+    ("thread_free_slots", np.int64),
+    ("rejuvenation_time_s", np.float64),
+    ("sla_response_time_s", np.float64),
+    ("swap_exhaustion", np.bool_),
+    ("thread_exhaustion", np.bool_),
+)
+
+_ALL_COLUMNS = (("state_code", np.int8),) + MUTABLE_COLUMNS + STATIC_COLUMNS
+
+
+class VmStateTable:
+    """Struct-of-arrays store of one VM pool's state.
+
+    Parameters
+    ----------
+    capacity:
+        Initial row capacity (grows by doubling; 0 is fine).
+    """
+
+    def __init__(self, capacity: int = 0) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self._capacity = int(capacity)
+        self._n_rows = 0  # high-water mark (rows ever allocated)
+        self._free: list[int] = []  # released rows available for reuse
+        self._vms: list[TableBackedVM | None] = [None] * self._capacity
+        for name, dtype in _ALL_COLUMNS:
+            setattr(self, name, np.zeros(self._capacity, dtype=dtype))
+        self.state_code[:] = FREED
+
+    # ------------------------------------------------------------------ #
+    # capacity management
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        """Number of live (adopted, not released) rows."""
+        return self._n_rows - len(self._free)
+
+    @property
+    def capacity(self) -> int:
+        """Allocated row capacity (live rows + free + never-used)."""
+        return self._capacity
+
+    @property
+    def n_free(self) -> int:
+        """Released rows awaiting reuse (fragmentation measure)."""
+        return len(self._free)
+
+    def live_rows(self) -> np.ndarray:
+        """Indices of live rows, ascending."""
+        return np.flatnonzero(self.state_code[: self._n_rows] != FREED)
+
+    def _grow(self, minimum: int) -> None:
+        new_cap = max(self._capacity * 2, minimum, 4)
+        for name, dtype in _ALL_COLUMNS:
+            old = getattr(self, name)
+            fresh = np.zeros(new_cap, dtype=dtype)
+            fresh[: self._capacity] = old
+            if name == "state_code":
+                fresh[self._capacity :] = FREED
+            setattr(self, name, fresh)
+        self._vms.extend([None] * (new_cap - self._capacity))
+        self._capacity = new_cap
+
+    def _alloc_row(self) -> int:
+        if self._free:
+            return self._free.pop()
+        if self._n_rows >= self._capacity:
+            self._grow(self._n_rows + 1)
+        row = self._n_rows
+        self._n_rows += 1
+        return row
+
+    # ------------------------------------------------------------------ #
+    # adoption / release / compaction
+    # ------------------------------------------------------------------ #
+
+    def adopt(self, vm: VirtualMachine) -> int:
+        """Move ``vm``'s state into the table; re-class it as a view.
+
+        The object identity is preserved: every existing reference to
+        ``vm`` now reads and writes the table row.  Returns the row
+        index.  A reused (previously released) slot is overwritten in
+        **every** column, so no state of the previous tenant survives.
+        """
+        if isinstance(vm, TableBackedVM):
+            raise ValueError(f"{vm.name!r} is already table-backed")
+        row = self._alloc_row()
+        # mutable state, straight from the scalar attributes
+        self.state_code[row] = STATE_TO_CODE[vm.state]
+        self.leaked_mb[row] = vm.leaked_mb
+        self.stuck_threads[row] = vm.stuck_threads
+        self.uptime_s[row] = vm.uptime_s
+        self.rejuvenation_remaining_s[row] = vm._rejuvenation_remaining_s
+        self.last_request_rate[row] = vm.last_request_rate
+        self.last_response_time_s[row] = vm.last_response_time_s
+        self.total_requests[row] = vm.total_requests
+        self.rejuvenation_count[row] = vm.rejuvenation_count
+        self.failure_count[row] = vm.failure_count
+        # rebind: drop the scalar attribute storage, install the view
+        d = vm.__dict__
+        d["_itype"] = d.pop("itype")
+        d["_failure_policy"] = d.pop("failure_policy")
+        rejuvenation_time_s = float(d.pop("rejuvenation_time_s"))
+        for name, _ in MUTABLE_COLUMNS:
+            d.pop(name, None)
+        d.pop("state", None)
+        d.pop("_rejuvenation_remaining_s", None)
+        d["_table"] = self
+        d["_row"] = row
+        vm.__class__ = TableBackedVM
+        self._vms[row] = vm
+        self._sync_static(
+            row, vm._itype, vm._failure_policy, rejuvenation_time_s
+        )
+        return row
+
+    def _sync_static(
+        self,
+        row: int,
+        itype: InstanceType,
+        policy: FailurePolicy,
+        rejuvenation_time_s: float | None = None,
+    ) -> None:
+        """Freeze the derived static columns for ``row``."""
+        self.cpu_power[row] = itype.cpu_power
+        self.memory_mb[row] = itype.memory_mb
+        self.swap_mb[row] = itype.swap_mb
+        usable = max(itype.memory_mb - BASELINE_MEMORY_MB, 1.0)
+        self.usable_memory_mb[row] = usable
+        self.anomaly_budget_mb[row] = usable + itype.swap_mb
+        self.thread_free_slots[row] = max(
+            itype.thread_slots - BASELINE_THREADS, 1
+        )
+        if rejuvenation_time_s is not None:
+            self.rejuvenation_time_s[row] = rejuvenation_time_s
+        self.sla_response_time_s[row] = policy.sla_response_time_s
+        self.swap_exhaustion[row] = policy.swap_exhaustion
+        self.thread_exhaustion[row] = policy.thread_exhaustion
+
+    def adopt_all(self, vms: list[VirtualMachine]) -> np.ndarray:
+        """Adopt a whole pool; returns the row indices in ``vms`` order."""
+        return np.array([self.adopt(vm) for vm in vms], dtype=np.intp)
+
+    def release(self, vm: "TableBackedVM") -> None:
+        """Detach a view: state moves back to scalar attributes.
+
+        The freed row is scrubbed to poison values and queued for reuse;
+        the object reverts to a plain :class:`VirtualMachine` carrying
+        its final state (callers of ``remove_vm`` may still inspect it).
+        """
+        if not isinstance(vm, TableBackedVM) or vm._table is not self:
+            raise ValueError(f"{vm.name!r} is not backed by this table")
+        row = vm._row
+        d = vm.__dict__
+        # materialise the final state back into the instance dict
+        state = vm.state
+        snapshot = {
+            name: getattr(self, name)[row].item()
+            for name, _ in MUTABLE_COLUMNS
+        }
+        d["itype"] = d.pop("_itype")
+        d["failure_policy"] = d.pop("_failure_policy")
+        d["rejuvenation_time_s"] = float(self.rejuvenation_time_s[row])
+        d.pop("_table", None)
+        d.pop("_row", None)
+        vm.__class__ = VirtualMachine
+        vm.state = state
+        vm._rejuvenation_remaining_s = snapshot.pop(
+            "rejuvenation_remaining_s"
+        )
+        for name, value in snapshot.items():
+            setattr(vm, name, value)
+        # scrub the row so stale indices cannot resurrect this VM
+        self._scrub(row)
+        self._vms[row] = None
+        self._free.append(row)
+
+    def _scrub(self, row: int) -> None:
+        self.state_code[row] = FREED
+        for name, dtype in MUTABLE_COLUMNS + STATIC_COLUMNS:
+            getattr(self, name)[row] = 0
+
+    def compact(self) -> dict[int, int]:
+        """Repack live rows to the front; returns {old_row: new_row}.
+
+        Views are updated in place, so holders of ``TableBackedVM``
+        objects are unaffected.  Callers holding *raw row indices*
+        (e.g. a controller's row map) must remap them with the returned
+        mapping.
+        """
+        live = self.live_rows()
+        mapping: dict[int, int] = {}
+        for new, old in enumerate(live.tolist()):
+            mapping[old] = new
+            if new == old:
+                continue
+            for name, _ in _ALL_COLUMNS:
+                col = getattr(self, name)
+                col[new] = col[old]
+            vm = self._vms[old]
+            assert vm is not None
+            vm.__dict__["_row"] = new
+            self._vms[new] = vm
+            self._vms[old] = None
+        n_live = int(live.size)
+        for row in range(n_live, self._n_rows):
+            self._scrub(row)
+            self._vms[row] = None
+        self._n_rows = n_live
+        self._free = []
+        return mapping
+
+    def view(self, row: int) -> "TableBackedVM":
+        """The adopted VM object at ``row``.
+
+        Raises
+        ------
+        LookupError
+            If the row was never adopted or has been released.
+        """
+        vm = self._vms[row] if 0 <= row < self._capacity else None
+        if vm is None:
+            raise LookupError(f"row {row} holds no live VM")
+        return vm
+
+    # ------------------------------------------------------------------ #
+    # vectorised kernels (bit-identical to the scalar VirtualMachine)
+    # ------------------------------------------------------------------ #
+
+    def swap_used_mb_of(self, idx: np.ndarray) -> np.ndarray:
+        """Vectorised :attr:`VirtualMachine.swap_used_mb`."""
+        spilled = self.leaked_mb[idx] - self.usable_memory_mb[idx]
+        return np.clip(spilled, 0.0, self.swap_mb[idx])
+
+    def swap_pressure_of(self, idx: np.ndarray) -> np.ndarray:
+        """Vectorised :attr:`VirtualMachine.swap_pressure`."""
+        swap = self.swap_mb[idx]
+        zero = swap == 0.0
+        out = np.empty(len(idx), dtype=np.float64)
+        np.divide(self.swap_used_mb_of(idx), swap, out=out, where=~zero)
+        if zero.any():
+            out[zero] = np.where(
+                self.leaked_mb[idx][zero] >= self.usable_memory_mb[idx][zero],
+                1.0,
+                0.0,
+            )
+        return out
+
+    def thread_pressure_of(self, idx: np.ndarray) -> np.ndarray:
+        """Vectorised :attr:`VirtualMachine.thread_pressure`."""
+        ratio = self.stuck_threads[idx] / self.thread_free_slots[idx]
+        return np.minimum(ratio, 1.0)
+
+    def effective_capacity_of(self, idx: np.ndarray) -> np.ndarray:
+        """Vectorised :attr:`VirtualMachine.effective_capacity`."""
+        factor = (
+            1.0 - SWAP_CAPACITY_PENALTY * self.swap_pressure_of(idx)
+        ) * (1.0 - self.thread_pressure_of(idx))
+        return self.cpu_power[idx] * np.maximum(factor, 0.02)
+
+    def capacity_at(self, row: int) -> float:
+        """Scalar effective capacity of one row (the per-request path).
+
+        Pure-Python float arithmetic replicating the property chain of
+        the scalar VM, so a single lookup stays cheap inside the DES
+        request loop (no NumPy call overhead).
+        """
+        leaked = float(self.leaked_mb[row])
+        usable = float(self.usable_memory_mb[row])
+        swap = float(self.swap_mb[row])
+        spilled = leaked - usable
+        if spilled <= 0.0:
+            swap_used = 0.0
+        elif spilled >= swap:
+            swap_used = swap
+        else:
+            swap_used = spilled
+        if swap == 0.0:
+            swap_pressure = 1.0 if leaked >= usable else 0.0
+        else:
+            swap_pressure = swap_used / swap
+        ratio = int(self.stuck_threads[row]) / int(
+            self.thread_free_slots[row]
+        )
+        thread_pressure = 1.0 if ratio >= 1.0 else ratio
+        factor = (1.0 - SWAP_CAPACITY_PENALTY * swap_pressure) * (
+            1.0 - thread_pressure
+        )
+        return float(self.cpu_power[row]) * max(factor, 0.02)
+
+    def response_time_of(
+        self, idx: np.ndarray, request_rate: np.ndarray, mean_demand: float
+    ) -> np.ndarray:
+        """Vectorised :meth:`VirtualMachine.response_time_s`."""
+        mu = self.effective_capacity_of(idx) / mean_demand
+        service_time = 1.0 / mu
+        rho = np.minimum(request_rate / mu, 0.99)
+        return service_time / (1.0 - rho)
+
+    def failure_point_of(self, idx: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`VirtualMachine.failure_point_reached`."""
+        return (
+            (
+                self.swap_exhaustion[idx]
+                & (self.leaked_mb[idx] >= self.anomaly_budget_mb[idx])
+            )
+            | (
+                self.thread_exhaustion[idx]
+                & (self.thread_pressure_of(idx) >= 1.0)
+            )
+            | (self.last_response_time_s[idx] > self.sla_response_time_s[idx])
+        )
+
+    def failure_point_at(self, row: int) -> bool:
+        """Scalar failure predicate for one row (DES request path)."""
+        if bool(self.swap_exhaustion[row]) and float(
+            self.leaked_mb[row]
+        ) >= float(self.anomaly_budget_mb[row]):
+            return True
+        if bool(self.thread_exhaustion[row]):
+            ratio = int(self.stuck_threads[row]) / int(
+                self.thread_free_slots[row]
+            )
+            if ratio >= 1.0:
+                return True
+        return float(self.last_response_time_s[row]) > float(
+            self.sla_response_time_s[row]
+        )
+
+    def feature_matrix(self, idx: np.ndarray) -> np.ndarray:
+        """One F2PM monitoring row per VM in ``idx`` order, as a matrix.
+
+        Bit-identical to stacking
+        ``vm.sample_features().to_array()`` per VM, without constructing
+        a single :class:`~repro.ml.features.FeatureVector`.
+        """
+        n = len(idx)
+        out = np.empty((n, len(FEATURE_NAMES)), dtype=np.float64)
+        leaked = self.leaked_mb[idx]
+        usable = self.usable_memory_mb[idx]
+        swap_pressure = self.swap_pressure_of(idx)
+        rate = self.last_request_rate[idx]
+        mem_used = BASELINE_MEMORY_MB + np.minimum(leaked, usable)
+        mu = self.effective_capacity_of(idx) / 1.5
+        rho = np.where(mu > 0, np.minimum(rate / mu, 0.99), 0.99)
+        cpu_user = 70.0 * rho
+        cpu_system = 10.0 * rho + 20.0 * swap_pressure
+        out[:, 0] = mem_used
+        out[:, 1] = np.maximum(self.memory_mb[idx] - mem_used, 0.0)
+        out[:, 2] = self.swap_used_mb_of(idx)
+        out[:, 3] = cpu_user
+        out[:, 4] = cpu_system
+        out[:, 5] = np.maximum(100.0 - cpu_user - cpu_system, 0.0)
+        out[:, 6] = BASELINE_THREADS + self.stuck_threads[idx]
+        out[:, 7] = 60.0
+        out[:, 8] = 0.5 + 4.0 * swap_pressure
+        out[:, 9] = 0.3 + 6.0 * swap_pressure
+        out[:, 10] = 0.02 * rate
+        out[:, 11] = 0.12 * rate
+        out[:, 12] = rate
+        out[:, 13] = self.last_response_time_s[idx] * 1000.0
+        out[:, 14] = self.uptime_s[idx]
+        return out
+
+    # ------------------------------------------------------------------ #
+    # vectorised lifecycle transitions
+    # ------------------------------------------------------------------ #
+
+    def activate(self, idx: np.ndarray) -> None:
+        """STANDBY -> ACTIVE for every row in ``idx`` (uptime resets)."""
+        self.state_code[idx] = CODE_ACTIVE
+        self.uptime_s[idx] = 0.0
+
+    def fail(self, idx: np.ndarray) -> None:
+        """-> FAILED for rows not already failed (counter increments)."""
+        fresh = idx[self.state_code[idx] != CODE_FAILED]
+        self.state_code[fresh] = CODE_FAILED
+        self.failure_count[fresh] += 1
+
+    def start_rejuvenation(self, idx: np.ndarray) -> None:
+        """ACTIVE/FAILED -> REJUVENATING; zero-delay ones finish at once."""
+        self.state_code[idx] = CODE_REJUVENATING
+        delay = self.rejuvenation_time_s[idx]
+        self.rejuvenation_remaining_s[idx] = delay
+        self.rejuvenation_count[idx] += 1
+        instant = idx[delay == 0.0]
+        if instant.size:
+            self._finish_rejuvenation(instant)
+
+    def _finish_rejuvenation(self, idx: np.ndarray) -> None:
+        self.state_code[idx] = CODE_STANDBY
+        self.leaked_mb[idx] = 0.0
+        self.stuck_threads[idx] = 0
+        self.uptime_s[idx] = 0.0
+        self.last_response_time_s[idx] = 0.0
+        self.last_request_rate[idx] = 0.0
+        self.rejuvenation_remaining_s[idx] = 0.0
+
+    def idle_tick(self, idx: np.ndarray, dt: float) -> None:
+        """Advance rejuvenation clocks; finish the ones that ran out.
+
+        Mirrors per-VM ``idle(dt)`` on REJUVENATING rows.  (STANDBY rows
+        need no work, exactly like the scalar method.)
+        """
+        rejuv = idx[self.state_code[idx] == CODE_REJUVENATING]
+        if not rejuv.size:
+            return
+        self.rejuvenation_remaining_s[rejuv] -= dt
+        done = rejuv[self.rejuvenation_remaining_s[rejuv] <= 0.0]
+        if done.size:
+            self._finish_rejuvenation(done)
+
+    def era_load_update(
+        self,
+        idx: np.ndarray,
+        n_requests: np.ndarray,
+        dt: float,
+        mean_demand: float,
+        leaked_delta: np.ndarray,
+        threads_delta: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The deterministic tail of :meth:`VirtualMachine.apply_load`.
+
+        The caller has already drawn each VM's anomaly effect from its
+        own stream (in ``idx`` order); this applies the accumulation,
+        uptime, telemetry, response-time and failure-point arithmetic in
+        one vectorised pass.  Returns ``(response_times, failed_mask)``.
+        """
+        self.leaked_mb[idx] += leaked_delta
+        self.stuck_threads[idx] += threads_delta
+        self.uptime_s[idx] += dt
+        self.total_requests[idx] += n_requests
+        rate = n_requests / dt
+        self.last_request_rate[idx] = rate
+        rt = self.response_time_of(idx, rate, mean_demand)
+        self.last_response_time_s[idx] = rt
+        failed = self.failure_point_of(idx)
+        if failed.any():
+            self.fail(idx[failed])
+        return rt, failed
+
+    def counts_by_state(self, idx: np.ndarray) -> tuple[int, int, int, int]:
+        """(n_active, n_standby, n_rejuvenating, n_failed) over ``idx``."""
+        codes = self.state_code[idx]
+        counts = np.bincount(codes[codes >= 0], minlength=4)
+        return (
+            int(counts[CODE_ACTIVE]),
+            int(counts[CODE_STANDBY]),
+            int(counts[CODE_REJUVENATING]),
+            int(counts[CODE_FAILED]),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# the thin object view
+# ---------------------------------------------------------------------- #
+
+
+def _column_property(col: str, cast) -> property:
+    def _get(self):
+        return cast(getattr(self._table, col)[self._row])
+
+    def _set(self, value):
+        getattr(self._table, col)[self._row] = value
+
+    return property(_get, _set)
+
+
+class TableBackedVM(VirtualMachine):
+    """A :class:`VirtualMachine` whose state lives in a `VmStateTable` row.
+
+    Never constructed directly -- :meth:`VmStateTable.adopt` re-classes an
+    existing ``VirtualMachine`` into this type in place (and
+    :meth:`VmStateTable.release` reverses it).  All behaviour is
+    inherited; only attribute storage is redirected, so the scalar
+    methods (``apply_load``, ``idle``, ``activate`` ...) stay the single
+    source of truth for one-VM semantics.
+    """
+
+    leaked_mb = _column_property("leaked_mb", float)
+    uptime_s = _column_property("uptime_s", float)
+    stuck_threads = _column_property("stuck_threads", int)
+    _rejuvenation_remaining_s = _column_property(
+        "rejuvenation_remaining_s", float
+    )
+    last_request_rate = _column_property("last_request_rate", float)
+    last_response_time_s = _column_property("last_response_time_s", float)
+    total_requests = _column_property("total_requests", int)
+    rejuvenation_count = _column_property("rejuvenation_count", int)
+    failure_count = _column_property("failure_count", int)
+    rejuvenation_time_s = _column_property("rejuvenation_time_s", float)
+
+    @property
+    def table(self) -> VmStateTable:
+        """The owning state table."""
+        return self._table
+
+    @property
+    def row(self) -> int:
+        """This VM's current row index (changes under compaction)."""
+        return self._row
+
+    @property
+    def state(self) -> VmState:
+        return CODE_TO_STATE[self._table.state_code[self._row]]
+
+    @state.setter
+    def state(self, value: VmState) -> None:
+        self._table.state_code[self._row] = STATE_TO_CODE[value]
+
+    @property
+    def itype(self) -> InstanceType:
+        return self._itype
+
+    @itype.setter
+    def itype(self, value: InstanceType) -> None:
+        self.__dict__["_itype"] = value
+        self._table._sync_static(self._row, value, self._failure_policy)
+
+    @property
+    def failure_policy(self) -> FailurePolicy:
+        return self._failure_policy
+
+    @failure_policy.setter
+    def failure_policy(self, value: FailurePolicy) -> None:
+        self.__dict__["_failure_policy"] = value
+        self._table._sync_static(self._row, self._itype, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TableBackedVM({self.name!r}, row={self._row}, "
+            f"{self.state.value}, leaked={self.leaked_mb:.0f}MB)"
+        )

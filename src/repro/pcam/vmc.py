@@ -32,8 +32,16 @@ if TYPE_CHECKING:
 from repro.pcam.monitor import FeatureMonitor
 from repro.pcam.predictor import RttfPredictor
 from repro.pcam.rejuvenation import (
+    NoRejuvenation,
+    PeriodicRejuvenation,
     RejuvenationDiscipline,
     RttfThresholdRejuvenation,
+)
+from repro.pcam.state_table import (
+    CODE_ACTIVE,
+    CODE_FAILED,
+    CODE_STANDBY,
+    VmStateTable,
 )
 from repro.pcam.vm import VirtualMachine, VmState
 
@@ -54,12 +62,19 @@ class VmcConfig:
         Average demand-units per request of the workload mix.
     monitor_history:
         Feature-monitor ring size per VM.
+    columnar:
+        Store per-VM state in a :class:`~repro.pcam.state_table.VmStateTable`
+        and process eras as array operations (the fleet-scale path).  The
+        per-VM objects remain valid views either way; ``False`` keeps the
+        original object-walking era loop (the reference implementation the
+        parity harness compares against).  Both paths are bit-identical.
     """
 
     rttf_threshold_s: float = 240.0
     target_active: int = 2
     mean_demand: float = 1.5
     monitor_history: int = 64
+    columnar: bool = True
 
     def __post_init__(self) -> None:
         if self.rttf_threshold_s < 0:
@@ -150,6 +165,14 @@ class VirtualMachineController:
             vm.name: FeatureMonitor(vm, self.config.monitor_history)
             for vm in self.vms
         }
+        # columnar state: adopt the pool into a struct-of-arrays table;
+        # `_rows` holds each VM's table row, aligned with `self.vms` order
+        # (list position != table row once VMs have been removed).
+        self.table: VmStateTable | None = None
+        self._rows = np.empty(0, dtype=np.intp)
+        if self.config.columnar:
+            self.table = VmStateTable(len(self.vms))
+            self._rows = self.table.adopt_all(self.vms)
         self._target_active = self.config.target_active
         self.total_rejuvenations = 0
         self.total_failures = 0
@@ -191,6 +214,16 @@ class VirtualMachineController:
 
     def _ensure_active_pool(self) -> None:
         """Activate STANDBYs until the ACTIVE pool meets the target."""
+        if self.table is not None:
+            codes = self.table.state_code[self._rows]
+            need = self._target_active - int(
+                np.count_nonzero(codes == CODE_ACTIVE)
+            )
+            if need > 0:
+                standby = np.flatnonzero(codes == CODE_STANDBY)[:need]
+                if standby.size:
+                    self.table.activate(self._rows[standby])
+            return
         active = self.vms_in(VmState.ACTIVE)
         standby = self.vms_in(VmState.STANDBY)
         while len(active) < self._target_active and standby:
@@ -200,15 +233,34 @@ class VirtualMachineController:
 
     def total_capacity(self) -> float:
         """Sum of effective capacities of ACTIVE VMs (demand-units/s)."""
+        if self.table is not None:
+            rows = self._active_rows()
+            if rows.size == 0:
+                return 0.0
+            # cumsum is sequential accumulation: bit-identical to the
+            # scalar path's running Python sum (arr.sum() is pairwise)
+            return float(self.table.effective_capacity_of(rows).cumsum()[-1])
         return float(
             sum(vm.effective_capacity for vm in self.vms_in(VmState.ACTIVE))
         )
 
     def healthy_capacity(self) -> float:
         """Nameplate capacity of the ACTIVE pool (no degradation)."""
+        if self.table is not None:
+            rows = self._active_rows()
+            if rows.size == 0:
+                return 0.0
+            return float(self.table.cpu_power[rows].cumsum()[-1])
         return float(
             sum(vm.itype.cpu_power for vm in self.vms_in(VmState.ACTIVE))
         )
+
+    def _active_rows(self) -> np.ndarray:
+        """Table rows of ACTIVE pool VMs, in pool order (columnar only)."""
+        assert self.table is not None
+        return self._rows[
+            self.table.state_code[self._rows] == CODE_ACTIVE
+        ]
 
     # ------------------------------------------------------------------ #
     # era processing (Monitor + local part of Analyze)
@@ -219,12 +271,23 @@ class VirtualMachineController:
 
         Returns the :class:`EraReport` the slave VMC sends to the leader
         (Algorithm 1: predict local RMTTF, actuate PCAM policies).
+
+        Dispatches to the columnar (array-at-a-time) or object-walking
+        implementation per ``config.columnar``; the two are bit-identical
+        (pinned by ``tests/pcam/test_columnar_parity.py``).
         """
         if n_requests < 0:
             raise ValueError("n_requests must be >= 0")
         if dt <= 0:
             raise ValueError("dt must be positive")
+        if self.table is not None:
+            return self._process_era_columnar(n_requests, dt, now)
+        return self._process_era_objects(n_requests, dt, now)
 
+    def _process_era_objects(
+        self, n_requests: int, dt: float, now: float
+    ) -> EraReport:
+        """Reference era implementation: one Python VM object at a time."""
         self._ensure_active_pool()
         active = self.vms_in(VmState.ACTIVE)
         era_failures = 0
@@ -348,6 +411,242 @@ class VirtualMachineController:
             per_vm_rttf=per_vm_rttf,
         )
 
+    def _process_era_columnar(
+        self, n_requests: int, dt: float, now: float
+    ) -> EraReport:
+        """Array-at-a-time era: mirrors ``_process_era_objects`` op-for-op.
+
+        Only two loops stay per-VM by necessity: anomaly injection (each
+        VM owns its RNG stream and must consume it in pool order) and the
+        monitor-ring appends; everything else -- load accounting, response
+        times, failure checks, feature extraction, threshold scans -- is
+        one NumPy pass over the ACTIVE rows.
+        """
+        table = self.table
+        assert table is not None
+        rows = self._rows
+        self._ensure_active_pool()
+        active_pos = np.flatnonzero(
+            table.state_code[rows] == CODE_ACTIVE
+        )
+        era_failures = 0
+        era_rejuvenations = 0
+
+        # 1. split the batch over ACTIVE VMs and apply the load
+        response_num = 0.0
+        served = 0
+        if active_pos.size:
+            active_rows = rows[active_pos]
+            active_views = [self.vms[p] for p in active_pos.tolist()]
+            counts = self._split_counts(n_requests, active_rows, active_views)
+            # per-VM anomaly draws stay a loop: each VM consumes its own
+            # stream in pool order, exactly like the scalar apply_load walk
+            counts_list = counts.tolist()
+            leaked_list: list[float] = []
+            threads_list: list[int] = []
+            for k, vm in enumerate(active_views):
+                effect = vm.injector.inject(counts_list[k])
+                leaked_list.append(effect.leaked_mb)
+                threads_list.append(effect.stuck_threads)
+            leaked = np.array(leaked_list, dtype=np.float64)
+            threads = np.array(threads_list, dtype=np.int64)
+            rt, failed = table.era_load_update(
+                active_rows, counts, dt, self.config.mean_demand,
+                leaked, threads,
+            )
+            # sequential cumsum matches the scalar running float sum
+            products = rt * counts
+            if products.size:
+                response_num = float(products.cumsum()[-1])
+            served = int(counts.sum())
+            era_failures = int(np.count_nonzero(failed))
+
+        # advance rejuvenation clocks (STANDBY rows need no bookkeeping)
+        table.idle_tick(rows, dt)
+
+        # 2. monitor + predict + proactive rejuvenation (PCAM policy);
+        # the snapshot excludes VMs that failed under this era's load
+        codes = table.state_code[rows]
+        mon_pos = np.flatnonzero(codes == CODE_ACTIVE)
+        mon_rows = rows[mon_pos]
+        monitored = [self.vms[p] for p in mon_pos.tolist()]
+        features = table.feature_matrix(mon_rows)
+        monitors = self.monitors
+        if self.lifecycle is None:
+            # nothing consumes the sample objects this era: push the raw
+            # rows into the rings (one allocation per VM saved at scale)
+            samples: list = []
+            for k, vm in enumerate(monitored):
+                monitors[vm.name].push(now, features[k])
+        else:
+            samples = [
+                monitors[vm.name].record(now, features[k])
+                for k, vm in enumerate(monitored)
+            ]
+        rttf_arr = np.asarray(
+            self.predictor.predict_rttf_rows(features, monitored),
+            dtype=np.float64,
+        )
+        per_vm_rttf = dict(
+            zip((vm.name for vm in monitored), rttf_arr.tolist())
+        )
+        mttf = table.uptime_s[mon_rows] + np.maximum(rttf_arr, 0.0)
+        if self.lifecycle is not None:
+            self.lifecycle.observe_era(
+                self.region_name, now, monitored, samples, rttf_arr
+            )
+        at_risk_pos, urgency = self._at_risk_columnar(
+            monitored, mon_rows, rttf_arr, dt
+        )
+        order = np.argsort(urgency, kind="stable")
+        n_standby = int(np.count_nonzero(codes == CODE_STANDBY))
+        for p in at_risk_pos[order].tolist():
+            vm = monitored[p]
+            rttf = float(rttf_arr[p])
+            if n_standby > 0:
+                n_standby -= 1
+            elif rttf >= dt:
+                continue  # postpone: no replacement and not imminent
+            vm.start_rejuvenation()
+            era_rejuvenations += 1
+            if self.lifecycle is not None:
+                self.lifecycle.observe_life_end(
+                    self.region_name, vm.name, now, "rejuvenation"
+                )
+            if self._obs is not None:
+                self._obs.instant(
+                    f"rejuvenate {vm.name}",
+                    kind="rejuvenation",
+                    region=self.region_name,
+                    reason="at_risk",
+                    rttf_s=rttf,
+                )
+                self._obs.counter(
+                    "rejuvenations_total", region=self.region_name
+                ).inc()
+
+        # 3. reactive path: failed VMs go to rejuvenation too
+        for p in np.flatnonzero(codes == CODE_FAILED).tolist():
+            vm = self.vms[p]
+            vm.start_rejuvenation()
+            era_rejuvenations += 1
+            if self.lifecycle is not None:
+                self.lifecycle.observe_life_end(
+                    self.region_name, vm.name, now, "failure"
+                )
+            if self._obs is not None:
+                self._obs.instant(
+                    f"rejuvenate {vm.name}",
+                    kind="rejuvenation",
+                    region=self.region_name,
+                    reason="failed",
+                )
+                self._obs.counter(
+                    "rejuvenations_total", region=self.region_name
+                ).inc()
+                self._obs.event(
+                    "vm.failure", region=self.region_name, vm=vm.name
+                )
+                self._obs.counter(
+                    "vm_failures_total", region=self.region_name
+                ).inc()
+
+        # 4. backfill the ACTIVE pool from STANDBY (the ACTIVATE command)
+        self._ensure_active_pool()
+
+        self.total_rejuvenations += era_rejuvenations
+        self.total_failures += era_failures
+
+        mean_rt = response_num / served if served else 0.0
+        last_rmttf = float(np.mean(mttf)) if mttf.size else 0.0
+        n_active, n_stby, n_rejuv, n_failed = table.counts_by_state(rows)
+        return EraReport(
+            region=self.region_name,
+            time=now,
+            last_rmttf=last_rmttf,
+            response_time_s=mean_rt,
+            n_active=n_active,
+            n_standby=n_stby,
+            n_rejuvenating=n_rejuv,
+            n_failed=n_failed,
+            requests_served=served,
+            rejuvenations_triggered=era_rejuvenations,
+            failures=era_failures,
+            per_vm_rttf=per_vm_rttf,
+        )
+
+    def _split_counts(
+        self,
+        n_requests: int,
+        active_rows: np.ndarray,
+        active_views: list[VirtualMachine],
+    ) -> np.ndarray:
+        """Per-VM request counts in pool order (columnar balancer path)."""
+        assert self.table is not None
+        bal = self.balancer
+        if type(bal) is LocalBalancer:
+            if bal.discipline == "uniform":
+                w = np.ones(len(active_rows))
+            else:
+                w = self.table.effective_capacity_of(active_rows)
+            return np.asarray(bal.split_counts(n_requests, w))
+        # unknown balancer subclass: go through the object API
+        assignment = bal.split(n_requests, active_views)
+        return np.array(
+            [assignment.get(vm.name, 0) for vm in active_views],
+            dtype=np.int64,
+        )
+
+    def _at_risk_columnar(
+        self,
+        monitored: list[VirtualMachine],
+        mon_rows: np.ndarray,
+        rttf_arr: np.ndarray,
+        dt: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """At-risk candidates (positions into ``monitored``) + urgencies.
+
+        Vectorised for the built-in disciplines; an unknown subclass is
+        consulted per VM with the same call pattern as the scalar era.
+        """
+        assert self.table is not None
+        disc = self.discipline
+        if type(disc) is RttfThresholdRejuvenation:
+            pos = np.flatnonzero(rttf_arr < disc.threshold_s)
+            return pos, rttf_arr[pos]
+        if type(disc) is PeriodicRejuvenation:
+            uptime = self.table.uptime_s[mon_rows]
+            pos = np.flatnonzero(uptime >= disc.period_s)
+            return pos, -uptime[pos]
+        if type(disc) is NoRejuvenation:
+            return np.empty(0, dtype=np.intp), np.empty(0)
+        flags = [
+            disc.should_rejuvenate(vm, float(rttf), dt)
+            for vm, rttf in zip(monitored, rttf_arr.tolist())
+        ]
+        pos = np.flatnonzero(flags)
+        urgency = np.array(
+            [
+                disc.urgency(monitored[p], float(rttf_arr[p]))
+                for p in pos.tolist()
+            ],
+            dtype=np.float64,
+        )
+        return pos, urgency
+
+    def compact_table(self) -> None:
+        """Repack the state table after heavy churn (columnar only).
+
+        Safe no-op in object mode.  Live views are updated in place; the
+        controller's row map is remapped to the new rows.
+        """
+        if self.table is None:
+            return
+        mapping = self.table.compact()
+        self._rows = np.array(
+            [mapping[int(r)] for r in self._rows], dtype=np.intp
+        )
+
     # ------------------------------------------------------------------ #
     # pool growth (used by ACM autoscaling, Sec. V ADDVMS)
     # ------------------------------------------------------------------ #
@@ -359,6 +658,9 @@ class VirtualMachineController:
         if vm.state is not VmState.STANDBY:
             raise ValueError("new VMs must join in STANDBY state")
         self.vms.append(vm)
+        if self.table is not None:
+            # may reuse a released slot; adopt() overwrites every column
+            self._rows = np.append(self._rows, self.table.adopt(vm))
         self.monitors[vm.name] = FeatureMonitor(
             vm, self.config.monitor_history
         )
@@ -401,6 +703,12 @@ class VirtualMachineController:
                     )
                 del self.vms[i]
                 del self.monitors[name]
+                if self.table is not None:
+                    # scrubs + frees the row and hands the VM back its
+                    # scalar attributes, so the caller keeps a usable
+                    # (detached) VirtualMachine
+                    self.table.release(vm)  # type: ignore[arg-type]
+                    self._rows = np.delete(self._rows, i)
                 # Drop any per-VM predictor state (trend windows, stale
                 # caches): a future same-named VM must start clean.
                 self.predictor.evict(name)

@@ -200,3 +200,60 @@ class TestIdleEraHoldsFractions:
         loop.run(2)
         assert spy.calls == 2
         assert all(lam > 1.0 for lam in spy.seen_lams)
+
+
+class TestStaleCompletionLifeGate:
+    """Pins the per-slot incarnation gate in :meth:`DesControlLoop._complete`.
+
+    A completion can fire after its slot's VM was rejuvenated (queued
+    before the era boundary, finishing after the swap).  Pre-fix, the
+    ACTIVE-state check alone let such stale completions through whenever
+    the slot had already been re-activated -- with ``rejuvenation_time_s``
+    of zero or short eras, a request issued to the *previous* incarnation
+    injected anomalies into the *fresh* VM.  The ``_RegionState.life``
+    counter now stamps every issued request and drops mismatches.
+    """
+
+    @pytest.mark.parametrize("columnar", [True, False])
+    def test_stale_completion_does_not_mutate_fresh_vm(self, columnar):
+        loop = build_loop(columnar=columnar)
+        state = loop._states["r1"]
+        slot = state.active_slots[0]
+        vm = state.vms[slot]
+        # a request is in flight against the current incarnation...
+        state.in_flight[slot] += 1
+        issued_life = int(state.life[slot])
+        # ...then the era boundary rejuvenates + reactivates the slot,
+        # bumping its incarnation counter
+        state.life[slot] += 1
+        before = (vm.total_requests, vm.leaked_mb, vm.stuck_threads)
+        loop._complete(0, 0, slot, issued_life, t_start=0.0, extra=0.0)
+        assert (vm.total_requests, vm.leaked_mb, vm.stuck_threads) == before
+        assert loop.total_failures == 0
+
+    @pytest.mark.parametrize("columnar", [True, False])
+    def test_current_life_completion_still_counts(self, columnar):
+        loop = build_loop(columnar=columnar)
+        state = loop._states["r1"]
+        slot = state.active_slots[0]
+        vm = state.vms[slot]
+        state.in_flight[slot] += 1
+        before = vm.total_requests
+        loop._complete(0, 0, slot, int(state.life[slot]),
+                       t_start=0.0, extra=0.0)
+        assert vm.total_requests == before + 1
+
+    @pytest.mark.parametrize("columnar", [True, False])
+    def test_rejuvenation_bumps_slot_life(self, columnar):
+        # end-to-end: every proactive/reactive swap at the era boundary
+        # must advance the slot's incarnation counter
+        loop = build_loop(columnar=columnar, seed=9, clients=(160, 96),
+                          think_time_s=3.0)
+        for _ in range(20):
+            loop.run_era()
+        if loop.total_rejuvenations == 0:
+            pytest.skip("scenario triggered no swaps")
+        lifes = np.concatenate(
+            [loop._states[r].life for r in loop.region_names]
+        )
+        assert int(lifes.sum()) == loop.total_rejuvenations

@@ -1,0 +1,478 @@
+"""Differential parity harness: scalar vs columnar VM state.
+
+The columnar :class:`~repro.pcam.state_table.VmStateTable` path was built
+against one contract: *same seed -> bit-identical behaviour* with the
+per-VM-object reference implementation.  This module is the harness that
+enforces it.  Every test builds two deployments from identically-seeded
+RNG registries -- one with ``columnar=False`` (the scalar reference), one
+with ``columnar=True`` -- drives both through the same scenario, and
+compares era reports, per-VM mutable state, capacities and traces
+**exactly** (``==`` on floats, no tolerance).
+
+A divergence here is a bookkeeping bug in one of the two paths, not noise:
+both paths consume the same RNG streams in the same order, so any drift
+means an operation was reordered, an accumulation changed its numeric
+association, or per-VM state leaked across slots.  The fuzz driver at the
+bottom sweeps randomized scenarios (pool mix, predictor, discipline,
+balancer, churn and crash storms) to flush out exactly that class of bug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chaos.predictor import CorruptiblePredictor
+from repro.pcam import (
+    ConservativeRttfPredictor,
+    LocalBalancer,
+    NoRejuvenation,
+    OracleRttfPredictor,
+    PeriodicRejuvenation,
+    TrainedRttfPredictor,
+    TrendAwareRttfPredictor,
+    VirtualMachine,
+    VirtualMachineController,
+    VmcConfig,
+    VmState,
+)
+from repro.sim import M3_MEDIUM, PRIVATE_SMALL, RngRegistry
+from repro.workload import AnomalyInjector
+
+#: Per-VM fields that must stay bit-identical between the two paths.
+MUTABLE_FIELDS = (
+    "leaked_mb",
+    "stuck_threads",
+    "uptime_s",
+    "last_request_rate",
+    "last_response_time_s",
+    "total_requests",
+    "rejuvenation_count",
+    "failure_count",
+)
+
+
+class _LinModel:
+    """Deterministic stand-in for a trained F2PM model.
+
+    A fixed linear read-out over the feature row -- enough to make the
+    predicted RTTF depend on the columnar feature extraction, so any
+    feature-matrix divergence surfaces as a prediction divergence.
+    """
+
+    def predict(self, rows):
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        return 900.0 - 0.5 * rows[:, 1] - 4.0 * rows[:, 6] - 0.2 * rows[:, 0]
+
+    def predict_one(self, row):
+        return float(self.predict(row)[0])
+
+
+def _pool(rngs: RngRegistry, n: int, mixer, **vm_kw) -> list[VirtualMachine]:
+    return [
+        VirtualMachine(
+            f"vm{i:03d}",
+            M3_MEDIUM if mixer(i) else PRIVATE_SMALL,
+            AnomalyInjector(rngs.child(f"vm{i:03d}").stream("a")),
+            **vm_kw,
+        )
+        for i in range(n)
+    ]
+
+
+def _snapshot(vm: VirtualMachine) -> dict:
+    state = {name: getattr(vm, name) for name in MUTABLE_FIELDS}
+    state["state"] = vm.state
+    return state
+
+
+def _assert_pools_equal(
+    scalar: VirtualMachineController,
+    columnar: VirtualMachineController,
+    era: int,
+) -> None:
+    assert [vm.name for vm in scalar.vms] == [vm.name for vm in columnar.vms]
+    for s_vm, c_vm in zip(scalar.vms, columnar.vms):
+        s_snap, c_snap = _snapshot(s_vm), _snapshot(c_vm)
+        assert s_snap == c_snap, (
+            f"era {era}: VM {s_vm.name} diverged: {s_snap} != {c_snap}"
+        )
+    assert scalar.total_capacity() == columnar.total_capacity()
+    assert scalar.healthy_capacity() == columnar.healthy_capacity()
+    assert scalar.stats() == columnar.stats()
+
+
+def _make_pair(seed: int, n_vms: int, build):
+    """Build (scalar, columnar) VMCs from identically-seeded registries."""
+    out = []
+    for columnar in (False, True):
+        rngs = RngRegistry(seed=seed)
+        vms = _pool(rngs, n_vms, lambda i: i % 2 == 0)
+        out.append(build(rngs, vms, columnar))
+    return out[0], out[1]
+
+
+# --------------------------------------------------------------------- #
+# steady-state parity
+# --------------------------------------------------------------------- #
+
+
+def test_vmc_era_parity_oracle():
+    """60 high-load eras with failures + rejuvenations stay bit-identical."""
+
+    def build(rngs, vms, columnar):
+        return VirtualMachineController(
+            "r1",
+            vms,
+            OracleRttfPredictor(),
+            VmcConfig(target_active=4, columnar=columnar),
+        )
+
+    scalar, columnar = _make_pair(7, 8, build)
+    for era in range(60):
+        rep_s = scalar.process_era(4000, 30.0, era * 30.0)
+        rep_c = columnar.process_era(4000, 30.0, era * 30.0)
+        assert rep_s == rep_c, f"era {era}: {rep_s} != {rep_c}"
+        _assert_pools_equal(scalar, columnar, era)
+    # the scenario must actually exercise the lifecycle machinery
+    assert scalar.total_rejuvenations > 0
+    assert scalar.total_failures > 0
+
+
+@pytest.mark.parametrize(
+    "predictor_kind",
+    ["trained", "trend", "conservative", "corruptible", "corruptible-stale"],
+)
+def test_vmc_era_parity_predictor_variants(predictor_kind):
+    """Every predictor stack sees identical features on both paths."""
+
+    def make_predictor():
+        if predictor_kind == "trained":
+            return TrainedRttfPredictor(_LinModel(), floor_s=5.0)
+        if predictor_kind == "trend":
+            return TrendAwareRttfPredictor(_LinModel(), window=3)
+        if predictor_kind == "conservative":
+            return ConservativeRttfPredictor(
+                TrainedRttfPredictor(_LinModel()), margin=0.7
+            )
+        inner = TrainedRttfPredictor(_LinModel(), floor_s=5.0)
+        mode = "stale" if predictor_kind.endswith("stale") else "off"
+        return CorruptiblePredictor(inner, mode=mode)
+
+    def build(rngs, vms, columnar):
+        return VirtualMachineController(
+            "r1",
+            vms,
+            make_predictor(),
+            VmcConfig(
+                target_active=3, rttf_threshold_s=400.0, columnar=columnar
+            ),
+        )
+
+    scalar, columnar = _make_pair(11, 6, build)
+    for era in range(40):
+        rep_s = scalar.process_era(3000, 30.0, era * 30.0)
+        rep_c = columnar.process_era(3000, 30.0, era * 30.0)
+        assert rep_s == rep_c, f"era {era}: {predictor_kind} diverged"
+        _assert_pools_equal(scalar, columnar, era)
+
+
+@pytest.mark.parametrize("kind", ["periodic", "none"])
+def test_vmc_era_parity_disciplines(kind):
+    """Periodic/no-rejuvenation disciplines vectorise identically."""
+    disc = (
+        PeriodicRejuvenation(period_s=150.0)
+        if kind == "periodic"
+        else NoRejuvenation()
+    )
+
+    def build(rngs, vms, columnar):
+        return VirtualMachineController(
+            "r1",
+            vms,
+            OracleRttfPredictor(),
+            VmcConfig(target_active=3, columnar=columnar),
+            discipline=disc,
+        )
+
+    scalar, columnar = _make_pair(13, 6, build)
+    for era in range(40):
+        rep_s = scalar.process_era(2500, 30.0, era * 30.0)
+        rep_c = columnar.process_era(2500, 30.0, era * 30.0)
+        assert rep_s == rep_c
+        _assert_pools_equal(scalar, columnar, era)
+
+
+@pytest.mark.parametrize("discipline", ["uniform", "capacity"])
+@pytest.mark.parametrize("stochastic", [False, True])
+def test_vmc_era_parity_balancers(discipline, stochastic):
+    """Both balancer disciplines, deterministic and multinomial splits."""
+
+    def build(rngs, vms, columnar):
+        rng = rngs.child("bal").stream("split") if stochastic else None
+        return VirtualMachineController(
+            "r1",
+            vms,
+            OracleRttfPredictor(),
+            VmcConfig(target_active=3, columnar=columnar),
+            balancer=LocalBalancer(discipline, rng=rng),
+        )
+
+    scalar, columnar = _make_pair(17, 6, build)
+    for era in range(30):
+        rep_s = scalar.process_era(2000, 30.0, era * 30.0)
+        rep_c = columnar.process_era(2000, 30.0, era * 30.0)
+        assert rep_s == rep_c
+        _assert_pools_equal(scalar, columnar, era)
+
+
+# --------------------------------------------------------------------- #
+# churn + chaos parity
+# --------------------------------------------------------------------- #
+
+
+def _fail_by_name(vmc: VirtualMachineController, names: list[str]) -> None:
+    by_name = {vm.name: vm for vm in vmc.vms}
+    for name in names:
+        by_name[name].fail()
+
+
+def test_vmc_parity_under_chaos_and_churn():
+    """Crash storms, autoscaling and add/remove churn stay in lockstep.
+
+    The scripted events mirror what a chaos campaign does, applied
+    symmetrically to both pools; the columnar side also compacts its
+    table mid-run, which must be invisible to behaviour.
+    """
+
+    def build(rngs, vms, columnar):
+        return VirtualMachineController(
+            "r1",
+            vms,
+            OracleRttfPredictor(),
+            VmcConfig(target_active=4, columnar=columnar),
+        )
+
+    scalar, columnar = _make_pair(23, 8, build)
+    storm_rng = np.random.default_rng(23)
+    added = 0
+    for era in range(50):
+        if era % 9 == 4:  # crash storm: fail ~half the ACTIVE pool
+            active = sorted(
+                vm.name for vm in scalar.vms_in(VmState.ACTIVE)
+            )
+            if active:
+                k = max(1, len(active) // 2)
+                picks = storm_rng.choice(
+                    len(active), size=k, replace=False
+                )
+                victims = [active[i] for i in sorted(int(i) for i in picks)]
+                _fail_by_name(scalar, victims)
+                _fail_by_name(columnar, victims)
+        if era % 11 == 7:  # autoscale up/down
+            target = 3 if scalar.target_active == 4 else 4
+            scalar.set_target_active(target)
+            columnar.set_target_active(target)
+        if era % 13 == 6:  # provision a fresh standby into both pools
+            added += 1
+            for vmc, seed_tag in ((scalar, "s"), (columnar, "c")):
+                # per-pool registry children would diverge; give the pair
+                # identically-seeded injectors instead
+                rng = np.random.default_rng(1000 + added)
+                vmc.add_vm(
+                    VirtualMachine(
+                        f"new{added:02d}",
+                        PRIVATE_SMALL,
+                        AnomalyInjector(rng),
+                    )
+                )
+        if era % 17 == 15:  # decommission a non-ACTIVE VM, if any
+            removable = [
+                vm.name
+                for vm in scalar.vms
+                if vm.state is not VmState.ACTIVE
+            ]
+            if removable:
+                scalar.remove_vm(removable[0])
+                columnar.remove_vm(removable[0])
+        if era % 19 == 10:
+            columnar.compact_table()
+
+        rep_s = scalar.process_era(4000, 30.0, era * 30.0)
+        rep_c = columnar.process_era(4000, 30.0, era * 30.0)
+        assert rep_s == rep_c, f"era {era}: {rep_s} != {rep_c}"
+        _assert_pools_equal(scalar, columnar, era)
+    assert added > 0 and scalar.total_failures > 0
+
+
+# --------------------------------------------------------------------- #
+# seeded fuzz driver
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_vmc_parity_fuzz(seed):
+    """Randomized scenario sweep; any drift is a real bookkeeping bug."""
+    fuzz = np.random.default_rng(seed)
+    n_vms = int(fuzz.integers(3, 11))
+    target = int(fuzz.integers(1, n_vms + 1))
+    rejuvenation_time_s = float(fuzz.choice([0.0, 45.0, 120.0]))
+    threshold_s = float(fuzz.choice([120.0, 240.0, 500.0]))
+    discipline = fuzz.choice(["threshold", "periodic", "none"])
+    balancer_kind = fuzz.choice(["capacity", "uniform"])
+    predictor_kind = fuzz.choice(["oracle", "trained", "trend"])
+    n_eras = int(fuzz.integers(25, 60))
+    loads = fuzz.integers(0, 6000, size=n_eras)
+    storm_eras = set(
+        int(e) for e in fuzz.choice(n_eras, size=3, replace=False)
+    )
+    storm_rng = np.random.default_rng(seed + 7919)
+
+    def build(rngs, vms, columnar):
+        if predictor_kind == "trained":
+            predictor = TrainedRttfPredictor(_LinModel(), floor_s=1.0)
+        elif predictor_kind == "trend":
+            predictor = TrendAwareRttfPredictor(_LinModel(), window=4)
+        else:
+            predictor = OracleRttfPredictor()
+        disc = None
+        if discipline == "periodic":
+            disc = PeriodicRejuvenation(period_s=200.0)
+        elif discipline == "none":
+            disc = NoRejuvenation()
+        return VirtualMachineController(
+            "fuzz",
+            vms,
+            predictor,
+            VmcConfig(
+                rttf_threshold_s=threshold_s,
+                target_active=target,
+                columnar=columnar,
+            ),
+            balancer=LocalBalancer(balancer_kind),
+            discipline=disc,
+        )
+
+    def make(columnar):
+        rngs = RngRegistry(seed=seed * 31 + 5)
+        vms = _pool(
+            rngs,
+            n_vms,
+            lambda i: i % 3 != 0,
+            rejuvenation_time_s=rejuvenation_time_s,
+        )
+        return build(rngs, vms, columnar)
+
+    scalar, columnar = make(False), make(True)
+    for era in range(n_eras):
+        if era in storm_eras:
+            active = sorted(
+                vm.name for vm in scalar.vms_in(VmState.ACTIVE)
+            )
+            if active:
+                k = int(storm_rng.integers(1, len(active) + 1))
+                picks = storm_rng.choice(len(active), size=k, replace=False)
+                victims = [active[i] for i in sorted(int(i) for i in picks)]
+                _fail_by_name(scalar, victims)
+                _fail_by_name(columnar, victims)
+        rep_s = scalar.process_era(int(loads[era]), 30.0, era * 30.0)
+        rep_c = columnar.process_era(int(loads[era]), 30.0, era * 30.0)
+        assert rep_s == rep_c, (
+            f"seed {seed} era {era}: scenario "
+            f"(n={n_vms} t={target} {predictor_kind}/{discipline}/"
+            f"{balancer_kind}) diverged"
+        )
+        _assert_pools_equal(scalar, columnar, era)
+
+
+# --------------------------------------------------------------------- #
+# request-granular layers: DES region and DES control loop
+# --------------------------------------------------------------------- #
+
+
+def _build_des_region(seed: int, columnar: bool):
+    from repro.pcam import DesRegion
+    from repro.sim.engine import Simulator
+    from repro.workload import BrowserPopulation
+
+    rngs = RngRegistry(seed=seed)
+    vms = _pool(rngs, 5, lambda i: i % 2 == 0)
+    for vm in vms[:3]:
+        vm.activate()
+    sim = Simulator()
+    region = DesRegion(
+        sim,
+        vms,
+        BrowserPopulation(n_clients=60),
+        rngs.child("des").stream("events"),
+        columnar=columnar,
+    )
+    return region
+
+
+def test_des_region_parity():
+    """Request-granular DES: JSQ picks, completions and failures match."""
+    scalar = _build_des_region(3, columnar=False)
+    columnar = _build_des_region(3, columnar=True)
+    for _ in range(3):  # repeated run() calls share cumulative stats
+        stats_s = scalar.run(60.0)
+        stats_c = columnar.run(60.0)
+        assert stats_s.completed == stats_c.completed
+        assert stats_s.dropped == stats_c.dropped
+        assert stats_s.response_times == stats_c.response_times
+        for s_vm, c_vm in zip(scalar.vms, columnar.vms):
+            assert _snapshot(s_vm) == _snapshot(c_vm)
+    assert scalar.stats.completed > 0
+
+
+def _build_des_loop(seed: int, columnar: bool):
+    from repro.core import get_policy
+    from repro.core.des_loop import DesControlLoop
+    from repro.workload import BrowserPopulation
+
+    rngs = RngRegistry(seed=seed)
+
+    def pool(region, itype, n):
+        return [
+            VirtualMachine(
+                f"{region}/vm{i}",
+                itype,
+                AnomalyInjector(rngs.child(f"{region}{i}").stream("a")),
+            )
+            for i in range(n)
+        ]
+
+    regions = {
+        "r1": (pool("r1", M3_MEDIUM, 6), BrowserPopulation(n_clients=120), 4),
+        "r3": (pool("r3", PRIVATE_SMALL, 4), BrowserPopulation(n_clients=72), 3),
+    }
+    return DesControlLoop(
+        regions,
+        get_policy("available-resources"),
+        OracleRttfPredictor(),
+        rngs,
+        columnar=columnar,
+    )
+
+
+def test_des_loop_parity():
+    """Full request-level MAPE loop: every trace series stays identical."""
+    scalar = _build_des_loop(9, columnar=False)
+    columnar = _build_des_loop(9, columnar=True)
+    scalar.run(8)
+    columnar.run(8)
+    s_series = scalar.traces.matching("")
+    c_series = columnar.traces.matching("")
+    assert sorted(s_series) == sorted(c_series)
+    for name in s_series:
+        assert list(s_series[name].times) == list(c_series[name].times), name
+        assert list(s_series[name].values) == list(c_series[name].values), name
+    assert scalar.total_rejuvenations == columnar.total_rejuvenations
+    assert scalar.total_failures == columnar.total_failures
+    for region in scalar.region_names:
+        s_state = scalar._states[region]
+        c_state = columnar._states[region]
+        assert list(s_state.life) == list(c_state.life)
+        assert s_state.active_slots == c_state.active_slots
+        for s_vm, c_vm in zip(s_state.vms, c_state.vms):
+            assert _snapshot(s_vm) == _snapshot(c_vm)

@@ -12,7 +12,8 @@ from repro.workload.browsers import closed_loop_rate
 
 
 def make_region(n_vms=4, clients=40, itype=PRIVATE_SMALL, seed=1,
-                leak_probability=0.10, thread_probability=0.05):
+                leak_probability=0.10, thread_probability=0.05,
+                columnar=True):
     rngs = RngRegistry(seed=seed)
     vms = []
     for i in range(n_vms):
@@ -29,7 +30,7 @@ def make_region(n_vms=4, clients=40, itype=PRIVATE_SMALL, seed=1,
         vms.append(vm)
     sim = Simulator()
     pop = BrowserPopulation(n_clients=clients, think_time_s=7.0)
-    region = DesRegion(sim, vms, pop, rngs.stream("des"))
+    region = DesRegion(sim, vms, pop, rngs.stream("des"), columnar=columnar)
     return sim, region, vms
 
 
@@ -134,3 +135,52 @@ class TestFluidCrossValidation:
         predicted = vms[0].true_time_to_failure_s(rate)
         region.run(predicted * 3)
         assert any(vm.state is VmState.FAILED for vm in vms)
+
+
+class TestRateAccountingRegression:
+    """Pins the per-run rate-accounting fix in :meth:`DesRegion.run`.
+
+    ``run()`` used to divide the *cumulative* completion count by the
+    *end-of-run* ACTIVE count, so repeated runs inflated
+    ``last_request_rate`` without bound and mid-run failures inflated the
+    per-survivor rate.  The parity harness flushed this out; both code
+    paths now snapshot the counters at run start.
+    """
+
+    @pytest.mark.parametrize("columnar", [True, False])
+    def test_rate_uses_only_this_runs_completions(self, columnar):
+        _, region, vms = make_region(
+            n_vms=3, clients=30, columnar=columnar,
+            leak_probability=0.0, thread_probability=0.0,
+        )
+        duration = 200.0
+        region.run(duration)
+        first = region.stats.completed
+        region.run(duration)
+        delta = region.stats.completed - first
+        expected = delta / 3 / duration
+        for vm in vms:
+            assert vm.last_request_rate == pytest.approx(expected)
+        # the pre-fix value (cumulative completions) must be
+        # distinguishable, or this test would pass vacuously
+        cumulative = region.stats.completed / 3 / duration
+        assert abs(expected - cumulative) > 1e-9
+
+    @pytest.mark.parametrize("columnar", [True, False])
+    def test_rate_divides_by_start_of_run_active_count(self, columnar):
+        _, region, vms = make_region(
+            n_vms=4, clients=24, seed=2, columnar=columnar,
+        )
+        # push one VM to the brink so its next leak crosses the budget
+        vms[0].leaked_mb = vms[0].anomaly_budget_mb - 0.5
+        duration = 300.0
+        stats = region.run(duration)
+        assert vms[0].state is VmState.FAILED
+        survivors = [vm for vm in vms if vm.state is VmState.ACTIVE]
+        assert len(survivors) == 3
+        # rate is per *starting* ACTIVE VM (4): the failed VM served part
+        # of the run, and dividing by the 3 survivors would overstate the
+        # load each one saw
+        expected = stats.completed / 4 / duration
+        for vm in survivors:
+            assert vm.last_request_rate == pytest.approx(expected)
