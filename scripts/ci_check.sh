@@ -18,7 +18,11 @@
 #      ml_lives_total) through the telemetry dump;
 #   7. a columnar-parity smoke: the scalar/columnar differential harness
 #      (era oracle + chaos/churn + DES loop pairing) must show the two
-#      VM-state representations bit-identical.
+#      VM-state representations bit-identical;
+#   8. a hierarchical-chaos smoke: the rack-blackout-during-flash-crowd
+#      campaign on the 2 AZ x 2 rack deployment must end recovered, and
+#      the fleet's `domains` axis must leave historical cell digests
+#      untouched when absent (then run a tiny flat+2x2 sweep).
 #
 # Usage:  scripts/ci_check.sh   (from the repository root or anywhere)
 
@@ -48,8 +52,10 @@ echo "== fleet sweep smoke =="
 SWEEP_ARGS=(--scenarios two-region --policies uniform --loads 0.5
             --replicates 2 --eras 12 --workers 2 --store "$SWEEP_STORE")
 python -m repro sweep "${SWEEP_ARGS[@]}"
-python -m repro sweep "${SWEEP_ARGS[@]}" --resume \
-    | grep -q "0 executed, 2 store hits" \
+# capture then grep: piping straight into `grep -q` races a SIGPIPE
+# against the aggregate table the sweep prints after the summary line
+RESUME_OUT="$(python -m repro sweep "${SWEEP_ARGS[@]}" --resume)"
+grep -q "0 executed, 2 store hits" <<<"$RESUME_OUT" \
     || { echo "sweep --resume re-executed finished jobs" >&2; exit 1; }
 
 echo "== online-lifecycle smoke =="
@@ -61,6 +67,31 @@ for metric in ml_drift_mape ml_lives_total; do
     grep -q "$metric" "$ONLINE_DUMP" \
         || { echo "lifecycle smoke: $metric missing from dump" >&2; exit 1; }
 done
+
+echo "== hierarchical chaos smoke =="
+python -m repro chaos rack-blackout-flashcrowd --eras 12 --seed 7
+python - <<'EOF'
+from repro.fleet.spec import SweepSpec
+
+base = SweepSpec(scenarios=("two-region",), policies=("uniform",),
+                 loads=(0.5,), replicates=1, eras=12)
+axis = SweepSpec(scenarios=("two-region",), policies=("uniform",),
+                 loads=(0.5,), replicates=1, eras=12,
+                 domains=("flat", "2x2"))
+before = {j.label: (j.seed, j.digest) for j in base.expand()}
+after = {j.label: (j.seed, j.digest) for j in axis.expand()}
+for label, ident in before.items():
+    assert after[label] == ident, (
+        f"domains axis perturbed flat cell {label}: {ident} -> {after[label]}"
+    )
+assert len(after) == 2 * len(before)
+print(f"domains axis: {len(before)} flat cell(s) digest-stable")
+EOF
+DOMAIN_STORE="$(mktemp -d -t repro_domain_smoke.XXXXXX)"
+trap 'rm -f "$OBS_DUMP" "$ONLINE_DUMP"; rm -rf "$SWEEP_STORE" "$DOMAIN_STORE"' EXIT
+python -m repro sweep --scenarios two-region --policies uniform \
+    --loads 0.5 --replicates 1 --eras 12 --domains flat,2x2 \
+    --workers 2 --store "$DOMAIN_STORE"
 
 echo "== columnar parity smoke =="
 python -m pytest -q \

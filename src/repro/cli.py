@@ -254,6 +254,8 @@ CHAOS_CAMPAIGNS = (
     "message-loss",
     "leader-kill",
     "blackout-heal",
+    "rack-blackout-flashcrowd",
+    "az-partition",
     "smoke",
 )
 
@@ -321,6 +323,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             eras=args.eras,
             predictor=args.predictor,
             retrain=tuple(int(x) for x in _split_csv(args.retrain)),
+            domains=_split_csv(args.domains),
             campaigns=_split_csv(args.campaigns),
         )
     except ValueError as exc:
@@ -638,6 +641,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "comma list of online-retrain intervals in eras (one grid "
             "axis; 0 = lifecycle off)"
+        ),
+    )
+    ps.add_argument(
+        "--domains",
+        default="flat",
+        help=(
+            "comma list of failure-domain shapes ('flat' or 'NxM', one "
+            "grid axis; the default keeps historical cell digests)"
         ),
     )
     ps.add_argument(

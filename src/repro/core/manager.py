@@ -37,6 +37,7 @@ from repro.pcam.vmc import VirtualMachineController, VmcConfig
 from repro.sim.instances import get_instance_type
 from repro.sim.rng import RngRegistry
 from repro.sim.tracing import TraceRecorder
+from repro.topology.domains import FailureDomainTree
 from repro.workload.anomalies import (
     DEFAULT_LEAK_PROBABILITY,
     DEFAULT_THREAD_PROBABILITY,
@@ -66,6 +67,11 @@ class RegionSpec:
         Proactive-rejuvenation threshold of this region's VMC.
     rejuvenation_time_s:
         Restart duration of this region's VMs.
+    n_azs, racks_per_az:
+        Failure-domain shape of the region: availability-zone count and
+        racks per AZ.  The default ``1 x 1`` (flat) topology puts every
+        VM of the region on one rack, which is bit-identical to the
+        pre-topology behaviour.
     """
 
     name: str
@@ -75,6 +81,8 @@ class RegionSpec:
     clients: int
     rttf_threshold_s: float = 240.0
     rejuvenation_time_s: float = 120.0
+    n_azs: int = 1
+    racks_per_az: int = 1
 
     def __post_init__(self) -> None:
         if self.n_vms < 1:
@@ -85,6 +93,10 @@ class RegionSpec:
             )
         if self.clients < 1:
             raise ValueError(f"{self.name}: clients must be >= 1")
+        if self.n_azs < 1 or self.racks_per_az < 1:
+            raise ValueError(
+                f"{self.name}: n_azs and racks_per_az must be >= 1"
+            )
 
 
 @dataclass
@@ -129,6 +141,14 @@ class AcmManager:
         the deployed model.  ``None`` (the default) leaves every control
         path untouched.  The built lifecycle is exposed as
         ``manager.online_lifecycle``.
+    spread_k:
+        Anti-affinity rejuvenation cap threaded into every VMC (see
+        ``VmcConfig.spread_k``); 0 (the default) disables it.
+
+    The deployment's failure-domain hierarchy (built from each spec's
+    ``n_azs``/``racks_per_az``) is exposed as ``manager.domains``; each
+    VM is assigned its rack at creation, round-robin across the region's
+    racks.
     """
 
     regions: list[RegionSpec]
@@ -148,8 +168,10 @@ class AcmManager:
     sla_response_time_s: float = 1.0
     telemetry: Telemetry | None = None
     online: "OnlineLifecycleConfig | None" = None
+    spread_k: int = 0
     loop: AcmControlLoop = field(init=False)
     rngs: RngRegistry = field(init=False)
+    domains: FailureDomainTree = field(init=False)
     online_lifecycle: "OnlineLifecycle | None" = field(
         init=False, default=None
     )
@@ -160,7 +182,10 @@ class AcmManager:
         names = [spec.name for spec in self.regions]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate region names in {names}")
+        if self.spread_k < 0:
+            raise ValueError("spread_k must be >= 0")
         self.rngs = RngRegistry(seed=self.seed)
+        self.domains = FailureDomainTree.from_specs(self.regions)
         policy = (
             self.policy
             if isinstance(self.policy, Policy)
@@ -226,6 +251,7 @@ class AcmManager:
                 ),
                 failure_policy=failure_policy,
                 rejuvenation_time_s=spec.rejuvenation_time_s,
+                rack_id=self.domains.assign(spec.name, i),
             )
             for i in range(spec.n_vms)
         ]
@@ -237,6 +263,7 @@ class AcmManager:
                 rttf_threshold_s=spec.rttf_threshold_s,
                 target_active=spec.target_active,
                 mean_demand=self.mix.mean_service_demand(),
+                spread_k=self.spread_k,
             ),
             telemetry=self.telemetry,
             lifecycle=self.online_lifecycle,

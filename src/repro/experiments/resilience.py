@@ -22,6 +22,18 @@ source of faults and failures is manifold"):
 ``blackout-heal``
     A whole region goes dark (controller and ACTIVE VMs) and later
     heals; the campaign reports the unavailability window and MTTR.
+``rack-blackout-flashcrowd``
+    Under a 2x load spike on region1, one of its racks loses power;
+    the reactive-rejuvenation path plus the anti-affinity spread cap
+    (``spread_k=1``) must keep the region serving while the rack's VMs
+    recover.  Runs on the *hierarchical* deployment (2 AZs x 2 racks
+    per region) and reports per-domain availability and MTTR.
+``az-partition``
+    One availability zone of region2 is partitioned off (its ACTIVE
+    VMs crash; were it the controller AZ the region would also be cut
+    from the mesh) and later healed; hierarchical deployment, with the
+    :class:`~repro.topology.health.DomainHealthTracker` timeline in the
+    report.
 ``smoke``
     A fast mixed campaign (loss + one flap) for CI.
 
@@ -44,7 +56,7 @@ the service-health timeline; the message counters come straight from the
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
@@ -55,6 +67,8 @@ from repro.core.distributed import DistributedControlPlane, PlaneEraReport
 from repro.core.manager import AcmManager, RegionSpec
 from repro.obs.manifest import RunManifest
 from repro.obs.telemetry import Telemetry
+from repro.pcam.vm import VmState
+from repro.topology import DomainHealthTracker
 
 #: One scripted fault action, applied to the engine at an era boundary.
 FaultAction = Callable[[ChaosEngine], None]
@@ -97,6 +111,12 @@ CAMPAIGN_REGIONS = (
     RegionSpec("region3", "private.small", 4, 3, 48, rejuvenation_time_s=60.0),
 )
 
+#: The hierarchical variant: same regions, each spread over 2 AZs with
+#: 2 racks apiece, so correlated domain faults have something to hit.
+HIERARCHICAL_REGIONS = tuple(
+    replace(spec, n_azs=2, racks_per_az=2) for spec in CAMPAIGN_REGIONS
+)
+
 _LINK_PAIRS = (
     ("region1", "region2"),
     ("region1", "region3"),
@@ -111,19 +131,24 @@ class _Deployment:
     manager: AcmManager
     plane: DistributedControlPlane
     engine: ChaosEngine
+    health: DomainHealthTracker | None = None
 
 
 def _build_deployment(
     seed: int,
     era_s: float = 30.0,
     telemetry: Telemetry | None = None,
+    hierarchical: bool = False,
+    spread_k: int = 0,
 ) -> _Deployment:
+    regions = HIERARCHICAL_REGIONS if hierarchical else CAMPAIGN_REGIONS
     manager = AcmManager(
-        regions=list(CAMPAIGN_REGIONS),
+        regions=list(regions),
         policy="available-resources",
         seed=seed,
         era_s=era_s,
         telemetry=telemetry,
+        spread_k=spread_k,
     )
     loop = manager.loop
     chaos_net_rng = manager.rngs.stream("chaos/network")
@@ -144,6 +169,11 @@ def _build_deployment(
         vmc.predictor = predictors[region] = CorruptiblePredictor(
             vmc.predictor
         )
+    health = (
+        DomainHealthTracker(manager.domains, telemetry=telemetry)
+        if hierarchical
+        else None
+    )
     engine = ChaosEngine(
         plane.sim,
         manager.rngs.stream("chaos"),
@@ -153,8 +183,13 @@ def _build_deployment(
         bus=plane.bus,
         predictors=predictors,
         telemetry=telemetry,
+        domains=manager.domains,
+        health=health,
+        populations=loop.populations,
     )
-    return _Deployment(manager=manager, plane=plane, engine=engine)
+    return _Deployment(
+        manager=manager, plane=plane, engine=engine, health=health
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -186,6 +221,14 @@ class CampaignResult:
     recovered: bool
     message_stats: dict[str, int]
     final_fractions: dict[str, float] = field(default_factory=dict)
+    #: per-domain availability (hierarchical campaigns only; empty else)
+    domain_availability: dict[str, float] = field(default_factory=dict)
+    #: per-domain MTTR over closed unhealthy windows (NaN = none closed)
+    domain_mttr_s: dict[str, float] = field(default_factory=dict)
+    #: cumulative correlated-fault count per domain path
+    domain_faults: dict[str, int] = field(default_factory=dict)
+    #: rejuvenations deferred by the anti-affinity spread cap
+    spread_deferrals: int = 0
 
     @property
     def unavailable_eras(self) -> int:
@@ -240,6 +283,16 @@ def _collect_message_stats(plane: DistributedControlPlane) -> dict[str, int]:
     return stats
 
 
+def _rack_active_counts(plane: DistributedControlPlane) -> dict[int, int]:
+    """Per-rack ACTIVE VM counts across every region's VMC."""
+    counts: dict[int, int] = {}
+    for vmc in plane.loop.vmcs.values():
+        for vm in vmc.vms:
+            if vm.state is VmState.ACTIVE:
+                counts[vm.rack_id] = counts.get(vm.rack_id, 0) + 1
+    return counts
+
+
 def _run_script(
     name: str,
     script: FaultScript,
@@ -247,9 +300,17 @@ def _run_script(
     seed: int,
     era_s: float,
     telemetry: Telemetry | None = None,
+    hierarchical: bool = False,
+    spread_k: int = 0,
 ) -> CampaignResult:
-    dep = _build_deployment(seed, era_s=era_s, telemetry=telemetry)
-    plane, engine = dep.plane, dep.engine
+    dep = _build_deployment(
+        seed,
+        era_s=era_s,
+        telemetry=telemetry,
+        hierarchical=hierarchical,
+        spread_k=spread_k,
+    )
+    plane, engine, health = dep.plane, dep.engine, dep.health
     reports: list[PlaneEraReport] = []
     healthy: list[bool] = []
     era_faults: dict[int, tuple[str, ...]] = {}
@@ -268,6 +329,8 @@ def _run_script(
             report = plane.run_era()
             reports.append(report)
             healthy.append(_service_healthy(plane, report))
+            if health is not None:
+                health.observe_era(era, _rack_active_counts(plane))
     finally:
         # even a crashed campaign leaves its flight recorder behind
         if tel is not None:
@@ -285,6 +348,17 @@ def _run_script(
         if closed
         else float("nan")
     )
+    domain_availability: dict[str, float] = {}
+    domain_mttr_s: dict[str, float] = {}
+    if health is not None:
+        for domain in dep.manager.domains.domains():
+            domain_availability[domain] = health.availability(domain)
+            dwindows = _unhealthy_windows(health.timeline(domain))
+            dclosed = [(a, b) for a, b in dwindows if b < eras]
+            if dclosed:
+                domain_mttr_s[domain] = float(
+                    np.mean([(b - a) * era_s for a, b in dclosed])
+                )
     last = reports[-1].summary
     return CampaignResult(
         name=name,
@@ -302,6 +376,12 @@ def _run_script(
         recovered=bool(healthy[-1]),
         message_stats=_collect_message_stats(plane),
         final_fractions=dict(last.fractions),
+        domain_availability=domain_availability,
+        domain_mttr_s=domain_mttr_s,
+        domain_faults=dict(health.fault_counts) if health else {},
+        spread_deferrals=sum(
+            vmc.spread_deferrals for vmc in plane.loop.vmcs.values()
+        ),
     )
 
 
@@ -363,6 +443,45 @@ def _script_blackout_heal(eras: int) -> FaultScript:
     return script
 
 
+def _script_rack_blackout_flashcrowd(eras: int) -> FaultScript:
+    """Double region1's load, then power-fail one of its racks."""
+    script: FaultScript = {}
+    crowd = min(2, max(1, eras // 8))
+    dark = crowd + 2
+    heal = max(dark + 1, min(eras - 4, dark + 6))
+    calm = max(heal + 1, eras - 2)
+    _add(script, crowd, lambda e: e.flash_crowd("region1", 2.0))
+    _add(
+        script, dark, lambda e: e.rack_power_loss("region1/az0/rack0")
+    )
+    _add(script, heal, lambda e: e.domain_heal("region1/az0/rack0"))
+    _add(script, calm, lambda e: e.flash_crowd_end("region1"))
+    return script
+
+
+def _script_az_partition(eras: int) -> FaultScript:
+    """Partition region2's az1 off, heal it later.
+
+    az1 is a non-controller AZ, so the fault is purely a correlated VM
+    crash (the region's overlay node stays in the mesh); the interesting
+    question is how fast the AZ's rack timelines recover.
+    """
+    script: FaultScript = {}
+    state: dict[str, list[tuple[str, str]]] = {}
+    cut_at = min(5, max(1, eras // 4))
+    heal_at = max(cut_at + 1, min(eras - 6, cut_at + 8))
+
+    def _cut(e: ChaosEngine) -> None:
+        state["cut"] = e.az_partition("region2/az1")
+
+    def _heal(e: ChaosEngine) -> None:
+        e.az_heal("region2/az1", state.get("cut", ()))
+
+    _add(script, cut_at, _cut)
+    _add(script, heal_at, _heal)
+    return script
+
+
 def _script_smoke(eras: int) -> FaultScript:
     """Quick mixed campaign for CI: brief loss plus one link flap."""
     script: FaultScript = {}
@@ -381,6 +500,10 @@ class CampaignSpec:
     description: str
     default_eras: int
     build_script: Callable[[int], FaultScript]
+    #: run on the 2 AZ x 2 rack deployment with a DomainHealthTracker
+    hierarchical: bool = False
+    #: anti-affinity spread cap handed to every VMC (0 = off)
+    spread_k: int = 0
 
 
 #: The canned campaign registry, in documentation order.
@@ -410,6 +533,21 @@ CAMPAIGNS: dict[str, CampaignSpec] = {
             "black out region3 (controller + VMs), heal it later",
             40,
             _script_blackout_heal,
+        ),
+        CampaignSpec(
+            "rack-blackout-flashcrowd",
+            "power-fail a region1 rack during a 2x load spike",
+            18,
+            _script_rack_blackout_flashcrowd,
+            hierarchical=True,
+            spread_k=1,
+        ),
+        CampaignSpec(
+            "az-partition",
+            "partition one AZ of region2 off, heal it later",
+            24,
+            _script_az_partition,
+            hierarchical=True,
         ),
         CampaignSpec(
             "smoke",
@@ -445,14 +583,20 @@ def run_campaign(
     if n_eras < 4:
         raise ValueError("campaigns need at least 4 eras")
     if telemetry is not None and telemetry.enabled:
+        config = {
+            "campaign": spec.name,
+            "eras": n_eras,
+            "era_s": era_s,
+        }
+        if spec.hierarchical:
+            # keyed only for hierarchical campaigns, so historical
+            # manifests (and their digests) are unchanged
+            config["hierarchical"] = True
+            config["spread_k"] = spec.spread_k
         telemetry.set_manifest(
             RunManifest.build(
                 seed=seed,
-                config={
-                    "campaign": spec.name,
-                    "eras": n_eras,
-                    "era_s": era_s,
-                },
+                config=config,
                 campaign=spec.name,
                 eras=n_eras,
             )
@@ -464,6 +608,8 @@ def run_campaign(
         seed,
         era_s,
         telemetry=telemetry,
+        hierarchical=spec.hierarchical,
+        spread_k=spec.spread_k,
     )
 
 
@@ -623,6 +769,22 @@ def report_campaign(result: CampaignResult) -> str:
         for region, value in result.final_fractions.items()
     )
     lines.append(f"fractions: {mix}")
+    if result.domain_availability:
+        lines.append("domains  :")
+        for domain, avail in result.domain_availability.items():
+            faults = result.domain_faults.get(domain, 0)
+            if avail >= 1.0 and not faults:
+                continue
+            mttr = result.domain_mttr_s.get(domain)
+            lines.append(
+                f"  {domain:<24} avail={avail:6.1%}"
+                + (f"  MTTR={mttr:.0f}s" if mttr is not None else "")
+                + (f"  faults={faults}" if faults else "")
+            )
+        lines.append(
+            f"spread   : {result.spread_deferrals} "
+            "rejuvenations deferred by the anti-affinity cap"
+        )
     lines.append(
         "recovered: " + ("YES" if result.recovered else "NO")
     )

@@ -18,10 +18,11 @@ about 25 ms, Ireland-Munich about 35 ms, Frankfurt-Munich about 15 ms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.manager import RegionSpec
 from repro.overlay.network import OverlayNetwork
+from repro.topology.domains import FailureDomainTree, parse_domain_shape
 
 #: The three policies the paper compares, in paper order.
 PAPER_POLICIES: tuple[str, ...] = (
@@ -60,6 +61,29 @@ class Scenario:
             if spec.instance_type not in seen:
                 seen.append(spec.instance_type)
         return seen
+
+    def domain_tree(self) -> FailureDomainTree:
+        """The failure-domain hierarchy the region specs describe."""
+        return FailureDomainTree.from_specs(self.regions)
+
+    def with_domains(self, descriptor: str) -> "Scenario":
+        """Same deployment under a different failure-domain shape.
+
+        ``descriptor`` is ``"flat"`` or ``"NxM"`` (N AZs with M racks
+        each, applied to every region) -- the value the fleet sweep's
+        ``domains`` axis carries.  ``"flat"`` returns the scenario
+        unchanged, so default sweeps build identical deployments.
+        """
+        n_azs, racks_per_az = parse_domain_shape(descriptor)
+        if (n_azs, racks_per_az) == (1, 1):
+            return self
+        return replace(
+            self,
+            regions=tuple(
+                replace(spec, n_azs=n_azs, racks_per_az=racks_per_az)
+                for spec in self.regions
+            ),
+        )
 
 
 #: Region 1 -- Amazon EC2 Ireland, 6 x m3.medium (4 active + 2 standby).

@@ -41,9 +41,16 @@ PREFERRED_METRICS = (
 _Z95 = 1.96
 
 
-def cell_key(job: JobSpec) -> tuple[str, str, str, float]:
+def cell_key(job: JobSpec) -> tuple[str, str, str, float, int, str]:
     """The grid cell a job belongs to (replicate index erased)."""
-    return (job.kind, job.scenario, job.policy, float(job.load))
+    return (
+        job.kind,
+        job.scenario,
+        job.policy,
+        float(job.load),
+        int(job.online_retrain),
+        job.domains,
+    )
 
 
 @dataclass(frozen=True)
@@ -66,6 +73,8 @@ class CellStats:
     load: float
     n: int
     metrics: dict[str, MetricStats] = field(default_factory=dict)
+    retrain: int = 0
+    domains: str = "flat"
 
     @property
     def label(self) -> str:
@@ -73,6 +82,11 @@ class CellStats:
         if self.policy:
             parts.append(self.policy)
         parts.append(f"load{self.load:g}")
+        # axis values appear only when non-default, matching JobSpec.label
+        if self.retrain:
+            parts.append(f"retrain{self.retrain}")
+        if self.domains != "flat":
+            parts.append(f"domains{self.domains}")
         return "/".join(parts)
 
 
@@ -116,7 +130,7 @@ def aggregate(
 
     cells: list[CellStats] = []
     for key in order:
-        kind, scenario, policy, load = key
+        kind, scenario, policy, load, retrain, domains = key
         rows = grouped[key]
         numeric: dict[str, list[float]] = {}
         for row in rows:
@@ -131,6 +145,8 @@ def aggregate(
             policy=policy,
             load=load,
             n=len(rows),
+            retrain=retrain,
+            domains=domains,
             metrics={
                 name: _stats(values)
                 for name, values in sorted(numeric.items())

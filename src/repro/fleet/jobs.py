@@ -82,6 +82,9 @@ class JobSpec:
     #: online-lifecycle retrain interval in eras; 0 = lifecycle off
     #: (only meaningful for ``policy`` jobs)
     online_retrain: int = 0
+    #: failure-domain shape descriptor ("flat" or "NxM"); applied to
+    #: every region of a ``policy`` job's scenario
+    domains: str = "flat"
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -90,6 +93,10 @@ class JobSpec:
             )
         if self.online_retrain < 0:
             raise ValueError("online_retrain must be >= 0")
+        if self.domains != "flat":
+            from repro.topology.domains import parse_domain_shape
+
+            parse_domain_shape(self.domains)  # ValueError on garbage
 
     def config(self) -> dict:
         """The effective configuration this job is a pure function of."""
@@ -108,6 +115,9 @@ class JobSpec:
             # keyed only when on, so pre-lifecycle job digests (and the
             # store entries they address) are unchanged
             config["online_retrain"] = int(self.online_retrain)
+        if self.domains != "flat":
+            # same digest-stability rule for the failure-domain shape
+            config["domains"] = self.domains
         return config
 
     @property
@@ -124,6 +134,8 @@ class JobSpec:
         parts.append(f"load{self.load:g}")
         if self.online_retrain:
             parts.append(f"retrain{self.online_retrain}")
+        if self.domains != "flat":
+            parts.append(f"domains{self.domains}")
         parts.append(f"rep{self.replicate}")
         return "/".join(parts)
 
@@ -150,6 +162,7 @@ class JobSpec:
             era_s=float(config["era_s"]),
             predictor=str(config["predictor"]),
             online_retrain=int(config.get("online_retrain", 0)),
+            domains=str(config.get("domains", "flat")),
         )
 
 
@@ -158,12 +171,15 @@ class JobSpec:
 # ------------------------------------------------------------------ #
 
 
-def build_scenario(key: str, load: float):
+def build_scenario(key: str, load: float, domains: str = "flat"):
     """The named paper scenario with every region's clients scaled.
 
     ``load`` multiplies each region's client count, clamped to the
     paper's [16, 512] interval so every cell of a sweep stays inside
-    the evaluated regime.
+    the evaluated regime.  ``domains`` reshapes every region's failure
+    domains (``"flat"`` or ``"NxM"``, see
+    :meth:`~repro.experiments.scenarios.Scenario.with_domains`); the
+    default leaves the scenario byte-identical to the historical one.
     """
     from dataclasses import replace
 
@@ -193,7 +209,7 @@ def build_scenario(key: str, load: float):
         )
         for spec in base.regions
     )
-    return replace(base, regions=regions)
+    return replace(base, regions=regions).with_domains(domains)
 
 
 # ------------------------------------------------------------------ #
@@ -216,7 +232,7 @@ def _tail_mean_rmttf(traces) -> float:
 def _execute_policy(job: JobSpec) -> dict:
     from repro.experiments.runner import run_policy_experiment
 
-    scenario = build_scenario(job.scenario, job.load)
+    scenario = build_scenario(job.scenario, job.load, domains=job.domains)
     result = run_policy_experiment(
         scenario,
         job.policy,
@@ -300,7 +316,7 @@ def _execute_chaos(job: JobSpec) -> dict:
     )
     hold = sum(1 for m in result.degradation if m == "hold")
     fallback = sum(1 for m in result.degradation if m == "fallback")
-    return {
+    payload = {
         "campaign": result.name,
         "eras": result.eras,
         "availability": result.availability,
@@ -316,6 +332,16 @@ def _execute_chaos(job: JobSpec) -> dict:
             k: float(v) for k, v in sorted(result.final_fractions.items())
         },
     }
+    if result.domain_availability:
+        # hierarchical campaigns only, so flat-campaign payloads (and
+        # the store entries their digests address) are byte-identical
+        payload["domain_availability"] = {
+            k: float(v)
+            for k, v in sorted(result.domain_availability.items())
+        }
+        payload["domain_faults"] = dict(sorted(result.domain_faults.items()))
+        payload["spread_deferrals"] = int(result.spread_deferrals)
+    return payload
 
 
 def _execute_synthetic(job: JobSpec) -> dict:

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from repro.fleet.jobs import POLICY_SCENARIOS, JobSpec
 from repro.obs.manifest import RunManifest
 from repro.sim.rng import derive_seed
+from repro.topology.domains import parse_domain_shape
 
 #: Documented default root seed, shared with the CLI (`--seed`).
 DEFAULT_ROOT_SEED = 7
@@ -52,6 +53,10 @@ class SweepSpec:
     #: online-lifecycle retrain intervals (eras; 0 = lifecycle off), an
     #: on/off (or interval-comparison) grid axis over the policy cells
     retrain: tuple[int, ...] = (0,)
+    #: failure-domain shapes ("flat" or "NxM", see
+    #: :func:`repro.topology.domains.parse_domain_shape`), a grid axis
+    #: over the policy cells; the default keeps historical digests
+    domains: tuple[str, ...] = ("flat",)
     #: chaos campaigns appended as extra cells (policy axis not applied)
     campaigns: tuple[str, ...] = ()
     #: era override for campaign cells; 0 = each campaign's default
@@ -72,6 +77,10 @@ class SweepSpec:
             raise ValueError(
                 f"retrain intervals must be >= 0, got {self.retrain}"
             )
+        if not self.domains:
+            raise ValueError("domains axis must name at least one shape")
+        for shape in self.domains:
+            parse_domain_shape(shape)  # raises ValueError on garbage
         if self.eras < 10:
             raise ValueError("eras must be >= 10 (assessment minimum)")
         if self.cell_count == 0:
@@ -82,7 +91,7 @@ class SweepSpec:
         """Grid cells (each cell holds ``replicates`` jobs)."""
         return len(self.scenarios) * len(self.policies) * len(
             self.loads
-        ) * len(self.retrain) + len(self.campaigns)
+        ) * len(self.retrain) * len(self.domains) + len(self.campaigns)
 
     @property
     def job_count(self) -> int:
@@ -95,29 +104,39 @@ class SweepSpec:
             for policy in self.policies:
                 for load in self.loads:
                     for retrain in self.retrain:
-                        # the retrain-off cell keeps the historical cell
-                        # name, so adding the axis never perturbs the
-                        # seeds (or store digests) of existing cells
+                        # the retrain-off / flat-domain cells keep the
+                        # historical cell names, so adding either axis
+                        # never perturbs the seeds (or store digests)
+                        # of existing cells
                         suffix = f"/retrain{retrain}" if retrain else ""
-                        for rep in range(self.replicates):
-                            cell = (
-                                f"{scenario}/{policy}/load{load:g}"
-                                f"{suffix}/rep{rep}"
+                        for domains in self.domains:
+                            dsuffix = (
+                                f"/domains{domains}"
+                                if domains != "flat"
+                                else ""
                             )
-                            jobs.append(
-                                JobSpec(
-                                    kind="policy",
-                                    scenario=scenario,
-                                    policy=policy,
-                                    load=float(load),
-                                    seed=derive_seed(self.root_seed, cell),
-                                    replicate=rep,
-                                    eras=self.eras,
-                                    era_s=self.era_s,
-                                    predictor=self.predictor,
-                                    online_retrain=retrain,
+                            for rep in range(self.replicates):
+                                cell = (
+                                    f"{scenario}/{policy}/load{load:g}"
+                                    f"{suffix}{dsuffix}/rep{rep}"
                                 )
-                            )
+                                jobs.append(
+                                    JobSpec(
+                                        kind="policy",
+                                        scenario=scenario,
+                                        policy=policy,
+                                        load=float(load),
+                                        seed=derive_seed(
+                                            self.root_seed, cell
+                                        ),
+                                        replicate=rep,
+                                        eras=self.eras,
+                                        era_s=self.era_s,
+                                        predictor=self.predictor,
+                                        online_retrain=retrain,
+                                        domains=domains,
+                                    )
+                                )
         for campaign in self.campaigns:
             for rep in range(self.replicates):
                 cell = f"chaos/{campaign}/rep{rep}"
@@ -154,6 +173,9 @@ class SweepSpec:
             # keyed only when the axis is used: pre-lifecycle sweep
             # manifests keep their digests
             config["retrain"] = [int(r) for r in self.retrain]
+        if self.domains != ("flat",):
+            # same digest-stability rule for the failure-domain axis
+            config["domains"] = list(self.domains)
         return config
 
     def manifest(self) -> RunManifest:

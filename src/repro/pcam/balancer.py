@@ -118,3 +118,54 @@ class LocalBalancer:
         if self._rng is not None:
             return self._rng.multinomial(n_requests, w / w.sum())
         return largest_remainder_split(n_requests, w)
+
+
+class DomainAwareBalancer(LocalBalancer):
+    """A balancer that routes away from degraded failure domains.
+
+    Wraps the base discipline's weights with a multiplicative penalty on
+    VMs whose rack currently sits under a degraded domain (per the
+    deployment's :class:`~repro.topology.health.DomainHealthTracker`):
+    traffic *prefers* healthy racks but still reaches a degraded one when
+    it holds the only ACTIVE capacity -- the penalty shifts load, it never
+    zeroes a VM out.
+
+    Being a ``LocalBalancer`` subclass, the columnar VMC automatically
+    takes the object-API path for it, so both era modes see identical
+    routing.
+
+    Parameters
+    ----------
+    health:
+        The deployment's domain health tracker.
+    discipline, rng:
+        As for :class:`LocalBalancer`.
+    degraded_penalty:
+        Weight multiplier for VMs in degraded racks, in (0, 1].
+    """
+
+    def __init__(
+        self,
+        health,
+        discipline: Discipline = "capacity",
+        rng: np.random.Generator | None = None,
+        degraded_penalty: float = 0.25,
+    ) -> None:
+        super().__init__(discipline, rng)
+        if not 0.0 < degraded_penalty <= 1.0:
+            raise ValueError("degraded_penalty must be in (0, 1]")
+        self.health = health
+        self.degraded_penalty = float(degraded_penalty)
+
+    def weights(self, vms: list[VirtualMachine]) -> np.ndarray:
+        w = super().weights(vms)
+        degraded = self.health.degraded_racks()
+        if degraded:
+            penalty = np.array(
+                [
+                    self.degraded_penalty if vm.rack_id in degraded else 1.0
+                    for vm in vms
+                ]
+            )
+            w = w * penalty
+        return w

@@ -87,6 +87,7 @@ MUTABLE_COLUMNS: tuple[tuple[str, type], ...] = (
     ("total_requests", np.int64),
     ("rejuvenation_count", np.int64),
     ("failure_count", np.int64),
+    ("rack_id", np.int64),
 )
 
 #: Static per-VM columns frozen from ``itype``/``failure_policy`` at
@@ -196,6 +197,7 @@ class VmStateTable:
         self.total_requests[row] = vm.total_requests
         self.rejuvenation_count[row] = vm.rejuvenation_count
         self.failure_count[row] = vm.failure_count
+        self.rack_id[row] = vm.rack_id
         # rebind: drop the scalar attribute storage, install the view
         d = vm.__dict__
         d["_itype"] = d.pop("itype")
@@ -588,6 +590,7 @@ class TableBackedVM(VirtualMachine):
     total_requests = _column_property("total_requests", int)
     rejuvenation_count = _column_property("rejuvenation_count", int)
     failure_count = _column_property("failure_count", int)
+    rack_id = _column_property("rack_id", int)
     rejuvenation_time_s = _column_property("rejuvenation_time_s", float)
 
     @property

@@ -97,6 +97,12 @@ class VirtualMachine:
         How long a rejuvenation (process/system restart) takes.
     state:
         Initial lifecycle state.
+    rack_id:
+        Global rack id in the deployment's
+        :class:`~repro.topology.domains.FailureDomainTree` (0 -- the
+        region's single rack -- for flat topologies).  Fixed for the
+        VM's lifetime: rejuvenation restarts the software, not the
+        hardware placement.
     """
 
     def __init__(
@@ -107,15 +113,19 @@ class VirtualMachine:
         failure_policy: FailurePolicy | None = None,
         rejuvenation_time_s: float = 120.0,
         state: VmState = VmState.STANDBY,
+        rack_id: int = 0,
     ) -> None:
         if rejuvenation_time_s < 0:
             raise ValueError("rejuvenation_time_s must be >= 0")
+        if rack_id < 0:
+            raise ValueError("rack_id must be >= 0")
         self.name = name
         self.itype = itype
         self.injector = injector
         self.failure_policy = failure_policy or FailurePolicy()
         self.rejuvenation_time_s = float(rejuvenation_time_s)
         self.state = state
+        self.rack_id = int(rack_id)
         # anomaly accumulation
         self.leaked_mb = 0.0
         self.stuck_threads = 0

@@ -68,6 +68,14 @@ class VmcConfig:
         per-VM objects remain valid views either way; ``False`` keeps the
         original object-walking era loop (the reference implementation the
         parity harness compares against).  Both paths are bit-identical.
+    spread_k:
+        Anti-affinity spread cap: never hold more than ``spread_k`` VMs
+        of one rack in REJUVENATING concurrently on the *proactive* path
+        (at-risk swaps are deferred to a later era instead).  The
+        reactive path is exempt -- a VM that already failed serves
+        nothing, so taking it down cannot reduce availability.  ``0``
+        (the default) disables the cap, which keeps flat topologies
+        bit-identical to the pre-topology scheduler.
     """
 
     rttf_threshold_s: float = 240.0
@@ -75,6 +83,7 @@ class VmcConfig:
     mean_demand: float = 1.5
     monitor_history: int = 64
     columnar: bool = True
+    spread_k: int = 0
 
     def __post_init__(self) -> None:
         if self.rttf_threshold_s < 0:
@@ -83,6 +92,8 @@ class VmcConfig:
             raise ValueError("target_active must be >= 1")
         if self.mean_demand <= 0:
             raise ValueError("mean_demand must be positive")
+        if self.spread_k < 0:
+            raise ValueError("spread_k must be >= 0")
 
 
 @dataclass(slots=True)
@@ -176,6 +187,8 @@ class VirtualMachineController:
         self._target_active = self.config.target_active
         self.total_rejuvenations = 0
         self.total_failures = 0
+        #: Proactive swaps postponed by the anti-affinity spread cap.
+        self.spread_deferrals = 0
         self._obs = (
             telemetry if telemetry is not None and telemetry.enabled else None
         )
@@ -262,6 +275,32 @@ class VirtualMachineController:
             self.table.state_code[self._rows] == CODE_ACTIVE
         ]
 
+    def _rack_rejuvenation_counts(self) -> dict[int, int]:
+        """REJUVENATING VMs per rack id (spread-cap bookkeeping).
+
+        Only called when ``config.spread_k > 0``; reads through the VM
+        views, so it works identically in object and columnar mode.
+        """
+        counts: dict[int, int] = {}
+        for vm in self.vms:
+            if vm.state is VmState.REJUVENATING:
+                rack = vm.rack_id
+                counts[rack] = counts.get(rack, 0) + 1
+        return counts
+
+    def _spread_defer(
+        self, rack_busy: dict[int, int], vm: VirtualMachine
+    ) -> bool:
+        """True when the anti-affinity cap postpones this proactive swap."""
+        if rack_busy.get(vm.rack_id, 0) < self.config.spread_k:
+            return False
+        self.spread_deferrals += 1
+        if self._obs is not None:
+            self._obs.counter(
+                "fd_antiaffinity_deferrals_total", region=self.region_name
+            ).inc()
+        return True
+
     # ------------------------------------------------------------------ #
     # era processing (Monitor + local part of Analyze)
     # ------------------------------------------------------------------ #
@@ -340,12 +379,19 @@ class VirtualMachineController:
             )
         at_risk.sort(key=lambda triple: triple[0])
         n_standby = len(self.vms_in(VmState.STANDBY))
+        rack_busy = (
+            self._rack_rejuvenation_counts() if self.config.spread_k else None
+        )
         for _, rttf, vm in at_risk:
+            if rack_busy is not None and self._spread_defer(rack_busy, vm):
+                continue
             if n_standby > 0:
                 n_standby -= 1
             elif rttf >= dt:
                 continue  # postpone: no replacement and not imminent
             vm.start_rejuvenation()
+            if rack_busy is not None:
+                rack_busy[vm.rack_id] = rack_busy.get(vm.rack_id, 0) + 1
             era_rejuvenations += 1
             if self.lifecycle is not None:
                 self.lifecycle.observe_life_end(
@@ -500,14 +546,21 @@ class VirtualMachineController:
         )
         order = np.argsort(urgency, kind="stable")
         n_standby = int(np.count_nonzero(codes == CODE_STANDBY))
+        rack_busy = (
+            self._rack_rejuvenation_counts() if self.config.spread_k else None
+        )
         for p in at_risk_pos[order].tolist():
             vm = monitored[p]
             rttf = float(rttf_arr[p])
+            if rack_busy is not None and self._spread_defer(rack_busy, vm):
+                continue
             if n_standby > 0:
                 n_standby -= 1
             elif rttf >= dt:
                 continue  # postpone: no replacement and not imminent
             vm.start_rejuvenation()
+            if rack_busy is not None:
+                rack_busy[vm.rack_id] = rack_busy.get(vm.rack_id, 0) + 1
             era_rejuvenations += 1
             if self.lifecycle is not None:
                 self.lifecycle.observe_life_end(

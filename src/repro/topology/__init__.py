@@ -1,0 +1,23 @@
+"""Hierarchical failure domains: region -> availability zone -> rack.
+
+The paper's ACM treats failures as independent per-VM events.  Real
+multi-cloud fleets fail in correlated blocks -- a rack loses power, an AZ
+partitions -- so this package adds the topology layer those faults need:
+:class:`FailureDomainTree` describes the hierarchy and assigns every VM a
+rack, and :class:`DomainHealthTracker` aggregates fault and availability
+state per domain for the control plane.
+"""
+
+from repro.topology.domains import (
+    FailureDomainTree,
+    RackInfo,
+    parse_domain_shape,
+)
+from repro.topology.health import DomainHealthTracker
+
+__all__ = [
+    "DomainHealthTracker",
+    "FailureDomainTree",
+    "RackInfo",
+    "parse_domain_shape",
+]

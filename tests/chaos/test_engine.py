@@ -14,6 +14,9 @@ from repro.pcam import (
 )
 from repro.sim import Simulator
 from repro.sim.rng import RngRegistry
+from repro.topology import DomainHealthTracker, FailureDomainTree
+from repro.workload.browsers import BrowserPopulation
+from repro.workload.tpcw import MIX_SHOPPING
 
 from ..pcam.conftest import build_vm
 
@@ -24,8 +27,15 @@ def mesh():
     )
 
 
-def make_vmc(rngs, region="r1", n_vms=6, target=4):
-    vms = [build_vm(rngs, name=f"{region}/vm{i}") for i in range(n_vms)]
+def make_vmc(rngs, region="r1", n_vms=6, target=4, tree=None):
+    vms = [
+        build_vm(
+            rngs,
+            name=f"{region}/vm{i}",
+            rack_id=tree.assign(region, i) if tree is not None else 0,
+        )
+        for i in range(n_vms)
+    ]
     return VirtualMachineController(
         region, vms, OracleRttfPredictor(), VmcConfig(target_active=target)
     )
@@ -118,9 +128,269 @@ class TestPcamPrimitives:
         rngs = RngRegistry(seed=9)
         sim, engine = make_engine(vmcs={"r1": make_vmc(rngs)})
         with pytest.raises(ValueError):
-            engine.vm_crash_storm("r1", 0.0)
+            engine.vm_crash_storm("r1", -0.1)
         with pytest.raises(ValueError):
             engine.vm_crash_storm("r1", 1.5)
+        with pytest.raises(ValueError):
+            engine.vm_crash_storm("r1", float("nan"))
+
+    def test_zero_fraction_is_recorded_noop(self):
+        """fraction=0 kills nobody, logs an empty storm, burns no RNG."""
+        rngs = RngRegistry(seed=9)
+        vmc = make_vmc(rngs)
+        sim, engine = make_engine(vmcs={"r1": vmc})
+        state_before = engine.rng.bit_generator.state
+        assert engine.vm_crash_storm("r1", 0.0) == []
+        assert vmc.vms_in(VmState.FAILED) == []
+        assert engine.log[-1].kind == "vm_crash_storm"
+        assert engine.log[-1].detail == ()
+        assert engine.rng.bit_generator.state == state_before
+
+    def test_crash_storm_victims_are_pinned(self):
+        """Regression pin: deterministic victim selection for a fixed seed.
+
+        If this breaks, the RNG consumption order of vm_crash_storm
+        changed and every recorded campaign fault log is invalidated.
+        """
+        vmc = make_vmc(RngRegistry(seed=9))
+        sim, engine = make_engine(seed=5, vmcs={"r1": vmc})
+        assert engine.vm_crash_storm("r1", 0.5) == ["r1/vm1", "r1/vm3"]
+
+
+class TestHealIdempotency:
+    def test_region_heal_of_healthy_region_is_noop(self):
+        net = mesh()
+        rngs = RngRegistry(seed=9)
+        vmc = make_vmc(rngs)
+        sim, engine = make_engine(
+            overlay=net, router=Router(net), vmcs={"r1": vmc}
+        )
+        engine.region_heal("r1")  # never blacked out
+        assert engine.log == []
+        engine.region_blackout("r1")
+        engine.region_heal("r1")
+        engine.region_heal("r1")  # second heal: no duplicate entry
+        assert [e.kind for e in engine.log] == [
+            "region_blackout",
+            "region_heal",
+        ]
+
+    def test_region_heal_idempotent_without_overlay(self):
+        rngs = RngRegistry(seed=9)
+        sim, engine = make_engine(vmcs={"r1": make_vmc(rngs)})
+        engine.region_heal("r1")
+        assert engine.log == []
+        engine.region_blackout("r1")
+        engine.region_heal("r1")
+        engine.region_heal("r1")
+        assert [e.kind for e in engine.log] == [
+            "region_blackout",
+            "region_heal",
+        ]
+
+    def test_restore_node_of_alive_node_is_noop(self):
+        net = mesh()
+        sim, engine = make_engine(overlay=net, router=Router(net))
+        engine.restore_node("r2")  # alive: no-op, no log entry
+        assert engine.log == []
+        engine.crash_node("r2")
+        engine.restore_node("r2")
+        engine.restore_node("r2")
+        assert [e.kind for e in engine.log] == ["crash_node", "restore_node"]
+
+    def test_restore_node_still_rejects_unknown_nodes(self):
+        net = mesh()
+        sim, engine = make_engine(overlay=net, router=Router(net))
+        with pytest.raises(KeyError):
+            engine.restore_node("nope")
+
+
+def hierarchy():
+    """A 2-AZ x 2-rack tree for r1 (6 VMs -> racks 0..3 round-robin)."""
+    return FailureDomainTree({"r1": (2, 2)})
+
+
+def make_domain_engine(seed=5, n_vms=6, target=4, health=True, **extra):
+    tree = hierarchy()
+    vmc = make_vmc(RngRegistry(seed=9), n_vms=n_vms, target=target, tree=tree)
+    tracker = DomainHealthTracker(tree) if health else None
+    sim, engine = make_engine(
+        seed=seed, vmcs={"r1": vmc}, domains=tree, health=tracker, **extra
+    )
+    return sim, engine, vmc, tree, tracker
+
+
+class TestDomainPrimitives:
+    def test_rack_power_loss_kills_exactly_the_rack(self):
+        sim, engine, vmc, tree, health = make_domain_engine()
+        # 4 ACTIVE VMs (vm0..vm3) on racks 0..3: rack 1 holds only vm1
+        victims = engine.rack_power_loss("r1/az0/rack1")
+        assert victims == ["r1/vm1"]
+        assert [vm.name for vm in vmc.vms_in(VmState.FAILED)] == ["r1/vm1"]
+        assert engine.log[-1] == FaultEvent(
+            0.0, "rack_power_loss", "r1/az0/rack1", ("r1/vm1",)
+        )
+        assert health.is_degraded("r1/az0/rack1")
+        assert not health.is_degraded("r1/az0/rack0")
+        engine.domain_heal("r1/az0/rack1")
+        assert not health.is_degraded("r1/az0/rack1")
+        engine.domain_heal("r1/az0/rack1")  # idempotent
+        assert [e.kind for e in engine.log] == [
+            "rack_power_loss",
+            "domain_heal",
+        ]
+
+    def test_rack_power_loss_rejects_non_rack_paths(self):
+        sim, engine, *_ = make_domain_engine()
+        with pytest.raises(ValueError):
+            engine.rack_power_loss("r1/az0")
+
+    def test_az_partition_cuts_controller_az_off_the_mesh(self):
+        net = mesh()
+        tree = hierarchy()
+        vmc = make_vmc(RngRegistry(seed=9), tree=tree)
+        health = DomainHealthTracker(tree)
+        sim, engine = make_engine(
+            overlay=net,
+            router=Router(net),
+            vmcs={"r1": vmc},
+            domains=tree,
+            health=health,
+        )
+        cut = engine.az_partition("r1/az0")
+        # az0 racks are 0 and 1 -> vm0 and vm1 crash; controller is cut
+        assert sorted(cut) == [("r1", "r2"), ("r1", "r3")]
+        assert net.is_partitioned()
+        assert {vm.name for vm in vmc.vms_in(VmState.FAILED)} == {
+            "r1/vm0",
+            "r1/vm1",
+        }
+        assert health.is_degraded("r1/az0")
+        engine.az_heal("r1/az0", cut)
+        assert not net.is_partitioned()
+        assert not health.is_degraded("r1/az0")
+        engine.az_heal("r1/az0")  # nothing left to heal: no log entry
+        assert [e.kind for e in engine.log] == ["az_partition", "az_heal"]
+
+    def test_az_partition_of_secondary_az_keeps_controller_up(self):
+        net = mesh()
+        tree = hierarchy()
+        vmc = make_vmc(RngRegistry(seed=9), tree=tree)
+        sim, engine = make_engine(
+            overlay=net, router=Router(net), vmcs={"r1": vmc}, domains=tree
+        )
+        cut = engine.az_partition("r1/az1")
+        assert cut == []
+        assert not net.is_partitioned()
+        # az1 racks are 2 and 3 -> vm2 and vm3
+        assert {vm.name for vm in vmc.vms_in(VmState.FAILED)} == {
+            "r1/vm2",
+            "r1/vm3",
+        }
+
+    def test_cooling_failure_scales_hazard_and_restores(self):
+        sim, engine, vmc, tree, health = make_domain_engine()
+        inj = vmc.vms[0].injector  # vm0 is on rack 0, in r1/az0
+        base_leak, base_thread = (
+            inj.leak_probability,
+            inj.thread_probability,
+        )
+        n = engine.cooling_failure("r1/az0", factor=4.0)
+        # az0 racks are 0 and 1 -> vm0, vm1, vm4, vm5 (i % 4 placement)
+        assert n == 4
+        assert inj.leak_probability == pytest.approx(base_leak * 4.0)
+        assert inj.thread_probability == pytest.approx(base_thread * 4.0)
+        # untouched domain keeps its probabilities
+        assert vmc.vms[2].injector.leak_probability == base_leak
+        assert health.is_degraded("r1/az0")
+        assert engine.cooling_failure("r1/az0") == 0  # already in force
+        engine.cooling_restore("r1/az0")
+        assert inj.leak_probability == base_leak
+        assert inj.thread_probability == base_thread
+        assert not health.is_degraded("r1/az0")
+        engine.cooling_restore("r1/az0")  # idempotent
+        assert [e.kind for e in engine.log] == [
+            "cooling_failure",
+            "cooling_restore",
+        ]
+
+    def test_cooling_failure_probability_clamped(self):
+        sim, engine, vmc, *_ = make_domain_engine()
+        engine.cooling_failure("r1", factor=1e6)
+        assert vmc.vms[0].injector.leak_probability == 1.0
+        engine.cooling_restore("r1")
+        assert vmc.vms[0].injector.leak_probability < 1.0
+
+    def test_eviction_storm_is_domain_scoped_and_replayable(self):
+        def run(seed):
+            sim, engine, vmc, tree, _ = make_domain_engine(seed=seed)
+            victims = engine.eviction_storm("r1/az0", 1.0)
+            return victims, engine.log
+
+        victims, log = run(5)
+        # az0 holds exactly the ACTIVE VMs vm0 (rack0) and vm1 (rack1)
+        assert victims == ["r1/vm0", "r1/vm1"]
+        assert run(5) == (victims, log)
+
+    def test_eviction_storm_zero_fraction_is_noop(self):
+        sim, engine, vmc, *_ = make_domain_engine()
+        state_before = engine.rng.bit_generator.state
+        assert engine.eviction_storm("r1/az1", 0.0) == []
+        assert vmc.vms_in(VmState.FAILED) == []
+        assert engine.rng.bit_generator.state == state_before
+        with pytest.raises(ValueError):
+            engine.eviction_storm("r1/az1", 1.2)
+
+    def test_crash_storm_domain_selector(self):
+        sim, engine, vmc, tree, _ = make_domain_engine()
+        victims = engine.vm_crash_storm("r1", 1.0, domain="r1/az1")
+        assert victims == ["r1/vm2", "r1/vm3"]
+        assert engine.log[-1].target == "r1/az1"
+        with pytest.raises(KeyError):
+            engine.vm_crash_storm("r1", 0.5, domain="r2/az0")
+
+    def test_region_blackout_domain_selector_keeps_controller(self):
+        net = mesh()
+        tree = hierarchy()
+        vmc = make_vmc(RngRegistry(seed=9), tree=tree)
+        sim, engine = make_engine(
+            overlay=net, router=Router(net), vmcs={"r1": vmc}, domains=tree
+        )
+        engine.region_blackout("r1", domain="r1/az0/rack0")
+        assert net.is_alive("r1")  # controller untouched
+        assert [vm.name for vm in vmc.vms_in(VmState.FAILED)] == ["r1/vm0"]
+        assert engine.log[-1].target == "r1/az0/rack0"
+
+    def test_domain_primitives_need_a_tree(self):
+        rngs = RngRegistry(seed=9)
+        sim, engine = make_engine(vmcs={"r1": make_vmc(rngs)})
+        with pytest.raises(RuntimeError, match="FailureDomainTree"):
+            engine.rack_power_loss("r1/az0/rack0")
+        with pytest.raises(RuntimeError, match="FailureDomainTree"):
+            engine.eviction_storm("r1", 0.5)
+
+
+class TestWorkloadPrimitives:
+    def test_flash_crowd_scales_and_restores_from_base(self):
+        pop = BrowserPopulation(n_clients=100, mix=MIX_SHOPPING)
+        sim, engine = make_engine(populations={"r1": pop})
+        assert engine.flash_crowd("r1", 2.0) == 200
+        assert pop.n_clients == 200
+        # scales from the remembered base, not compounding
+        assert engine.flash_crowd("r1", 3.0) == 300
+        engine.flash_crowd_end("r1")
+        assert pop.n_clients == 100
+        engine.flash_crowd_end("r1")  # idempotent
+        assert [e.kind for e in engine.log] == [
+            "flash_crowd",
+            "flash_crowd",
+            "flash_crowd_end",
+        ]
+
+    def test_flash_crowd_needs_population(self):
+        sim, engine = make_engine()
+        with pytest.raises(RuntimeError, match="population"):
+            engine.flash_crowd("r1", 2.0)
 
 
 class TestTransportAndPredictorPrimitives:

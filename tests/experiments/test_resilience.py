@@ -20,6 +20,8 @@ class TestRegistry:
             "message-loss",
             "leader-kill",
             "blackout-heal",
+            "rack-blackout-flashcrowd",
+            "az-partition",
             "smoke",
         }
 
@@ -128,6 +130,51 @@ class TestCampaignBehaviour:
             if "region_blackout" in kinds
         )
         assert not result.healthy[dark_era]
+
+
+class TestHierarchicalCampaigns:
+    def test_rack_blackout_flashcrowd_reports_domains(self):
+        result = run_campaign("rack-blackout-flashcrowd", seed=7)
+        assert result.recovered
+        kinds = [e.kind for e in result.fault_log]
+        assert "flash_crowd" in kinds
+        assert "rack_power_loss" in kinds
+        assert "domain_heal" in kinds
+        assert "flash_crowd_end" in kinds
+        # per-domain availability covers the whole hierarchy
+        assert result.domain_availability["region1"] == 1.0
+        assert "region1/az0/rack0" in result.domain_availability
+        assert result.domain_faults == {"region1/az0/rack0": 1}
+        text = report_campaign(result)
+        assert "domains  :" in text
+        assert "anti-affinity" in text
+
+    def test_az_partition_recovers_and_tracks_the_az(self):
+        result = run_campaign("az-partition", seed=7)
+        assert result.recovered
+        kinds = [e.kind for e in result.fault_log]
+        assert kinds.count("az_partition") == 1
+        assert kinds.count("az_heal") == 1
+        assert result.domain_faults == {"region2/az1": 1}
+        # region-level service never dropped: the other AZ kept serving
+        assert result.domain_availability["region2"] == 1.0
+
+    def test_flat_campaigns_report_no_domains(self):
+        result = run_campaign("smoke", seed=7)
+        assert result.domain_availability == {}
+        assert result.domain_faults == {}
+        assert result.spread_deferrals == 0
+        assert "domains  :" not in report_campaign(result)
+
+    def test_hierarchical_campaign_replays_bit_identically(self):
+        a = run_campaign("rack-blackout-flashcrowd", seed=13)
+        b = run_campaign("rack-blackout-flashcrowd", seed=13)
+        assert a.fault_log == b.fault_log
+        assert a.healthy == b.healthy
+        assert a.domain_availability == b.domain_availability
+        assert a.domain_mttr_s == b.domain_mttr_s
+        assert a.spread_deferrals == b.spread_deferrals
+        assert a.final_fractions == b.final_fractions
 
 
 class TestCli:

@@ -73,6 +73,45 @@ class TestExpansion:
         assert all(x != y for x, y in zip(a, b))
 
 
+class TestDomainsAxis:
+    def test_absent_axis_changes_nothing(self):
+        """The default ("flat",) keeps names, seeds, and digests."""
+        base = small_spec().expand()
+        explicit = small_spec(domains=("flat",)).expand()
+        assert base == explicit
+        assert [j.digest for j in base] == [j.digest for j in explicit]
+        assert all(j.domains == "flat" for j in base)
+        assert "domains" not in small_spec().config()
+
+    def test_flat_cells_keep_seeds_when_axis_added(self):
+        before = {j.label: (j.seed, j.digest) for j in small_spec().expand()}
+        after = {
+            j.label: (j.seed, j.digest)
+            for j in small_spec(domains=("flat", "2x2")).expand()
+        }
+        for label, ident in before.items():
+            assert after[label] == ident
+
+    def test_axis_multiplies_cells_and_labels_nonflat(self):
+        spec = small_spec(domains=("flat", "2x2"))
+        assert spec.cell_count == 16
+        jobs = spec.expand()
+        shaped = [j for j in jobs if j.domains == "2x2"]
+        assert len(shaped) == len(jobs) // 2
+        assert all("domains2x2" in j.label for j in shaped)
+        assert all(j.config()["domains"] == "2x2" for j in shaped)
+
+    def test_nonflat_job_round_trips(self):
+        job = small_spec(domains=("2x2",)).expand()[0]
+        assert JobSpec.from_config(job.config()) == job
+
+    def test_garbage_shape_rejected(self):
+        with pytest.raises(ValueError):
+            small_spec(domains=("2x",))
+        with pytest.raises(ValueError):
+            small_spec(domains=())
+
+
 class TestValidation:
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ValueError, match="unknown scenario"):

@@ -1,0 +1,87 @@
+"""Partition/heal convergence when the cut follows an AZ boundary.
+
+Satellite to the failure-domain tentpole: the interesting cuts in a
+hierarchical deployment are not arbitrary node subsets but whole
+availability zones.  These tests derive the partition group from a
+:class:`~repro.topology.domains.FailureDomainTree` -- the five mesh
+controllers are placed round-robin over 2 AZs, and the cut severs
+exactly the links that cross the AZ boundary -- then assert the same
+detector/election/gossip convergence bounds the generic cycle tests
+document (``DETECT_BOUND_S`` / ``HEAL_BOUND_S``).
+"""
+
+from repro.topology import FailureDomainTree
+
+from .test_partition_heal_cycles import (
+    DETECT_BOUND_S,
+    GOSSIP_S,
+    HEAL_BOUND_S,
+    NODES,
+    PERIOD_S,
+    Mesh,
+)
+
+#: One region, two AZs, one rack each; controllers n1..n5 are assigned
+#: round-robin exactly like VMs are (tree.assign), so az0 = {n1, n3, n5}
+#: and az1 = {n2, n4}.
+TREE = FailureDomainTree({"mesh": (2, 1)})
+
+
+def az_members(az_path: str) -> set[str]:
+    racks = set(TREE.racks_in(az_path))
+    return {
+        node
+        for i, node in enumerate(NODES)
+        if TREE.assign("mesh", i) in racks
+    }
+
+
+class TestAzBoundaryPartition:
+    def test_assignment_splits_the_mesh_on_the_az_boundary(self):
+        assert az_members("mesh/az0") == {"n1", "n3", "n5"}
+        assert az_members("mesh/az1") == {"n2", "n4"}
+
+    def test_detectors_converge_within_bound_after_az_cut(self):
+        mesh = Mesh()
+        mesh.settle(PERIOD_S + 0.5)
+        group = az_members("mesh/az1")
+        cut = mesh.cut(group)
+        # the cut is exactly the AZ-crossing links: 3 x 2 pairs
+        assert len(cut) == 6
+        mesh.settle(DETECT_BOUND_S)
+        mesh.assert_views_match_election()
+        # each AZ follows its own component minimum
+        leaders = set(mesh.local_leaders().values())
+        assert leaders == {"n1", "n2"}
+
+    def test_heal_reconverges_within_bound(self):
+        mesh = Mesh()
+        mesh.settle(PERIOD_S + 0.5)
+        cut = mesh.cut(az_members("mesh/az1"))
+        mesh.settle(DETECT_BOUND_S)
+        mesh.heal(cut)
+        mesh.settle(HEAL_BOUND_S)
+        mesh.assert_views_match_election()
+        assert set(mesh.local_leaders().values()) == {"n1"}
+        for det in mesh.detectors.values():
+            assert det.suspected_peers() == []
+            assert det.alive_view() == NODES
+
+    def test_gossip_reconverges_after_az_heal(self):
+        mesh = Mesh()
+        for i, node in enumerate(NODES):
+            mesh.stores[node].update_local({"az": None, "idx": i})
+        cut = mesh.cut(az_members("mesh/az1"))
+        # divergent state written on both sides of the AZ boundary
+        for node in NODES:
+            mesh.stores[node].update_local({"az": "split"})
+        mesh.settle(DETECT_BOUND_S)
+        assert not mesh.gossip.converged()
+        mesh.heal(cut)
+        mesh.settle(GOSSIP_S * len(NODES) * 2)
+        assert mesh.gossip.converged()
+        for node in NODES:
+            for region in NODES:
+                entry = mesh.stores[node].get(region)
+                assert entry is not None
+                assert entry.payload["az"] == "split"
