@@ -1,0 +1,123 @@
+"""Serve-ingress throughput benchmark.
+
+Boots an in-process two-region wall-clock deployment on an ephemeral
+port and drives the open-loop load generator at it at 1, 2, and 4
+keep-alive connections, recording achieved requests/sec and client-side
+p95 latency per connection count into ``BENCH_serve.json`` at the
+repository root.
+
+The numbers are **info-only** in the bench gate
+(``scripts/bench_gate.py::report_serve_datapoint``): HTTP throughput on
+a shared machine is far noisier than the DES hot path, and the serve
+subsystem's correctness is gated by its tests and the ci_check serve
+smoke instead.  The file exists so an accidentally quadratic handler or
+a per-request allocation storm shows up as a visible cliff in the
+trajectory.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_serve.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.scenarios import two_region_scenario  # noqa: E402
+from repro.serve import (  # noqa: E402
+    AcmService,
+    HttpIngress,
+    LoadConfig,
+    ServeConfig,
+    WallClock,
+    run_load,
+)
+
+BENCH_SEED = 5
+CONNECTION_COUNTS = (1, 2, 4)
+#: Offered rate high enough that the generator, not the schedule, is the
+#: bottleneck at one connection; the achieved rps is the measurement.
+OFFERED_RPS = 4000.0
+DURATION_S = 2.0
+#: Clock compression: eras keep ticking during the bench without having
+#: to wait 30 real seconds per MAPE cycle.
+SPEED = 30.0
+
+
+async def _measure() -> dict:
+    clock = WallClock(speed=SPEED)
+    service = AcmService(
+        two_region_scenario(),
+        clock,
+        ServeConfig(seed=BENCH_SEED, admission_rps=100_000.0),
+    )
+    ingress = HttpIngress(service, port=0)
+    await ingress.start()
+    service.start()
+    runner = asyncio.ensure_future(clock.run_for(None))
+    url = f"http://127.0.0.1:{ingress.port}"
+    by_connections: dict[str, dict] = {}
+    try:
+        for n in CONNECTION_COUNTS:
+            report = await run_load(
+                LoadConfig(
+                    url=url,
+                    rate=OFFERED_RPS,
+                    duration_s=DURATION_S,
+                    connections=n,
+                    seed=BENCH_SEED + n,
+                )
+            )
+            d = report.as_dict()
+            by_connections[str(n)] = {
+                "requests_per_s": d["achieved_rps"],
+                "latency_p95_s": round(d["latency_p95_s"], 6),
+                "completed": d["completed"],
+                "errors": d["errors"],
+            }
+    finally:
+        service.shutdown()
+        await runner
+        await ingress.stop()
+    return {
+        "benchmark": "serve_ingress",
+        "seed": BENCH_SEED,
+        "unit": "achieved req/s and client p95 of the HTTP ingress",
+        "offered_rps": OFFERED_RPS,
+        "duration_s": DURATION_S,
+        "connections": by_connections,
+    }
+
+
+def run_benchmark() -> dict:
+    """Measure every connection count; returns the JSON-ready payload."""
+    return asyncio.run(_measure())
+
+
+def main(argv: list[str]) -> int:
+    payload = run_benchmark()
+    for n, rec in payload["connections"].items():
+        print(
+            f"  serve conn={n}: {rec['requests_per_s']:>10,.1f} req/s  "
+            f"p95 {rec['latency_p95_s'] * 1000:8.2f} ms  "
+            f"({rec['completed']} reqs, {rec['errors']} errors)"
+        )
+    if "--check" in argv:
+        # nothing gated; the flag exists for CLI symmetry with the
+        # hot-path bench
+        return 0
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {BASELINE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

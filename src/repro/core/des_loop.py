@@ -164,6 +164,12 @@ class DesControlLoop:
         :class:`~repro.pcam.state_table.VmStateTable` (row index == slot)
         and vectorise the era-boundary analytics.  Bit-identical to the
         object mode (pinned by the golden-trace and parity tests).
+    clock:
+        Optional :class:`~repro.sim.clock.Clock` to drive the loop.  By
+        default the loop builds its own simulator (virtual time, the
+        behaviour every golden trace pins); passing a clock lets callers
+        share one time source across components or substitute a
+        wall-clock implementation.
     """
 
     def __init__(
@@ -179,6 +185,7 @@ class DesControlLoop:
         mean_demand: float = 1.5,
         telemetry: Telemetry | None = None,
         columnar: bool = True,
+        clock: "Simulator | None" = None,
     ) -> None:
         if not regions:
             raise ValueError("need at least one region")
@@ -186,7 +193,7 @@ class DesControlLoop:
             raise ValueError("era_s must be positive")
         self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
         self._obs_on = self._tel.enabled
-        self.sim = Simulator(telemetry=telemetry)
+        self.sim = clock if clock is not None else Simulator(telemetry=telemetry)
         self.policy = policy
         self.predictor = predictor
         self.era_s = float(era_s)

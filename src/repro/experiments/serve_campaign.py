@@ -1,0 +1,201 @@
+"""The serve -> chaos -> measure campaign.
+
+The paper's availability claims are made on a live testbed; the serve
+subsystem lets us re-stage that on one machine: boot a multi-region
+deployment on the wall clock, drive open-loop load at it over HTTP,
+black out a region mid-run with the :class:`ChaosEngine`, and *measure*
+-- not simulate -- the three production numbers ROADMAP item 2 asks
+for:
+
+* client-side latency quantiles (p50/p95/p99) per phase, open-loop so
+  queueing under failure is charged to the server;
+* shed and forward rates at the ingress;
+* failover MTTR: clock time from the region going dark to the first
+  installed forward-plan row that routes around it, plus the
+  plan-propagation lag histogram (RMTTF report -> row install).
+
+The campaign runs fully in-process on an ephemeral port, with the clock
+speed compressed so a multi-era run fits in CI seconds.  Everything is
+seeded; the HTTP/TCP layer introduces scheduling jitter, so latency
+numbers vary run to run while routing decisions and control-plane
+behaviour replay.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.experiments.scenarios import (
+    Scenario,
+    three_region_scenario,
+    two_region_scenario,
+)
+from repro.serve.clock import WallClock
+from repro.serve.ingress import HttpIngress
+from repro.serve.loadgen import LoadConfig, run_load
+from repro.serve.service import AcmService, ServeConfig
+
+SCENARIOS = {
+    "two-region": two_region_scenario,
+    "three-region": three_region_scenario,
+}
+
+
+def resolve_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; pick from {sorted(SCENARIOS)}"
+        ) from None
+
+
+async def run_blackout_campaign(
+    scenario_name: str = "two-region",
+    victim: str | None = None,
+    rate: float = 300.0,
+    phase_s: float = 2.0,
+    speed: float = 60.0,
+    era_s: float = 30.0,
+    window_s: float = 3.0,
+    connections: int = 4,
+    seed: int = 7,
+    schedule: str = "poisson",
+    heal: bool = True,
+) -> dict:
+    """Boot, load, black out, (optionally) heal, measure; returns report.
+
+    Three load phases of ``phase_s`` wall seconds each: baseline,
+    blackout (the victim region goes dark at the phase boundary), and
+    recovery (healed, or still dark when ``heal=False``).
+    """
+    scenario = resolve_scenario(scenario_name)
+    clock = WallClock(speed=speed)
+    cfg = ServeConfig(
+        era_s=era_s,
+        window_s=window_s,
+        monitor_period_s=max(era_s / 6.0, 1.0),
+        seed=seed,
+    )
+    service = AcmService(scenario, clock, cfg)
+    if victim is None:
+        victim = service.regions[-1]
+    if victim not in service.regions:
+        raise ValueError(
+            f"unknown victim region {victim!r}; have {service.regions}"
+        )
+    ingress = HttpIngress(service, port=0)
+    await ingress.start()
+    service.start()
+    runner = asyncio.ensure_future(clock.run_for(None))
+    url = f"http://127.0.0.1:{ingress.port}"
+
+    def load_cfg(phase_seed: int) -> LoadConfig:
+        return LoadConfig(
+            url=url,
+            rate=rate,
+            duration_s=phase_s,
+            schedule=schedule,
+            connections=connections,
+            seed=phase_seed,
+        )
+
+    try:
+        baseline = await run_load(load_cfg(seed))
+        service.chaos.region_blackout(victim)
+        blackout = await run_load(load_cfg(seed + 1))
+        # the heal path clears the live MTTR entry; read it first
+        mttr_s = service.mttr_s.get(victim)
+        if heal:
+            service.chaos.region_heal(victim)
+        recovery = await run_load(load_cfg(seed + 2))
+        plan = service.plan_snapshot()
+        regions = service.regions_snapshot()
+    finally:
+        service.shutdown()
+        await runner
+        await ingress.stop()
+
+    lag = _histogram_summary(service, "acm_plan_propagation_seconds")
+    return {
+        "scenario": scenario_name,
+        "victim": victim,
+        "seed": seed,
+        "rate_rps": rate,
+        "speed": speed,
+        "era_s": era_s,
+        "phases": {
+            "baseline": baseline.as_dict(),
+            "blackout": blackout.as_dict(),
+            "recovery": recovery.as_dict(),
+        },
+        "failover_mttr_s": mttr_s,
+        "detector_bound_s": _detector_bound(service),
+        "plan_propagation": lag,
+        "final_plan": plan,
+        "final_regions": regions,
+    }
+
+
+def _detector_bound(service: AcmService) -> float:
+    """Worst-case clock seconds from blackout to a routed-around plan.
+
+    The Plan phase zeroes dead regions outright (no need to wait
+    ``stale_after_eras`` for the quorum ladder), so the bound is one
+    full era (the region can die right after a tick), the Analyze
+    window, one monitor period of detection slack, and a second of
+    channel-retry slop.
+    """
+    cfg = service.config
+    return cfg.era_s + cfg.window_s + cfg.monitor_period_s + 1.0
+
+
+def _histogram_summary(service: AcmService, name: str) -> dict | None:
+    snap = service.telemetry.snapshot()
+    for hist in snap["metrics"].get("histograms", []):
+        if hist["name"] == name:
+            return {
+                "count": hist["count"],
+                "sum_s": hist["sum"],
+                "mean_s": hist["sum"] / hist["count"]
+                if hist["count"]
+                else None,
+            }
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry: ``python -m repro.experiments.serve_campaign``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="serve -> blackout -> measure campaign"
+    )
+    parser.add_argument("--scenario", default="two-region")
+    parser.add_argument("--victim", default=None)
+    parser.add_argument("--rate", type=float, default=300.0)
+    parser.add_argument("--phase-s", type=float, default=2.0)
+    parser.add_argument("--speed", type=float, default=60.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--connections", type=int, default=4)
+    parser.add_argument("--schedule", default="poisson")
+    args = parser.parse_args(argv)
+    report = asyncio.run(
+        run_blackout_campaign(
+            scenario_name=args.scenario,
+            victim=args.victim,
+            rate=args.rate,
+            phase_s=args.phase_s,
+            speed=args.speed,
+            seed=args.seed,
+            connections=args.connections,
+            schedule=args.schedule,
+        )
+    )
+    print(json.dumps(report, indent=2, default=str))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

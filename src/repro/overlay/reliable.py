@@ -37,6 +37,7 @@ from repro.overlay.messaging import Message, MessageBus
 if TYPE_CHECKING:
     from repro.obs.metrics import Counter
     from repro.obs.telemetry import Telemetry
+    from repro.sim.clock import Clock
 
 #: Bus message kind carrying an application payload envelope.
 DATA_KIND = "rc-data"
@@ -150,6 +151,12 @@ class ReliableChannel:
         (``channel_<field>_total``), every send records an async
         ``channel`` span from submission to ack/give-up, and give-ups
         leave a flight event.
+    clock:
+        Time source for the retry/backoff timers and ``acked_at``
+        stamps.  Defaults to the bus's simulator (virtual time); the
+        wall-clock serve runtime passes its
+        :class:`~repro.serve.clock.WallClock` so the same bounded-retry
+        ladder runs on real elapsed seconds.
     """
 
     def __init__(
@@ -162,6 +169,7 @@ class ReliableChannel:
         jitter_s: float = 0.05,
         on_give_up: Callable[[SendHandle], None] | None = None,
         telemetry: "Telemetry | None" = None,
+        clock: "Clock | None" = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
@@ -172,7 +180,9 @@ class ReliableChannel:
         if jitter_s < 0:
             raise ValueError("jitter_s must be >= 0")
         self.bus = bus
-        self.sim = bus.sim
+        self.clock: "Clock" = clock if clock is not None else bus.sim
+        # Back-compat alias: existing callers and tests read `.sim`.
+        self.sim = self.clock
         self.rng = rng
         self.max_retries = int(max_retries)
         self.base_timeout_s = float(base_timeout_s)
@@ -267,7 +277,7 @@ class ReliableChannel:
         )
         if self.jitter_s > 0:
             timeout += float(self.rng.uniform(0.0, self.jitter_s))
-        self._timers[handle.msg_id] = self.sim.schedule_after(
+        self._timers[handle.msg_id] = self.clock.schedule_after(
             timeout,
             lambda: self._on_timeout(handle),
             label=f"rc-timer:{handle.kind}",
@@ -335,7 +345,7 @@ class ReliableChannel:
             return  # duplicate/stale ack
         handle = entry[0]
         handle.status = "acked"
-        handle.acked_at = self.sim.now
+        handle.acked_at = self.clock.now
         self.stats.bump("acked")
         if self._obs is not None:
             span = self._obs_spans.pop(handle.msg_id, None)

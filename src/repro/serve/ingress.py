@@ -1,0 +1,240 @@
+"""Hand-rolled asyncio HTTP/1.1 ingress in front of an :class:`AcmService`.
+
+Stdlib-only (the container bakes no aiohttp): a minimal HTTP/1.1 server
+on :func:`asyncio.start_server` with keep-alive, request-line + header
+parsing, and ``Content-Length`` bodies.  It implements exactly the
+surface the load generator and a Prometheus scraper need:
+
+========================  ==========================================
+``GET /``                 data path: admit + forward one request
+                          (``?region=<name>`` picks the arrival LB;
+                          omitted = round-robin)
+``GET /healthz``          liveness (always 200 while the loop runs)
+``GET /metrics``          live Prometheus text from :mod:`repro.obs`
+``GET /plan``             admin: the live forward plan (JSON)
+``GET /regions``          admin: per-region liveness/MTTR (JSON)
+``POST /chaos/blackout``  admin: ``?region=`` region blackout
+``POST /chaos/heal``      admin: ``?region=`` heal
+========================  ==========================================
+
+The chaos endpoints exist so load tests (and CI) can fault a *live*
+deployment over the same wire they load it on -- the in-process
+:class:`~repro.chaos.engine.ChaosEngine` does the actual damage.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serve.service import AcmService
+
+#: Pragmatic caps: a request line or header block beyond this is junk.
+MAX_LINE = 8192
+MAX_HEADERS = 64
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpIngress:
+    """Asyncio HTTP server bound to one :class:`AcmService`."""
+
+    def __init__(
+        self, service: AcmService, host: str = "127.0.0.1", port: int = 8080
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (port 0 = ephemeral)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        # resolve the ephemeral port for callers that asked for 0
+        sock = self._server.sockets[0]
+        self.port = sock.getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------ #
+    # connection loop
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers = request
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower()
+                    != "close"
+                )
+                status, content_type, body = self._dispatch(method, target)
+                writer.write(
+                    self._render(status, content_type, body, keep_alive)
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict] | None:
+        """Parse one request; None on clean EOF or garbage."""
+        try:
+            line = await reader.readline()
+        except (ConnectionError, ValueError):
+            return None
+        if not line:
+            return None
+        if len(line) > MAX_LINE:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            return None
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        for _ in range(MAX_HEADERS):
+            line = await reader.readline()
+            if not line or len(line) > MAX_LINE:
+                return None
+            text = line.decode("latin-1").strip()
+            if not text:
+                break
+            name, sep, value = text.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > 0:
+            # bodies are accepted and discarded; the API is query-driven
+            await reader.readexactly(min(length, MAX_LINE))
+        return method, target, headers
+
+    def _render(
+        self, status: int, content_type: str, body: bytes, keep_alive: bool
+    ) -> bytes:
+        reason = _STATUS_TEXT.get(status, "Unknown")
+        connection = "keep-alive" if keep_alive else "close"
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {connection}\r\n"
+            "\r\n"
+        )
+        return head.encode("latin-1") + body
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+
+    def _dispatch(
+        self, method: str, target: str
+    ) -> tuple[int, str, bytes]:
+        url = urlsplit(target)
+        path = url.path
+        query = parse_qs(url.query)
+        try:
+            if path == "/" or path == "/route":
+                if method not in ("GET", "POST"):
+                    return self._json(405, {"error": "method"})
+                region = query.get("region", [None])[0]
+                status, body = self.service.handle_request(region)
+                return self._json(status, body)
+            if path == "/healthz":
+                return self._json(
+                    200,
+                    {
+                        "status": "ok",
+                        "era": self.service.plan_snapshot()["era"],
+                        "clock_now": self.service.clock.now,
+                    },
+                )
+            if path == "/metrics":
+                text = self.service.metrics_text()
+                return (
+                    200,
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    text.encode("utf-8"),
+                )
+            if path == "/plan":
+                return self._json(200, self.service.plan_snapshot())
+            if path == "/regions":
+                return self._json(200, self.service.regions_snapshot())
+            if path == "/chaos/blackout" or path == "/chaos/heal":
+                if method != "POST":
+                    return self._json(405, {"error": "POST required"})
+                region = query.get("region", [None])[0]
+                if region is None or region not in self.service.regions:
+                    return self._json(
+                        400, {"error": f"unknown region {region!r}"}
+                    )
+                if path.endswith("blackout"):
+                    self.service.chaos.region_blackout(region)
+                else:
+                    self.service.chaos.region_heal(region)
+                return self._json(200, {"ok": True, "region": region})
+            return self._json(404, {"error": f"no route {path}"})
+        except Exception as exc:  # noqa: BLE001 - one request, not the server
+            return self._json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    @staticmethod
+    def _json(status: int, payload: dict) -> tuple[int, str, bytes]:
+        return (
+            status,
+            "application/json",
+            json.dumps(payload).encode("utf-8"),
+        )
+
+
+async def serve_forever(
+    service: AcmService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    duration_s: float | None = None,
+    on_ready=None,
+) -> HttpIngress:
+    """Boot ingress + control loop; run until the clock stops.
+
+    ``duration_s`` bounds the run in clock seconds (None = until
+    ``service.shutdown()`` or an outside ``clock.stop()``).  ``on_ready``
+    (if given) is called with the bound :class:`HttpIngress` once the
+    port is listening -- used by tests and the CLI to print the URL.
+    """
+    ingress = HttpIngress(service, host, port)
+    await ingress.start()
+    service.start()
+    if on_ready is not None:
+        on_ready(ingress)
+    try:
+        await service.clock.run_for(duration_s)
+    finally:
+        await ingress.stop()
+    return ingress

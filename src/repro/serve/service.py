@@ -1,0 +1,558 @@
+"""ACM-as-a-service: the wall-clock MAPE runtime behind the HTTP ingress.
+
+:class:`AcmService` reuses the exact control-plane components every
+simulated deployment is built from -- the per-region VMCs, the policy,
+the EWMA RMTTF aggregator (Eq. 1), the degradation ladder, leader
+election over the overlay, and the :class:`ReliableChannel` for control
+traffic -- but drives them from a :class:`~repro.serve.clock.WallClock`
+instead of ``AcmControlLoop.run_era``'s batch step.  Differences from
+the simulated loop, both forced by real time:
+
+* **Load is measured, not synthesized.**  The simulator draws arrivals
+  from browser populations; the service counts the real requests the
+  ingress admitted and forwards those counts into
+  ``vmc.process_era(...)`` at each era boundary.
+* **The Analyze window is an event, not a blocking drain.**
+  ``ReliableTransport.gather_reports`` fast-forwards the simulator
+  through its window; on a wall clock nothing can be fast-forwarded,
+  so the era tick sends the reports and schedules the Plan phase
+  ``window_s`` later, with whatever reports arrived by then.
+
+The ingress data path (admission + per-row forwarding per the installed
+plan) lives here too; :mod:`repro.serve.ingress` is only the HTTP skin.
+
+Every externally visible measurement is a Prometheus-exported metric
+with an ``acm_`` prefix (see ``/metrics``): request/shed/failover
+counters, per-region fraction and RMTTF gauges, the plan-propagation
+histogram, and the per-blackout failover MTTR gauge.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chaos.engine import ChaosEngine
+from repro.core.forward_plan import build_forward_plan
+from repro.core.manager import AcmManager
+from repro.core.policy import normalize_fractions
+from repro.experiments.scenarios import Scenario
+from repro.obs.exporters import to_prometheus_text
+from repro.obs.manifest import RunManifest
+from repro.obs.telemetry import Telemetry
+from repro.overlay.messaging import Message, MessageBus
+from repro.overlay.reliable import ReliableChannel
+from repro.pcam.vm import VmState
+from repro.serve.clock import WallClock
+
+#: Control-channel message kinds (application layer, over rc-data).
+REPORT_KIND = "rmttf-report"
+PLAN_KIND = "plan-row"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning of one served deployment.
+
+    Times are in *clock seconds* (scaled by the wall clock's ``speed``),
+    except ``admission_rps`` which is real requests per wall second --
+    admission protects the actual process, not the modeled one.
+    """
+
+    era_s: float = 30.0  #: MAPE period
+    window_s: float = 3.0  #: Analyze report-gather window after the tick
+    monitor_period_s: float = 5.0  #: liveness sweep period
+    policy: str = "available-resources"
+    seed: int = 7
+    admission_rps: float = 5000.0  #: per-region token-bucket rate
+    admission_burst_s: float = 0.25  #: bucket depth, seconds of rate
+    channel_timeout_s: float = 0.25  #: first-attempt ack timeout
+
+
+class AcmService:
+    """One multi-region ACM deployment served on a wall clock."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        clock: WallClock,
+        config: ServeConfig | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        cfg = config or ServeConfig()
+        self.scenario = scenario
+        self.clock = clock
+        self.config = cfg
+        # Serving without observability is pointless: /metrics is the
+        # product.  Callers may pass a shared facade; else build one.
+        tel = telemetry if telemetry is not None else Telemetry(enabled=True)
+        if not tel.enabled:
+            raise ValueError("AcmService requires enabled telemetry")
+        self.telemetry = tel
+
+        self.manager = AcmManager(
+            regions=list(scenario.regions),
+            policy=cfg.policy,
+            seed=cfg.seed,
+            era_s=cfg.era_s,
+            overlay=scenario.build_overlay(),
+            telemetry=tel,
+        )
+        loop = self.manager.loop
+        self.regions: list[str] = list(loop.regions)
+        self._index = {r: i for i, r in enumerate(self.regions)}
+        self.vmcs = loop.vmcs
+        self.overlay = loop.overlay
+        self.router = loop.router
+        self.election = loop.election
+        self.policy_impl = loop.policy
+        self.aggregator = loop.aggregator
+        self.degradation = loop.degradation
+        # AcmManager pointed the metric clock at the fluid loop's era
+        # arithmetic (frozen at 0 here); re-point it at the wall clock.
+        tel.set_clock(lambda: self.clock.now)
+        tel.set_manifest(
+            RunManifest.build(
+                seed=cfg.seed,
+                config={
+                    "mode": "serve",
+                    "scenario": scenario.name,
+                    "policy": cfg.policy,
+                    "era_s": cfg.era_s,
+                    "window_s": cfg.window_s,
+                },
+                scenario=scenario.name,
+                mode="serve",
+                speed=clock.speed,
+            )
+        )
+
+        self.bus = MessageBus(sim=clock, router=self.router, telemetry=tel)
+        self.channel = ReliableChannel(
+            self.bus,
+            self.manager.rngs.stream("serve/jitter"),
+            base_timeout_s=cfg.channel_timeout_s,
+            telemetry=tel,
+            clock=clock,
+        )
+        for r in self.regions:
+            self.channel.register(r, self._make_region_handler(r))
+            self.bus.register(r, self.channel.make_bus_handler(r))
+        self.chaos = ChaosEngine(
+            sim=clock,
+            rng=self.manager.rngs.stream("serve/chaos"),
+            overlay=self.overlay,
+            router=self.router,
+            vmcs=self.vmcs,
+            bus=self.bus,
+            telemetry=tel,
+        )
+
+        n = len(self.regions)
+        self.fractions = self.policy_impl.initial_fractions(n)
+        self._arrival_fracs = np.full(n, 1.0 / n)
+        plan = build_forward_plan(
+            self.regions, self._arrival_fracs, self.fractions
+        )
+        self._matrix = plan.matrix.copy()
+        self._cdfs = [np.cumsum(row) for row in self._matrix]
+        self._route_rng = self.manager.rngs.stream("serve/routing")
+
+        # per-era measured load: arrivals by arrival region, served by target
+        self._arrivals = {r: 0 for r in self.regions}
+        self._served = {r: 0 for r in self.regions}
+        self._lam = 1.0  # measured offered rate (req per clock second)
+        self._era_index = 0
+        self._plan_era = -1
+        self._mode = "normal"
+        self._leader_name: str | None = None
+        self._cycle_reports: dict[str, float] = {}
+        self._cycle_stamp = 0.0
+        self._rr = 0
+
+        # admission token buckets (real time)
+        cap = cfg.admission_rps * cfg.admission_burst_s
+        self._tokens = {r: cap for r in self.regions}
+        self._token_ts = {r: time.monotonic() for r in self.regions}
+
+        # failure bookkeeping: region -> clock time first seen dead, and
+        # region -> last measured failover MTTR (dead -> routed-around)
+        self._down_at: dict[str, float] = {}
+        self.mttr_s: dict[str, float] = {}
+        self._rmttf_latest = {r: float("nan") for r in self.regions}
+        self._stoppers: list = []
+
+        t = tel
+        self._m_requests = {
+            r: t.counter("acm_ingress_requests_total", region=r)
+            for r in self.regions
+        }
+        self._m_served = {
+            r: t.counter("acm_ingress_served_total", region=r)
+            for r in self.regions
+        }
+        self._m_shed = {
+            r: t.counter("acm_ingress_shed_total", region=r)
+            for r in self.regions
+        }
+        self._m_failover = {
+            r: t.counter("acm_ingress_failover_total", region=r)
+            for r in self.regions
+        }
+        self._m_errors = t.counter("acm_ingress_errors_total")
+        self._m_eras = t.counter("acm_eras_total")
+        self._m_reports = t.counter("acm_reports_received_total")
+        self._m_lag = t.histogram(
+            "acm_plan_propagation_seconds",
+            bounds=(0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0),
+        )
+        self._m_latency = t.histogram("acm_ingress_latency_seconds")
+        self._m_fraction = {
+            r: t.gauge("acm_region_fraction", region=r) for r in self.regions
+        }
+        self._m_rmttf = {
+            r: t.gauge("acm_region_rmttf_s", region=r) for r in self.regions
+        }
+        self._m_alive = {
+            r: t.gauge("acm_region_alive", region=r) for r in self.regions
+        }
+        self._m_mttr = {
+            r: t.gauge("acm_failover_mttr_seconds", region=r)
+            for r in self.regions
+        }
+        for r in self.regions:
+            self._m_fraction[r].set(float(self.fractions[self._index[r]]))
+            self._m_alive[r].set(1.0)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def start(self) -> None:
+        """Arm the MAPE era tick and the liveness monitor."""
+        cfg = self.config
+        self._stoppers = [
+            self.clock.schedule_periodic(
+                cfg.era_s, self._era_tick, label="serve-era"
+            ),
+            self.clock.schedule_periodic(
+                cfg.monitor_period_s, self._monitor, label="serve-monitor"
+            ),
+        ]
+
+    def shutdown(self) -> None:
+        """Cancel the periodic control events and stop the clock."""
+        for stop in self._stoppers:
+            stop()
+        self._stoppers = []
+        self.clock.stop()
+
+    # ------------------------------------------------------------------ #
+    # ingress data path
+    # ------------------------------------------------------------------ #
+
+    def handle_request(
+        self, region: str | None = None
+    ) -> tuple[int, dict]:
+        """Admit and forward one request; returns (http_status, body).
+
+        The forwarding decision samples the arrival region's live plan
+        row; a dead sampled target fails over to the row renormalised
+        over live regions (the stopgap until the control loop routes
+        around the failure by planning the dead region to zero).
+        """
+        t0 = time.perf_counter()
+        if region is None or region not in self._index:
+            region = self.regions[self._rr % len(self.regions)]
+            self._rr += 1
+        self._m_requests[region].inc()
+        self._arrivals[region] += 1
+        if not self._admit(region):
+            self._m_shed[region].inc()
+            return 429, {"error": "shed", "region": region}
+        i = self._index[region]
+        draw = self._route_rng.random()
+        j = int(np.searchsorted(self._cdfs[i], draw, side="right"))
+        j = min(j, len(self.regions) - 1)
+        target = self.regions[j]
+        forwarded_over = None
+        if not self.overlay.is_alive(target):
+            self._note_down(target)
+            self._m_failover[target].inc()
+            picked = self._failover_target(i)
+            if picked is None:
+                self._m_errors.inc()
+                return 503, {"error": "no live region", "region": region}
+            forwarded_over = target
+            target = picked
+        self._served[target] += 1
+        self._m_served[target].inc()
+        self._m_latency.observe(time.perf_counter() - t0)
+        body = {
+            "arrival": region,
+            "target": target,
+            "forwarded": target != region,
+            "era": self._era_index,
+        }
+        if forwarded_over is not None:
+            body["failover_from"] = forwarded_over
+        return 200, body
+
+    def _admit(self, region: str) -> bool:
+        cfg = self.config
+        now = time.monotonic()
+        cap = cfg.admission_rps * cfg.admission_burst_s
+        tokens = min(
+            cap,
+            self._tokens[region]
+            + (now - self._token_ts[region]) * cfg.admission_rps,
+        )
+        self._token_ts[region] = now
+        if tokens >= 1.0:
+            self._tokens[region] = tokens - 1.0
+            return True
+        self._tokens[region] = tokens
+        return False
+
+    def _failover_target(self, row_idx: int) -> str | None:
+        """Re-sample the row restricted to live regions (None if dark)."""
+        row = self._matrix[row_idx]
+        alive = [
+            k
+            for k, r in enumerate(self.regions)
+            if self.overlay.is_alive(r)
+        ]
+        if not alive:
+            return None
+        weights = row[alive]
+        total = weights.sum()
+        if total <= 0:
+            weights = np.full(len(alive), 1.0 / len(alive))
+        else:
+            weights = weights / total
+        cdf = np.cumsum(weights)
+        k = int(np.searchsorted(cdf, self._route_rng.random(), side="right"))
+        return self.regions[alive[min(k, len(alive) - 1)]]
+
+    # ------------------------------------------------------------------ #
+    # MAPE on the wall clock
+    # ------------------------------------------------------------------ #
+
+    def _era_tick(self) -> None:
+        """Monitor + Analyze-send: close the era, report to the leader."""
+        cfg = self.config
+        now = self.clock.now
+        era = self._era_index
+        self._era_index += 1
+        self._m_eras.inc()
+        served = dict(self._served)
+        arrivals = dict(self._arrivals)
+        for r in self.regions:
+            self._served[r] = 0
+            self._arrivals[r] = 0
+        total_served = sum(served.values())
+        self._lam = max(total_served / cfg.era_s, 1e-9)
+        total_arrived = sum(arrivals.values())
+        if total_arrived > 0:
+            self._arrival_fracs = np.array(
+                [arrivals[r] / total_arrived for r in self.regions]
+            )
+
+        reports: dict[str, float] = {}
+        for r in self.regions:
+            if not self.overlay.is_alive(r):
+                continue  # controller dark: no era cycle, no report
+            rep = self.vmcs[r].process_era(served[r], cfg.era_s, now)
+            if np.isfinite(rep.last_rmttf):
+                reports[r] = rep.last_rmttf
+            self._rmttf_latest[r] = rep.last_rmttf
+            self._m_rmttf[r].set(rep.last_rmttf)
+
+        leader = self._elect_leader()
+        self._leader_name = leader
+        if leader is None:
+            return  # whole deployment dark; monitor keeps watching
+        self._cycle_reports = {}
+        self._cycle_stamp = now
+        for r, value in reports.items():
+            if r == leader:
+                self._cycle_reports[r] = value  # local, no network hop
+            else:
+                self.channel.send(
+                    r,
+                    leader,
+                    REPORT_KIND,
+                    {"region": r, "rmttf": value, "stamp": now},
+                )
+        self.clock.schedule_after(
+            cfg.window_s,
+            lambda: self._plan_phase(leader, era),
+            label="serve-plan",
+        )
+
+    def _plan_phase(self, leader: str, era: int) -> None:
+        """Plan + Execute: Algorithm 2 on whatever reports arrived."""
+        received = {
+            r: v for r, v in self._cycle_reports.items() if np.isfinite(v)
+        }
+        self.aggregator.update_all(received)
+        known = self.aggregator.snapshot()
+        rmttf_vec = np.array(
+            [
+                known[r] if r in known else 0.0
+                for r in self.regions
+            ]
+        )
+        self._mode = self.degradation.observe(era, received)
+        if self._mode == "normal":
+            planned = self.policy_impl.compute(
+                self.fractions, rmttf_vec, self._lam
+            )
+        elif self._mode == "hold":
+            planned = self.fractions
+        else:  # fallback: split by deployment knowledge alone
+            capacities = np.array(
+                [self.vmcs[r].healthy_capacity() for r in self.regions]
+            )
+            planned = normalize_fractions(
+                capacities, self.policy_impl.min_fraction
+            )
+        # A dead region must not be planned traffic, whatever the policy
+        # said: zero it and renormalise over the live ones.
+        alive = np.array(
+            [self.overlay.is_alive(r) for r in self.regions], dtype=bool
+        )
+        planned = np.where(alive, planned, 0.0)
+        total = planned.sum()
+        if total <= 0:
+            if not alive.any():
+                return
+            planned = alive.astype(float) / alive.sum()
+        else:
+            planned = planned / total
+        self.fractions = planned
+        payload = {
+            "fractions": [float(x) for x in planned],
+            "stamp": self._cycle_stamp,
+            "era": era,
+        }
+        for r in self.regions:
+            if not self.overlay.is_alive(r):
+                continue
+            if r == leader:
+                self._install_row(r, payload)
+            else:
+                self.channel.send(leader, r, PLAN_KIND, payload)
+
+    def _install_row(self, region: str, payload: dict) -> None:
+        """A region's LB installs its forward-plan row (Execute)."""
+        fractions = np.asarray(payload["fractions"], dtype=float)
+        plan = build_forward_plan(
+            self.regions, self._arrival_fracs, fractions
+        )
+        i = self._index[region]
+        self._matrix[i] = plan.matrix[i]
+        self._cdfs[i] = np.cumsum(plan.matrix[i])
+        self._plan_era = int(payload["era"])
+        self._m_fraction[region].set(float(fractions[i]))
+        lag = self.clock.now - float(payload["stamp"])
+        self._m_lag.observe(max(lag, 0.0))
+        # Failover MTTR: the moment this ingress row routes around a dead
+        # region (its planned share is zero), that region is "repaired"
+        # from the traffic's point of view.
+        for dead, t_down in self._down_at.items():
+            if (
+                fractions[self._index[dead]] <= 1e-12
+                and dead not in self.mttr_s
+            ):
+                mttr = self.clock.now - t_down
+                self.mttr_s[dead] = mttr
+                self._m_mttr[dead].set(mttr)
+                self.telemetry.event(
+                    "serve.failover_repaired", region=dead, mttr_s=mttr
+                )
+
+    def _make_region_handler(self, region: str):
+        """Application-level control-message handler of one region."""
+
+        def handle(msg: Message) -> None:
+            if msg.kind == REPORT_KIND:
+                self._m_reports.inc()
+                # Reports are addressed to the era's leader; a late one
+                # arriving after a leader change is simply stale.
+                if region == self._leader_name:
+                    payload = msg.payload
+                    self._cycle_reports[payload["region"]] = payload["rmttf"]
+            elif msg.kind == PLAN_KIND:
+                self._install_row(region, msg.payload)
+
+        return handle
+
+    def _monitor(self) -> None:
+        """Liveness sweep: stamp down/heal transitions on the clock."""
+        for r in self.regions:
+            alive = self.overlay.is_alive(r)
+            self._m_alive[r].set(1.0 if alive else 0.0)
+            if not alive:
+                self._note_down(r)
+            elif r in self._down_at:
+                self._down_at.pop(r)
+                self.mttr_s.pop(r, None)
+                self.telemetry.event("serve.region_healed", region=r)
+
+    def _note_down(self, region: str) -> None:
+        if region not in self._down_at:
+            self._down_at[region] = self.clock.now
+            self._m_alive[region].set(0.0)
+            self.telemetry.event("serve.region_down", region=region)
+
+    def _elect_leader(self) -> str | None:
+        for r in self.regions:
+            if self.overlay.is_alive(r):
+                return self.election.elect(r, now=self.clock.now)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # admin surface (consumed by the HTTP layer)
+    # ------------------------------------------------------------------ #
+
+    def plan_snapshot(self) -> dict:
+        """The live forward plan as the admin ``/plan`` JSON."""
+        return {
+            "regions": list(self.regions),
+            "fractions": [float(x) for x in self.fractions],
+            "matrix": [[float(x) for x in row] for row in self._matrix],
+            "arrival_fractions": [float(x) for x in self._arrival_fracs],
+            "era": self._era_index,
+            "plan_era": self._plan_era,
+            "degradation": self._mode,
+            "leader": self._leader_name,
+        }
+
+    def regions_snapshot(self) -> dict:
+        """Per-region liveness/capacity state as the ``/regions`` JSON."""
+        out = {}
+        for r in self.regions:
+            vmc = self.vmcs[r]
+            rmttf = self._rmttf_latest[r]
+            out[r] = {
+                "alive": self.overlay.is_alive(r),
+                "active_vms": len(vmc.vms_in(VmState.ACTIVE)),
+                "rmttf_s": rmttf if np.isfinite(rmttf) else None,
+                "fraction": float(self.fractions[self._index[r]]),
+                "down_at": self._down_at.get(r),
+                "mttr_s": self.mttr_s.get(r),
+            }
+        return {
+            "regions": out,
+            "era": self._era_index,
+            "clock_now": self.clock.now,
+            "speed": self.clock.speed,
+        }
+
+    def metrics_text(self) -> str:
+        """Prometheus text for ``/metrics`` (live scrape)."""
+        snap = self.telemetry.snapshot()
+        return to_prometheus_text(snap["metrics"], self.telemetry.manifest)

@@ -18,6 +18,7 @@ server).  Offline we replace the testbed with this simulator; see DESIGN.md
 for the substitution argument.
 """
 
+from repro.sim.clock import Clock, SimClock
 from repro.sim.engine import Simulator, SimulationError
 from repro.sim.events import Event, EventState
 from repro.sim.instances import (
@@ -32,6 +33,8 @@ from repro.sim.rng import RngRegistry, derive_seed
 from repro.sim.tracing import TraceRecorder, TraceSeries
 
 __all__ = [
+    "Clock",
+    "SimClock",
     "Simulator",
     "SimulationError",
     "Event",

@@ -1,0 +1,103 @@
+"""Golden-trace guard for the Clock threading (repro.serve PR).
+
+The serve work threaded a ``clock`` parameter through
+:class:`~repro.core.des_loop.DesControlLoop` so the wall-clock runtime
+can share one time source.  The contract is that this is *pure
+plumbing*: a loop built with an explicitly injected
+:class:`~repro.sim.SimClock` must replay the checked-in golden traces
+bit-identically -- same series, same era timestamps, same values, no
+tolerance.  (``SimClock`` is an alias of ``Simulator``, not a subclass,
+precisely so this can't drift; this test pins the injection path on top
+of the default-construction path ``test_des_loop_golden.py`` covers.)
+"""
+
+from __future__ import annotations
+
+import json
+
+from tests.core.test_des_loop_golden import (
+    GOLDEN_ERAS,
+    GOLDEN_PREFIXES,
+    SNAPSHOT_PATH,
+)
+
+
+def _build_case_with_clock(name: str, clock):
+    """The golden deployments, with the time source injected."""
+    from repro.core import get_policy
+    from repro.core.des_loop import DesControlLoop
+    from repro.overlay import OverlayNetwork
+    from repro.pcam import OracleRttfPredictor, VirtualMachine
+    from repro.sim import M3_MEDIUM, PRIVATE_SMALL, RngRegistry
+    from repro.workload import AnomalyInjector, BrowserPopulation
+
+    cases = {
+        "plain": {"seed": 9, "clients": (120, 72), "overlay": False},
+        "overlay": {"seed": 21, "clients": (120, 72), "overlay": True},
+    }
+    cfg = cases[name]
+    rngs = RngRegistry(seed=cfg["seed"])
+
+    def pool(region, itype, n):
+        return [
+            VirtualMachine(
+                f"{region}/vm{i}",
+                itype,
+                AnomalyInjector(rngs.child(f"{region}{i}").stream("a")),
+            )
+            for i in range(n)
+        ]
+
+    regions = {
+        "r1": (pool("r1", M3_MEDIUM, 6),
+               BrowserPopulation(n_clients=cfg["clients"][0]), 4),
+        "r3": (pool("r3", PRIVATE_SMALL, 4),
+               BrowserPopulation(n_clients=cfg["clients"][1]), 3),
+    }
+    overlay = None
+    if cfg["overlay"]:
+        overlay = OverlayNetwork()
+        overlay.add_node("r1")
+        overlay.add_node("r3")
+        overlay.add_link("r1", "r3", 40.0)
+    return DesControlLoop(
+        regions,
+        get_policy("available-resources"),
+        OracleRttfPredictor(),
+        rngs,
+        overlay=overlay,
+        clock=clock,
+    )
+
+
+def test_injected_sim_clock_replays_golden_traces_bit_identically():
+    from repro.sim import SimClock, Simulator
+
+    assert SimClock is Simulator  # the alias contract itself
+
+    snapshot = json.loads(SNAPSHOT_PATH.read_text())
+    for case, expected in snapshot.items():
+        loop = _build_case_with_clock(case, SimClock())
+        assert loop.sim.__class__ is Simulator
+        loop.run(GOLDEN_ERAS)
+        actual = {}
+        for prefix in GOLDEN_PREFIXES:
+            for name, series in loop.traces.matching(prefix).items():
+                actual[name] = {
+                    "times": [float(t) for t in series.times],
+                    "values": [float(v) for v in series.values],
+                }
+        assert sorted(actual) == sorted(expected), (
+            f"{case}: clock injection changed the trace series set"
+        )
+        for name, exp in expected.items():
+            act = actual[name]
+            assert act["times"] == exp["times"], (
+                f"{case}/{name}: era timestamps diverged under an "
+                "injected SimClock"
+            )
+            for i, (a, e) in enumerate(zip(act["values"], exp["values"])):
+                assert a == e, (
+                    f"{case}/{name}[{i}]: {a!r} != golden {e!r} -- "
+                    "Clock threading broke sim-clock determinism"
+                )

@@ -1,0 +1,170 @@
+"""Sim/wall parity for the reliable channel (satellite of repro.serve).
+
+:class:`ReliableChannel` takes a ``clock`` so the serve runtime can run
+its retry/backoff ladder on real elapsed time.  The regression pinned
+here: for the same scripted loss pattern and the same jitter seed, a
+channel on a :class:`WallClock` resolves to the **same**
+:class:`ChannelStats` as one on the virtual-time simulator -- retries,
+acks, duplicates, give-ups, all of it.  Only the wall time at which the
+ladder runs differs.
+
+The wall runs are compressed (speed 100) with an ack timeout (0.5 clock
+seconds) far above the modeled 10 ms link latency, so dispatch-loop lag
+-- real milliseconds between an event coming due and asyncio running it
+-- cannot push an ack past its retry timer and break the parity the
+test is about.  Sends are issued *while* the dispatch loop runs, as the
+serve runtime does; sending into a stopped clock and starting it later
+would let real time run ahead of every deadline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.overlay import MessageBus, OverlayNetwork, ReliableChannel, Router
+from repro.serve.clock import WallClock
+from repro.sim import SimClock
+from repro.sim.rng import RngRegistry
+
+SPEED = 100.0
+#: Full 4-attempt give-up ladder: 0.5+1+2+4 = 7.5 clock-s = 75 ms wall.
+CHANNEL_KW = dict(base_timeout_s=0.5, jitter_s=0.02, max_retries=3)
+
+
+def mesh(latency=10.0):
+    return OverlayNetwork.full_mesh({("r1", "r2"): latency})
+
+
+class ScriptedLossBus(MessageBus):
+    """Bus that silently loses chosen transmissions of one kind.
+
+    ``drops`` is a set of per-kind transmission indices (0-based, in
+    global send order) to lose; everything else goes through.  The same
+    script replayed against the sim and the wall clock produces the same
+    loss pattern because sends happen in the same order on both.
+    """
+
+    def __init__(self, sim, router, drops, drop_kind="rc-data"):
+        super().__init__(sim=sim, router=router)
+        self.drops = set(drops)
+        self.drop_kind = drop_kind
+        self.kind_sends = 0
+
+    def send(self, src, dst, kind, payload, on_outcome=None):
+        if kind == self.drop_kind:
+            idx = self.kind_sends
+            self.kind_sends += 1
+            if idx in self.drops:
+                return True  # accepted, silently lost
+        return super().send(src, dst, kind, payload, on_outcome=on_outcome)
+
+
+def run_script(clock, drops, drop_kind="rc-data", n_messages=3, seed=3):
+    """Wire a 2-node channel over a scripted-loss bus and send."""
+    bus = ScriptedLossBus(
+        sim=clock, router=Router(mesh()), drops=drops, drop_kind=drop_kind
+    )
+    channel = ReliableChannel(
+        bus,
+        RngRegistry(seed=seed).stream("reliable/jitter"),
+        clock=clock,
+        **CHANNEL_KW,
+    )
+    got = []
+    channel.attach("r1", lambda m: None)
+    channel.attach("r2", got.append)
+    handles = [
+        channel.send("r1", "r2", "rmttf-report", {"n": i})
+        for i in range(n_messages)
+    ]
+    return channel, handles, got
+
+
+def run_sim(drops, **kw):
+    clock = SimClock()
+    channel, handles, got = run_script(clock, drops, **kw)
+    clock.run()
+    return channel, handles, got
+
+
+def run_wall(drops, **kw):
+    async def go():
+        clock = WallClock(speed=SPEED)
+        runner = asyncio.ensure_future(clock.run_for(None))
+        await asyncio.sleep(0)  # let the dispatch loop come up first
+        channel, handles, got = run_script(clock, drops, **kw)
+        # poll until the ladder resolves; 2 s wall == 200 clock-s, far
+        # beyond the worst-case give-up time, so a hang here is a bug
+        deadline = asyncio.get_event_loop().time() + 2.0
+        while channel.pending_count() > 0:
+            assert asyncio.get_event_loop().time() < deadline, (
+                "reliable channel never resolved on the wall clock"
+            )
+            await asyncio.sleep(0.002)
+        clock.stop()
+        await runner
+        return channel, handles, got
+
+    return asyncio.run(go())
+
+
+class TestStatsParity:
+    def test_clean_run_parity(self):
+        sim_ch, _, sim_got = run_sim(drops=())
+        wall_ch, _, wall_got = run_wall(drops=())
+        assert sim_ch.stats.as_dict() == wall_ch.stats.as_dict()
+        assert sim_ch.stats.acked == 3
+        assert [m.payload for m in sim_got] == [m.payload for m in wall_got]
+
+    def test_data_loss_retry_parity(self):
+        # lose the first two data transmissions: two retries recover
+        drops = {0, 1}
+        sim_ch, sim_handles, _ = run_sim(drops=drops)
+        wall_ch, wall_handles, _ = run_wall(drops=drops)
+        assert sim_ch.stats.as_dict() == wall_ch.stats.as_dict()
+        assert sim_ch.stats.retries == 2
+        assert sim_ch.stats.acked == 3
+        assert [h.status for h in sim_handles] == [
+            h.status for h in wall_handles
+        ]
+        assert [h.attempts for h in sim_handles] == [
+            h.attempts for h in wall_handles
+        ]
+
+    def test_give_up_parity(self):
+        # message 0's data is lost on all 4 allowed attempts -> give-up;
+        # messages 1 and 2 are clean (their transmissions are indices
+        # spent before/between message 0's retries, so drop exactly the
+        # retry indices of message 0: after the first round {0},
+        # retransmissions of message 0 are the only further rc-data)
+        drops = {0, 3, 4, 5}
+        sim_ch, sim_handles, sim_got = run_sim(drops=drops)
+        wall_ch, wall_handles, wall_got = run_wall(drops=drops)
+        assert sim_ch.stats.as_dict() == wall_ch.stats.as_dict()
+        assert sim_ch.stats.gave_up == 1
+        assert sim_ch.stats.acked == 2
+        assert [h.status for h in sim_handles] == [
+            h.status for h in wall_handles
+        ]
+        assert len(sim_got) == len(wall_got) == 2
+
+    def test_ack_loss_duplicate_parity(self):
+        # lose the first ack: the data arrives, the retry is a duplicate
+        sim_ch, _, sim_got = run_sim(drops={0}, drop_kind="rc-ack")
+        wall_ch, _, wall_got = run_wall(drops={0}, drop_kind="rc-ack")
+        assert sim_ch.stats.as_dict() == wall_ch.stats.as_dict()
+        assert sim_ch.stats.duplicates == 1
+        assert sim_ch.stats.retries == 1
+        assert sim_ch.stats.acked == 3
+        # dedup: the application saw each message exactly once
+        assert len(sim_got) == len(wall_got) == 3
+
+
+def test_channel_default_clock_is_the_bus_sim():
+    clock = SimClock()
+    bus = MessageBus(sim=clock, router=Router(mesh()))
+    channel = ReliableChannel(
+        bus, RngRegistry(seed=3).stream("reliable/jitter")
+    )
+    assert channel.clock is clock
+    assert channel.sim is channel.clock  # back-compat alias

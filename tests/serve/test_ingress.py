@@ -1,0 +1,217 @@
+"""Units for the serve data path and the HTTP dispatch table.
+
+``AcmService.handle_request`` and ``HttpIngress._dispatch`` are both
+synchronous, so everything here runs without a socket or a running
+clock: build the service, poke the handlers, read the JSON.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenarios import two_region_scenario
+from repro.serve.clock import WallClock
+from repro.serve.ingress import HttpIngress
+from repro.serve.service import AcmService, ServeConfig
+
+
+def make_service(**cfg_kw) -> AcmService:
+    cfg = ServeConfig(seed=7, **cfg_kw)
+    return AcmService(two_region_scenario(), WallClock(speed=100.0), cfg)
+
+
+def force_plan(service: AcmService, fractions) -> None:
+    """Install the given target fractions on every region's LB row."""
+    payload = {
+        "fractions": [float(x) for x in fractions],
+        "stamp": service.clock.now,
+        "era": 0,
+    }
+    for r in service.regions:
+        service._install_row(r, payload)
+
+
+class TestDataPath:
+    def test_round_robin_when_no_region_given(self):
+        service = make_service()
+        arrivals = []
+        for _ in range(4):
+            status, body = service.handle_request()
+            assert status == 200
+            arrivals.append(body["arrival"])
+        assert arrivals == service.regions * 2
+
+    def test_unknown_region_falls_back_to_round_robin(self):
+        service = make_service()
+        status, body = service.handle_request("atlantis")
+        assert status == 200
+        assert body["arrival"] in service.regions
+
+    def test_forwarding_follows_installed_plan(self):
+        service = make_service()
+        r1, r2 = service.regions
+        force_plan(service, [0.0, 1.0])  # everything to the second region
+        for _ in range(20):
+            status, body = service.handle_request(r1)
+            assert status == 200
+            assert body["target"] == r2
+            assert body["forwarded"] is True
+
+    def test_admission_sheds_with_429_when_bucket_empty(self):
+        service = make_service(admission_rps=1.0, admission_burst_s=2.0)
+        region = service.regions[0]
+        statuses = [service.handle_request(region)[0] for _ in range(40)]
+        assert statuses.count(429) > 0
+        assert statuses.count(200) >= 2  # the burst allowance admitted some
+        shed = service.telemetry.snapshot()["metrics"]["counters"]
+        names = {
+            (c["name"], c["labels"].get("region")): c["value"] for c in shed
+        }
+        assert names[("acm_ingress_shed_total", region)] == statuses.count(429)
+
+    def test_dead_target_fails_over_to_live_region(self):
+        service = make_service()
+        r1, r2 = service.regions
+        force_plan(service, [0.0, 1.0])  # r1's row points at r2...
+        service.chaos.region_blackout(r2)  # ...which then goes dark
+        status, body = service.handle_request(r1)
+        assert status == 200
+        assert body["failover_from"] == r2
+        assert body["target"] == r1
+        assert r2 in service._down_at  # the miss stamped the down time
+
+    def test_all_regions_dark_is_503(self):
+        service = make_service()
+        for r in service.regions:
+            service.chaos.region_blackout(r)
+        status, body = service.handle_request(service.regions[0])
+        assert status == 503
+        assert "no live region" in body["error"]
+
+
+class TestMttrAccounting:
+    def test_install_row_closes_mttr_for_routed_around_region(self):
+        service = make_service()
+        r1, r2 = service.regions
+        service.chaos.region_blackout(r2)
+        service._monitor()  # liveness sweep stamps _down_at
+        assert r2 in service._down_at
+        assert r2 not in service.mttr_s
+        force_plan(service, [1.0, 0.0])  # plan routes around the dead r2
+        assert service.mttr_s[r2] >= 0.0
+
+    def test_heal_clears_down_bookkeeping(self):
+        service = make_service()
+        r2 = service.regions[1]
+        service.chaos.region_blackout(r2)
+        service._monitor()
+        service.chaos.region_heal(r2)
+        service._monitor()
+        assert r2 not in service._down_at
+
+
+class TestHttpDispatch:
+    def _body(self, result) -> dict:
+        status, content_type, raw = result
+        assert content_type == "application/json"
+        return status, json.loads(raw)
+
+    def test_healthz(self):
+        ingress = HttpIngress(make_service())
+        status, body = self._body(ingress._dispatch("GET", "/healthz"))
+        assert status == 200
+        assert body["status"] == "ok"
+
+    def test_route_and_root_are_the_data_path(self):
+        ingress = HttpIngress(make_service())
+        for path in ("/", "/route"):
+            status, body = self._body(ingress._dispatch("GET", path))
+            assert status == 200
+            assert body["target"] in ingress.service.regions
+
+    def test_route_honours_region_query(self):
+        ingress = HttpIngress(make_service())
+        region = ingress.service.regions[1]
+        status, body = self._body(
+            ingress._dispatch("GET", f"/route?region={region}")
+        )
+        assert status == 200
+        assert body["arrival"] == region
+
+    def test_metrics_is_prometheus_text_with_acm_prefix(self):
+        ingress = HttpIngress(make_service())
+        ingress.service.handle_request()
+        status, content_type, raw = ingress._dispatch("GET", "/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        text = raw.decode("utf-8")
+        assert any(
+            line.startswith("acm_ingress_requests_total")
+            for line in text.splitlines()
+        )
+
+    def test_plan_and_regions_admin_json(self):
+        ingress = HttpIngress(make_service())
+        status, plan = self._body(ingress._dispatch("GET", "/plan"))
+        assert status == 200
+        assert plan["regions"] == ingress.service.regions
+        assert pytest.approx(sum(plan["fractions"])) == 1.0
+        status, regions = self._body(ingress._dispatch("GET", "/regions"))
+        assert status == 200
+        for r in ingress.service.regions:
+            assert regions["regions"][r]["alive"] is True
+            assert regions["regions"][r]["active_vms"] > 0
+
+    def test_chaos_endpoints_require_post_and_known_region(self):
+        ingress = HttpIngress(make_service())
+        service = ingress.service
+        status, _ = self._body(ingress._dispatch("GET", "/chaos/blackout"))
+        assert status == 405
+        status, _ = self._body(
+            ingress._dispatch("POST", "/chaos/blackout?region=nope")
+        )
+        assert status == 400
+        victim = service.regions[1]
+        status, body = self._body(
+            ingress._dispatch("POST", f"/chaos/blackout?region={victim}")
+        )
+        assert status == 200
+        assert not service.overlay.is_alive(victim)
+        status, _ = self._body(
+            ingress._dispatch("POST", f"/chaos/heal?region={victim}")
+        )
+        assert status == 200
+        assert service.overlay.is_alive(victim)
+
+    def test_unknown_path_404(self):
+        ingress = HttpIngress(make_service())
+        status, body = self._body(ingress._dispatch("GET", "/nope"))
+        assert status == 404
+
+    def test_handler_exception_is_a_500_not_a_crash(self):
+        ingress = HttpIngress(make_service())
+        ingress.service.handle_request = None  # force a TypeError inside
+        status, body = self._body(ingress._dispatch("GET", "/"))
+        assert status == 500
+        assert "TypeError" in body["error"]
+
+
+class TestServiceConfig:
+    def test_telemetry_must_be_enabled(self):
+        from repro.obs.telemetry import Telemetry
+
+        with pytest.raises(ValueError):
+            AcmService(
+                two_region_scenario(),
+                WallClock(speed=100.0),
+                ServeConfig(),
+                telemetry=Telemetry(enabled=False),
+            )
+
+    def test_initial_plan_rows_are_distributions(self):
+        service = make_service()
+        for row in service._matrix:
+            assert pytest.approx(np.sum(row)) == 1.0

@@ -1,0 +1,116 @@
+"""Units for the open-loop load generator's schedules and report math."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.loadgen import (
+    SCHEDULES,
+    LoadConfig,
+    LoadReport,
+    _split_url,
+    build_schedule,
+)
+
+URL = "http://127.0.0.1:8080"
+
+
+class TestSchedules:
+    def test_unknown_schedule_raises(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            build_schedule(LoadConfig(url=URL, schedule="bursty"))
+
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    def test_arrivals_sorted_within_window(self, schedule):
+        cfg = LoadConfig(
+            url=URL, rate=200.0, duration_s=3.0, schedule=schedule, seed=11
+        )
+        arrivals = build_schedule(cfg)
+        assert len(arrivals) > 0
+        assert np.all(arrivals >= 0.0)
+        assert np.all(arrivals < cfg.duration_s)
+        assert np.all(np.diff(arrivals) >= 0.0)
+
+    @pytest.mark.parametrize("schedule", SCHEDULES)
+    def test_same_seed_same_schedule(self, schedule):
+        cfg = LoadConfig(url=URL, rate=150.0, schedule=schedule, seed=3)
+        a = build_schedule(cfg)
+        b = build_schedule(cfg)
+        np.testing.assert_array_equal(a, b)
+        c = build_schedule(
+            LoadConfig(url=URL, rate=150.0, schedule=schedule, seed=4)
+        )
+        assert len(a) != len(c) or not np.array_equal(a, c)
+
+    def test_poisson_count_tracks_rate(self):
+        cfg = LoadConfig(url=URL, rate=500.0, duration_s=4.0, seed=5)
+        n = len(build_schedule(cfg))
+        # lambda*T = 2000; 5 sigma ~ 224
+        assert 1700 < n < 2300
+
+    def test_flash_spike_is_denser(self):
+        cfg = LoadConfig(
+            url=URL,
+            rate=300.0,
+            duration_s=4.0,
+            schedule="flash",
+            flash_factor=5.0,
+            flash_start=0.25,
+            flash_end=0.5,
+            seed=9,
+        )
+        arrivals = build_schedule(cfg)
+        lo, hi = 0.25 * 4.0, 0.5 * 4.0
+        in_spike = np.sum((arrivals >= lo) & (arrivals < hi))
+        before = np.sum(arrivals < lo)
+        # spike window and pre-spike window have equal width; the spike
+        # runs at 5x the base rate
+        assert in_spike > 2.5 * before
+
+    def test_diurnal_low_rate_does_not_crash(self):
+        # trough clamps to >= 1 client even for tiny configured rates
+        cfg = LoadConfig(
+            url=URL, rate=1.0, duration_s=2.0, schedule="diurnal", seed=2
+        )
+        arrivals = build_schedule(cfg)
+        assert np.all(arrivals < 2.0)
+
+
+class TestReport:
+    def test_quantiles_and_rates(self):
+        report = LoadReport(
+            scheduled=10,
+            completed=10,
+            ok=8,
+            shed=2,
+            forwarded=4,
+            duration_s=2.0,
+            latencies_s=[0.01 * (i + 1) for i in range(8)],
+        )
+        assert report.quantile(0.50) == pytest.approx(0.04)
+        assert report.quantile(1.0) == pytest.approx(0.08)
+        d = report.as_dict()
+        assert d["achieved_rps"] == pytest.approx(5.0)
+        assert d["shed_rate"] == pytest.approx(0.2)
+        assert d["forward_rate"] == pytest.approx(0.5)
+        assert d["latency_p99_s"] == pytest.approx(0.08)
+
+    def test_empty_report_is_nan_not_crash(self):
+        report = LoadReport()
+        assert np.isnan(report.quantile(0.95))
+        d = report.as_dict()
+        assert d["achieved_rps"] == 0.0
+        assert np.isnan(d["latency_p50_s"])
+
+
+class TestUrlSplit:
+    def test_host_port_path(self):
+        assert _split_url("http://10.0.0.5:9000/route") == (
+            "10.0.0.5",
+            9000,
+            "/route",
+        )
+
+    def test_defaults(self):
+        assert _split_url("http://example.org") == ("example.org", 80, "/")
