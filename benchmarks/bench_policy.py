@@ -1,0 +1,162 @@
+"""Policy-head inference micro-benchmark: per-era decision overhead.
+
+A learned head sits on the control loop's Plan step, so its ``act`` (+
+reward fold) must stay negligible next to the era's DES work.  This
+bench times one Plan-step decision -- feature matrix in, action out --
+for each head shape:
+
+* ``static`` -- :class:`StaticPolicyHead` over Policy 1 (the control
+  arm: one ``compute_fractions`` call);
+* ``bandit-frozen`` / ``bandit-train`` -- LinUCB greedy inference vs
+  the full UCB + ridge-update path;
+* ``reinforce-frozen`` / ``reinforce-train`` -- softmax argmax vs
+  sample + gradient step.
+
+It also records the end-to-end era rate of a short experiment with and
+without a frozen static head, which is the honest number for "what does
+the head subsystem cost a run".  Results go to ``BENCH_policy.json`` at
+the repository root.
+
+The datapoint is **informational**: ``scripts/bench_gate.py`` prints it
+next to the hot-path gate but never fails on it -- microsecond-scale
+decisions jitter hard on shared machines, and the golden-trace tests
+already pin the only property that must not regress (bit-identity with
+the head absent).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_policy.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_policy.json"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.runner import run_policy_experiment  # noqa: E402
+from repro.fleet.jobs import build_scenario  # noqa: E402
+from repro.policy.features import N_FEATURES, PolicyObservation  # noqa: E402
+from repro.policy.heads import (  # noqa: E402
+    BanditHead,
+    ReinforceHead,
+    StaticPolicyHead,
+)
+
+BENCH_SEED = 11
+
+#: Timing repetitions; best-of to suppress shared-machine jitter.
+REPEATS = 5
+
+#: Plan-step decisions inside one timed repetition.
+INNER_DECISIONS = 200
+
+N_REGIONS = 3
+
+
+def build_observations(n: int = INNER_DECISIONS) -> list[PolicyObservation]:
+    """A fixed bag of plausible Plan-step observations."""
+    rng = np.random.default_rng(BENCH_SEED)
+    observations = []
+    for _ in range(n):
+        features = rng.uniform(0.0, 1.0, size=(N_REGIONS, N_FEATURES))
+        features[:, 0] = 1.0
+        observations.append(
+            PolicyObservation(
+                regions=tuple(f"r{i}" for i in range(N_REGIONS)),
+                features=features,
+                prev_fractions=rng.dirichlet(np.ones(N_REGIONS)),
+                rmttf=rng.uniform(30.0, 600.0, size=N_REGIONS),
+                global_rate=float(rng.uniform(5.0, 100.0)),
+            )
+        )
+    return observations
+
+
+def _head_variants() -> dict:
+    return {
+        "static": StaticPolicyHead("sensible-routing"),
+        "bandit-frozen": BanditHead(frozen=True),
+        "bandit-train": BanditHead(),
+        "reinforce-frozen": ReinforceHead(frozen=True),
+        "reinforce-train": ReinforceHead(),
+    }
+
+
+def time_decisions(head, observations) -> float:
+    """Best-of-``REPEATS`` microseconds per act + reward fold."""
+    head.reseed(BENCH_SEED)
+    best = float("inf")
+    for _ in range(REPEATS):
+        head.transitions.clear()
+        start = time.perf_counter()
+        for obs in observations:
+            head.act(obs)
+            head.observe_reward(0.9)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best / len(observations) * 1e6
+
+
+def time_experiment(policy_head, eras: int = 30) -> float:
+    """Wall seconds of one short two-region experiment."""
+    start = time.perf_counter()
+    run_policy_experiment(
+        build_scenario("two-region", 1.0),
+        "sensible-routing",
+        eras=eras,
+        seed=BENCH_SEED,
+        policy_head=policy_head,
+    )
+    return time.perf_counter() - start
+
+
+def run_benchmark() -> dict:
+    observations = build_observations()
+    heads = {}
+    for name, head in _head_variants().items():
+        us = time_decisions(head, observations)
+        heads[name] = {"act_us": round(us, 3)}
+        print(f"  {name:<16} {us:9.2f} us/decision")
+
+    plain_s = min(time_experiment(None) for _ in range(3))
+    headed_s = min(
+        time_experiment("static:sensible-routing") for _ in range(3)
+    )
+    overhead = (headed_s - plain_s) / plain_s
+    print(
+        f"  era loop: plain {plain_s:.3f} s, headed {headed_s:.3f} s "
+        f"({overhead:+.1%})"
+    )
+    return {
+        "bench": "policy",
+        "seed": BENCH_SEED,
+        "n_regions": N_REGIONS,
+        "decisions": INNER_DECISIONS,
+        "heads": heads,
+        "era_loop": {
+            "eras": 30,
+            "plain_s": round(plain_s, 4),
+            "headed_s": round(headed_s, 4),
+            "overhead_frac": round(overhead, 4),
+        },
+    }
+
+
+def main() -> int:
+    payload = run_benchmark()
+    BASELINE_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"wrote {BASELINE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,12 @@
 #   9. a serve smoke: boot the wall-clock HTTP deployment on an
 #      ephemeral port, fire one load burst, assert `/healthz` answers
 #      200 and `acm_*` metrics appear in `/metrics`, then shut down
-#      cleanly.
+#      cleanly;
+#  10. a learned-policy smoke: a tiny `repro policy train` campaign must
+#      produce a checkpoint that survives a save/load round-trip, a
+#      `repro policy eval` of it must exit 0, and the fleet's
+#      `policy_heads` axis must leave historical head-less cell digests
+#      untouched.
 #
 # Usage:  scripts/ci_check.sh   (from the repository root or anywhere)
 
@@ -165,6 +170,51 @@ async def smoke():
 
 
 asyncio.run(smoke())
+EOF
+
+echo "== learned-policy smoke =="
+POLICY_OUT="$(mktemp -d -t repro_policy_smoke.XXXXXX)"
+trap 'rm -f "$OBS_DUMP" "$ONLINE_DUMP"; rm -rf "$SWEEP_STORE" "$DOMAIN_STORE" "$POLICY_OUT"' EXIT
+python -m repro policy train --head bandit --scenario two-region \
+    --rounds 2 --episodes 2 --eras 10 --workers 2 --seed 7 \
+    --out "$POLICY_OUT"
+python - "$POLICY_OUT" <<'EOF'
+import sys
+from pathlib import Path
+
+from repro.policy.checkpoint import load_checkpoint, save_head
+from repro.policy.train import FINAL_CHECKPOINT
+
+out = Path(sys.argv[1])
+ckpt = out / FINAL_CHECKPOINT
+head = load_checkpoint(ckpt)
+copy = save_head(head, out / "roundtrip.json")
+assert copy.read_bytes() == ckpt.read_bytes(), (
+    "checkpoint save/load round-trip was not byte-identical"
+)
+print(f"policy smoke: checkpoint round-trip ok ({ckpt.name})")
+EOF
+python -m repro policy eval \
+    --heads "static:sensible-routing,$POLICY_OUT/policy-head-final.json" \
+    --scenarios two-region --replicates 1 --eras 10 --workers 2 \
+    --seed 7 --train-dir "$POLICY_OUT"
+python - <<'EOF'
+from repro.fleet.spec import SweepSpec
+
+base = SweepSpec(scenarios=("two-region",), policies=("uniform",),
+                 loads=(0.5,), replicates=1, eras=12)
+axis = SweepSpec(scenarios=("two-region",), policies=("uniform",),
+                 loads=(0.5,), replicates=1, eras=12,
+                 policy_heads=("", "static:sensible-routing"))
+before = {j.label: (j.seed, j.digest) for j in base.expand()}
+after = {j.label: (j.seed, j.digest) for j in axis.expand()}
+for label, ident in before.items():
+    assert after[label] == ident, (
+        f"policy_heads axis perturbed cell {label}: "
+        f"{ident} -> {after[label]}"
+    )
+assert len(after) == 2 * len(before)
+print(f"policy_heads axis: {len(before)} head-less cell(s) digest-stable")
 EOF
 
 echo "== columnar parity smoke =="

@@ -302,6 +302,15 @@ def _split_csv(text: str) -> tuple[str, ...]:
     return tuple(part for part in (p.strip() for p in text.split(",")) if part)
 
 
+def _split_heads(text: str) -> tuple[str, ...]:
+    """Head-spec CSV for the sweep axis: ``none`` means "no head" (the
+    historical static Plan path), so default sweeps keep their digests."""
+    heads = tuple(
+        "" if part == "none" else part for part in _split_csv(text)
+    )
+    return heads or ("",)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.fleet import (
         FleetExecutor,
@@ -324,6 +333,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             predictor=args.predictor,
             retrain=tuple(int(x) for x in _split_csv(args.retrain)),
             domains=_split_csv(args.domains),
+            policy_heads=_split_heads(args.policy_heads),
             campaigns=_split_csv(args.campaigns),
         )
     except ValueError as exc:
@@ -391,6 +401,72 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             telemetry.dump_json(args.obs_dump)
             print(f"wrote telemetry dump: {args.obs_dump}")
     return 0 if outcome.ok else 1
+
+
+def _cmd_policy_train(args: argparse.Namespace) -> int:
+    from repro.policy.train import TrainConfig, train_policy_head
+
+    try:
+        cfg = TrainConfig(
+            head_kind=args.head,
+            scenario=args.scenario,
+            fallback_policy=args.fallback_policy,
+            rounds=args.rounds,
+            episodes_per_round=args.episodes,
+            eras=args.eras,
+            load=args.load,
+            seed=args.seed,
+            workers=args.workers,
+            out_dir=args.out,
+        )
+    except ValueError as exc:
+        print(f"invalid training config: {exc}", file=sys.stderr)
+        return 2
+    result = train_policy_head(cfg, progress=print)
+    print(
+        f"done: {result.executed} episodes executed, "
+        f"{result.store_hits} store hits"
+    )
+    print(f"checkpoint: {result.checkpoint} [{result.digest}]")
+    return 0
+
+
+def _cmd_policy_eval(args: argparse.Namespace) -> int:
+    from repro.policy.evaluate import (
+        EvalConfig,
+        evaluate_heads,
+        frontier_table,
+        regret_report,
+    )
+
+    try:
+        cfg = EvalConfig(
+            heads=_split_csv(args.heads),
+            scenarios=_split_csv(args.scenarios),
+            fallback_policy=args.fallback_policy,
+            domains=args.domains,
+            replicates=args.replicates,
+            eras=args.eras,
+            load=args.load,
+            seed=args.seed,
+            workers=args.workers,
+            store_dir=args.store,
+        )
+    except ValueError as exc:
+        print(f"invalid eval config: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = evaluate_heads(cfg)
+    except (RuntimeError, OSError) as exc:
+        print(f"evaluation failed: {exc}", file=sys.stderr)
+        return 1
+    print(frontier_table(result))
+    if args.train_dir:
+        from repro.policy.train import load_history
+
+        print()
+        print(regret_report(load_history(args.train_dir)))
+    return 0
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -763,6 +839,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     ps.add_argument(
+        "--policy-heads",
+        default="none",
+        help=(
+            "comma list of policy-head specs (one grid axis): 'none' = "
+            "no head, 'static:<policy>', 'frozen:<ckpt>', or a "
+            "checkpoint path; the default keeps historical cell digests"
+        ),
+    )
+    ps.add_argument(
         "--campaigns",
         default="",
         help="comma list of chaos campaigns appended as extra cells",
@@ -810,6 +895,105 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_dump_opt(ps)
     ps.set_defaults(func=_cmd_sweep)
+
+    ppo = sub.add_parser(
+        "policy",
+        help="learned policy heads: train on the DES fleet, evaluate "
+        "head-to-head against the static policies",
+    )
+    posub = ppo.add_subparsers(dest="policy_command", required=True)
+
+    pt = posub.add_parser(
+        "train",
+        help="round-synchronous training (parallel rollouts, resumable, "
+        "content-addressed checkpoints)",
+    )
+    pt.add_argument(
+        "--head",
+        default="bandit",
+        choices=("bandit", "reinforce"),
+        help="learned head kind",
+    )
+    pt.add_argument(
+        "--scenario",
+        default="three-region+drift6",
+        help="scenario key, optionally drifted ('three-region+drift6')",
+    )
+    pt.add_argument(
+        "--fallback-policy",
+        default="sensible-routing",
+        help="static policy for hold/fallback modes and the head anchor",
+    )
+    pt.add_argument("--rounds", type=int, default=6)
+    pt.add_argument(
+        "--episodes",
+        type=int,
+        default=4,
+        metavar="N",
+        help="episodes per round (parallel rollouts)",
+    )
+    pt.add_argument("--eras", type=int, default=30,
+                    help="eras per episode")
+    pt.add_argument("--load", type=float, default=1.0)
+    pt.add_argument("--workers", type=int, default=1)
+    pt.add_argument(
+        "--out",
+        default="results/policy",
+        metavar="DIR",
+        help="output directory (checkpoints, result store, history)",
+    )
+    add_seed_option(pt)
+    pt.set_defaults(func=_cmd_policy_train)
+
+    pv = posub.add_parser(
+        "eval",
+        help="head-to-head frontier: availability / RMTTF / cost per "
+        "(scenario, head), paired seeds",
+    )
+    pv.add_argument(
+        "--heads",
+        default=(
+            "static:sensible-routing,static:available-resources,"
+            "static:exploration"
+        ),
+        help=(
+            "comma list of head specs: 'static:<policy>' or a trained "
+            "checkpoint path (loaded frozen)"
+        ),
+    )
+    pv.add_argument(
+        "--scenarios",
+        default="three-region,three-region+drift6",
+        help="comma list of scenario keys (optionally '+drift<factor>')",
+    )
+    pv.add_argument(
+        "--fallback-policy",
+        default="sensible-routing",
+        help="static policy for hold/fallback modes inside every run",
+    )
+    pv.add_argument(
+        "--domains",
+        default="flat",
+        help="failure-domain shape for every scenario ('flat' or 'NxM')",
+    )
+    pv.add_argument("--replicates", type=int, default=3)
+    pv.add_argument("--eras", type=int, default=30)
+    pv.add_argument("--load", type=float, default=1.0)
+    pv.add_argument("--workers", type=int, default=1)
+    pv.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="optional result store (makes campaigns resumable)",
+    )
+    pv.add_argument(
+        "--train-dir",
+        default=None,
+        metavar="DIR",
+        help="append the regret curve from this training directory",
+    )
+    add_seed_option(pv)
+    pv.set_defaults(func=_cmd_policy_eval)
 
     pm = sub.add_parser("models", help="F2PM model-selection table")
     add_seed_option(pm)

@@ -39,7 +39,7 @@ from repro.core.degradation import (
     DegradationTracker,
 )
 from repro.core.forward_plan import ForwardPlan, build_forward_plan
-from repro.core.policy import Policy, normalize_fractions
+from repro.core.policy import Policy, compute_fractions
 from repro.core.rmttf import RmttfAggregator
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.overlay.election import LeaderElection
@@ -142,6 +142,15 @@ class AcmControlLoop:
         whose era clock (retrain schedule) the loop drives; the same
         instance must be wired into the VMCs for sample collection.
         ``None`` (the default) takes no lifecycle code path at all.
+    policy_head:
+        Optional :class:`~repro.policy.runtime.PolicyHeadRuntime` (or a
+        bare :class:`~repro.policy.heads.PolicyHead`, which the runtime
+        wraps upstream in :class:`~repro.core.manager.AcmManager`).
+        When set, the Plan phase in ``normal`` mode delegates to the
+        head -- observation build, action, threshold deltas, reward --
+        and ``self.policy`` remains the hold/fallback/guard-engaged
+        base.  ``None`` (the default) takes the exact static code path
+        every golden trace pins.
     clock:
         Optional :class:`~repro.sim.clock.Clock`.  ``None`` (the
         default) keeps the fluid loop's era arithmetic
@@ -164,6 +173,7 @@ class AcmControlLoop:
         telemetry: Telemetry | None = None,
         lifecycle=None,
         clock=None,
+        policy_head=None,
     ) -> None:
         if not vmcs:
             raise ValueError("need at least one region")
@@ -193,6 +203,7 @@ class AcmControlLoop:
         self.transport = transport
         self.lifecycle = lifecycle
         self.clock = clock
+        self.head_runtime = policy_head
         self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
         self._obs_on = self._tel.enabled
         self._last_leader: str | None = None
@@ -208,6 +219,9 @@ class AcmControlLoop:
         self._client_rt: dict[str, float] = {r: 0.0 for r in self.regions}
         self._arrival_rng = rngs.stream("arrivals")
         self._routing_rng = rngs.stream("routing")
+        if self.head_runtime is not None:
+            # last: the runtime reads telemetry and VMC state set above
+            self.head_runtime.bind(self)
 
     def _default_overlay(self) -> OverlayNetwork:
         pairs = {}
@@ -352,13 +366,30 @@ class AcmControlLoop:
         with tel.span("plan", kind="mape", era=self.era_index):
             # ---- Plan (Algorithm 2, leader only) ------------------------ #
             mode = self.degradation.observe(self.era_index, received)
-            if mode == "normal":
-                planned = self.policy.compute(self.fractions, rmttf_vec, lam)
-            elif mode == "hold":
-                # quorum lost: keep the last-known-good forward plan
-                planned = self.fractions
-            else:  # fallback: static split from local deployment knowledge
-                planned = self._fallback_fractions()
+            if (
+                self.head_runtime is not None
+                and mode == "normal"
+                and not self.head_runtime.fallback_engaged
+            ):
+                planned = self.head_runtime.plan(
+                    era=self.era_index,
+                    prev_fractions=self.fractions,
+                    rmttf=rmttf_vec,
+                    global_rate=lam,
+                    reports=reports,
+                    per_region_rt=per_region_rt,
+                )
+            else:
+                planned = compute_fractions(
+                    self.policy,
+                    self.fractions,
+                    rmttf_vec,
+                    lam,
+                    mode=mode,
+                    capacities=self._healthy_capacities()
+                    if mode == "fallback"
+                    else None,
+                )
 
         with tel.span("execute", kind="mape", era=self.era_index):
             # ---- Execute (Algorithm 3) ---------------------------------- #
@@ -402,6 +433,11 @@ class AcmControlLoop:
             degradation=mode,
         )
         self._record(summary)
+        if self.head_runtime is not None:
+            # reward bookkeeping: charge the era's cost, fold in the SLO
+            # and availability terms, feed the head (train mode) and the
+            # reward guard (fallback on collapse)
+            self.head_runtime.settle(summary, reports, dt)
         if self._obs_on:
             tel.histogram("era_response_time_s").observe(global_rt)
             for region, rt in per_region_rt.items():
@@ -414,17 +450,16 @@ class AcmControlLoop:
         self.era_index += 1
         return summary
 
-    def _fallback_fractions(self) -> np.ndarray:
-        """Static split proportional to each region's healthy capacity.
+    def _healthy_capacities(self) -> np.ndarray:
+        """Per-region healthy capacity, the fallback ladder's static prior.
 
-        The information-free prior of the available-resources policy:
+        The information-free input of the available-resources policy:
         computable from deployment knowledge alone, so it is safe to
-        install when RMTTF reports have been missing for too long.
+        plan from when RMTTF reports have been missing for too long.
         """
-        capacities = np.array(
+        return np.array(
             [self.vmcs[r].healthy_capacity() for r in self.regions]
         )
-        return normalize_fractions(capacities, self.policy.min_fraction)
 
     def _install_fractions(self, leader: str, planned: np.ndarray) -> np.ndarray:
         """Push the planned fractions to the regions (Execute, Algorithm 3).

@@ -48,7 +48,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.forward_plan import ForwardPlan, build_forward_plan
-from repro.core.policy import Policy
+from repro.core.policy import Policy, compute_fractions
 from repro.core.rmttf import RmttfAggregator
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.overlay.network import OverlayNetwork
@@ -504,8 +504,8 @@ class DesControlLoop:
             current = self.aggregator.update_all(reports)
             rmttf_vec = np.array([current[r] for r in self.region_names])
             if lam > 0.0:
-                self.fractions = self.policy.compute(
-                    self.fractions, rmttf_vec, lam
+                self.fractions = compute_fractions(
+                    self.policy, self.fractions, rmttf_vec, lam
                 )
         with tel.span("execute", kind="mape", era=self.era_index):
             if lam > 0.0:

@@ -169,12 +169,20 @@ class AcmManager:
     telemetry: Telemetry | None = None
     online: "OnlineLifecycleConfig | None" = None
     spread_k: int = 0
+    #: Optional learned policy head driven at the Plan phase: a
+    #: :class:`~repro.policy.runtime.PolicyHeadRuntime`, or a bare
+    #: :class:`~repro.policy.heads.PolicyHead` (wrapped in a runtime
+    #: with the default reward weights and a reward guard).  ``None``
+    #: (the default) takes the exact static code path.
+    policy_head: object | None = None
     loop: AcmControlLoop = field(init=False)
     rngs: RngRegistry = field(init=False)
     domains: FailureDomainTree = field(init=False)
     online_lifecycle: "OnlineLifecycle | None" = field(
         init=False, default=None
     )
+    #: The built head runtime (``None`` without a ``policy_head``).
+    policy_runtime: object | None = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         if not self.regions:
@@ -210,6 +218,29 @@ class AcmManager:
                 name=f"clients@{spec.name}",
             )
 
+        head_runtime = None
+        if self.policy_head is not None:
+            # imported lazily: repro.policy depends on repro.core, so a
+            # top-level import here would be circular
+            from repro.policy.guard import RewardGuard
+            from repro.policy.heads import PolicyHead
+            from repro.policy.runtime import PolicyHeadRuntime, RewardConfig
+
+            if isinstance(self.policy_head, PolicyHead):
+                head_runtime = PolicyHeadRuntime(
+                    self.policy_head,
+                    reward=RewardConfig(sla_s=self.sla_response_time_s),
+                    guard=RewardGuard(),
+                )
+            elif isinstance(self.policy_head, PolicyHeadRuntime):
+                head_runtime = self.policy_head
+            else:
+                raise TypeError(
+                    "policy_head must be a PolicyHead or PolicyHeadRuntime, "
+                    f"got {type(self.policy_head).__name__}"
+                )
+        self.policy_runtime = head_runtime
+
         overlay = self.overlay or self._build_overlay(names)
         self.loop = AcmControlLoop(
             vmcs=vmcs,
@@ -228,6 +259,7 @@ class AcmManager:
             ),
             telemetry=self.telemetry,
             lifecycle=self.online_lifecycle,
+            policy_head=head_runtime,
         )
 
     # ------------------------------------------------------------------ #

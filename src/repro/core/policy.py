@@ -62,6 +62,73 @@ def normalize_fractions(
     return f / f.sum()
 
 
+def compute_fractions(
+    policy: "Policy",
+    prev_fractions: np.ndarray,
+    rmttf: np.ndarray,
+    global_rate: float,
+    mode: str = "normal",
+    capacities: np.ndarray | None = None,
+) -> np.ndarray:
+    """The single Plan-phase entry point shared by every control loop.
+
+    The fluid loop, the DES loop, and the wall-clock serve path all run
+    the same three-rung ladder at the Plan step; this function is that
+    ladder, so a policy head (or a new loop) wraps exactly one seam:
+
+    * ``"normal"`` -- ``POLICY(f^{t-1}, RMTTF_1..RMTTF_n)`` (Algorithm 2);
+    * ``"hold"``   -- quorum lost: keep the last-known-good fractions;
+    * ``"fallback"`` -- reports missing too long: static split from the
+      deployment's healthy capacities (requires ``capacities``).
+
+    Every branch is float-op-identical to the inlined ladders it
+    replaced, so golden traces are preserved.
+    """
+    if mode == "normal":
+        return policy.compute(prev_fractions, rmttf, global_rate)
+    if mode == "hold":
+        return np.asarray(prev_fractions, dtype=float)
+    if mode == "fallback":
+        if capacities is None:
+            raise ValueError("fallback mode requires healthy capacities")
+        return normalize_fractions(capacities, policy.min_fraction)
+    raise ValueError(f"unknown plan mode {mode!r}")
+
+
+def renormalize_live(
+    fractions: np.ndarray, alive: np.ndarray
+) -> np.ndarray | None:
+    """Zero dead regions out of a plan and renormalise over the live ones.
+
+    The serve path has always done this (a dead region must not be
+    planned traffic, whatever the policy said); policy heads must do it
+    identically, so both call this one helper:
+
+    * every region alive -> the plan is returned unchanged (a simplex
+      point stays one, preserving frozen-head bit-identity);
+    * no region alive -> ``None`` (there is nothing to install);
+    * otherwise dead coordinates are zeroed and the survivors
+      renormalised -- uniform over the live set if the policy had put
+      all its mass on dead regions.
+    """
+    fractions = np.asarray(fractions, dtype=float)
+    alive = np.asarray(alive, dtype=bool)
+    if fractions.shape != alive.shape:
+        raise ValueError(
+            f"fractions {fractions.shape} and alive {alive.shape} "
+            "must have the same shape"
+        )
+    if alive.all():
+        return fractions
+    if not alive.any():
+        return None
+    planned = np.where(alive, fractions, 0.0)
+    total = planned.sum()
+    if total <= 0:
+        return alive.astype(float) / alive.sum()
+    return planned / total
+
+
 class Policy(abc.ABC):
     """Base class for workload-fraction policies.
 

@@ -40,7 +40,10 @@ from repro.pcam.vm import VirtualMachine
 from repro.sim.instances import get_instance_type
 from repro.sim.rng import RngRegistry
 from repro.sim.tracing import TraceRecorder
-from repro.workload.anomalies import AnomalyInjector
+from repro.workload.anomalies import (
+    DEFAULT_LEAK_PROBABILITY,
+    AnomalyInjector,
+)
 from repro.workload.tpcw import MIX_SHOPPING
 
 
@@ -59,6 +62,9 @@ class ExperimentResult:
     #: online-lifecycle summary (retrains, drift, margins); ``None``
     #: when the run had no lifecycle
     online_stats: dict | None = None
+    #: policy-head summary (mean reward, availability, cost, fallback);
+    #: ``None`` when the run had no learned head
+    head_stats: dict | None = None
 
 
 def make_trained_predictor(
@@ -158,6 +164,7 @@ def _experiment_manifest(
     predictor: str | RttfPredictor,
     autoscale: bool,
     online: OnlineLifecycleConfig | None = None,
+    policy_head: str | None = None,
 ) -> RunManifest:
     config = {
         "scenario": scenario.name,
@@ -176,6 +183,11 @@ def _experiment_manifest(
         # only stamped when the lifecycle is on, so pre-lifecycle
         # manifest digests are unchanged
         config["online_retrain_eras"] = online.retrain_interval_eras
+    if policy_head:
+        # same only-when-set rule for the learned-head identity
+        config["policy_head"] = policy_head
+    if scenario.leak_multiplier != 1.0:
+        config["leak_multiplier"] = scenario.leak_multiplier
     return RunManifest.build(
         seed=seed,
         config=config,
@@ -197,6 +209,7 @@ def run_policy_experiment(
     telemetry: Telemetry | None = None,
     online: OnlineLifecycleConfig | None = None,
     online_retrain: int = 0,
+    policy_head: str | object | None = None,
 ) -> ExperimentResult:
     """Run one policy on one scenario and assess it.
 
@@ -208,13 +221,32 @@ def run_policy_experiment(
     ``online`` (a full :class:`OnlineLifecycleConfig`) or
     ``online_retrain`` (a bare retrain interval in eras; 0 = off)
     enables the online model lifecycle.
+
+    ``policy_head`` plugs a learned head into the Plan phase: a head
+    spec string (``"static:<policy>"``, ``"frozen:<path>"``, or a
+    checkpoint path -- resolved *frozen*, eval semantics), or an already
+    built :class:`~repro.policy.heads.PolicyHead` /
+    :class:`~repro.policy.runtime.PolicyHeadRuntime`.  ``policy`` stays
+    the hold/fallback/guard-engaged base.  The run-level head summary is
+    exposed as ``result.head_stats``.
     """
     if eras < 10:
         raise ValueError("eras must be >= 10 for a meaningful assessment")
     online_cfg = _resolve_online(online, online_retrain)
+    head = policy_head
+    head_label = None
+    if isinstance(policy_head, str):
+        from repro.policy.checkpoint import load_head
+
+        head = load_head(policy_head, frozen=True)
+        head_label = policy_head
+    elif policy_head is not None:
+        head_label = getattr(
+            getattr(policy_head, "head", policy_head), "name", "head"
+        )
     manifest = _experiment_manifest(
         scenario, policy, eras, seed, era_s, beta, predictor, autoscale,
-        online=online_cfg,
+        online=online_cfg, policy_head=head_label,
     )
     if telemetry is not None and telemetry.enabled:
         telemetry.set_manifest(manifest)
@@ -229,6 +261,10 @@ def run_policy_experiment(
         autoscale=autoscale,
         telemetry=telemetry,
         online=online_cfg,
+        leak_probability=(
+            DEFAULT_LEAK_PROBABILITY * scenario.leak_multiplier
+        ),
+        policy_head=head,
     )
     manager.run(eras)
     return ExperimentResult(
@@ -242,6 +278,11 @@ def run_policy_experiment(
         online_stats=(
             manager.online_lifecycle.stats()
             if manager.online_lifecycle is not None
+            else None
+        ),
+        head_stats=(
+            manager.policy_runtime.stats()
+            if manager.policy_runtime is not None
             else None
         ),
     )

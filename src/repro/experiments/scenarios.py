@@ -39,6 +39,12 @@ class Scenario:
     name: str
     regions: tuple[RegionSpec, ...]
     latencies_ms: dict[tuple[str, str], float] = field(default_factory=dict)
+    #: Anomaly-rate drift: multiplies the deployment's memory-leak
+    #: probability (1.0 = the paper's stationary regime).  The drifted
+    #: scenarios the online lifecycle and the learned policy heads are
+    #: evaluated on raise this (e.g. 2.5x), aging VMs faster than the
+    #: static policies and thresholds were tuned for.
+    leak_multiplier: float = 1.0
 
     def build_overlay(self) -> OverlayNetwork:
         """Instantiate the overlay for this scenario (fresh each run)."""
@@ -83,6 +89,22 @@ class Scenario:
                 replace(spec, n_azs=n_azs, racks_per_az=racks_per_az)
                 for spec in self.regions
             ),
+        )
+
+    def with_drift(self, factor: float) -> "Scenario":
+        """Same deployment with the anomaly rate drifted by ``factor``.
+
+        ``factor == 1.0`` returns the scenario unchanged, so default
+        sweeps build byte-identical deployments.
+        """
+        if factor <= 0:
+            raise ValueError(f"drift factor must be positive, got {factor}")
+        if factor == 1.0:
+            return self
+        return replace(
+            self,
+            name=f"{self.name}+drift{factor:g}",
+            leak_multiplier=self.leak_multiplier * factor,
         )
 
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.fleet.jobs import JobSpec
+from repro.fleet.jobs import JobSpec, head_label
 from repro.obs.manifest import RunManifest
 
 #: Headline metrics, in preferred column order; a report shows the ones
@@ -41,7 +41,9 @@ PREFERRED_METRICS = (
 _Z95 = 1.96
 
 
-def cell_key(job: JobSpec) -> tuple[str, str, str, float, int, str]:
+def cell_key(
+    job: JobSpec,
+) -> tuple[str, str, str, float, int, str, str]:
     """The grid cell a job belongs to (replicate index erased)."""
     return (
         job.kind,
@@ -50,6 +52,7 @@ def cell_key(job: JobSpec) -> tuple[str, str, str, float, int, str]:
         float(job.load),
         int(job.online_retrain),
         job.domains,
+        job.policy_head,
     )
 
 
@@ -75,6 +78,7 @@ class CellStats:
     metrics: dict[str, MetricStats] = field(default_factory=dict)
     retrain: int = 0
     domains: str = "flat"
+    policy_head: str = ""
 
     @property
     def label(self) -> str:
@@ -87,6 +91,8 @@ class CellStats:
             parts.append(f"retrain{self.retrain}")
         if self.domains != "flat":
             parts.append(f"domains{self.domains}")
+        if self.policy_head:
+            parts.append(f"head:{head_label(self.policy_head)}")
         return "/".join(parts)
 
 
@@ -130,7 +136,7 @@ def aggregate(
 
     cells: list[CellStats] = []
     for key in order:
-        kind, scenario, policy, load, retrain, domains = key
+        kind, scenario, policy, load, retrain, domains, head = key
         rows = grouped[key]
         numeric: dict[str, list[float]] = {}
         for row in rows:
@@ -147,6 +153,7 @@ def aggregate(
             n=len(rows),
             retrain=retrain,
             domains=domains,
+            policy_head=head,
             metrics={
                 name: _stats(values)
                 for name, values in sorted(numeric.items())

@@ -25,6 +25,12 @@ Job kinds
     One seeded resilience campaign from
     :mod:`repro.experiments.resilience`; ``scenario`` names the
     campaign, ``eras == 0`` means the campaign's default length.
+``rollout``
+    One policy-head episode for the learned-policy trainer
+    (:mod:`repro.policy.train`): drives the deployment with the head
+    named by ``policy_head`` (a checkpoint path or ``static:<policy>``
+    spec) and returns per-era rewards plus the transition log the
+    round-synchronous trainer replays.
 ``synthetic``
     Harness-calibration jobs (sleep / crash / hang / flaky) used by the
     executor tests and the scheduling benchmark; they exercise the
@@ -49,7 +55,7 @@ from dataclasses import dataclass
 from repro.obs.manifest import RunManifest, config_digest
 
 #: Job kinds understood by :func:`execute_job`.
-JOB_KINDS = ("policy", "load", "chaos", "synthetic")
+JOB_KINDS = ("policy", "load", "chaos", "synthetic", "rollout")
 
 #: Scenario keys accepted by ``policy`` jobs -> builder in
 #: :mod:`repro.experiments.scenarios` (resolved lazily).
@@ -85,6 +91,11 @@ class JobSpec:
     #: failure-domain shape descriptor ("flat" or "NxM"); applied to
     #: every region of a ``policy`` job's scenario
     domains: str = "flat"
+    #: policy-head spec ("static:<policy>", "frozen:<path>", or a
+    #: checkpoint path; see :func:`repro.policy.checkpoint.load_head`).
+    #: Empty = no head (the historical static Plan path).  ``policy``
+    #: jobs resolve it frozen; ``rollout`` jobs keep it trainable.
+    policy_head: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -118,6 +129,9 @@ class JobSpec:
         if self.domains != "flat":
             # same digest-stability rule for the failure-domain shape
             config["domains"] = self.domains
+        if self.policy_head:
+            # same digest-stability rule for the learned-head axis
+            config["policy_head"] = self.policy_head
         return config
 
     @property
@@ -136,6 +150,8 @@ class JobSpec:
             parts.append(f"retrain{self.online_retrain}")
         if self.domains != "flat":
             parts.append(f"domains{self.domains}")
+        if self.policy_head:
+            parts.append(f"head:{head_label(self.policy_head)}")
         parts.append(f"rep{self.replicate}")
         return "/".join(parts)
 
@@ -163,12 +179,48 @@ class JobSpec:
             predictor=str(config["predictor"]),
             online_retrain=int(config.get("online_retrain", 0)),
             domains=str(config.get("domains", "flat")),
+            policy_head=str(config.get("policy_head", "")),
         )
+
+
+def head_label(spec: str) -> str:
+    """Short display form of a head spec (checkpoint paths -> basename)."""
+    if spec.startswith("static:"):
+        return spec
+    if spec.startswith("frozen:"):
+        return "frozen:" + os.path.basename(spec.split(":", 1)[1])
+    return os.path.basename(spec) if spec else spec
 
 
 # ------------------------------------------------------------------ #
 # scenario scaling
 # ------------------------------------------------------------------ #
+
+
+def parse_scenario_key(key: str) -> tuple[str, float]:
+    """Split ``"three-region+drift2.5"`` into (base key, drift factor).
+
+    A bare key means no drift (factor 1.0).  The drift factor multiplies
+    the scenario's anomaly (memory-leak) rate -- the non-stationary
+    regime the learned heads train on.
+    """
+    base, sep, suffix = key.partition("+")
+    if not sep:
+        return key, 1.0
+    if not suffix.startswith("drift"):
+        raise ValueError(
+            f"unknown scenario modifier {suffix!r} in {key!r} "
+            "(expected '+drift<factor>')"
+        )
+    try:
+        factor = float(suffix[len("drift"):])
+    except ValueError:
+        raise ValueError(
+            f"bad drift factor in scenario key {key!r}"
+        ) from None
+    if factor <= 0:
+        raise ValueError(f"drift factor must be positive in {key!r}")
+    return base, factor
 
 
 def build_scenario(key: str, load: float, domains: str = "flat"):
@@ -180,6 +232,8 @@ def build_scenario(key: str, load: float, domains: str = "flat"):
     domains (``"flat"`` or ``"NxM"``, see
     :meth:`~repro.experiments.scenarios.Scenario.with_domains`); the
     default leaves the scenario byte-identical to the historical one.
+    A ``"+drift<factor>"`` key suffix multiplies the anomaly rate (see
+    :func:`parse_scenario_key`).
     """
     from dataclasses import replace
 
@@ -192,6 +246,7 @@ def build_scenario(key: str, load: float, domains: str = "flat"):
         "two-region": two_region_scenario,
         "three-region": three_region_scenario,
     }
+    key, drift = parse_scenario_key(key)
     if key not in builders:
         raise ValueError(
             f"unknown policy-job scenario {key!r}; "
@@ -199,7 +254,7 @@ def build_scenario(key: str, load: float, domains: str = "flat"):
         )
     if load <= 0:
         raise ValueError(f"load multiplier must be positive, got {load}")
-    base = builders[key]()
+    base = builders[key]().with_drift(drift)
     regions = tuple(
         replace(
             spec,
@@ -229,6 +284,26 @@ def _tail_mean_rmttf(traces) -> float:
     return float(np.mean(tails))
 
 
+def _availability(traces, scenario) -> float:
+    """Mean served-capacity availability: ``min(active/target, 1)`` per
+    region per era, averaged (the frontier metric of the policy-head
+    evaluation)."""
+    import numpy as np
+
+    targets = {s.name: max(s.target_active, 1) for s in scenario.regions}
+    per_region = []
+    for key, series in traces.matching("active_vms/").items():
+        region = key.split("/", 1)[1]
+        per_region.append(
+            np.minimum(
+                np.asarray(series.values, dtype=float) / targets[region], 1.0
+            )
+        )
+    if not per_region:
+        return 0.0
+    return float(np.mean(np.stack(per_region)))
+
+
 def _execute_policy(job: JobSpec) -> dict:
     from repro.experiments.runner import run_policy_experiment
 
@@ -241,6 +316,7 @@ def _execute_policy(job: JobSpec) -> dict:
         era_s=job.era_s,
         predictor=job.predictor,
         online_retrain=job.online_retrain,
+        policy_head=job.policy_head or None,
     )
     a = result.assessment
     payload = {
@@ -258,7 +334,21 @@ def _execute_policy(job: JobSpec) -> dict:
         "sla_met": a.sla_met,
         "rejuvenations": a.total_rejuvenations,
         "failures": a.total_failures,
+        "availability": _availability(result.traces, scenario),
     }
+    if result.head_stats is not None:
+        # only stamped when a head ran, so historical payloads (and
+        # their store round-trips) are unchanged in shape
+        payload["policy_head"] = job.policy_head
+        payload["head"] = {
+            "name": result.head_stats["head"],
+            "mean_reward": result.head_stats["mean_reward"],
+            "cost_per_mreq": result.head_stats["cost_per_mreq"],
+            "mean_threshold_delta_s": result.head_stats[
+                "mean_threshold_delta_s"
+            ],
+            "fallback_engaged": result.head_stats["fallback_engaged"],
+        }
     if result.online_stats is not None:
         stats = result.online_stats
         payload["online"] = {
@@ -377,11 +467,30 @@ def _execute_synthetic(job: JobSpec) -> dict:
     }
 
 
+def _execute_rollout(job: JobSpec) -> dict:
+    """One learned-policy training/eval episode (see
+    :func:`repro.policy.train.run_rollout_episode`)."""
+    from repro.policy.train import run_rollout_episode
+
+    if not job.policy_head:
+        raise ValueError("rollout jobs require a policy_head spec")
+    return run_rollout_episode(
+        scenario=job.scenario,
+        head_spec=job.policy_head,
+        fallback_policy=job.policy or "sensible-routing",
+        eras=job.eras,
+        seed=job.seed,
+        era_s=job.era_s,
+        load=job.load,
+    )
+
+
 _EXECUTORS = {
     "policy": _execute_policy,
     "load": _execute_load,
     "chaos": _execute_chaos,
     "synthetic": _execute_synthetic,
+    "rollout": _execute_rollout,
 }
 
 

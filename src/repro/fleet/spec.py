@@ -23,7 +23,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.fleet.jobs import POLICY_SCENARIOS, JobSpec
+from repro.fleet.jobs import (
+    POLICY_SCENARIOS,
+    JobSpec,
+    head_label,
+    parse_scenario_key,
+)
 from repro.obs.manifest import RunManifest
 from repro.sim.rng import derive_seed
 from repro.topology.domains import parse_domain_shape
@@ -57,6 +62,10 @@ class SweepSpec:
     #: :func:`repro.topology.domains.parse_domain_shape`), a grid axis
     #: over the policy cells; the default keeps historical digests
     domains: tuple[str, ...] = ("flat",)
+    #: policy-head specs ("" = static Plan path, "static:<policy>",
+    #: "frozen:<path>", or a checkpoint path), a grid axis over the
+    #: policy cells; the default keeps historical digests
+    policy_heads: tuple[str, ...] = ("",)
     #: chaos campaigns appended as extra cells (policy axis not applied)
     campaigns: tuple[str, ...] = ()
     #: era override for campaign cells; 0 = each campaign's default
@@ -64,10 +73,12 @@ class SweepSpec:
 
     def __post_init__(self) -> None:
         for scenario in self.scenarios:
-            if scenario not in POLICY_SCENARIOS:
+            base, _ = parse_scenario_key(scenario)
+            if base not in POLICY_SCENARIOS:
                 raise ValueError(
                     f"unknown scenario {scenario!r}; "
-                    f"expected one of {POLICY_SCENARIOS}"
+                    f"expected one of {POLICY_SCENARIOS} "
+                    "(optionally with a '+drift<factor>' suffix)"
                 )
         if self.replicates < 1:
             raise ValueError("replicates must be >= 1")
@@ -81,6 +92,11 @@ class SweepSpec:
             raise ValueError("domains axis must name at least one shape")
         for shape in self.domains:
             parse_domain_shape(shape)  # raises ValueError on garbage
+        if not self.policy_heads:
+            raise ValueError(
+                "policy_heads axis must name at least one spec "
+                '("" = no head)'
+            )
         if self.eras < 10:
             raise ValueError("eras must be >= 10 (assessment minimum)")
         if self.cell_count == 0:
@@ -91,7 +107,9 @@ class SweepSpec:
         """Grid cells (each cell holds ``replicates`` jobs)."""
         return len(self.scenarios) * len(self.policies) * len(
             self.loads
-        ) * len(self.retrain) * len(self.domains) + len(self.campaigns)
+        ) * len(self.retrain) * len(self.domains) * len(
+            self.policy_heads
+        ) + len(self.campaigns)
 
     @property
     def job_count(self) -> int:
@@ -115,28 +133,35 @@ class SweepSpec:
                                 if domains != "flat"
                                 else ""
                             )
-                            for rep in range(self.replicates):
-                                cell = (
-                                    f"{scenario}/{policy}/load{load:g}"
-                                    f"{suffix}{dsuffix}/rep{rep}"
-                                )
-                                jobs.append(
-                                    JobSpec(
-                                        kind="policy",
-                                        scenario=scenario,
-                                        policy=policy,
-                                        load=float(load),
-                                        seed=derive_seed(
-                                            self.root_seed, cell
-                                        ),
-                                        replicate=rep,
-                                        eras=self.eras,
-                                        era_s=self.era_s,
-                                        predictor=self.predictor,
-                                        online_retrain=retrain,
-                                        domains=domains,
+                            for head in self.policy_heads:
+                                # the head-less cells keep the
+                                # historical names (same rule as the
+                                # retrain/domains axes)
+                                hsuffix = f"/head:{head}" if head else ""
+                                for rep in range(self.replicates):
+                                    cell = (
+                                        f"{scenario}/{policy}/load{load:g}"
+                                        f"{suffix}{dsuffix}{hsuffix}"
+                                        f"/rep{rep}"
                                     )
-                                )
+                                    jobs.append(
+                                        JobSpec(
+                                            kind="policy",
+                                            scenario=scenario,
+                                            policy=policy,
+                                            load=float(load),
+                                            seed=derive_seed(
+                                                self.root_seed, cell
+                                            ),
+                                            replicate=rep,
+                                            eras=self.eras,
+                                            era_s=self.era_s,
+                                            predictor=self.predictor,
+                                            online_retrain=retrain,
+                                            domains=domains,
+                                            policy_head=head,
+                                        )
+                                    )
         for campaign in self.campaigns:
             for rep in range(self.replicates):
                 cell = f"chaos/{campaign}/rep{rep}"
@@ -176,6 +201,9 @@ class SweepSpec:
         if self.domains != ("flat",):
             # same digest-stability rule for the failure-domain axis
             config["domains"] = list(self.domains)
+        if self.policy_heads != ("",):
+            # same digest-stability rule for the learned-head axis
+            config["policy_heads"] = list(self.policy_heads)
         return config
 
     def manifest(self) -> RunManifest:

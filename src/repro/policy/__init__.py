@@ -1,0 +1,83 @@
+"""Learned allocation policies: heads, training, and evaluation.
+
+The paper's Policies 1-3 are static functions of the RMTTF vector; this
+package adds *learned* policy heads (a LinUCB contextual bandit and a
+REINFORCE softmax policy) that observe per-region RMTTF / load / cost /
+health features each era and emit forward fractions plus rejuvenation-
+threshold deltas -- trained in the deterministic simulator through the
+fleet executor, checkpointed content-addressed, and judged head-to-head
+against the static policies (``repro policy train`` / ``repro policy
+eval``).
+"""
+
+from repro.policy.checkpoint import (
+    head_digest,
+    load_checkpoint,
+    load_head,
+    save_head,
+    save_head_addressed,
+)
+from repro.policy.features import (
+    FEATURE_NAMES,
+    N_FEATURES,
+    PolicyObservation,
+    region_features,
+)
+from repro.policy.guard import RewardGuard, RewardGuardConfig
+from repro.policy.heads import (
+    ACTION_GRID,
+    BanditHead,
+    PolicyAction,
+    PolicyHead,
+    ReinforceHead,
+    StaticPolicyHead,
+    build_head,
+    head_from_doc,
+)
+from repro.policy.evaluate import (
+    EvalConfig,
+    EvalResult,
+    evaluate_heads,
+    frontier_table,
+    regret_report,
+)
+from repro.policy.runtime import PolicyHeadRuntime, RewardConfig
+from repro.policy.train import (
+    TrainConfig,
+    TrainResult,
+    run_rollout_episode,
+    train_policy_head,
+)
+
+__all__ = [
+    "ACTION_GRID",
+    "BanditHead",
+    "EvalConfig",
+    "EvalResult",
+    "TrainConfig",
+    "TrainResult",
+    "FEATURE_NAMES",
+    "N_FEATURES",
+    "PolicyAction",
+    "PolicyHead",
+    "PolicyHeadRuntime",
+    "PolicyObservation",
+    "ReinforceHead",
+    "RewardConfig",
+    "RewardGuard",
+    "RewardGuardConfig",
+    "StaticPolicyHead",
+    "build_head",
+    "evaluate_heads",
+    "frontier_table",
+    "head_digest",
+    "head_from_doc",
+    "load_checkpoint",
+    "load_head",
+    "region_features",
+    "regret_report",
+    "run_rollout_episode",
+    "save_head",
+    "save_head_addressed",
+    "train_policy_head",
+]

@@ -1,0 +1,81 @@
+"""Content-addressed policy-head checkpoints.
+
+A checkpoint is a head's :meth:`~repro.policy.heads.PolicyHead.to_doc`
+document serialised as sorted-key JSON.  The digest of that document
+(:func:`repro.obs.manifest.config_digest`, the same hash that keys the
+fleet's result store) names the file -- so identical parameters produce
+identical paths *and* identical bytes, which is what the trainer's
+resume logic and the ``repro policy train`` byte-identity acceptance
+test rely on.  No timestamps, hostnames, or float formatting ambiguity
+ever enter the file.
+
+Head *specs* -- the strings carried by CLI flags and the fleet's
+``policy_head`` job axis -- resolve through :func:`load_head`:
+
+* ``"static:<policy-name>"`` -> a frozen
+  :class:`~repro.policy.heads.StaticPolicyHead` over the named policy;
+* ``"frozen:<path>"`` -> the checkpoint at ``path``, frozen;
+* ``"<path>"`` -> the checkpoint at ``path`` in its saved mode
+  (trainable -- rollout workers keep learning locally).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.obs.manifest import config_digest
+from repro.policy.heads import PolicyHead, StaticPolicyHead, head_from_doc
+
+
+def doc_bytes(doc: dict) -> bytes:
+    """Canonical serialisation: sorted keys, newline-terminated."""
+    return (json.dumps(doc, sort_keys=True, indent=1) + "\n").encode()
+
+
+def head_digest(head: PolicyHead) -> str:
+    """Content digest of a head's parameters."""
+    return config_digest(head.to_doc())
+
+
+def save_head(head: PolicyHead, path: Path | str) -> Path:
+    """Write a head's checkpoint to an explicit path (atomic)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_bytes(doc_bytes(head.to_doc()))
+    os.replace(tmp, path)
+    return path
+
+
+def save_head_addressed(head: PolicyHead, directory: Path | str) -> Path:
+    """Write a content-addressed checkpoint: ``<dir>/head-<digest>.json``."""
+    directory = Path(directory)
+    return save_head(head, directory / f"head-{head_digest(head)}.json")
+
+
+def load_checkpoint(path: Path | str) -> PolicyHead:
+    """Rebuild a head from a checkpoint file."""
+    doc = json.loads(Path(path).read_text())
+    return head_from_doc(doc)
+
+
+def load_head(spec: str, frozen: bool = False) -> PolicyHead:
+    """Resolve a head spec string (see module docstring).
+
+    ``frozen=True`` freezes whatever comes back (eval semantics);
+    static heads are frozen by construction.
+    """
+    if not spec:
+        raise ValueError("empty policy-head spec")
+    if spec.startswith("static:"):
+        return StaticPolicyHead(spec.split(":", 1)[1])
+    if spec.startswith("frozen:"):
+        head = load_checkpoint(spec.split(":", 1)[1])
+        head.freeze()
+        return head
+    head = load_checkpoint(spec)
+    if frozen:
+        head.freeze()
+    return head

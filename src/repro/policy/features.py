@@ -1,0 +1,105 @@
+"""Per-region observation vectors for learned policy heads.
+
+Each control era, the Plan phase summarises every region into a small,
+normalised feature vector; the concatenated ``(n_regions, N_FEATURES)``
+matrix plus the raw Algorithm-2 inputs form a
+:class:`PolicyObservation`.  The raw inputs ride along so a
+``StaticPolicyHead`` can feed the wrapped Policy the *exact* floats the
+plain control loop would have used -- that is what makes the frozen-head
+bit-identity test possible.
+
+Feature scaling is deliberately crude (fixed clips, no running
+statistics): a contextual bandit only needs the features bounded and
+roughly unit-scale, and anything adaptive would break the determinism
+discipline (the same era must produce the same vector regardless of
+what ran before the checkpoint was written).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Feature order of one region's row (see :func:`region_features`).
+FEATURE_NAMES: tuple[str, ...] = (
+    "bias",
+    "rmttf",
+    "fraction",
+    "load_share",
+    "failure_rate",
+    "rejuvenation_rate",
+    "slo_pressure",
+    "health",
+    "cost_per_kreq",
+)
+
+#: Dimensionality of one region's feature vector.
+N_FEATURES = len(FEATURE_NAMES)
+
+#: RMTTF normaliser (seconds): ~2.5x the paper's 240 s rejuvenation
+#: threshold, so the feature saturates only for a comfortably healthy VM.
+RMTTF_SCALE_S = 600.0
+
+#: SLO-pressure clip: response times beyond 3x the SLA all look equally
+#: terrible to the head.
+SLO_CLIP = 3.0
+
+
+@dataclass(frozen=True)
+class PolicyObservation:
+    """What a policy head sees at one Plan step.
+
+    ``features`` is the normalised ``(n_regions, N_FEATURES)`` matrix;
+    ``prev_fractions`` / ``rmttf`` / ``global_rate`` are the raw
+    Algorithm-2 inputs, bit-identical to what ``POLICY()`` would get.
+    """
+
+    regions: tuple[str, ...]
+    features: np.ndarray
+    prev_fractions: np.ndarray
+    rmttf: np.ndarray
+    global_rate: float
+
+    def __post_init__(self) -> None:
+        n = len(self.regions)
+        if self.features.shape != (n, N_FEATURES):
+            raise ValueError(
+                f"features must be ({n}, {N_FEATURES}), "
+                f"got {self.features.shape}"
+            )
+
+
+def region_features(
+    *,
+    rmttf_s: float,
+    fraction: float,
+    load_share: float,
+    failures: int,
+    rejuvenations: int,
+    n_vms: int,
+    response_time_s: float,
+    sla_s: float,
+    total_capacity: float,
+    healthy_capacity: float,
+    cost_per_kreq: float,
+) -> np.ndarray:
+    """One region's normalised feature row (order = ``FEATURE_NAMES``)."""
+    pool = max(n_vms, 1)
+    health = (
+        total_capacity / healthy_capacity if healthy_capacity > 0 else 0.0
+    )
+    slo = min(response_time_s / sla_s, SLO_CLIP) / SLO_CLIP if sla_s > 0 else 0.0
+    return np.array(
+        [
+            1.0,
+            min(rmttf_s / RMTTF_SCALE_S, 2.0),
+            fraction,
+            load_share,
+            failures / pool,
+            rejuvenations / pool,
+            slo,
+            min(max(health, 0.0), 1.0),
+            min(max(cost_per_kreq, 0.0), 1.0),
+        ]
+    )

@@ -1,0 +1,485 @@
+"""Policy heads: the pluggable Plan-phase decision makers.
+
+A :class:`PolicyHead` generalises the paper's ``POLICY()`` call: instead
+of mapping ``(f^{t-1}, RMTTF)`` to new fractions, a head maps a full
+:class:`~repro.policy.features.PolicyObservation` to a
+:class:`PolicyAction` -- new fractions *plus* a per-region rejuvenation
+threshold delta.  Three implementations:
+
+* :class:`StaticPolicyHead` wraps any registered
+  :class:`~repro.core.policy.Policy` (Policies 1-3 and the baselines),
+  emitting exactly the fractions the plain loop would have computed and
+  zero threshold deltas -- the apples-to-apples control arm.
+* :class:`BanditHead` is a LinUCB contextual bandit over a discretised
+  action grid (a fraction-weight scale x a threshold delta per region),
+  with a shared per-era reward.
+* :class:`ReinforceHead` is a softmax policy gradient (REINFORCE with a
+  running-mean baseline) over the same grid, NumPy-only.
+
+Both learned heads are ``derive_seed``-deterministic: training updates
+are pure functions of (parameters, observation, reward), and the only
+sampling (REINFORCE's action draw) comes from an explicitly reseeded
+generator.  ``to_doc`` / ``head_from_doc`` round-trip every parameter
+through sorted JSON, which is what makes checkpoints byte-identical
+across runs.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.policy import (
+    DEFAULT_MIN_FRACTION,
+    Policy,
+    compute_fractions,
+    get_policy,
+    normalize_fractions,
+)
+from repro.policy.features import N_FEATURES, PolicyObservation
+
+#: Checkpoint format marker (bumped on incompatible layout changes).
+DOC_FORMAT = "repro-policy-head/v1"
+
+#: Multiplicative scales a learned arm applies to a region's *anchor*
+#: fraction -- the fraction the head's anchor policy would assign this
+#: era.  Uniform 1.0 reproduces the anchor policy exactly (the scales
+#: cancel under normalisation), so the identity arm is always in the
+#: action space and learned deviations modulate a known-good plan
+#: instead of free-running.
+WEIGHT_SCALES: tuple[float, ...] = (0.6, 0.85, 1.0, 1.2, 1.6)
+
+#: Rejuvenation-threshold deltas (seconds) a learned arm applies to the
+#: region's configured RTTF threshold.  Raising the threshold rejuvenates
+#: earlier (proactive under drift); lowering it tolerates more risk.
+THRESHOLD_DELTAS: tuple[float, ...] = (-60.0, 0.0, 90.0)
+
+#: The discrete action grid: every (scale, delta) pair is one arm.
+ACTION_GRID: tuple[tuple[float, float], ...] = tuple(
+    (s, d) for s in WEIGHT_SCALES for d in THRESHOLD_DELTAS
+)
+
+N_ARMS = len(ACTION_GRID)
+
+_ARM_SCALES = np.array([s for s, _ in ACTION_GRID])
+_ARM_DELTAS = np.array([d for _, d in ACTION_GRID])
+
+
+@dataclass(frozen=True)
+class PolicyAction:
+    """What a head emits at one Plan step."""
+
+    #: New forward fractions (a simplex point; the runtime still zeroes
+    #: dead regions via :func:`~repro.core.policy.renormalize_live`).
+    fractions: np.ndarray
+    #: Per-region rejuvenation-threshold delta in seconds (0 = keep the
+    #: configured threshold).
+    threshold_deltas: np.ndarray
+    #: Chosen arm index per region (learned heads; ``None`` for static).
+    arms: np.ndarray | None = None
+
+
+class PolicyHead(abc.ABC):
+    """Observation -> action policy driven once per control era.
+
+    The protocol a control loop (via
+    :class:`~repro.policy.runtime.PolicyHeadRuntime`) relies on:
+    :meth:`act` at the Plan step, :meth:`observe_reward` after the era's
+    bookkeeping.  In frozen mode a head is a pure function of its
+    parameters -- ``observe_reward`` must not mutate anything.
+    """
+
+    #: Registry kind ("static" | "bandit" | "reinforce").
+    kind: str = ""
+
+    def __init__(self, frozen: bool = False) -> None:
+        self.frozen = bool(frozen)
+        #: Train-mode transition log: one dict per era, JSON-able, in
+        #: the exact shape :meth:`replay` consumes.
+        self.transitions: list[dict] = []
+
+    # -- inference ------------------------------------------------------ #
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Human-readable identity for reports and labels."""
+
+    @abc.abstractmethod
+    def act(self, obs: PolicyObservation) -> PolicyAction:
+        """Map one era's observation to an action."""
+
+    def observe_reward(self, reward: float) -> None:
+        """Fold the era's shared reward into the head (train mode only)."""
+
+    def freeze(self) -> None:
+        """Switch to pure inference: no updates, no sampling."""
+        self.frozen = True
+
+    def reseed(self, seed: int) -> None:
+        """Reset any sampling stream (episode isolation); default no-op."""
+
+    # -- persistence ---------------------------------------------------- #
+
+    @abc.abstractmethod
+    def to_doc(self) -> dict:
+        """JSON-able parameter document (see :mod:`repro.policy.checkpoint`)."""
+
+    def replay(self, transitions: list[dict]) -> None:
+        """Apply a rollout's logged transitions to this head's parameters.
+
+        The round-synchronous trainer collects transitions from worker
+        episodes (each run against a frozen parameter snapshot) and
+        replays them into the master head in deterministic episode
+        order -- the aggregation step that makes training worker-count
+        invariant.  Static heads have nothing to learn.
+        """
+
+
+class StaticPolicyHead(PolicyHead):
+    """A paper policy behind the head interface (the control arm).
+
+    ``act`` routes through :func:`~repro.core.policy.compute_fractions`
+    with the observation's raw Algorithm-2 inputs, so the emitted
+    fractions are bit-identical to the plain control loop's; the
+    threshold deltas are identically zero.
+    """
+
+    kind = "static"
+
+    def __init__(self, policy: Policy | str) -> None:
+        super().__init__(frozen=True)
+        self.policy = (
+            policy if isinstance(policy, Policy) else get_policy(policy)
+        )
+
+    @property
+    def name(self) -> str:
+        return f"static:{self.policy.name}"
+
+    def act(self, obs: PolicyObservation) -> PolicyAction:
+        fractions = compute_fractions(
+            self.policy, obs.prev_fractions, obs.rmttf, obs.global_rate
+        )
+        return PolicyAction(
+            fractions=fractions,
+            threshold_deltas=np.zeros(len(obs.regions)),
+        )
+
+    def to_doc(self) -> dict:
+        return {
+            "format": DOC_FORMAT,
+            "kind": self.kind,
+            "config": {"policy": self.policy.name},
+            "state": {},
+        }
+
+
+def _grid_action(
+    anchor_fractions: np.ndarray, arms: np.ndarray, min_fraction: float
+) -> PolicyAction:
+    """Decode per-region arm choices into a concrete action.
+
+    The scales multiply the *anchor* fractions (what the head's anchor
+    policy planned this era), then renormalise -- so differential scales
+    shift load between regions while uniform scales leave the anchor
+    plan untouched.
+    """
+    raw = anchor_fractions * _ARM_SCALES[arms]
+    return PolicyAction(
+        fractions=normalize_fractions(raw, min_fraction),
+        threshold_deltas=_ARM_DELTAS[arms].astype(float),
+        arms=arms,
+    )
+
+
+class BanditHead(PolicyHead):
+    """LinUCB contextual bandit over the (scale, delta) action grid.
+
+    Per region and era: choose the arm maximising
+    ``theta_a . x + alpha * sqrt(x^T A_a^-1 x)`` where ``A_a, b_a`` are
+    the classic ridge statistics.  All regions share one set of arm
+    statistics (a region is identified only through its features, so
+    experience transfers) and the era's scalar reward credits every
+    region's chosen arm.  Frozen mode drops the optimism bonus and plays
+    the greedy arm.  Arms decode against the ``anchor`` policy's plan
+    (see :func:`_grid_action`).
+    """
+
+    kind = "bandit"
+
+    def __init__(
+        self,
+        alpha: float = 0.8,
+        anchor: str = "sensible-routing",
+        min_fraction: float = DEFAULT_MIN_FRACTION,
+        frozen: bool = False,
+        A: np.ndarray | None = None,
+        b: np.ndarray | None = None,
+    ) -> None:
+        super().__init__(frozen=frozen)
+        if alpha < 0:
+            raise ValueError("alpha must be >= 0")
+        self.alpha = float(alpha)
+        self.anchor = str(anchor)
+        self._anchor_policy = get_policy(self.anchor)
+        self.min_fraction = float(min_fraction)
+        self.A = (
+            np.array(A, dtype=float)
+            if A is not None
+            else np.stack([np.eye(N_FEATURES) for _ in range(N_ARMS)])
+        )
+        self.b = (
+            np.array(b, dtype=float)
+            if b is not None
+            else np.zeros((N_ARMS, N_FEATURES))
+        )
+        if self.A.shape != (N_ARMS, N_FEATURES, N_FEATURES):
+            raise ValueError(f"bad A shape {self.A.shape}")
+        if self.b.shape != (N_ARMS, N_FEATURES):
+            raise ValueError(f"bad b shape {self.b.shape}")
+        self._pending: tuple[np.ndarray, np.ndarray] | None = None
+
+    @property
+    def name(self) -> str:
+        return "bandit"
+
+    def act(self, obs: PolicyObservation) -> PolicyAction:
+        x = obs.features  # (n_regions, d)
+        inv = np.linalg.inv(self.A)  # (n_arms, d, d)
+        theta = np.einsum("adk,ak->ad", inv, self.b)  # (n_arms, d)
+        mean = x @ theta.T  # (n_regions, n_arms)
+        if self.frozen:
+            score = mean
+        else:
+            var = np.einsum("rd,adk,rk->ra", x, inv, x)
+            score = mean + self.alpha * np.sqrt(np.maximum(var, 0.0))
+        arms = np.argmax(score, axis=1)
+        if not self.frozen:
+            self._pending = (x.copy(), arms.copy())
+        return _grid_action(
+            self._anchor_fractions(obs), arms, self.min_fraction
+        )
+
+    def _anchor_fractions(self, obs: PolicyObservation) -> np.ndarray:
+        return compute_fractions(
+            self._anchor_policy,
+            obs.prev_fractions,
+            obs.rmttf,
+            obs.global_rate,
+        )
+
+    def observe_reward(self, reward: float) -> None:
+        if self.frozen or self._pending is None:
+            return
+        x, arms = self._pending
+        self._pending = None
+        self._update(x, arms, float(reward))
+        self.transitions.append(
+            {
+                "x": x.tolist(),
+                "arms": arms.tolist(),
+                "reward": float(reward),
+            }
+        )
+
+    def _update(self, x: np.ndarray, arms: np.ndarray, reward: float) -> None:
+        for i in range(x.shape[0]):
+            a = int(arms[i])
+            xi = x[i]
+            self.A[a] += np.outer(xi, xi)
+            self.b[a] += reward * xi
+
+    def replay(self, transitions: list[dict]) -> None:
+        for t in transitions:
+            self._update(
+                np.array(t["x"], dtype=float),
+                np.array(t["arms"], dtype=int),
+                float(t["reward"]),
+            )
+
+    def to_doc(self) -> dict:
+        return {
+            "format": DOC_FORMAT,
+            "kind": self.kind,
+            "config": {
+                "alpha": self.alpha,
+                "anchor": self.anchor,
+                "min_fraction": self.min_fraction,
+            },
+            "state": {"A": self.A.tolist(), "b": self.b.tolist()},
+        }
+
+
+class ReinforceHead(PolicyHead):
+    """Softmax policy gradient (REINFORCE) over the action grid.
+
+    Per region: ``pi(a|x) = softmax(W x)``; train mode samples from the
+    (explicitly seeded) generator and ascends
+    ``(r - baseline) * grad log pi``; frozen mode plays the argmax.  The
+    baseline is a running mean of rewards (exponential, so it is a pure
+    fold over the reward sequence).
+    """
+
+    kind = "reinforce"
+
+    def __init__(
+        self,
+        lr: float = 0.05,
+        baseline_decay: float = 0.9,
+        anchor: str = "sensible-routing",
+        min_fraction: float = DEFAULT_MIN_FRACTION,
+        frozen: bool = False,
+        W: np.ndarray | None = None,
+        baseline: float | None = None,
+    ) -> None:
+        super().__init__(frozen=frozen)
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0.0 <= baseline_decay < 1.0:
+            raise ValueError("baseline_decay must be in [0, 1)")
+        self.lr = float(lr)
+        self.baseline_decay = float(baseline_decay)
+        self.anchor = str(anchor)
+        self._anchor_policy = get_policy(self.anchor)
+        self.min_fraction = float(min_fraction)
+        self.W = (
+            np.array(W, dtype=float)
+            if W is not None
+            else np.zeros((N_ARMS, N_FEATURES))
+        )
+        if self.W.shape != (N_ARMS, N_FEATURES):
+            raise ValueError(f"bad W shape {self.W.shape}")
+        self.baseline = None if baseline is None else float(baseline)
+        self._rng = np.random.default_rng(0)
+        self._pending: tuple[np.ndarray, np.ndarray] | None = None
+
+    @property
+    def name(self) -> str:
+        return "reinforce"
+
+    def reseed(self, seed: int) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def _probs(self, x: np.ndarray) -> np.ndarray:
+        logits = x @ self.W.T  # (n_regions, n_arms)
+        logits = logits - logits.max(axis=1, keepdims=True)
+        e = np.exp(logits)
+        return e / e.sum(axis=1, keepdims=True)
+
+    def act(self, obs: PolicyObservation) -> PolicyAction:
+        x = obs.features
+        probs = self._probs(x)
+        if self.frozen:
+            arms = np.argmax(probs, axis=1)
+        else:
+            cdf = np.cumsum(probs, axis=1)
+            u = self._rng.random(x.shape[0])
+            arms = (u[:, None] < cdf).argmax(axis=1)
+            self._pending = (x.copy(), arms.copy())
+        anchor_fractions = compute_fractions(
+            self._anchor_policy,
+            obs.prev_fractions,
+            obs.rmttf,
+            obs.global_rate,
+        )
+        return _grid_action(anchor_fractions, arms, self.min_fraction)
+
+    def observe_reward(self, reward: float) -> None:
+        if self.frozen or self._pending is None:
+            return
+        x, arms = self._pending
+        self._pending = None
+        self._update(x, arms, float(reward))
+        self.transitions.append(
+            {
+                "x": x.tolist(),
+                "arms": arms.tolist(),
+                "reward": float(reward),
+            }
+        )
+
+    def _update(self, x: np.ndarray, arms: np.ndarray, reward: float) -> None:
+        if self.baseline is None:
+            self.baseline = reward
+        advantage = reward - self.baseline
+        probs = self._probs(x)  # under the *current* parameters
+        grad = -probs
+        grad[np.arange(x.shape[0]), arms] += 1.0
+        self.W += self.lr * advantage * grad.T @ x
+        self.baseline = (
+            self.baseline_decay * self.baseline
+            + (1.0 - self.baseline_decay) * reward
+        )
+
+    def replay(self, transitions: list[dict]) -> None:
+        for t in transitions:
+            self._update(
+                np.array(t["x"], dtype=float),
+                np.array(t["arms"], dtype=int),
+                float(t["reward"]),
+            )
+
+    def to_doc(self) -> dict:
+        return {
+            "format": DOC_FORMAT,
+            "kind": self.kind,
+            "config": {
+                "lr": self.lr,
+                "baseline_decay": self.baseline_decay,
+                "anchor": self.anchor,
+                "min_fraction": self.min_fraction,
+            },
+            "state": {
+                "W": self.W.tolist(),
+                "baseline": self.baseline,
+            },
+        }
+
+
+#: Learned-head kinds the trainer can build from scratch.
+LEARNED_KINDS = ("bandit", "reinforce")
+
+
+def build_head(kind: str, **kwargs) -> PolicyHead:
+    """Fresh learned head by kind (``"bandit"`` | ``"reinforce"``)."""
+    if kind == "bandit":
+        return BanditHead(**kwargs)
+    if kind == "reinforce":
+        return ReinforceHead(**kwargs)
+    raise ValueError(
+        f"unknown learned head kind {kind!r}; expected one of {LEARNED_KINDS}"
+    )
+
+
+def head_from_doc(doc: dict) -> PolicyHead:
+    """Rebuild a head from its :meth:`PolicyHead.to_doc` document."""
+    if doc.get("format") != DOC_FORMAT:
+        raise ValueError(
+            f"unsupported checkpoint format {doc.get('format')!r}"
+        )
+    kind = doc.get("kind")
+    config = doc.get("config", {})
+    state = doc.get("state", {})
+    if kind == "static":
+        return StaticPolicyHead(str(config["policy"]))
+    if kind == "bandit":
+        return BanditHead(
+            alpha=float(config["alpha"]),
+            anchor=str(config["anchor"]),
+            min_fraction=float(config["min_fraction"]),
+            A=state["A"],
+            b=state["b"],
+        )
+    if kind == "reinforce":
+        return ReinforceHead(
+            lr=float(config["lr"]),
+            baseline_decay=float(config["baseline_decay"]),
+            anchor=str(config["anchor"]),
+            min_fraction=float(config["min_fraction"]),
+            W=state["W"],
+            baseline=state["baseline"],
+        )
+    raise ValueError(f"unknown head kind {kind!r} in checkpoint")

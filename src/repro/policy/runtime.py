@@ -1,0 +1,276 @@
+"""The glue between a policy head and the ACM control loop.
+
+:class:`PolicyHeadRuntime` owns everything head-related that happens
+inside one deployment run, so :class:`~repro.core.control_loop
+.AcmControlLoop` only grows two duck-typed calls:
+
+* ``plan(...)`` at the Plan step (``normal`` mode only) -- builds the
+  per-region :class:`~repro.policy.features.PolicyObservation`, asks the
+  head for an action, applies the rejuvenation-threshold deltas to each
+  region's discipline, and zeroes dead regions through the same
+  :func:`~repro.core.policy.renormalize_live` helper the serve path
+  uses;
+* ``settle(...)`` after the era's bookkeeping -- charges the era's cost
+  (:class:`~repro.core.cost.CostTracker`), computes the shared reward
+
+  ``reward = availability - lambda_cost * $/kreq - mu_slo * SLO-violation``
+
+  feeds it to the head (train mode) and to the
+  :class:`~repro.policy.guard.RewardGuard` (when configured), and emits
+  ``policy_*`` telemetry.  Everything is bit-invisible when telemetry is
+  disabled, and the entire runtime is absent (``None``) in plain runs --
+  the golden-trace guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cost import CostTracker
+from repro.core.policy import renormalize_live
+from repro.pcam.rejuvenation import RttfThresholdRejuvenation
+from repro.policy.features import PolicyObservation, region_features
+from repro.policy.guard import RewardGuard
+from repro.policy.heads import PolicyAction, PolicyHead
+
+
+class RewardConfig:
+    """Weights of the per-era reward (see module docstring).
+
+    ``lambda_cost`` multiplies the deployment's dollars per *thousand*
+    served requests (the natural per-era scale of the paper's testbed:
+    around $0.01-0.05/kreq); ``mu_slo`` multiplies the clipped relative
+    SLA excess ``min(max(rt/sla - 1, 0), 1)``.
+    """
+
+    def __init__(
+        self,
+        lambda_cost: float = 1.0,
+        mu_slo: float = 0.5,
+        sla_s: float = 1.0,
+    ) -> None:
+        if sla_s <= 0:
+            raise ValueError("sla_s must be positive")
+        self.lambda_cost = float(lambda_cost)
+        self.mu_slo = float(mu_slo)
+        self.sla_s = float(sla_s)
+
+    def as_dict(self) -> dict:
+        return {
+            "lambda_cost": self.lambda_cost,
+            "mu_slo": self.mu_slo,
+            "sla_s": self.sla_s,
+        }
+
+
+class PolicyHeadRuntime:
+    """Per-run head state machine bound to one control loop."""
+
+    def __init__(
+        self,
+        head: PolicyHead,
+        reward: RewardConfig | None = None,
+        guard: RewardGuard | None = None,
+    ) -> None:
+        self.head = head
+        self.reward_cfg = reward or RewardConfig()
+        self.guard = guard
+        self.loop = None
+        #: Per-era shared rewards, availability, and cost (for payloads).
+        self.rewards: list[float] = []
+        self.availability: list[float] = []
+        self.threshold_deltas: list[float] = []
+        self._action: PolicyAction | None = None
+        self._last_cost_per_kreq: np.ndarray | None = None
+        self._fallback_announced = False
+
+    # ------------------------------------------------------------------ #
+
+    def bind(self, loop) -> None:
+        """Attach to a control loop (called from the loop's ``__init__``)."""
+        self.loop = loop
+        self.cost = CostTracker()
+        self.regions: list[str] = loop.regions
+        n = len(self.regions)
+        self._targets = np.array(
+            [max(loop.vmcs[r].target_active, 1) for r in self.regions],
+            dtype=float,
+        )
+        self._pool_sizes = [len(loop.vmcs[r].vms) for r in self.regions]
+        self._base_thresholds: dict[str, float] = {}
+        for r in self.regions:
+            disc = loop.vmcs[r].discipline
+            if isinstance(disc, RttfThresholdRejuvenation):
+                self._base_thresholds[r] = disc.threshold_s
+        self._last_cost_per_kreq = np.zeros(n)
+        self._tel = loop._tel
+        self._obs_on = loop._obs_on
+
+    @property
+    def fallback_engaged(self) -> bool:
+        """True once the reward guard has tripped (sticky)."""
+        return self.guard is not None and self.guard.engaged
+
+    # ------------------------------------------------------------------ #
+
+    def plan(
+        self,
+        *,
+        era: int,
+        prev_fractions: np.ndarray,
+        rmttf: np.ndarray,
+        global_rate: float,
+        reports: dict,
+        per_region_rt: dict[str, float],
+    ) -> np.ndarray:
+        """The head-driven Plan step; returns the planned fractions."""
+        loop = self.loop
+        total_served = max(
+            sum(reports[r].requests_served for r in self.regions), 1
+        )
+        rows = []
+        for j, r in enumerate(self.regions):
+            rep = reports[r]
+            vmc = loop.vmcs[r]
+            rows.append(
+                region_features(
+                    rmttf_s=float(rmttf[j]),
+                    fraction=float(prev_fractions[j]),
+                    load_share=rep.requests_served / total_served,
+                    failures=rep.failures,
+                    rejuvenations=rep.rejuvenations_triggered,
+                    n_vms=self._pool_sizes[j],
+                    response_time_s=per_region_rt[r],
+                    sla_s=self.reward_cfg.sla_s,
+                    total_capacity=vmc.total_capacity(),
+                    healthy_capacity=vmc.healthy_capacity(),
+                    cost_per_kreq=float(self._last_cost_per_kreq[j]),
+                )
+            )
+        obs = PolicyObservation(
+            regions=tuple(self.regions),
+            features=np.stack(rows),
+            prev_fractions=np.asarray(prev_fractions, dtype=float),
+            rmttf=np.asarray(rmttf, dtype=float),
+            global_rate=float(global_rate),
+        )
+        action = self.head.act(obs)
+        self._action = action
+        self._apply_thresholds(action)
+        planned = action.fractions
+        alive = np.array(
+            [loop.overlay.is_alive(r) for r in self.regions], dtype=bool
+        )
+        if not alive.all():
+            live = renormalize_live(planned, alive)
+            if live is not None:
+                planned = live
+        if self._obs_on:
+            for j, r in enumerate(self.regions):
+                self._tel.gauge("policy_threshold_delta_s", region=r).set(
+                    float(action.threshold_deltas[j])
+                )
+        return planned
+
+    def _apply_thresholds(self, action: PolicyAction) -> None:
+        for j, r in enumerate(self.regions):
+            base = self._base_thresholds.get(r)
+            if base is None:
+                continue  # non-threshold discipline: delta has no target
+            disc = self.loop.vmcs[r].discipline
+            disc.threshold_s = max(0.0, base + float(action.threshold_deltas[j]))
+        self.threshold_deltas.append(
+            float(np.mean(action.threshold_deltas))
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def settle(self, summary, reports: dict, dt_s: float) -> float:
+        """Era epilogue: cost, reward, learning, guard, telemetry."""
+        cfg = self.reward_cfg
+        era_usd = 0.0
+        for j, r in enumerate(self.regions):
+            rep = reports[r]
+            charge = self.cost.charge_era(
+                self.loop.vmcs[r], dt_s, requests_served=rep.requests_served
+            )
+            era_usd += charge
+            self._last_cost_per_kreq[j] = (
+                charge / max(rep.requests_served, 1) * 1000.0
+            )
+        availability = float(
+            np.mean(
+                np.minimum(
+                    np.array(
+                        [reports[r].n_active for r in self.regions],
+                        dtype=float,
+                    )
+                    / self._targets,
+                    1.0,
+                )
+            )
+        )
+        total_requests = max(summary.total_requests, 1)
+        cost_per_kreq = era_usd / total_requests * 1000.0
+        slo_violation = min(
+            max(summary.response_time_s / cfg.sla_s - 1.0, 0.0), 1.0
+        )
+        reward = (
+            availability
+            - cfg.lambda_cost * cost_per_kreq
+            - cfg.mu_slo * slo_violation
+        )
+        self.rewards.append(reward)
+        self.availability.append(availability)
+        self.head.observe_reward(reward)
+        if self.guard is not None:
+            engaged = self.guard.observe(reward)
+            if engaged and not self._fallback_announced:
+                self._fallback_announced = True
+                # hand the disciplines back their configured thresholds:
+                # the static fallback policy must run the paper's PCAM
+                for r, base in self._base_thresholds.items():
+                    self.loop.vmcs[r].discipline.threshold_s = base
+                if self._obs_on:
+                    self._tel.counter("policy_fallbacks_total").inc()
+                    self._tel.event(
+                        "policy.fallback_engaged",
+                        era=summary.era,
+                        head=self.head.name,
+                        reward=reward,
+                        baseline=self.guard.baseline,
+                    )
+        if self._obs_on:
+            self._tel.gauge("policy_reward").set(reward)
+            self._tel.gauge("policy_availability").set(availability)
+            self._tel.counter("policy_eras_total").inc()
+        return reward
+
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> dict:
+        """Run-level summary for payloads and reports (JSON-able)."""
+        return {
+            "head": self.head.name,
+            "eras": len(self.rewards),
+            "mean_reward": (
+                float(np.mean(self.rewards)) if self.rewards else 0.0
+            ),
+            "availability": (
+                float(np.mean(self.availability))
+                if self.availability
+                else 0.0
+            ),
+            "cost_usd": float(self.cost.total_usd),
+            "cost_per_mreq": (
+                float(self.cost.cost_per_million_requests())
+                if self.cost.requests_served
+                else 0.0
+            ),
+            "mean_threshold_delta_s": (
+                float(np.mean(self.threshold_deltas))
+                if self.threshold_deltas
+                else 0.0
+            ),
+            "fallback_engaged": self.fallback_engaged,
+        }

@@ -37,7 +37,7 @@ import numpy as np
 from repro.chaos.engine import ChaosEngine
 from repro.core.forward_plan import build_forward_plan
 from repro.core.manager import AcmManager
-from repro.core.policy import normalize_fractions
+from repro.core.policy import compute_fractions, renormalize_live
 from repro.experiments.scenarios import Scenario
 from repro.obs.exporters import to_prometheus_text
 from repro.obs.manifest import RunManifest
@@ -406,32 +406,27 @@ class AcmService:
             ]
         )
         self._mode = self.degradation.observe(era, received)
-        if self._mode == "normal":
-            planned = self.policy_impl.compute(
-                self.fractions, rmttf_vec, self._lam
-            )
-        elif self._mode == "hold":
-            planned = self.fractions
-        else:  # fallback: split by deployment knowledge alone
-            capacities = np.array(
+        planned = compute_fractions(
+            self.policy_impl,
+            self.fractions,
+            rmttf_vec,
+            self._lam,
+            mode=self._mode,
+            capacities=np.array(
                 [self.vmcs[r].healthy_capacity() for r in self.regions]
             )
-            planned = normalize_fractions(
-                capacities, self.policy_impl.min_fraction
-            )
+            if self._mode == "fallback"
+            else None,
+        )
         # A dead region must not be planned traffic, whatever the policy
-        # said: zero it and renormalise over the live ones.
+        # said: zero it and renormalise over the live ones (the same
+        # helper the sim-side policy heads use, so the paths can't drift).
         alive = np.array(
             [self.overlay.is_alive(r) for r in self.regions], dtype=bool
         )
-        planned = np.where(alive, planned, 0.0)
-        total = planned.sum()
-        if total <= 0:
-            if not alive.any():
-                return
-            planned = alive.astype(float) / alive.sum()
-        else:
-            planned = planned / total
+        planned = renormalize_live(planned, alive)
+        if planned is None:
+            return
         self.fractions = planned
         payload = {
             "fractions": [float(x) for x in planned],

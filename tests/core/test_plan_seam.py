@@ -1,0 +1,109 @@
+"""The shared Plan-phase seam: `compute_fractions` + `renormalize_live`.
+
+Both helpers replaced inlined ladders in the fluid loop, the DES loop,
+and the serve path; these tests pin the bit-identity contract that made
+that refactor safe.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import (
+    compute_fractions,
+    get_policy,
+    normalize_fractions,
+    renormalize_live,
+)
+
+PAPER_POLICIES = ("sensible-routing", "available-resources", "exploration")
+
+
+def _random_inputs(rng, n):
+    prev = rng.dirichlet(np.ones(n))
+    rmttf = rng.uniform(10.0, 900.0, size=n)
+    rate = rng.uniform(1.0, 400.0)
+    return prev, rmttf, rate
+
+
+class TestComputeFractions:
+    @pytest.mark.parametrize("name", PAPER_POLICIES)
+    def test_normal_mode_bit_identical_to_policy_compute(self, name):
+        """mode="normal" is POLICY() itself -- same floats, not close."""
+        rng = np.random.default_rng(7)
+        policy = get_policy(name)
+        for n in (2, 3, 5):
+            for _ in range(20):
+                prev, rmttf, rate = _random_inputs(rng, n)
+                direct = policy.compute(prev, rmttf, rate)
+                via_seam = compute_fractions(policy, prev, rmttf, rate)
+                assert np.array_equal(direct, via_seam)
+
+    def test_hold_mode_returns_previous(self):
+        policy = get_policy("sensible-routing")
+        prev = np.array([0.5, 0.3, 0.2])
+        held = compute_fractions(
+            policy, prev, np.array([1.0, 2.0, 3.0]), 10.0, mode="hold"
+        )
+        assert np.array_equal(held, prev)
+        assert held.dtype == float
+
+    def test_fallback_mode_normalizes_capacities(self):
+        policy = get_policy("sensible-routing")
+        caps = np.array([30.0, 60.0, 10.0])
+        got = compute_fractions(
+            policy,
+            np.full(3, 1 / 3),
+            np.zeros(3),
+            0.0,
+            mode="fallback",
+            capacities=caps,
+        )
+        expected = normalize_fractions(caps, policy.min_fraction)
+        assert np.array_equal(got, expected)
+
+    def test_fallback_requires_capacities(self):
+        policy = get_policy("sensible-routing")
+        with pytest.raises(ValueError, match="capacities"):
+            compute_fractions(
+                policy, np.full(2, 0.5), np.ones(2), 1.0, mode="fallback"
+            )
+
+    def test_unknown_mode_rejected(self):
+        policy = get_policy("sensible-routing")
+        with pytest.raises(ValueError, match="unknown plan mode"):
+            compute_fractions(
+                policy, np.full(2, 0.5), np.ones(2), 1.0, mode="panic"
+            )
+
+
+class TestRenormalizeLive:
+    def test_all_alive_returns_plan_unchanged(self):
+        plan = np.array([0.2, 0.5, 0.3])
+        got = renormalize_live(plan, np.array([True, True, True]))
+        assert np.array_equal(got, plan)
+
+    def test_dead_region_zeroed_and_renormalized(self):
+        got = renormalize_live(
+            np.array([0.2, 0.5, 0.3]), np.array([True, False, True])
+        )
+        assert got[1] == 0.0
+        assert got == pytest.approx([0.4, 0.0, 0.6])
+        assert got.sum() == pytest.approx(1.0)
+
+    def test_no_region_alive_returns_none(self):
+        assert (
+            renormalize_live(
+                np.array([0.5, 0.5]), np.array([False, False])
+            )
+            is None
+        )
+
+    def test_all_mass_on_dead_regions_goes_uniform_over_live(self):
+        got = renormalize_live(
+            np.array([1.0, 0.0, 0.0]), np.array([False, True, True])
+        )
+        assert np.array_equal(got, np.array([0.0, 0.5, 0.5]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same shape"):
+            renormalize_live(np.array([0.5, 0.5]), np.array([True]))

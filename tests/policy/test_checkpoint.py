@@ -1,0 +1,78 @@
+"""Content-addressed checkpoints and the head-spec grammar."""
+
+import numpy as np
+import pytest
+
+from repro.policy.checkpoint import (
+    doc_bytes,
+    head_digest,
+    load_checkpoint,
+    load_head,
+    save_head,
+    save_head_addressed,
+)
+from repro.policy.heads import BanditHead, StaticPolicyHead
+
+
+def _trained_bandit(seed=0):
+    from tests.policy.test_heads import _obs
+
+    head = BanditHead()
+    for s in range(3):
+        head.act(_obs(seed=seed + s))
+        head.observe_reward(0.8)
+    return head
+
+
+class TestSaveLoad:
+    def test_round_trip_preserves_parameters(self, tmp_path):
+        head = _trained_bandit()
+        path = save_head(head, tmp_path / "ckpt.json")
+        rebuilt = load_checkpoint(path)
+        assert np.array_equal(head.A, rebuilt.A)
+        assert np.array_equal(head.b, rebuilt.b)
+        assert rebuilt.to_doc() == head.to_doc()
+
+    def test_byte_identity_across_saves(self, tmp_path):
+        head = _trained_bandit()
+        p1 = save_head(head, tmp_path / "a.json")
+        p2 = save_head(load_checkpoint(p1), tmp_path / "b.json")
+        assert p1.read_bytes() == p2.read_bytes()
+        assert p1.read_bytes() == doc_bytes(head.to_doc())
+
+    def test_addressed_path_embeds_digest(self, tmp_path):
+        head = _trained_bandit()
+        path = save_head_addressed(head, tmp_path)
+        assert path.name == f"head-{head_digest(head)}.json"
+        # identical parameters -> identical path (no duplicate files)
+        again = save_head_addressed(load_checkpoint(path), tmp_path)
+        assert again == path
+        assert len(list(tmp_path.glob("head-*.json"))) == 1
+
+    def test_different_parameters_different_digest(self, tmp_path):
+        assert head_digest(_trained_bandit(0)) != head_digest(
+            _trained_bandit(10)
+        )
+
+
+class TestSpecGrammar:
+    def test_static_spec(self):
+        head = load_head("static:uniform")
+        assert isinstance(head, StaticPolicyHead)
+        assert head.frozen
+
+    def test_plain_path_stays_trainable(self, tmp_path):
+        path = save_head(BanditHead(), tmp_path / "c.json")
+        head = load_head(str(path))
+        assert isinstance(head, BanditHead)
+        assert not head.frozen
+
+    def test_frozen_prefix_freezes(self, tmp_path):
+        path = save_head(BanditHead(), tmp_path / "c.json")
+        assert load_head(f"frozen:{path}").frozen
+        # the keyword form does the same for eval callers
+        assert load_head(str(path), frozen=True).frozen
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="empty policy-head spec"):
+            load_head("")

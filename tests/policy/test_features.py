@@ -1,0 +1,99 @@
+"""Feature extraction for learned policy heads."""
+
+import numpy as np
+import pytest
+
+from repro.policy.features import (
+    FEATURE_NAMES,
+    N_FEATURES,
+    RMTTF_SCALE_S,
+    PolicyObservation,
+    region_features,
+)
+
+
+def _row(**overrides):
+    kwargs = dict(
+        rmttf_s=300.0,
+        fraction=0.4,
+        load_share=0.5,
+        failures=1,
+        rejuvenations=2,
+        n_vms=4,
+        response_time_s=0.5,
+        sla_s=1.0,
+        total_capacity=80.0,
+        healthy_capacity=100.0,
+        cost_per_kreq=0.02,
+    )
+    kwargs.update(overrides)
+    return region_features(**kwargs)
+
+
+class TestRegionFeatures:
+    def test_order_matches_feature_names(self):
+        row = _row()
+        assert row.shape == (N_FEATURES,)
+        named = dict(zip(FEATURE_NAMES, row))
+        assert named["bias"] == 1.0
+        assert named["rmttf"] == pytest.approx(300.0 / RMTTF_SCALE_S)
+        assert named["fraction"] == 0.4
+        assert named["load_share"] == 0.5
+        assert named["failure_rate"] == pytest.approx(1 / 4)
+        assert named["rejuvenation_rate"] == pytest.approx(2 / 4)
+        assert named["health"] == pytest.approx(0.8)
+        assert named["cost_per_kreq"] == pytest.approx(0.02)
+
+    def test_rmttf_clips_at_two(self):
+        row = _row(rmttf_s=1e9)
+        assert dict(zip(FEATURE_NAMES, row))["rmttf"] == 2.0
+
+    def test_slo_pressure_clips_and_normalizes(self):
+        healthy = dict(zip(FEATURE_NAMES, _row(response_time_s=0.5)))
+        awful = dict(zip(FEATURE_NAMES, _row(response_time_s=100.0)))
+        assert healthy["slo_pressure"] == pytest.approx(0.5 / 3.0)
+        assert awful["slo_pressure"] == 1.0
+
+    def test_degenerate_inputs_stay_bounded(self):
+        row = _row(
+            n_vms=0,
+            healthy_capacity=0.0,
+            sla_s=0.0,
+            cost_per_kreq=-3.0,
+        )
+        assert np.all(np.isfinite(row))
+        named = dict(zip(FEATURE_NAMES, row))
+        assert named["health"] == 0.0
+        assert named["slo_pressure"] == 0.0
+        assert named["cost_per_kreq"] == 0.0
+
+    def test_health_clips_to_unit(self):
+        named = dict(
+            zip(
+                FEATURE_NAMES,
+                _row(total_capacity=500.0, healthy_capacity=100.0),
+            )
+        )
+        assert named["health"] == 1.0
+
+
+class TestPolicyObservation:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="features must be"):
+            PolicyObservation(
+                regions=("a", "b"),
+                features=np.zeros((2, N_FEATURES + 1)),
+                prev_fractions=np.full(2, 0.5),
+                rmttf=np.ones(2),
+                global_rate=1.0,
+            )
+
+    def test_valid_observation(self):
+        obs = PolicyObservation(
+            regions=("a", "b", "c"),
+            features=np.zeros((3, N_FEATURES)),
+            prev_fractions=np.full(3, 1 / 3),
+            rmttf=np.ones(3),
+            global_rate=10.0,
+        )
+        assert obs.features.shape == (3, N_FEATURES)

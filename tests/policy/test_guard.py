@@ -1,0 +1,80 @@
+"""The sticky reward-collapse guard."""
+
+import pytest
+
+from repro.policy.guard import RewardGuard, RewardGuardConfig
+
+
+def _guard(window=3, warmup=4, factor=0.5, min_baseline=1e-6):
+    return RewardGuard(
+        RewardGuardConfig(
+            window=window,
+            warmup_eras=warmup,
+            collapse_factor=factor,
+            min_baseline=min_baseline,
+        )
+    )
+
+
+class TestConfigValidation:
+    def test_rejects_bad_window_and_warmup(self):
+        with pytest.raises(ValueError, match="window"):
+            RewardGuardConfig(window=0)
+        with pytest.raises(ValueError, match="warmup_eras"):
+            RewardGuardConfig(warmup_eras=0)
+
+    @pytest.mark.parametrize("factor", [0.0, 1.0, -0.5, 1.5])
+    def test_collapse_factor_must_be_open_unit(self, factor):
+        with pytest.raises(ValueError, match="collapse_factor"):
+            RewardGuardConfig(collapse_factor=factor)
+
+
+class TestGuardBehaviour:
+    def test_warmup_forms_baseline_without_engaging(self):
+        guard = _guard(warmup=4)
+        for r in (1.0, 0.8, 1.2, 1.0):
+            assert guard.observe(r) is False
+        assert guard.baseline == pytest.approx(1.0)
+        assert guard.observations == 4
+
+    def test_engages_on_collapse_and_is_sticky(self):
+        guard = _guard(window=3, warmup=2, factor=0.5)
+        guard.observe(1.0)
+        guard.observe(1.0)  # baseline = 1.0
+        assert guard.observe(0.1) is False  # window not full yet
+        assert guard.observe(0.1) is False
+        assert guard.observe(0.1) is True  # rolling 0.1 < 0.5 * 1.0
+        assert guard.engaged
+        # sticky: a recovery never disengages
+        for _ in range(10):
+            assert guard.observe(2.0) is True
+        assert guard.engaged
+
+    def test_healthy_rewards_never_trip(self):
+        guard = _guard(window=3, warmup=2, factor=0.5)
+        for _ in range(20):
+            assert guard.observe(0.95) is False
+        assert not guard.engaged
+
+    def test_partial_dip_within_tolerance_is_fine(self):
+        guard = _guard(window=3, warmup=2, factor=0.5)
+        guard.observe(1.0)
+        guard.observe(1.0)
+        for _ in range(10):
+            assert guard.observe(0.6) is False  # 0.6 >= 0.5 * 1.0
+
+    def test_nonpositive_baseline_disables_the_check(self):
+        guard = _guard(window=2, warmup=2, factor=0.5, min_baseline=1e-6)
+        guard.observe(0.0)
+        guard.observe(0.0)  # baseline 0.0 <= min_baseline
+        for _ in range(10):
+            assert guard.observe(-5.0) is False
+        assert not guard.engaged
+
+    def test_observations_stop_counting_once_engaged(self):
+        guard = _guard(window=1, warmup=1, factor=0.5)
+        guard.observe(1.0)
+        guard.observe(0.1)  # engages
+        n = guard.observations
+        guard.observe(0.1)
+        assert guard.observations == n

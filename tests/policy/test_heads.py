@@ -1,0 +1,227 @@
+"""Policy heads: action grid, static parity, learned updates, replay."""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import compute_fractions, get_policy
+from repro.policy.features import N_FEATURES, PolicyObservation
+from repro.policy.heads import (
+    ACTION_GRID,
+    DOC_FORMAT,
+    LEARNED_KINDS,
+    N_ARMS,
+    THRESHOLD_DELTAS,
+    WEIGHT_SCALES,
+    BanditHead,
+    ReinforceHead,
+    StaticPolicyHead,
+    _grid_action,
+    build_head,
+    head_from_doc,
+)
+
+
+def _obs(seed=0, n=3):
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(0.0, 1.0, size=(n, N_FEATURES))
+    features[:, 0] = 1.0  # bias
+    prev = rng.dirichlet(np.ones(n))
+    return PolicyObservation(
+        regions=tuple(f"r{i}" for i in range(n)),
+        features=features,
+        prev_fractions=prev,
+        rmttf=rng.uniform(30.0, 600.0, size=n),
+        global_rate=float(rng.uniform(5.0, 100.0)),
+    )
+
+
+class TestActionGrid:
+    def test_grid_is_cartesian_product(self):
+        assert N_ARMS == len(WEIGHT_SCALES) * len(THRESHOLD_DELTAS)
+        assert len(set(ACTION_GRID)) == N_ARMS
+        assert (1.0, 0.0) in ACTION_GRID  # the identity arm
+
+    def test_uniform_scales_reproduce_the_anchor_plan(self):
+        """Any uniform scale cancels under normalisation: the grid can
+        always express 'do exactly what the anchor policy planned'."""
+        policy = get_policy("sensible-routing")
+        obs = _obs(seed=3)
+        anchor = compute_fractions(
+            policy, obs.prev_fractions, obs.rmttf, obs.global_rate
+        )
+        for scale in WEIGHT_SCALES:
+            arm = ACTION_GRID.index((scale, 0.0))
+            action = _grid_action(
+                anchor, np.full(3, arm, dtype=int), policy.min_fraction
+            )
+            assert np.allclose(action.fractions, anchor, atol=1e-12)
+        identity = ACTION_GRID.index((1.0, 0.0))
+        action = _grid_action(
+            anchor, np.full(3, identity, dtype=int), policy.min_fraction
+        )
+        assert np.array_equal(action.fractions, anchor)
+
+    def test_differential_scales_shift_mass(self):
+        policy = get_policy("sensible-routing")
+        anchor = np.array([0.4, 0.3, 0.3])
+        up = ACTION_GRID.index((1.6, 0.0))
+        down = ACTION_GRID.index((0.6, 0.0))
+        action = _grid_action(
+            anchor, np.array([up, down, down]), policy.min_fraction
+        )
+        assert action.fractions[0] > anchor[0]
+        assert action.fractions.sum() == pytest.approx(1.0)
+        assert np.array_equal(action.arms, np.array([up, down, down]))
+
+    def test_threshold_deltas_decode(self):
+        arm = ACTION_GRID.index((1.0, 90.0))
+        action = _grid_action(
+            np.full(2, 0.5), np.full(2, arm, dtype=int), 0.05
+        )
+        assert np.array_equal(action.threshold_deltas, np.array([90.0, 90.0]))
+
+
+class TestStaticPolicyHead:
+    @pytest.mark.parametrize(
+        "name", ["sensible-routing", "available-resources", "exploration"]
+    )
+    def test_bit_identical_to_wrapped_policy(self, name):
+        policy = get_policy(name)
+        head = StaticPolicyHead(name)
+        for seed in range(5):
+            obs = _obs(seed=seed)
+            action = head.act(obs)
+            expected = compute_fractions(
+                policy, obs.prev_fractions, obs.rmttf, obs.global_rate
+            )
+            assert np.array_equal(action.fractions, expected)
+            assert np.array_equal(
+                action.threshold_deltas, np.zeros(len(obs.regions))
+            )
+
+    def test_frozen_by_construction_and_never_learns(self):
+        head = StaticPolicyHead("uniform")
+        assert head.frozen
+        head.act(_obs())
+        head.observe_reward(0.9)
+        assert head.transitions == []
+        assert head.name == "static:uniform"
+
+
+class TestBanditHead:
+    def test_update_changes_chosen_arm_stats_only(self):
+        head = BanditHead()
+        obs = _obs(seed=1)
+        action = head.act(obs)
+        A0, b0 = head.A.copy(), head.b.copy()
+        head.observe_reward(0.8)
+        touched = set(int(a) for a in action.arms)
+        for a in range(N_ARMS):
+            if a in touched:
+                assert not np.array_equal(head.A[a], A0[a])
+            else:
+                assert np.array_equal(head.A[a], A0[a])
+                assert np.array_equal(head.b[a], b0[a])
+        assert len(head.transitions) == 1
+
+    def test_replay_is_bit_identical_to_live_updates(self):
+        live = BanditHead()
+        for seed in range(6):
+            live.act(_obs(seed=seed))
+            live.observe_reward(0.7 + 0.01 * seed)
+        replayed = BanditHead()
+        replayed.replay(live.transitions)
+        assert np.array_equal(live.A, replayed.A)
+        assert np.array_equal(live.b, replayed.b)
+
+    def test_frozen_head_is_pure(self):
+        head = BanditHead(frozen=True)
+        A0, b0 = head.A.copy(), head.b.copy()
+        obs = _obs(seed=2)
+        first = head.act(obs)
+        head.observe_reward(0.9)
+        second = head.act(obs)
+        assert np.array_equal(first.fractions, second.fractions)
+        assert np.array_equal(head.A, A0) and np.array_equal(head.b, b0)
+        assert head.transitions == []
+
+    def test_rejects_bad_shapes_and_alpha(self):
+        with pytest.raises(ValueError, match="alpha"):
+            BanditHead(alpha=-1.0)
+        with pytest.raises(ValueError, match="bad A shape"):
+            BanditHead(A=np.eye(3))
+
+
+class TestReinforceHead:
+    def test_reseed_makes_sampling_deterministic(self):
+        a, b = ReinforceHead(), ReinforceHead()
+        a.reseed(42)
+        b.reseed(42)
+        for seed in range(5):
+            obs = _obs(seed=seed)
+            assert np.array_equal(a.act(obs).arms, b.act(obs).arms)
+            a.observe_reward(0.8)
+            b.observe_reward(0.8)
+        assert np.array_equal(a.W, b.W)
+        assert a.baseline == b.baseline
+
+    def test_replay_matches_live_training(self):
+        live = ReinforceHead()
+        live.reseed(7)
+        for seed in range(6):
+            live.act(_obs(seed=seed))
+            live.observe_reward(0.9 - 0.02 * seed)
+        replayed = ReinforceHead()
+        replayed.replay(live.transitions)
+        assert np.array_equal(live.W, replayed.W)
+        assert live.baseline == pytest.approx(replayed.baseline)
+
+    def test_frozen_plays_argmax_without_sampling(self):
+        head = ReinforceHead(frozen=True)
+        obs = _obs(seed=4)
+        first = head.act(obs)
+        second = head.act(obs)
+        assert np.array_equal(first.arms, second.arms)
+        assert head.transitions == []
+
+    def test_validates_hyperparameters(self):
+        with pytest.raises(ValueError, match="lr"):
+            ReinforceHead(lr=0.0)
+        with pytest.raises(ValueError, match="baseline_decay"):
+            ReinforceHead(baseline_decay=1.0)
+
+
+class TestRegistry:
+    def test_build_head_kinds(self):
+        assert isinstance(build_head("bandit"), BanditHead)
+        assert isinstance(build_head("reinforce"), ReinforceHead)
+        assert set(LEARNED_KINDS) == {"bandit", "reinforce"}
+        with pytest.raises(ValueError, match="unknown learned head kind"):
+            build_head("oracle")
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: StaticPolicyHead("exploration"),
+            lambda: BanditHead(alpha=1.2, anchor="available-resources"),
+            lambda: ReinforceHead(lr=0.1, baseline_decay=0.8),
+        ],
+    )
+    def test_doc_round_trip(self, make):
+        head = make()
+        # give learned heads some non-default state to round-trip
+        if head.kind in LEARNED_KINDS:
+            head.act(_obs(seed=5))
+            head.observe_reward(0.85)
+        doc = head.to_doc()
+        assert doc["format"] == DOC_FORMAT
+        rebuilt = head_from_doc(doc)
+        assert rebuilt.to_doc() == doc
+
+    def test_rejects_unknown_format_and_kind(self):
+        with pytest.raises(ValueError, match="unsupported checkpoint format"):
+            head_from_doc({"format": "something-else"})
+        with pytest.raises(ValueError, match="unknown head kind"):
+            head_from_doc(
+                {"format": DOC_FORMAT, "kind": "mystery", "config": {}}
+            )

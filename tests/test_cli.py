@@ -52,6 +52,8 @@ class TestUnifiedSeedOption:
         ["chaos", "smoke"],
         ["sweep"],
         ["models"],
+        ["policy", "train"],
+        ["policy", "eval"],
     ]
 
     def test_documented_default_everywhere(self):
