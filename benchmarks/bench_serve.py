@@ -4,7 +4,10 @@ Boots an in-process two-region wall-clock deployment on an ephemeral
 port and drives the open-loop load generator at it at 1, 2, and 4
 keep-alive connections, recording achieved requests/sec and client-side
 p95 latency per connection count into ``BENCH_serve.json`` at the
-repository root.
+repository root.  A second deployment with a deliberately loose SLO gate
+configured (evaluator + ladder on every request, never degrading)
+measures the per-request cost of SLO evaluation as an overhead
+percentage against the plain run at the same connection count.
 
 The numbers are **info-only** in the bench gate
 (``scripts/bench_gate.py::report_serve_datapoint``): HTTP throughput on
@@ -40,6 +43,7 @@ from repro.serve import (  # noqa: E402
     WallClock,
     run_load,
 )
+from repro.slo import SloConfig  # noqa: E402
 
 BENCH_SEED = 5
 CONNECTION_COUNTS = (1, 2, 4)
@@ -50,43 +54,60 @@ DURATION_S = 2.0
 #: Clock compression: eras keep ticking during the bench without having
 #: to wait 30 real seconds per MAPE cycle.
 SPEED = 30.0
+#: Connection count the SLO-overhead pair is measured at.
+SLO_CONNECTIONS = 2
+#: Loose targets: the evaluator and ladder run on every request but the
+#: adaptive rung never trips, so the measured delta is pure bookkeeping
+#: cost (window append/trim + ladder update), not shedding.
+SLO_SPEC = SloConfig(p95_target_s=10.0, window_s=5.0, min_dwell_s=5.0)
 
 
-async def _measure() -> dict:
+async def _measure_one(config: ServeConfig, connections: int) -> dict:
+    """Boot a deployment with ``config``, run one load leg, tear down."""
     clock = WallClock(speed=SPEED)
-    service = AcmService(
-        two_region_scenario(),
-        clock,
-        ServeConfig(seed=BENCH_SEED, admission_rps=100_000.0),
-    )
+    service = AcmService(two_region_scenario(), clock, config)
     ingress = HttpIngress(service, port=0)
     await ingress.start()
     service.start()
     runner = asyncio.ensure_future(clock.run_for(None))
-    url = f"http://127.0.0.1:{ingress.port}"
-    by_connections: dict[str, dict] = {}
     try:
-        for n in CONNECTION_COUNTS:
-            report = await run_load(
-                LoadConfig(
-                    url=url,
-                    rate=OFFERED_RPS,
-                    duration_s=DURATION_S,
-                    connections=n,
-                    seed=BENCH_SEED + n,
-                )
+        report = await run_load(
+            LoadConfig(
+                url=f"http://127.0.0.1:{ingress.port}",
+                rate=OFFERED_RPS,
+                duration_s=DURATION_S,
+                connections=connections,
+                seed=BENCH_SEED + connections,
             )
-            d = report.as_dict()
-            by_connections[str(n)] = {
-                "requests_per_s": d["achieved_rps"],
-                "latency_p95_s": round(d["latency_p95_s"], 6),
-                "completed": d["completed"],
-                "errors": d["errors"],
-            }
+        )
     finally:
         service.shutdown()
         await runner
         await ingress.stop()
+    d = report.as_dict()
+    return {
+        "requests_per_s": d["achieved_rps"],
+        "latency_p95_s": round(d["latency_p95_s"], 6),
+        "completed": d["completed"],
+        "errors": d["errors"],
+    }
+
+
+async def _measure() -> dict:
+    plain = ServeConfig(seed=BENCH_SEED, admission_rps=100_000.0)
+    by_connections: dict[str, dict] = {}
+    for n in CONNECTION_COUNTS:
+        by_connections[str(n)] = await _measure_one(plain, n)
+    gated = ServeConfig(
+        seed=BENCH_SEED, admission_rps=100_000.0, slo=SLO_SPEC
+    )
+    slo_row = await _measure_one(gated, SLO_CONNECTIONS)
+    baseline_rps = by_connections[str(SLO_CONNECTIONS)]["requests_per_s"]
+    slo_row["connections"] = SLO_CONNECTIONS
+    slo_row["baseline_requests_per_s"] = baseline_rps
+    slo_row["overhead_pct"] = round(
+        100.0 * (1.0 - slo_row["requests_per_s"] / baseline_rps), 2
+    )
     return {
         "benchmark": "serve_ingress",
         "seed": BENCH_SEED,
@@ -94,6 +115,7 @@ async def _measure() -> dict:
         "offered_rps": OFFERED_RPS,
         "duration_s": DURATION_S,
         "connections": by_connections,
+        "slo": slo_row,
     }
 
 
@@ -110,6 +132,12 @@ def main(argv: list[str]) -> int:
             f"p95 {rec['latency_p95_s'] * 1000:8.2f} ms  "
             f"({rec['completed']} reqs, {rec['errors']} errors)"
         )
+    slo = payload["slo"]
+    print(
+        f"  serve slo-gated conn={slo['connections']}: "
+        f"{slo['requests_per_s']:>10,.1f} req/s  "
+        f"overhead {slo['overhead_pct']:+.1f}%"
+    )
     if "--check" in argv:
         # nothing gated; the flag exists for CLI symmetry with the
         # hot-path bench

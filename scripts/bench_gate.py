@@ -172,6 +172,13 @@ def report_serve_datapoint(path: Path | None = None) -> None:
             f"p95 {float(row['latency_p95_s']) * 1000:8.2f} ms  "
             "(not gated)"
         )
+    slo = payload.get("slo")
+    if slo:
+        print(
+            f"  info serve slo-gated conn={slo['connections']}: "
+            f"{float(slo['requests_per_s']):>10,.1f} req/s  "
+            f"overhead {float(slo['overhead_pct']):+.1f}%  (not gated)"
+        )
 
 
 def report_policy_datapoint(path: Path | None = None) -> None:

@@ -31,7 +31,13 @@
 #      produce a checkpoint that survives a save/load round-trip, a
 #      `repro policy eval` of it must exit 0, and the fleet's
 #      `policy_heads` axis must leave historical head-less cell digests
-#      untouched.
+#      untouched;
+#  11. an SLO smoke: a serve deployment with a deliberately impossible
+#      p95 target must degrade under a request burst (429 + Retry-After
+#      header, `error: slo` bodies, `slo_*` samples in `/metrics`), then
+#      recover to 200s once the rolling window drains and the minimum
+#      dwell elapses; and the fleet's `slo` axis must leave historical
+#      slo-less cell digests untouched.
 #
 # Usage:  scripts/ci_check.sh   (from the repository root or anywhere)
 
@@ -215,6 +221,107 @@ for label, ident in before.items():
     )
 assert len(after) == 2 * len(before)
 print(f"policy_heads axis: {len(before)} head-less cell(s) digest-stable")
+EOF
+
+echo "== slo smoke =="
+python - <<'EOF'
+import asyncio
+
+from repro.experiments.scenarios import two_region_scenario
+from repro.serve import AcmService, HttpIngress, ServeConfig, WallClock
+from repro.slo import SloConfig
+
+
+async def _get(host, port, path):
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(
+        f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+        "Connection: close\r\n\r\n".encode()
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode().split("\r\n")
+    status = int(lines[0].split(None, 2)[1])
+    headers = {}
+    for ln in lines[1:]:
+        key, _, value = ln.partition(":")
+        headers[key.strip().lower()] = value.strip()
+    return status, headers, body.decode()
+
+
+async def smoke():
+    clock = WallClock(speed=30.0)
+    # 1 microsecond p95: any real response breaches, so the adaptive
+    # rung must degrade within a handful of requests.  Short window and
+    # dwell keep the recovery leg of the smoke under ~4 wall seconds.
+    slo = SloConfig(p95_target_s=1e-6, window_s=1.0, min_dwell_s=2.0)
+    service = AcmService(
+        two_region_scenario(), clock, ServeConfig(seed=7, slo=slo)
+    )
+    ingress = HttpIngress(service, port=0)
+    await ingress.start()
+    service.start()
+    runner = asyncio.ensure_future(clock.run_for(None))
+    try:
+        host, port = "127.0.0.1", ingress.port
+        shed = 0
+        for _ in range(40):
+            status, headers, body = await _get(host, port, "/route")
+            if status == 429 and '"slo"' in body:
+                shed += 1
+                assert "retry-after" in headers, (
+                    "slo 429 missing Retry-After header"
+                )
+                assert int(headers["retry-after"]) >= 1
+        assert shed > 0, "impossible p95 target never tripped the ladder"
+        status, _, body = await _get(host, port, "/metrics")
+        assert status == 200, f"/metrics returned {status}"
+        slo_lines = [
+            ln for ln in body.splitlines()
+            if ln.startswith("slo_") and not ln.startswith("#")
+        ]
+        assert slo_lines, "no slo_* samples in /metrics"
+        assert any("slo_shed_total" in ln for ln in slo_lines)
+        # recovery: the window (1 s) drains and the dwell (2 s) elapses
+        # with no traffic; the next request must re-evaluate to normal
+        await asyncio.sleep(3.5)
+        status, _, _ = await _get(host, port, "/route")
+        assert status == 200, f"post-dwell request returned {status}"
+        status, _, body = await _get(host, port, "/slo")
+        assert status == 200 and '"degraded"' not in body, (
+            f"/slo still degraded after dwell: {body}"
+        )
+    finally:
+        service.shutdown()
+        await runner
+        await ingress.stop()
+    print(
+        f"slo smoke: {shed}/40 burst requests shed with Retry-After, "
+        f"{len(slo_lines)} slo_* samples, recovered after dwell"
+    )
+
+
+asyncio.run(smoke())
+EOF
+python - <<'EOF'
+from repro.fleet.spec import SweepSpec
+
+base = SweepSpec(scenarios=("two-region",), policies=("uniform",),
+                 loads=(0.5,), replicates=1, eras=12)
+axis = SweepSpec(scenarios=("two-region",), policies=("uniform",),
+                 loads=(0.5,), replicates=1, eras=12,
+                 slo=("", "p95:0.5"))
+before = {j.label: (j.seed, j.digest) for j in base.expand()}
+after = {j.label: (j.seed, j.digest) for j in axis.expand()}
+for label, ident in before.items():
+    assert after[label] == ident, (
+        f"slo axis perturbed cell {label}: {ident} -> {after[label]}"
+    )
+assert len(after) == 2 * len(before)
+print(f"slo axis: {len(before)} slo-less cell(s) digest-stable")
 EOF
 
 echo "== columnar parity smoke =="

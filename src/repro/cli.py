@@ -303,8 +303,9 @@ def _split_csv(text: str) -> tuple[str, ...]:
 
 
 def _split_heads(text: str) -> tuple[str, ...]:
-    """Head-spec CSV for the sweep axis: ``none`` means "no head" (the
-    historical static Plan path), so default sweeps keep their digests."""
+    """Spec CSV for an optional sweep axis (policy heads, SLO): ``none``
+    means "axis off" (the historical path), so default sweeps keep
+    their digests."""
     heads = tuple(
         "" if part == "none" else part for part in _split_csv(text)
     )
@@ -317,6 +318,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ResultStore,
         SweepSpec,
         aggregate,
+        frontier_report,
         listing,
         markdown_report,
         write_cells_csv,
@@ -334,6 +336,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             retrain=tuple(int(x) for x in _split_csv(args.retrain)),
             domains=_split_csv(args.domains),
             policy_heads=_split_heads(args.policy_heads),
+            slo=_split_heads(args.slo),
             campaigns=_split_csv(args.campaigns),
         )
     except ValueError as exc:
@@ -377,6 +380,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         manifest = spec.manifest()
         print()
         print(markdown_report(cells, manifest))
+        frontier = frontier_report(cells)
+        if frontier:
+            print()
+            print("cost/SLO frontier ('*' = Pareto-efficient in its "
+                  "scenario/load group):")
+            print(frontier)
         if args.csv:
             write_cells_csv(cells, args.csv, manifest)
             print(f"wrote {args.csv}")
@@ -536,6 +545,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     scenario = resolve_scenario(args.scenario)
     clock = WallClock(speed=args.speed)
+    slo = None
+    if args.slo_p95 is not None:
+        from repro.slo import SloConfig
+
+        slo = SloConfig(
+            p95_target_s=args.slo_p95,
+            window_s=args.slo_window,
+            min_dwell_s=args.slo_dwell,
+        )
     service = AcmService(
         scenario,
         clock,
@@ -545,6 +563,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             policy=args.policy,
             seed=args.seed,
             admission_rps=args.admission_rps,
+            slo=slo,
         ),
     )
 
@@ -560,7 +579,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             flush=True,
         )
         print(
-            "endpoints: /  /healthz  /metrics  /plan  /regions  "
+            "endpoints: /  /healthz  /metrics  /plan  /regions  /slo  "
             "/chaos/{blackout,heal}?region=NAME",
             flush=True,
         )
@@ -848,6 +867,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     ps.add_argument(
+        "--slo",
+        default="none",
+        help=(
+            "comma list of SLO specs (one grid axis): 'none' = no SLO, "
+            "else 'p95:<s>' optionally extended with '+'-joined "
+            "key:value pairs (exit, queue, budget, window, dwell, "
+            "shed); the default keeps historical cell digests"
+        ),
+    )
+    ps.add_argument(
         "--campaigns",
         default="",
         help="comma list of chaos campaigns appended as extra cells",
@@ -1044,6 +1073,30 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=5000.0,
         help="per-region token-bucket admission rate (real req/s)",
+    )
+    psv.add_argument(
+        "--slo-p95",
+        type=float,
+        default=None,
+        metavar="S",
+        help=(
+            "enable the SLO ladder with this p95 latency target in "
+            "seconds (default: no SLO gate)"
+        ),
+    )
+    psv.add_argument(
+        "--slo-window",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="SLO rolling-window length, clock seconds",
+    )
+    psv.add_argument(
+        "--slo-dwell",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="minimum dwell before a degraded region may recover",
     )
     add_seed_option(psv)
     psv.set_defaults(func=_cmd_serve)

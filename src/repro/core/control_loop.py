@@ -157,6 +157,18 @@ class AcmControlLoop:
         (``now == era_index * era_s`` -- what every existing trace
         pins); when set, ``now`` reads the clock so wall-clock hosts
         (``repro serve``) can drive eras off real elapsed time.
+    slo:
+        Optional :class:`~repro.slo.SloController`.  When set, the
+        Monitor phase feeds each era's per-region response time to the
+        SLO evaluators and the Plan phase shapes the planned fractions
+        away from degraded regions (the sim-side degradation signal).
+        ``None`` (the default) takes no SLO code path at all -- golden
+        traces stay bit-identical.
+    cost:
+        Optional :class:`~repro.core.cost.CostTracker` billed once per
+        era per region (plus inter-region egress when its model prices
+        it).  Pure accounting: touches no RNG stream and no trace, so
+        it is always safe to attach.
     """
 
     def __init__(
@@ -174,6 +186,8 @@ class AcmControlLoop:
         lifecycle=None,
         clock=None,
         policy_head=None,
+        slo=None,
+        cost=None,
     ) -> None:
         if not vmcs:
             raise ValueError("need at least one region")
@@ -204,6 +218,8 @@ class AcmControlLoop:
         self.lifecycle = lifecycle
         self.clock = clock
         self.head_runtime = policy_head
+        self.slo = slo
+        self.cost = cost
         self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
         self._obs_on = self._tel.enabled
         self._last_leader: str | None = None
@@ -320,6 +336,10 @@ class AcmControlLoop:
                     rt += share * (reports[target].response_time_s + extra)
                 per_region_rt[region] = rt
                 self._client_rt[region] = rt
+            if self.slo is not None:
+                # SLO Monitor: era response times are the latency samples;
+                # the ladders advance here so Plan sees current levels
+                self.slo.observe(now, per_region_rt)
 
         with tel.span("analyze", kind="mape", era=self.era_index):
             # ---- Analyze (leader side): collect reports over the overlay #
@@ -390,6 +410,10 @@ class AcmControlLoop:
                     if mode == "fallback"
                     else None,
                 )
+            if self.slo is not None:
+                # degradation signal: starve regions whose ladder is
+                # degraded (the fluid analogue of serve's 429 shedding)
+                planned = self.slo.shape(planned)
 
         with tel.span("execute", kind="mape", era=self.era_index):
             # ---- Execute (Algorithm 3) ---------------------------------- #
@@ -433,6 +457,17 @@ class AcmControlLoop:
             degradation=mode,
         )
         self._record(summary)
+        if self.slo is not None:
+            for region, code in self.slo.level_codes().items():
+                self.traces.record(f"slo_level/{region}", now, float(code))
+        if self.cost is not None:
+            for j, region in enumerate(self.regions):
+                self.cost.charge_era(
+                    self.vmcs[region], dt, requests_served=int(processed[j])
+                )
+            self.cost.charge_egress(
+                int(routed.sum() - np.trace(routed))
+            )
         if self.head_runtime is not None:
             # reward bookkeeping: charge the era's cost, fold in the SLO
             # and availability terms, feed the head (train mode) and the

@@ -1,0 +1,98 @@
+"""Cost-aware allocation policy: availability-per-dollar.
+
+The paper motivates heterogeneous deployments economically (Sec. I:
+"it could be more convenient to have more VMs in some regions ...
+rather than in/of other ones"), but Policies 1-3 optimise MTTF alone.
+:class:`CostAwarePolicy` anchors on Policy 2's resource estimate
+``Q_i = RMTTF_i * f_i(k-1) * lambda`` (Eqs. 3-4) -- the expected
+requests a region can absorb before failing -- and divides each
+region's weight by its *relative* price, so traffic prefers regions
+that buy the most expected-served-requests per dollar.
+
+With no price vector configured (or an all-zero one) the divisor is
+uniform and the policy is numerically identical to Policy 2, which
+keeps it safe as a drop-in anchor for policy heads.  Prices are
+normalised by their mean before weighting, so the policy responds to
+price *ratios*, not absolute magnitudes -- doubling every region's
+price changes nothing, exactly as availability-per-dollar should
+behave.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policy import DEFAULT_MIN_FRACTION, Policy, register_policy
+
+
+@register_policy
+class CostAwarePolicy(Policy):
+    """Policy 2's availability estimate weighted by 1 / relative cost.
+
+    Parameters
+    ----------
+    usd_per_req:
+        Per-region price vector (any non-negative per-request figure;
+        :func:`repro.core.cost.effective_usd_per_req` folds hourly and
+        marginal cost into one).  May also be injected later via
+        :meth:`configure_costs` -- :class:`repro.core.manager.AcmManager`
+        does exactly that from the deployment's instance catalog, so
+        sim, serve, and policy-head paths all see the same $ signal.
+    cost_weight:
+        Strength of the price signal (gamma).  0 reduces to Policy 2;
+        1 (default) halves a mean-priced region's weight relative to a
+        free one.
+    """
+
+    name = "cost-aware"
+
+    def __init__(
+        self,
+        min_fraction: float = DEFAULT_MIN_FRACTION,
+        usd_per_req=None,
+        cost_weight: float = 1.0,
+    ) -> None:
+        super().__init__(min_fraction)
+        if cost_weight < 0:
+            raise ValueError(f"cost_weight must be >= 0, got {cost_weight}")
+        self.cost_weight = float(cost_weight)
+        self._rel_costs: np.ndarray | None = None
+        if usd_per_req is not None:
+            self.configure_costs(usd_per_req)
+
+    @property
+    def needs_costs(self) -> bool:
+        """True until a usable price vector has been configured."""
+        return self._rel_costs is None
+
+    def configure_costs(self, usd_per_req) -> None:
+        """Install the per-region price vector (region order = policy order).
+
+        An all-zero vector carries no signal and clears the
+        configuration (the policy stays Policy 2-equivalent) rather
+        than dividing by zero.
+        """
+        costs = np.asarray(usd_per_req, dtype=float)
+        if costs.ndim != 1 or costs.size == 0:
+            raise ValueError("usd_per_req must be a non-empty 1-d vector")
+        if not np.all(np.isfinite(costs)) or np.any(costs < 0):
+            raise ValueError("usd_per_req entries must be finite and >= 0")
+        mean = costs.mean()
+        self._rel_costs = costs / mean if mean > 0 else None
+
+    def _compute(
+        self,
+        prev_fractions: np.ndarray,
+        rmttf: np.ndarray,
+        global_rate: float,
+    ) -> np.ndarray:
+        rate = global_rate if global_rate > 0 else 1.0
+        quality = rmttf * prev_fractions * rate
+        if self._rel_costs is None:
+            return quality
+        if self._rel_costs.size != prev_fractions.size:
+            raise ValueError(
+                f"price vector has {self._rel_costs.size} regions but the "
+                f"deployment has {prev_fractions.size}"
+            )
+        return quality / (1.0 + self.cost_weight * self._rel_costs)

@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 
 from repro.core.autoscale import Autoscaler, AutoscaleConfig
 from repro.core.control_loop import AcmControlLoop, ControlLoopConfig, EraSummary
+from repro.core.cost import CostTracker, cost_model_for, effective_usd_per_req
+from repro.core.costaware import CostAwarePolicy
 from repro.core.policy import Policy, get_policy
 from repro.ml.online.lifecycle import OnlineLifecycle, OnlineLifecycleConfig
 from repro.obs.telemetry import Telemetry
@@ -175,9 +177,23 @@ class AcmManager:
     #: with the default reward weights and a reward guard).  ``None``
     #: (the default) takes the exact static code path.
     policy_head: object | None = None
+    #: Optional SLO configuration: an :class:`~repro.slo.SloConfig`, or a
+    #: compact spec string (``"p95:0.5+dwell:120"``, see
+    #: :func:`~repro.slo.parse_slo_spec`).  Builds a
+    #: :class:`~repro.slo.SloController` driving the loop's degradation
+    #: signal; ``None`` (the default) takes no SLO code path at all.
+    slo: object | None = None
+    #: Inter-region egress price fed into the cost model ($/forwarded
+    #: request); region $/req prices come from the instance catalog.
+    egress_usd_per_req: float = 0.0
     loop: AcmControlLoop = field(init=False)
     rngs: RngRegistry = field(init=False)
     domains: FailureDomainTree = field(init=False)
+    #: Always-on deployment bill (hourly + per-request + egress); pure
+    #: accounting with no RNG/trace footprint, exposed as ``manager.cost``.
+    cost: "CostTracker" = field(init=False)
+    #: The built SLO controller (``None`` without an ``slo`` config).
+    slo_controller: object | None = field(init=False, default=None)
     online_lifecycle: "OnlineLifecycle | None" = field(
         init=False, default=None
     )
@@ -199,6 +215,18 @@ class AcmManager:
             if isinstance(self.policy, Policy)
             else get_policy(self.policy)
         )
+        if isinstance(policy, CostAwarePolicy) and policy.needs_costs:
+            # the cost-aware policy weighs regions by the deployment's
+            # effective $/req; configuring it here (the one place every
+            # path builds its deployment) means sim, serve, and policy
+            # heads all see the same price signal
+            policy.configure_costs(
+                [
+                    effective_usd_per_req(get_instance_type(s.instance_type))
+                    # the loop orders regions by sorted name; match it
+                    for s in sorted(self.regions, key=lambda s: s.name)
+                ]
+            )
         predictor = self.predictor or OracleRttfPredictor(
             mean_demand=self.mix.mean_service_demand()
         )
@@ -241,6 +269,31 @@ class AcmManager:
                 )
         self.policy_runtime = head_runtime
 
+        if self.slo is not None:
+            # imported lazily to keep the manager importable before the
+            # slo package on partial checkouts; repro.slo itself depends
+            # on nothing from repro.core
+            from repro.slo import SloConfig, SloController, parse_slo_spec
+
+            slo_config = (
+                parse_slo_spec(self.slo)
+                if isinstance(self.slo, str)
+                else self.slo
+            )
+            if not isinstance(slo_config, SloConfig):
+                raise TypeError(
+                    "slo must be an SloConfig or a spec string, got "
+                    f"{type(self.slo).__name__}"
+                )
+            self.slo_controller = SloController(
+                sorted(names), slo_config, telemetry=self.telemetry
+            )
+        self.cost = CostTracker(
+            model=cost_model_for(
+                self.regions, egress_usd_per_req=self.egress_usd_per_req
+            )
+        )
+
         overlay = self.overlay or self._build_overlay(names)
         self.loop = AcmControlLoop(
             vmcs=vmcs,
@@ -260,6 +313,8 @@ class AcmManager:
             telemetry=self.telemetry,
             lifecycle=self.online_lifecycle,
             policy_head=head_runtime,
+            slo=self.slo_controller,
+            cost=self.cost,
         )
 
     # ------------------------------------------------------------------ #

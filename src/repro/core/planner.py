@@ -25,7 +25,15 @@ import numpy as np
 
 @dataclass(frozen=True, slots=True)
 class PoolPlan:
-    """Recommended pool sizing for one region."""
+    """Recommended pool sizing for one region.
+
+    ``hourly_usd`` bills every provisioned VM (active + standby) at the
+    shape's full hourly rate -- planning assumes the worst-case standby
+    price so a plan never under-budgets.  ``usd_per_mreq`` folds that
+    hourly charge (amortised over the planned request rate) together
+    with the shape's marginal ``cost_per_req`` into the figure the
+    cost/SLO frontier reports.
+    """
 
     instance_type: str
     request_rate: float
@@ -34,6 +42,8 @@ class PoolPlan:
     standby_vms: int
     expected_rmttf_s: float
     expected_utilisation: float
+    hourly_usd: float = 0.0
+    usd_per_mreq: float = 0.0
 
     @property
     def total_vms(self) -> int:
@@ -125,6 +135,10 @@ def recommend_pool(
         lifetime = max(ttf - rttf_threshold_s, rttf_threshold_s)
         in_restart = n * rejuvenation_time_s / lifetime
         standby = max(1, math.ceil(in_restart))
+        hourly_usd = itype.hourly_cost * (n + standby)
+        usd_per_mreq = (
+            hourly_usd / (request_rate * 3600.0) + itype.cost_per_req
+        ) * 1e6
         return PoolPlan(
             instance_type=instance_type,
             request_rate=float(request_rate),
@@ -133,11 +147,50 @@ def recommend_pool(
             standby_vms=standby,
             expected_rmttf_s=float(ttf),
             expected_utilisation=float(utilisation),
+            hourly_usd=float(hourly_usd),
+            usd_per_mreq=float(usd_per_mreq),
         )
     raise ValueError(
         f"no pool of <= {max_vms} x {instance_type} reaches "
         f"RMTTF {target_rmttf_s}s at {request_rate} req/s"
     )
+
+
+def recommend_cost_optimal(
+    instance_types: list[str] | tuple[str, ...],
+    request_rate: float,
+    target_rmttf_s: float,
+    **kwargs,
+) -> PoolPlan:
+    """Cheapest shape that meets the RMTTF target: min $/M requests.
+
+    Availability-per-dollar planning for one region: size a pool for
+    every candidate shape (skipping shapes that cannot reach the target
+    within ``max_vms``) and keep the one with the lowest
+    ``usd_per_mreq``.  Ties break toward the earlier candidate, so the
+    caller's ordering expresses preference.
+
+    Raises
+    ------
+    ValueError
+        If no candidate shape reaches the target.
+    """
+    if not instance_types:
+        raise ValueError("need at least one candidate instance type")
+    best: PoolPlan | None = None
+    for name in instance_types:
+        try:
+            plan = recommend_pool(name, request_rate, target_rmttf_s, **kwargs)
+        except ValueError:
+            continue
+        if best is None or plan.usd_per_mreq < best.usd_per_mreq:
+            best = plan
+    if best is None:
+        raise ValueError(
+            f"no candidate shape in {list(instance_types)} reaches "
+            f"RMTTF {target_rmttf_s}s at {request_rate} req/s"
+        )
+    return best
 
 
 def plan_deployment(

@@ -216,10 +216,17 @@ def get_policy(name: str, **kwargs) -> Policy:
 
     The registry keys are ``"sensible-routing"`` (Policy 1),
     ``"available-resources"`` (Policy 2), ``"exploration"`` (Policy 3),
-    ``"uniform"`` and ``"static-weights"`` (baselines).
+    ``"cost-aware"`` (Policy 2 weighted by 1/relative-$), ``"uniform"``
+    and ``"static-weights"`` (baselines).
     """
     # Importing the concrete modules fills the registry lazily.
-    from repro.core import baselines, exploration, resources, sensible  # noqa: F401
+    from repro.core import (  # noqa: F401
+        baselines,
+        costaware,
+        exploration,
+        resources,
+        sensible,
+    )
 
     try:
         cls = POLICY_REGISTRY[name]

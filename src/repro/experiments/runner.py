@@ -65,6 +65,12 @@ class ExperimentResult:
     #: policy-head summary (mean reward, availability, cost, fallback);
     #: ``None`` when the run had no learned head
     head_stats: dict | None = None
+    #: deployment bill (total/egress $, $/M requests) -- always present
+    #: for :func:`run_policy_experiment` runs (pure accounting)
+    cost_stats: dict | None = None
+    #: SLO controller summary (degraded eras, violation rate,
+    #: transitions); ``None`` when the run had no SLO config
+    slo_stats: dict | None = None
 
 
 def make_trained_predictor(
@@ -165,6 +171,7 @@ def _experiment_manifest(
     autoscale: bool,
     online: OnlineLifecycleConfig | None = None,
     policy_head: str | None = None,
+    slo: str | None = None,
 ) -> RunManifest:
     config = {
         "scenario": scenario.name,
@@ -186,6 +193,9 @@ def _experiment_manifest(
     if policy_head:
         # same only-when-set rule for the learned-head identity
         config["policy_head"] = policy_head
+    if slo:
+        # only-when-set: SLO-less manifests keep their historical digest
+        config["slo"] = slo
     if scenario.leak_multiplier != 1.0:
         config["leak_multiplier"] = scenario.leak_multiplier
     return RunManifest.build(
@@ -210,6 +220,7 @@ def run_policy_experiment(
     online: OnlineLifecycleConfig | None = None,
     online_retrain: int = 0,
     policy_head: str | object | None = None,
+    slo: str | object | None = None,
 ) -> ExperimentResult:
     """Run one policy on one scenario and assess it.
 
@@ -229,6 +240,14 @@ def run_policy_experiment(
     :class:`~repro.policy.runtime.PolicyHeadRuntime`.  ``policy`` stays
     the hold/fallback/guard-engaged base.  The run-level head summary is
     exposed as ``result.head_stats``.
+
+    ``slo`` (a spec string like ``"p95:0.5+dwell:120"``, or an
+    :class:`~repro.slo.SloConfig`) arms the sim-side SLO controller:
+    per-region ladders fed by era response times, shaping the Plan
+    phase away from degraded regions.  ``None`` (the default) takes no
+    SLO code path and keeps golden traces bit-identical.  The run-level
+    SLO summary is exposed as ``result.slo_stats``; the deployment bill
+    (always accounted) as ``result.cost_stats``.
     """
     if eras < 10:
         raise ValueError("eras must be >= 10 for a meaningful assessment")
@@ -244,9 +263,12 @@ def run_policy_experiment(
         head_label = getattr(
             getattr(policy_head, "head", policy_head), "name", "head"
         )
+    slo_label = (
+        slo if isinstance(slo, str) else ("custom" if slo is not None else None)
+    )
     manifest = _experiment_manifest(
         scenario, policy, eras, seed, era_s, beta, predictor, autoscale,
-        online=online_cfg, policy_head=head_label,
+        online=online_cfg, policy_head=head_label, slo=slo_label,
     )
     if telemetry is not None and telemetry.enabled:
         telemetry.set_manifest(manifest)
@@ -265,8 +287,11 @@ def run_policy_experiment(
             DEFAULT_LEAK_PROBABILITY * scenario.leak_multiplier
         ),
         policy_head=head,
+        slo=slo,
+        egress_usd_per_req=scenario.egress_usd_per_req,
     )
     manager.run(eras)
+    cost = manager.cost
     return ExperimentResult(
         scenario=scenario.name,
         policy=policy,
@@ -283,6 +308,22 @@ def run_policy_experiment(
         head_stats=(
             manager.policy_runtime.stats()
             if manager.policy_runtime is not None
+            else None
+        ),
+        cost_stats={
+            "total_usd": cost.total_usd,
+            "egress_usd": cost.egress_usd,
+            "requests_served": cost.requests_served,
+            # 0.0 (not inf) before any request: payloads stay JSON-clean
+            "cost_per_mreq": (
+                cost.cost_per_million_requests()
+                if cost.requests_served
+                else 0.0
+            ),
+        },
+        slo_stats=(
+            manager.slo_controller.stats()
+            if manager.slo_controller is not None
             else None
         ),
     )

@@ -45,6 +45,12 @@ class Scenario:
     #: evaluated on raise this (e.g. 2.5x), aging VMs faster than the
     #: static policies and thresholds were tuned for.
     leak_multiplier: float = 1.0
+    #: Inter-region egress price ($/forwarded request): cloud providers
+    #: bill cross-region transfer, local traffic is free.  The default
+    #: approximates $0.02/GB at ~12 KB per response.  Pure accounting
+    #: (feeds the run's CostTracker), so it carries no config-digest or
+    #: trace footprint.
+    egress_usd_per_req: float = 2.5e-7
 
     def build_overlay(self) -> OverlayNetwork:
         """Instantiate the overlay for this scenario (fresh each run)."""

@@ -25,6 +25,7 @@ from repro.fleet.aggregate import (
     CellStats,
     MetricStats,
     aggregate,
+    frontier_report,
     markdown_report,
     write_cells_csv,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "CellStats",
     "MetricStats",
     "aggregate",
+    "frontier_report",
     "markdown_report",
     "write_cells_csv",
     "build_scenario",

@@ -33,6 +33,8 @@ PREFERRED_METRICS = (
     "rejuvenations",
     "sla_met",
     "availability",
+    "cost_per_mreq",
+    "response_p95_s",
     "mttr_s",
     "recovered",
 )
@@ -43,7 +45,7 @@ _Z95 = 1.96
 
 def cell_key(
     job: JobSpec,
-) -> tuple[str, str, str, float, int, str, str]:
+) -> tuple[str, str, str, float, int, str, str, str]:
     """The grid cell a job belongs to (replicate index erased)."""
     return (
         job.kind,
@@ -53,6 +55,7 @@ def cell_key(
         int(job.online_retrain),
         job.domains,
         job.policy_head,
+        job.slo,
     )
 
 
@@ -79,6 +82,7 @@ class CellStats:
     retrain: int = 0
     domains: str = "flat"
     policy_head: str = ""
+    slo: str = ""
 
     @property
     def label(self) -> str:
@@ -93,6 +97,8 @@ class CellStats:
             parts.append(f"domains{self.domains}")
         if self.policy_head:
             parts.append(f"head:{head_label(self.policy_head)}")
+        if self.slo:
+            parts.append(f"slo:{self.slo}")
         return "/".join(parts)
 
 
@@ -136,7 +142,7 @@ def aggregate(
 
     cells: list[CellStats] = []
     for key in order:
-        kind, scenario, policy, load, retrain, domains, head = key
+        kind, scenario, policy, load, retrain, domains, head, slo = key
         rows = grouped[key]
         numeric: dict[str, list[float]] = {}
         for row in rows:
@@ -154,6 +160,7 @@ def aggregate(
             retrain=retrain,
             domains=domains,
             policy_head=head,
+            slo=slo,
             metrics={
                 name: _stats(values)
                 for name, values in sorted(numeric.items())
@@ -207,6 +214,71 @@ def markdown_report(
                 row.append(_fmt(stat.mean))
         lines.append("| " + " | ".join(row) + " |")
     return "\n".join(lines)
+
+
+def frontier_report(cells: list[CellStats]) -> str:
+    """The cost/SLO frontier table: ``$/M req`` vs availability vs p95.
+
+    One row per policy cell that carries cost metrics, grouped by
+    (scenario, load) so rows within a group are directly comparable.
+    A row is marked ``*`` when it is Pareto-efficient within its group
+    on (cost_per_mreq minimized, availability maximized): no other row
+    in the group is at least as cheap *and* at least as available with
+    one strict.  Returns "" when no cell carries cost metrics, so the
+    sweep CLI can append it unconditionally.
+    """
+    rows = [
+        c
+        for c in cells
+        if c.kind == "policy" and "cost_per_mreq" in c.metrics
+    ]
+    if not rows:
+        return ""
+    groups: dict[tuple[str, float], list[CellStats]] = {}
+    for cell in rows:
+        groups.setdefault((cell.scenario, cell.load), []).append(cell)
+
+    def dominated(cell: CellStats, peers: list[CellStats]) -> bool:
+        cost = cell.metrics["cost_per_mreq"].mean
+        avail = cell.metrics.get("availability", _NAN_STAT).mean
+        for other in peers:
+            if other is cell:
+                continue
+            ocost = other.metrics["cost_per_mreq"].mean
+            oavail = other.metrics.get("availability", _NAN_STAT).mean
+            if (
+                ocost <= cost
+                and oavail >= avail
+                and (ocost < cost or oavail > avail)
+            ):
+                return True
+        return False
+
+    lines = [
+        "| cell | $/M req | availability | p95 (s) | frontier |",
+        "|---|---|---|---|---|",
+    ]
+    for cell in rows:
+        peers = groups[(cell.scenario, cell.load)]
+        cost = cell.metrics["cost_per_mreq"].mean
+        avail = cell.metrics.get("availability")
+        p95 = cell.metrics.get("response_p95_s")
+        lines.append(
+            "| {} | {} | {} | {} | {} |".format(
+                cell.label,
+                _fmt(cost),
+                _fmt(avail.mean) if avail else "-",
+                _fmt(p95.mean) if p95 else "-",
+                "*" if not dominated(cell, peers) else "",
+            )
+        )
+    return "\n".join(lines)
+
+
+#: NaN placeholder for cells missing a frontier metric.
+_NAN_STAT = MetricStats(
+    mean=float("nan"), std=0.0, ci95=0.0, n=0
+)
 
 
 def write_cells_csv(

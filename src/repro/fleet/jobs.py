@@ -96,6 +96,9 @@ class JobSpec:
     #: Empty = no head (the historical static Plan path).  ``policy``
     #: jobs resolve it frozen; ``rollout`` jobs keep it trainable.
     policy_head: str = ""
+    #: SLO spec (``parse_slo_spec`` grammar, e.g. "p95:0.5+dwell:120").
+    #: Empty = no SLO controller (the historical loop, bit-identical).
+    slo: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -108,6 +111,10 @@ class JobSpec:
             from repro.topology.domains import parse_domain_shape
 
             parse_domain_shape(self.domains)  # ValueError on garbage
+        if self.slo:
+            from repro.slo.evaluator import parse_slo_spec
+
+            parse_slo_spec(self.slo)  # ValueError on garbage
 
     def config(self) -> dict:
         """The effective configuration this job is a pure function of."""
@@ -132,6 +139,9 @@ class JobSpec:
         if self.policy_head:
             # same digest-stability rule for the learned-head axis
             config["policy_head"] = self.policy_head
+        if self.slo:
+            # same digest-stability rule for the SLO axis
+            config["slo"] = self.slo
         return config
 
     @property
@@ -152,6 +162,8 @@ class JobSpec:
             parts.append(f"domains{self.domains}")
         if self.policy_head:
             parts.append(f"head:{head_label(self.policy_head)}")
+        if self.slo:
+            parts.append(f"slo:{self.slo}")
         parts.append(f"rep{self.replicate}")
         return "/".join(parts)
 
@@ -180,6 +192,7 @@ class JobSpec:
             online_retrain=int(config.get("online_retrain", 0)),
             domains=str(config.get("domains", "flat")),
             policy_head=str(config.get("policy_head", "")),
+            slo=str(config.get("slo", "")),
         )
 
 
@@ -306,6 +319,7 @@ def _availability(traces, scenario) -> float:
 
 def _execute_policy(job: JobSpec) -> dict:
     from repro.experiments.runner import run_policy_experiment
+    from repro.slo.evaluator import nearest_rank_quantile
 
     scenario = build_scenario(job.scenario, job.load, domains=job.domains)
     result = run_policy_experiment(
@@ -317,6 +331,7 @@ def _execute_policy(job: JobSpec) -> dict:
         predictor=job.predictor,
         online_retrain=job.online_retrain,
         policy_head=job.policy_head or None,
+        slo=job.slo or None,
     )
     a = result.assessment
     payload = {
@@ -335,7 +350,20 @@ def _execute_policy(job: JobSpec) -> dict:
         "rejuvenations": a.total_rejuvenations,
         "failures": a.total_failures,
         "availability": _availability(result.traces, scenario),
+        # cost accounting is always on (payloads are not digested, so
+        # adding these keys unconditionally is safe)
+        "cost_usd": result.cost_stats["total_usd"],
+        "cost_per_mreq": result.cost_stats["cost_per_mreq"],
+        "egress_usd": result.cost_stats["egress_usd"],
+        "response_p95_s": nearest_rank_quantile(
+            result.traces.series("response_time").values, 0.95
+        ),
     }
+    if result.slo_stats is not None:
+        # only stamped when an SLO controller ran
+        payload["slo"] = job.slo
+        payload["slo_degraded_eras"] = result.slo_stats["degraded_eras"]
+        payload["slo_violation_rate"] = result.slo_stats["violation_rate"]
     if result.head_stats is not None:
         # only stamped when a head ran, so historical payloads (and
         # their store round-trips) are unchanged in shape

@@ -31,6 +31,7 @@ from repro.fleet.jobs import (
 )
 from repro.obs.manifest import RunManifest
 from repro.sim.rng import derive_seed
+from repro.slo.evaluator import parse_slo_spec
 from repro.topology.domains import parse_domain_shape
 
 #: Documented default root seed, shared with the CLI (`--seed`).
@@ -66,6 +67,10 @@ class SweepSpec:
     #: "frozen:<path>", or a checkpoint path), a grid axis over the
     #: policy cells; the default keeps historical digests
     policy_heads: tuple[str, ...] = ("",)
+    #: SLO specs ("" = no SLO, else ``parse_slo_spec`` grammar, e.g.
+    #: "p95:0.5+dwell:120"), a grid axis over the policy cells; the
+    #: default keeps historical digests
+    slo: tuple[str, ...] = ("",)
     #: chaos campaigns appended as extra cells (policy axis not applied)
     campaigns: tuple[str, ...] = ()
     #: era override for campaign cells; 0 = each campaign's default
@@ -97,6 +102,13 @@ class SweepSpec:
                 "policy_heads axis must name at least one spec "
                 '("" = no head)'
             )
+        if not self.slo:
+            raise ValueError(
+                'slo axis must name at least one spec ("" = no SLO)'
+            )
+        for spec in self.slo:
+            if spec:
+                parse_slo_spec(spec)  # raises ValueError on garbage
         if self.eras < 10:
             raise ValueError("eras must be >= 10 (assessment minimum)")
         if self.cell_count == 0:
@@ -109,7 +121,7 @@ class SweepSpec:
             self.loads
         ) * len(self.retrain) * len(self.domains) * len(
             self.policy_heads
-        ) + len(self.campaigns)
+        ) * len(self.slo) + len(self.campaigns)
 
     @property
     def job_count(self) -> int:
@@ -138,30 +150,36 @@ class SweepSpec:
                                 # historical names (same rule as the
                                 # retrain/domains axes)
                                 hsuffix = f"/head:{head}" if head else ""
-                                for rep in range(self.replicates):
-                                    cell = (
-                                        f"{scenario}/{policy}/load{load:g}"
-                                        f"{suffix}{dsuffix}{hsuffix}"
-                                        f"/rep{rep}"
-                                    )
-                                    jobs.append(
-                                        JobSpec(
-                                            kind="policy",
-                                            scenario=scenario,
-                                            policy=policy,
-                                            load=float(load),
-                                            seed=derive_seed(
-                                                self.root_seed, cell
-                                            ),
-                                            replicate=rep,
-                                            eras=self.eras,
-                                            era_s=self.era_s,
-                                            predictor=self.predictor,
-                                            online_retrain=retrain,
-                                            domains=domains,
-                                            policy_head=head,
+                                for slo in self.slo:
+                                    # the SLO-less cells keep the
+                                    # historical names too
+                                    ssuffix = f"/slo:{slo}" if slo else ""
+                                    for rep in range(self.replicates):
+                                        cell = (
+                                            f"{scenario}/{policy}"
+                                            f"/load{load:g}"
+                                            f"{suffix}{dsuffix}{hsuffix}"
+                                            f"{ssuffix}/rep{rep}"
                                         )
-                                    )
+                                        jobs.append(
+                                            JobSpec(
+                                                kind="policy",
+                                                scenario=scenario,
+                                                policy=policy,
+                                                load=float(load),
+                                                seed=derive_seed(
+                                                    self.root_seed, cell
+                                                ),
+                                                replicate=rep,
+                                                eras=self.eras,
+                                                era_s=self.era_s,
+                                                predictor=self.predictor,
+                                                online_retrain=retrain,
+                                                domains=domains,
+                                                policy_head=head,
+                                                slo=slo,
+                                            )
+                                        )
         for campaign in self.campaigns:
             for rep in range(self.replicates):
                 cell = f"chaos/{campaign}/rep{rep}"
@@ -204,6 +222,9 @@ class SweepSpec:
         if self.policy_heads != ("",):
             # same digest-stability rule for the learned-head axis
             config["policy_heads"] = list(self.policy_heads)
+        if self.slo != ("",):
+            # same digest-stability rule for the SLO axis
+            config["slo"] = list(self.slo)
         return config
 
     def manifest(self) -> RunManifest:

@@ -14,6 +14,9 @@ only substitutions are the time source and the load source:
 * :mod:`repro.serve.loadgen` -- the open-loop load generator behind
   ``repro loadtest``.
 
+The per-region SLO gate (``ServeConfig.slo``) lives in :mod:`repro.slo`;
+:class:`SloConfig` is re-exported here for convenience.
+
 See DESIGN.md ("Clock abstraction & wall-clock mode") for why the
 simulated and served control planes share one code path.
 """
@@ -28,6 +31,7 @@ from repro.serve.loadgen import (
     run_load,
 )
 from repro.serve.service import AcmService, ServeConfig
+from repro.slo import SloConfig
 
 __all__ = [
     "AcmService",
@@ -37,6 +41,7 @@ __all__ = [
     "LoadReport",
     "SCHEDULES",
     "ServeConfig",
+    "SloConfig",
     "WallClock",
     "build_schedule",
     "run_load",

@@ -15,7 +15,14 @@ surface the load generator and a Prometheus scraper need:
 ``GET /regions``          admin: per-region liveness/MTTR (JSON)
 ``POST /chaos/blackout``  admin: ``?region=`` region blackout
 ``POST /chaos/heal``      admin: ``?region=`` heal
+``GET /slo``              admin: SLO gate state (JSON)
+``POST /slo/kill``        admin: ``?on=0|1`` deployment kill switch
+``POST /slo/override``    admin: ``?level=normal|degraded|none`` pin
 ========================  ==========================================
+
+A 429 shed response whose body carries ``retry_after_s`` (both the
+token-bucket and SLO sheds do) is rendered with the matching
+``Retry-After`` header, per the standard backpressure contract.
 
 The chaos endpoints exist so load tests (and CI) can fault a *live*
 deployment over the same wire they load it on -- the in-process
@@ -88,9 +95,11 @@ class HttpIngress:
                     headers.get("connection", "keep-alive").lower()
                     != "close"
                 )
-                status, content_type, body = self._dispatch(method, target)
+                status, content_type, body, extra = self._dispatch(
+                    method, target
+                )
                 writer.write(
-                    self._render(status, content_type, body, keep_alive)
+                    self._render(status, content_type, body, keep_alive, extra)
                 )
                 await writer.drain()
                 if not keep_alive:
@@ -138,14 +147,24 @@ class HttpIngress:
         return method, target, headers
 
     def _render(
-        self, status: int, content_type: str, body: bytes, keep_alive: bool
+        self,
+        status: int,
+        content_type: str,
+        body: bytes,
+        keep_alive: bool,
+        extra_headers: dict | None = None,
     ) -> bytes:
         reason = _STATUS_TEXT.get(status, "Unknown")
         connection = "keep-alive" if keep_alive else "close"
+        extra = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: {connection}\r\n"
             "\r\n"
         )
@@ -157,7 +176,7 @@ class HttpIngress:
 
     def _dispatch(
         self, method: str, target: str
-    ) -> tuple[int, str, bytes]:
+    ) -> tuple[int, str, bytes, dict | None]:
         url = urlsplit(target)
         path = url.path
         query = parse_qs(url.query)
@@ -167,7 +186,10 @@ class HttpIngress:
                     return self._json(405, {"error": "method"})
                 region = query.get("region", [None])[0]
                 status, body = self.service.handle_request(region)
-                return self._json(status, body)
+                headers = None
+                if status == 429 and "retry_after_s" in body:
+                    headers = {"Retry-After": str(int(body["retry_after_s"]))}
+                return self._json(status, body, headers)
             if path == "/healthz":
                 return self._json(
                     200,
@@ -183,6 +205,7 @@ class HttpIngress:
                     200,
                     "text/plain; version=0.0.4; charset=utf-8",
                     text.encode("utf-8"),
+                    None,
                 )
             if path == "/plan":
                 return self._json(200, self.service.plan_snapshot())
@@ -201,16 +224,44 @@ class HttpIngress:
                 else:
                     self.service.chaos.region_heal(region)
                 return self._json(200, {"ok": True, "region": region})
+            if path == "/slo":
+                if method != "GET":
+                    return self._json(405, {"error": "method"})
+                return self._json(200, self.service.slo_snapshot())
+            if path == "/slo/kill" or path == "/slo/override":
+                if method != "POST":
+                    return self._json(405, {"error": "POST required"})
+                if path.endswith("kill"):
+                    raw = query.get("on", ["1"])[0]
+                    if raw not in ("0", "1"):
+                        return self._json(
+                            400, {"error": f"bad on={raw!r} (want 0|1)"}
+                        )
+                    ok = self.service.slo_kill(raw == "1")
+                else:
+                    level = query.get("level", [None])[0]
+                    if level in (None, "none"):
+                        level = None
+                    try:
+                        ok = self.service.slo_override(level)
+                    except ValueError as exc:
+                        return self._json(400, {"error": str(exc)})
+                if not ok:
+                    return self._json(400, {"error": "slo disabled"})
+                return self._json(200, {"ok": True})
             return self._json(404, {"error": f"no route {path}"})
         except Exception as exc:  # noqa: BLE001 - one request, not the server
             return self._json(500, {"error": f"{type(exc).__name__}: {exc}"})
 
     @staticmethod
-    def _json(status: int, payload: dict) -> tuple[int, str, bytes]:
+    def _json(
+        status: int, payload: dict, headers: dict | None = None
+    ) -> tuple[int, str, bytes, dict | None]:
         return (
             status,
             "application/json",
             json.dumps(payload).encode("utf-8"),
+            headers,
         )
 
 

@@ -20,13 +20,13 @@ from __future__ import annotations
 
 import asyncio
 import json
-import math
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.sim.rng import RngRegistry
+from repro.slo.evaluator import nearest_rank_quantile
 from repro.workload.arrivals import PoissonArrivals
 from repro.workload.profiles import DiurnalProfile
 
@@ -66,11 +66,15 @@ class LoadReport:
     error_times_s: list = field(default_factory=list, repr=False)
 
     def quantile(self, q: float) -> float:
-        if not self.latencies_s:
-            return float("nan")
-        data = sorted(self.latencies_s)
-        idx = min(len(data) - 1, max(0, math.ceil(q * len(data)) - 1))
-        return data[idx]
+        """Nearest-rank latency quantile (NaN on an empty sample).
+
+        Delegates to the SLO evaluator's estimator so client-side and
+        server-side percentiles agree -- including the float-epsilon
+        guard (a bare ``ceil(q * n)`` overshoots when the product lands
+        just above an integer, e.g. ``0.95 * 20 == 19.000...004``,
+        which silently reported the sample maximum as the p95).
+        """
+        return nearest_rank_quantile(self.latencies_s, q)
 
     def as_dict(self) -> dict:
         rps = self.completed / self.duration_s if self.duration_s else 0.0

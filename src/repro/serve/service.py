@@ -29,6 +29,7 @@ histogram, and the per-blackout failover MTTR gauge.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 
@@ -46,6 +47,13 @@ from repro.overlay.messaging import Message, MessageBus
 from repro.overlay.reliable import ReliableChannel
 from repro.pcam.vm import VmState
 from repro.serve.clock import WallClock
+from repro.slo import (
+    LEVEL_CODES,
+    LEVEL_DEGRADED,
+    PriorityLadder,
+    SloConfig,
+    SloEvaluator,
+)
 
 #: Control-channel message kinds (application layer, over rc-data).
 REPORT_KIND = "rmttf-report"
@@ -69,6 +77,10 @@ class ServeConfig:
     admission_rps: float = 5000.0  #: per-region token-bucket rate
     admission_burst_s: float = 0.25  #: bucket depth, seconds of rate
     channel_timeout_s: float = 0.25  #: first-attempt ack timeout
+    #: Optional per-region SLO gate (p95 target / queue depth / error
+    #: budget on real time) driving the priority ladder and 429
+    #: backpressure.  ``None`` (the default) takes no SLO code path.
+    slo: SloConfig | None = None
 
 
 class AcmService:
@@ -113,16 +125,20 @@ class AcmService:
         # AcmManager pointed the metric clock at the fluid loop's era
         # arithmetic (frozen at 0 here); re-point it at the wall clock.
         tel.set_clock(lambda: self.clock.now)
+        manifest_config = {
+            "mode": "serve",
+            "scenario": scenario.name,
+            "policy": cfg.policy,
+            "era_s": cfg.era_s,
+            "window_s": cfg.window_s,
+        }
+        if cfg.slo is not None:
+            # only-when-set: SLO-less serve manifests keep their digest
+            manifest_config["slo"] = cfg.slo.spec()
         tel.set_manifest(
             RunManifest.build(
                 seed=cfg.seed,
-                config={
-                    "mode": "serve",
-                    "scenario": scenario.name,
-                    "policy": cfg.policy,
-                    "era_s": cfg.era_s,
-                    "window_s": cfg.window_s,
-                },
+                config=manifest_config,
                 scenario=scenario.name,
                 mode="serve",
                 speed=clock.speed,
@@ -177,6 +193,21 @@ class AcmService:
         self._tokens = {r: cap for r in self.regions}
         self._token_ts = {r: time.monotonic() for r in self.regions}
 
+        # SLO gate: per-region evaluator + priority ladder on real time.
+        # _mono is an attribute so tests can inject a fake monotonic
+        # clock and exercise dwell/recovery deterministically.
+        self._mono = time.monotonic
+        self._slo_gates: dict[str, tuple[SloEvaluator, PriorityLadder]] | None
+        if cfg.slo is not None:
+            now_mono = self._mono()
+            self._slo_gates = {
+                r: (SloEvaluator(cfg.slo), PriorityLadder(cfg.slo, now_mono))
+                for r in self.regions
+            }
+            self._slo_levels = {r: "normal" for r in self.regions}
+        else:
+            self._slo_gates = None
+
         # failure bookkeeping: region -> clock time first seen dead, and
         # region -> last measured failover MTTR (dead -> routed-around)
         self._down_at: dict[str, float] = {}
@@ -222,6 +253,22 @@ class AcmService:
             r: t.gauge("acm_failover_mttr_seconds", region=r)
             for r in self.regions
         }
+        if self._slo_gates is not None:
+            self._m_slo_level = {
+                r: t.gauge("slo_level", region=r) for r in self.regions
+            }
+            self._m_slo_p95 = {
+                r: t.gauge("slo_p95_seconds", region=r) for r in self.regions
+            }
+            self._m_slo_shed = {
+                r: t.counter("slo_shed_total", region=r) for r in self.regions
+            }
+            self._m_slo_trans = {
+                r: t.counter("slo_transitions_total", region=r)
+                for r in self.regions
+            }
+            for r in self.regions:
+                self._m_slo_level[r].set(0.0)
         for r in self.regions:
             self._m_fraction[r].set(float(self.fractions[self._index[r]]))
             self._m_alive[r].set(1.0)
@@ -269,9 +316,27 @@ class AcmService:
             self._rr += 1
         self._m_requests[region].inc()
         self._arrivals[region] += 1
+        # SLO ladder first (outer policy rung), token bucket second
+        # (the default rate guard): kill-switch > override > adaptive.
+        if self._slo_gates is not None:
+            retry_after = self._slo_check(region)
+            if retry_after is not None:
+                self._m_shed[region].inc()
+                self._m_slo_shed[region].inc()
+                return 429, {
+                    "error": "slo",
+                    "region": region,
+                    "retry_after_s": retry_after,
+                }
         if not self._admit(region):
             self._m_shed[region].inc()
-            return 429, {"error": "shed", "region": region}
+            return 429, {
+                "error": "shed",
+                "region": region,
+                # honest backoff hint: seconds until the bucket refills
+                # one token at the configured admission rate
+                "retry_after_s": self._retry_after(region),
+            }
         i = self._index[region]
         draw = self._route_rng.random()
         j = int(np.searchsorted(self._cdfs[i], draw, side="right"))
@@ -284,12 +349,22 @@ class AcmService:
             picked = self._failover_target(i)
             if picked is None:
                 self._m_errors.inc()
+                if self._slo_gates is not None:
+                    self._slo_gates[region][0].observe_outcome(
+                        self._mono(), False
+                    )
                 return 503, {"error": "no live region", "region": region}
             forwarded_over = target
             target = picked
         self._served[target] += 1
         self._m_served[target].inc()
-        self._m_latency.observe(time.perf_counter() - t0)
+        elapsed = time.perf_counter() - t0
+        self._m_latency.observe(elapsed)
+        if self._slo_gates is not None:
+            evaluator = self._slo_gates[region][0]
+            now_mono = self._mono()
+            evaluator.observe_latency(now_mono, elapsed)
+            evaluator.observe_outcome(now_mono, True)
         body = {
             "arrival": region,
             "target": target,
@@ -315,6 +390,70 @@ class AcmService:
             return True
         self._tokens[region] = tokens
         return False
+
+    def _retry_after(self, region: str) -> int:
+        """Integer seconds until the region's bucket refills one token.
+
+        ``_admit`` just refreshed the bucket, so the deficit divided by
+        the refill rate is the exact wait; HTTP wants integer seconds,
+        floor 1.
+        """
+        deficit = max(0.0, 1.0 - self._tokens[region])
+        return max(1, math.ceil(deficit / self.config.admission_rps))
+
+    def _slo_check(self, region: str) -> int | None:
+        """Advance the region's ladder; Retry-After seconds if degraded.
+
+        The queue-depth signal is proxied by the admission bucket's
+        token deficit (how far behind the refill rate this region is
+        running); latency and outcome samples arrive from the serving
+        path itself.
+        """
+        evaluator, ladder = self._slo_gates[region]
+        now = self._mono()
+        cap = self.config.admission_rps * self.config.admission_burst_s
+        evaluator.set_queue_depth(cap - self._tokens[region])
+        decision = ladder.update(now, evaluator.status(now))
+        self._slo_note(region, decision)
+        if decision.level != LEVEL_DEGRADED:
+            return None
+        # adaptive rung: honest dwell remainder; kill-switch/override:
+        # no scheduled recovery, so advertise the dwell as the backoff
+        hint = decision.dwell_remaining_s or self.config.slo.min_dwell_s
+        return max(1, math.ceil(hint))
+
+    def _slo_note(self, region: str, decision) -> None:
+        """Record a ladder decision: gauges, transition counter, event."""
+        previous = self._slo_levels[region]
+        if decision.level != previous:
+            self._slo_levels[region] = decision.level
+            self._m_slo_trans[region].inc()
+            self._m_slo_level[region].set(LEVEL_CODES[decision.level])
+            self.telemetry.event(
+                "slo.transition",
+                region=region,
+                frm=previous,
+                to=decision.level,
+                source=decision.source,
+            )
+
+    def _slo_refresh(self) -> None:
+        """Era-boundary sweep: update SLO gauges, let idle regions recover.
+
+        Without this, a fully-shed region would only re-evaluate its
+        ladder when a request arrives; the sweep advances the ladder on
+        the era tick so recovery after the dwell does not depend on
+        probe traffic.
+        """
+        now = self._mono()
+        for region in self.regions:
+            evaluator, ladder = self._slo_gates[region]
+            status = evaluator.status(now)
+            decision = ladder.update(now, status)
+            self._slo_note(region, decision)
+            self._m_slo_p95[region].set(
+                0.0 if math.isnan(status.p95_s) else status.p95_s
+            )
 
     def _failover_target(self, row_idx: int) -> str | None:
         """Re-sample the row restricted to live regions (None if dark)."""
@@ -347,6 +486,8 @@ class AcmService:
         era = self._era_index
         self._era_index += 1
         self._m_eras.inc()
+        if self._slo_gates is not None:
+            self._slo_refresh()
         served = dict(self._served)
         arrivals = dict(self._arrivals)
         for r in self.regions:
@@ -546,6 +687,64 @@ class AcmService:
             "clock_now": self.clock.now,
             "speed": self.clock.speed,
         }
+
+    def slo_snapshot(self) -> dict:
+        """SLO gate state as the admin ``/slo`` JSON."""
+        if self._slo_gates is None:
+            return {"enabled": False}
+        now = self._mono()
+        out = {}
+        for r in self.regions:
+            evaluator, ladder = self._slo_gates[r]
+            status = evaluator.status(now)
+            decision = ladder.decision(now)
+            out[r] = {
+                "level": decision.level,
+                "source": decision.source,
+                "dwell_remaining_s": decision.dwell_remaining_s,
+                "p95_s": None if math.isnan(status.p95_s) else status.p95_s,
+                "samples": status.samples,
+                "queue_depth": status.queue_depth,
+                "error_rate": status.error_rate,
+                "transitions": ladder.transitions,
+            }
+        cfg = self.config.slo
+        return {
+            "enabled": True,
+            "config": cfg.spec(),
+            "kill_switch": any(
+                ladder.kill_switch for _, ladder in self._slo_gates.values()
+            ),
+            "regions": out,
+        }
+
+    def slo_kill(self, on: bool) -> bool:
+        """Flip the deployment-wide kill switch; False if SLO disabled."""
+        if self._slo_gates is None:
+            return False
+        for region in self.regions:
+            self._slo_gates[region][1].set_kill_switch(on)
+            self._slo_note(
+                region, self._slo_gates[region][1].decision(self._mono())
+            )
+        self.telemetry.event("slo.kill_switch", on=bool(on))
+        return True
+
+    def slo_override(self, level: str | None) -> bool:
+        """Pin every region's level (None clears); False if SLO disabled.
+
+        Raises ``ValueError`` on an unknown level (the ingress maps it
+        to a 400).
+        """
+        if self._slo_gates is None:
+            return False
+        for region in self.regions:
+            self._slo_gates[region][1].set_override(level)
+            self._slo_note(
+                region, self._slo_gates[region][1].decision(self._mono())
+            )
+        self.telemetry.event("slo.override", level=level or "cleared")
+        return True
 
     def metrics_text(self) -> str:
         """Prometheus text for ``/metrics`` (live scrape)."""

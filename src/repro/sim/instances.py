@@ -45,6 +45,12 @@ class InstanceType:
     hourly_cost:
         Nominal $/hour, used by cost-aware examples (the paper motivates
         heterogeneous deployments by price differences across providers).
+    cost_per_req:
+        Marginal $/request on top of the hourly charge (request-metered
+        services, I/O, per-call licensing).  Magnitudes are chosen so the
+        marginal spend at nominal load is comparable to the amortised
+        hourly charge -- the regime where cost-aware planning has a real
+        trade-off to make.
     """
 
     name: str
@@ -54,6 +60,7 @@ class InstanceType:
     thread_slots: int
     disk_gb: float
     hourly_cost: float
+    cost_per_req: float = 0.0
 
     def __post_init__(self) -> None:
         if self.cpu_power <= 0:
@@ -64,6 +71,8 @@ class InstanceType:
             raise ValueError(f"{self.name}: thread_slots must be positive")
         if self.swap_mb < 0:
             raise ValueError(f"{self.name}: swap_mb must be non-negative")
+        if self.cost_per_req < 0:
+            raise ValueError(f"{self.name}: cost_per_req must be non-negative")
 
 
 #: Amazon EC2 m3.medium (1 vCPU / 3 ECU burst, 3.75 GiB RAM) -- Region 1.
@@ -75,6 +84,7 @@ M3_MEDIUM = InstanceType(
     thread_slots=256,
     disk_gb=4.0,
     hourly_cost=0.073,
+    cost_per_req=4.2e-7,
 )
 
 #: Amazon EC2 m3.small-equivalent (the paper's label; closest published shape
@@ -87,6 +97,7 @@ M3_SMALL = InstanceType(
     thread_slots=128,
     disk_gb=4.0,
     hourly_cost=0.047,
+    cost_per_req=6.5e-7,
 )
 
 #: Privately hosted VM on the HP ProLiant server: 2 vCPUs, 1 GB RAM, 4 GB
@@ -99,6 +110,7 @@ PRIVATE_SMALL = InstanceType(
     thread_slots=160,
     disk_gb=4.0,
     hourly_cost=0.0,
+    cost_per_req=1.5e-7,
 )
 
 INSTANCE_CATALOG: dict[str, InstanceType] = {

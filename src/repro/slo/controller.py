@@ -1,0 +1,128 @@
+"""Sim-side SLO controller: evaluators + ladders feeding the Plan phase.
+
+One :class:`SloController` owns a per-region
+:class:`~repro.slo.evaluator.SloEvaluator` and
+:class:`~repro.slo.ladder.PriorityLadder`.  The MAPE loop calls
+:meth:`observe` in its Monitor phase (era response times are the
+latency samples) and :meth:`shape` in its Plan phase, which multiplies
+degraded regions' forward fractions by ``shed_factor`` and
+renormalizes -- the fluid-model analogue of the serve path's 429
+backpressure.
+
+Telemetry follows the repo's bit-invisibility idiom: the facade is kept
+only when enabled, and every gauge/counter/event is guarded on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.slo.evaluator import SloConfig, SloEvaluator
+from repro.slo.ladder import LEVEL_CODES, LEVEL_NORMAL, PriorityLadder
+
+
+class SloController:
+    """Per-region SLO evaluation + ladder for the sim MAPE loop."""
+
+    def __init__(self, regions, config: SloConfig, telemetry=None) -> None:
+        self.regions = list(regions)
+        self.config = config
+        self.evaluators = {r: SloEvaluator(config) for r in self.regions}
+        self.ladders = {r: PriorityLadder(config) for r in self.regions}
+        self._levels = {r: LEVEL_NORMAL for r in self.regions}
+        self.eras = 0
+        self.degraded_eras = 0
+        self._tel = (
+            telemetry if telemetry is not None and telemetry.enabled else None
+        )
+        if self._tel is not None:
+            self._m_level = {
+                r: self._tel.gauge("slo_level", region=r)
+                for r in self.regions
+            }
+            self._m_p95 = {
+                r: self._tel.gauge("slo_p95_seconds", region=r)
+                for r in self.regions
+            }
+            self._m_trans = {
+                r: self._tel.counter("slo_transitions_total", region=r)
+                for r in self.regions
+            }
+
+    def observe(self, now: float, per_region_rt: dict) -> dict:
+        """Monitor phase: ingest era response times, advance the ladders.
+
+        Returns the resulting ``{region: level}`` map (also kept on the
+        controller for :meth:`shape` / :meth:`level_codes`).
+        """
+        levels: dict[str, str] = {}
+        for region in self.regions:
+            evaluator = self.evaluators[region]
+            rt = per_region_rt.get(region)
+            if rt is not None and np.isfinite(rt):
+                evaluator.observe_latency(now, float(rt))
+            status = evaluator.status(now)
+            decision = self.ladders[region].update(now, status)
+            levels[region] = decision.level
+            if self._tel is not None:
+                self._m_p95[region].set(
+                    0.0 if np.isnan(status.p95_s) else status.p95_s
+                )
+                if decision.level != self._levels[region]:
+                    self._m_trans[region].inc()
+                    self._tel.event(
+                        "slo.transition",
+                        region=region,
+                        frm=self._levels[region],
+                        to=decision.level,
+                        source=decision.source,
+                        p95_s=status.p95_s,
+                    )
+                self._m_level[region].set(LEVEL_CODES[decision.level])
+        self._levels = levels
+        self.eras += 1
+        if any(lv != LEVEL_NORMAL for lv in levels.values()):
+            self.degraded_eras += 1
+        return levels
+
+    def shape(self, fractions: np.ndarray) -> np.ndarray:
+        """Plan phase: scale degraded regions down by ``shed_factor``.
+
+        The result stays on the simplex; if every region is degraded the
+        uniform scaling cancels out and the plan is returned unchanged.
+        Degraded regions can land below the policy's min-fraction floor
+        -- deliberately: the degradation signal exists to starve a
+        breached region, and ``shed_factor`` > 0 keeps it reachable.
+        """
+        scale = np.array(
+            [
+                self.config.shed_factor
+                if self._levels[r] != LEVEL_NORMAL
+                else 1.0
+                for r in self.regions
+            ]
+        )
+        if np.all(scale == 1.0):
+            return fractions
+        shaped = fractions * scale
+        total = shaped.sum()
+        if total <= 0:
+            return fractions
+        return shaped / total
+
+    def level_codes(self) -> dict:
+        """``{region: code}`` for trace recording (0 normal, 1 degraded)."""
+        return {r: LEVEL_CODES[self._levels[r]] for r in self.regions}
+
+    def stats(self) -> dict:
+        """Run-level summary for experiment results / fleet payloads."""
+        return {
+            "eras": self.eras,
+            "degraded_eras": self.degraded_eras,
+            "violation_rate": (
+                self.degraded_eras / self.eras if self.eras else 0.0
+            ),
+            "transitions": sum(
+                ladder.transitions for ladder in self.ladders.values()
+            ),
+        }

@@ -1,0 +1,250 @@
+"""Rolling-window SLO evaluation for one region.
+
+The evaluator ingests raw signals -- request latencies, request
+outcomes, and an instantaneous queue depth -- and reduces them to a
+:class:`SloStatus` verdict with *hysteresis*: the thresholds that enter
+a breach are stricter than the ones that exit it (``exit_ratio``), so a
+region hovering exactly at its target cannot flap the ladder.
+
+The p95 reduction uses the nearest-rank estimator shared with the load
+generator's report (:func:`nearest_rank_quantile`), so the client-side
+and server-side percentiles agree on small samples.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+def nearest_rank_quantile(
+    values: Sequence[float], q: float, *, presorted: bool = False
+) -> float:
+    """Nearest-rank quantile: the ``ceil(q * n)``-th smallest value.
+
+    Returns NaN for an empty sample.  The rank product is computed with
+    a small epsilon because ``q * n`` is not exact in binary floating
+    point -- ``0.95 * 20`` evaluates to ``19.000000000000004``, and a
+    bare ``ceil`` would skip from the 19th order statistic to the 20th,
+    silently reporting the sample maximum as the p95.
+
+    ``presorted`` skips the sort for callers that maintain their sample
+    in order (the evaluator's rolling window does, so its per-request
+    ``status`` stays O(log n) instead of O(n log n)).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    n = len(values)
+    if n == 0:
+        return float("nan")
+    data = values if presorted else sorted(values)
+    rank = math.ceil(q * n - 1e-9)
+    return float(data[min(n - 1, max(0, rank - 1))])
+
+
+@dataclass(frozen=True)
+class SloConfig:
+    """Per-region SLO targets and ladder tuning.
+
+    ``p95_target_s`` is the enter threshold for the latency signal; the
+    exit threshold is ``exit_ratio * p95_target_s`` (the hysteresis
+    band).  ``queue_depth_max`` <= 0 disables the queue signal and
+    ``error_budget`` >= 1 disables the error-rate signal, so the default
+    config watches latency alone.  ``min_dwell_s`` is the minimum time
+    the adaptive rung holds a degraded level before it may recover.
+    ``shed_factor`` is the sim-side degradation multiplier applied to a
+    degraded region's forward fraction (the serve side sheds outright
+    with 429s instead).
+    """
+
+    p95_target_s: float = 1.0
+    exit_ratio: float = 0.8
+    queue_depth_max: float = 0.0
+    error_budget: float = 1.0
+    window_s: float = 60.0
+    min_dwell_s: float = 60.0
+    shed_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.p95_target_s <= 0:
+            raise ValueError(f"p95_target_s must be > 0, got {self.p95_target_s}")
+        if not 0.0 < self.exit_ratio <= 1.0:
+            raise ValueError(
+                f"exit_ratio must be in (0, 1], got {self.exit_ratio}"
+            )
+        if self.error_budget < 0:
+            raise ValueError(
+                f"error_budget must be >= 0, got {self.error_budget}"
+            )
+        if self.window_s <= 0:
+            raise ValueError(f"window_s must be > 0, got {self.window_s}")
+        if self.min_dwell_s < 0:
+            raise ValueError(
+                f"min_dwell_s must be >= 0, got {self.min_dwell_s}"
+            )
+        if not 0.0 < self.shed_factor <= 1.0:
+            raise ValueError(
+                f"shed_factor must be in (0, 1], got {self.shed_factor}"
+            )
+
+    def spec(self) -> str:
+        """Compact spec string round-tripping through :func:`parse_slo_spec`.
+
+        Always carries ``p95``; other keys only when they differ from
+        the defaults, so the string stays short and manifest-stable.
+        """
+        default = type(self)()
+        parts = [f"p95:{self.p95_target_s:g}"]
+        for key, name in _SPEC_KEYS.items():
+            if key == "p95":
+                continue
+            value = getattr(self, name)
+            if value != getattr(default, name):
+                parts.append(f"{key}:{value:g}")
+        return "+".join(parts)
+
+
+#: parse_slo_spec key -> SloConfig field.
+_SPEC_KEYS = {
+    "p95": "p95_target_s",
+    "exit": "exit_ratio",
+    "queue": "queue_depth_max",
+    "budget": "error_budget",
+    "window": "window_s",
+    "dwell": "min_dwell_s",
+    "shed": "shed_factor",
+}
+
+
+def parse_slo_spec(spec: str) -> SloConfig:
+    """Parse a compact SLO spec string into an :class:`SloConfig`.
+
+    The grammar is ``key:value`` pairs joined with ``+`` (commas are
+    taken by the sweep CLI's axis separator)::
+
+        p95:0.5                       # 500 ms p95 target, defaults else
+        p95:0.5+dwell:120+shed:0.25   # plus dwell / shed overrides
+
+    Keys: ``p95`` (s), ``exit`` (ratio), ``queue`` (depth), ``budget``
+    (error fraction), ``window`` (s), ``dwell`` (s), ``shed`` (factor).
+    The string round-trips through fleet cell names, so it must stay
+    free of ``/`` and ``,``.
+    """
+    if not spec:
+        raise ValueError("empty SLO spec")
+    fields: dict[str, float] = {}
+    for part in spec.split("+"):
+        key, sep, value = part.partition(":")
+        if not sep or key not in _SPEC_KEYS:
+            known = ", ".join(sorted(_SPEC_KEYS))
+            raise ValueError(
+                f"bad SLO spec part {part!r} (expected key:value with "
+                f"key in {{{known}}})"
+            )
+        try:
+            fields[_SPEC_KEYS[key]] = float(value)
+        except ValueError:
+            raise ValueError(
+                f"bad SLO spec value {value!r} for key {key!r}"
+            ) from None
+    return SloConfig(**fields)
+
+
+@dataclass(frozen=True)
+class SloStatus:
+    """One evaluation of a region's window against its targets.
+
+    ``breach`` uses the enter thresholds; ``recovered`` uses the laxer
+    exit thresholds.  Both can be False at once (the hysteresis band);
+    they are never True at once.
+    """
+
+    p95_s: float
+    samples: int
+    queue_depth: float
+    error_rate: float
+    breach: bool
+    recovered: bool
+
+
+@dataclass
+class SloEvaluator:
+    """Rolling-window signal store + threshold evaluation for one region.
+
+    The window is maintained incrementally -- a bisect-sorted mirror of
+    the latency deque for the p95 and a running error counter for the
+    budget -- so ``status`` is O(log n) per call, not O(n log n).  The
+    serve ingress calls it on every request.
+    """
+
+    config: SloConfig
+    _latencies: deque = field(default_factory=deque, repr=False)
+    _sorted: list = field(default_factory=list, repr=False)
+    _outcomes: deque = field(default_factory=deque, repr=False)
+    _errors: int = 0
+    _queue_depth: float = 0.0
+
+    def observe_latency(self, now: float, latency_s: float) -> None:
+        value = float(latency_s)
+        self._latencies.append((now, value))
+        bisect.insort(self._sorted, value)
+
+    def observe_outcome(self, now: float, ok: bool) -> None:
+        ok = bool(ok)
+        self._outcomes.append((now, ok))
+        if not ok:
+            self._errors += 1
+
+    def set_queue_depth(self, depth: float) -> None:
+        self._queue_depth = max(0.0, float(depth))
+
+    def _trim(self, now: float) -> None:
+        horizon = now - self.config.window_s
+        while self._latencies and self._latencies[0][0] < horizon:
+            _, value = self._latencies.popleft()
+            del self._sorted[bisect.bisect_left(self._sorted, value)]
+        while self._outcomes and self._outcomes[0][0] < horizon:
+            _, ok = self._outcomes.popleft()
+            if not ok:
+                self._errors -= 1
+
+    def status(self, now: float) -> SloStatus:
+        """Evaluate the window ending at ``now``.
+
+        An empty latency window is treated as healthy (nothing to
+        breach on) -- this is what lets a fully-shed region drain and
+        recover once its dwell time elapses.
+        """
+        cfg = self.config
+        self._trim(now)
+        lats = self._sorted
+        p95 = nearest_rank_quantile(lats, 0.95, presorted=True)
+        total = len(self._outcomes)
+        error_rate = self._errors / total if total else 0.0
+
+        latency_breach = bool(lats) and p95 > cfg.p95_target_s
+        queue_on = cfg.queue_depth_max > 0
+        queue_breach = queue_on and self._queue_depth > cfg.queue_depth_max
+        budget_on = cfg.error_budget < 1.0
+        budget_breach = budget_on and error_rate > cfg.error_budget
+
+        latency_ok = not lats or p95 <= cfg.exit_ratio * cfg.p95_target_s
+        queue_ok = (
+            not queue_on
+            or self._queue_depth <= cfg.exit_ratio * cfg.queue_depth_max
+        )
+        budget_ok = (
+            not budget_on or error_rate <= cfg.exit_ratio * cfg.error_budget
+        )
+
+        return SloStatus(
+            p95_s=p95,
+            samples=len(lats),
+            queue_depth=self._queue_depth,
+            error_rate=error_rate,
+            breach=latency_breach or queue_breach or budget_breach,
+            recovered=latency_ok and queue_ok and budget_ok,
+        )

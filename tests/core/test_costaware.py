@@ -1,0 +1,95 @@
+"""Units for the cost-aware policy (availability-per-dollar)."""
+
+import numpy as np
+import pytest
+
+from repro.core.costaware import CostAwarePolicy
+from repro.core.policy import compute_fractions, get_policy
+from repro.core.resources import AvailableResourcesPolicy
+
+
+class TestRegistry:
+    def test_registered_by_name(self):
+        assert isinstance(get_policy("cost-aware"), CostAwarePolicy)
+
+
+class TestCostWeighting:
+    def test_unconfigured_matches_policy2(self):
+        prev = np.array([0.5, 0.3, 0.2])
+        rmttf = np.array([300.0, 600.0, 900.0])
+        plain = AvailableResourcesPolicy().compute(prev, rmttf, 100.0)
+        costless = CostAwarePolicy().compute(prev, rmttf, 100.0)
+        assert costless == pytest.approx(plain)
+
+    def test_all_zero_prices_clear_configuration(self):
+        policy = CostAwarePolicy(usd_per_req=[0.0, 0.0])
+        assert policy.needs_costs
+
+    def test_prices_shift_traffic_toward_cheap_regions(self):
+        prev = np.array([0.5, 0.5])
+        rmttf = np.array([600.0, 600.0])  # identical health...
+        policy = CostAwarePolicy(usd_per_req=[1e-6, 1e-7])
+        f = policy.compute(prev, rmttf, 100.0)
+        assert f[1] > f[0]  # ...so the cheap region wins
+
+    def test_price_ratios_not_magnitudes(self):
+        prev = np.array([0.4, 0.6])
+        rmttf = np.array([500.0, 700.0])
+        lo = CostAwarePolicy(usd_per_req=[1e-7, 3e-7])
+        hi = CostAwarePolicy(usd_per_req=[1e-4, 3e-4])  # 1000x scale
+        assert lo.compute(prev, rmttf, 50.0) == pytest.approx(
+            hi.compute(prev, rmttf, 50.0)
+        )
+
+    def test_cost_weight_zero_reduces_to_policy2(self):
+        prev = np.array([0.5, 0.5])
+        rmttf = np.array([300.0, 900.0])
+        weighted = CostAwarePolicy(
+            usd_per_req=[1e-6, 1e-7], cost_weight=0.0
+        ).compute(prev, rmttf, 100.0)
+        plain = AvailableResourcesPolicy().compute(prev, rmttf, 100.0)
+        assert weighted == pytest.approx(plain)
+
+    def test_size_mismatch_raises(self):
+        policy = CostAwarePolicy(usd_per_req=[1e-6, 1e-7, 1e-7])
+        with pytest.raises(ValueError):
+            policy.compute(np.array([0.5, 0.5]), np.array([1.0, 1.0]), 1.0)
+
+    def test_configure_validation(self):
+        policy = CostAwarePolicy()
+        with pytest.raises(ValueError):
+            policy.configure_costs([])
+        with pytest.raises(ValueError):
+            policy.configure_costs([1e-6, -1.0])
+        with pytest.raises(ValueError):
+            policy.configure_costs([1e-6, float("inf")])
+        with pytest.raises(ValueError):
+            CostAwarePolicy(cost_weight=-1.0)
+
+
+class TestMinFractionInteraction:
+    """Satellite: expensive regions stay observable through the floor."""
+
+    def test_expensive_region_keeps_min_fraction(self):
+        # an extreme price ratio starves region 0, but the simplex
+        # floor must keep it observable (no requests -> no RMTTF signal
+        # -> no recovery, the failure mode the floor exists to prevent)
+        policy = CostAwarePolicy(
+            min_fraction=0.01, usd_per_req=[1.0, 1e-9], cost_weight=100.0
+        )
+        prev = np.array([1e-3, 1.0 - 1e-3])
+        rmttf = np.array([600.0, 600.0])
+        for _ in range(20):  # iterate the multiplicative policy
+            prev = policy.compute(prev, rmttf, 100.0)
+        assert prev[0] >= 0.01 - 1e-12
+        assert prev.sum() == pytest.approx(1.0)
+
+    def test_through_compute_fractions_seam(self):
+        policy = CostAwarePolicy(usd_per_req=[1e-6, 1e-7])
+        prev = np.array([0.5, 0.5])
+        rmttf = np.array([600.0, 600.0])
+        direct = policy.compute(prev, rmttf, 100.0)
+        seam = compute_fractions(policy, prev, rmttf, 100.0, mode="normal")
+        assert seam == pytest.approx(direct)
+        hold = compute_fractions(policy, prev, rmttf, 100.0, mode="hold")
+        assert hold == pytest.approx(prev)

@@ -111,3 +111,40 @@ class TestPlanDeployment:
         )
         assert steady >= target * 0.8
         assert mgr.traces.series("failures").values.sum() == 0
+
+
+class TestPlanCost:
+    def test_hourly_usd_bills_all_provisioned_vms(self):
+        plan = recommend_pool("m3.medium", 40.0, target_rmttf_s=600.0)
+        assert plan.hourly_usd == pytest.approx(
+            M3_MEDIUM.hourly_cost * plan.total_vms
+        )
+
+    def test_usd_per_mreq_folds_hourly_and_marginal(self):
+        plan = recommend_pool("m3.medium", 40.0, target_rmttf_s=600.0)
+        expected = (
+            plan.hourly_usd / (40.0 * 3600.0) + M3_MEDIUM.cost_per_req
+        ) * 1e6
+        assert plan.usd_per_mreq == pytest.approx(expected)
+
+    def test_cost_optimal_picks_cheapest_feasible_shape(self):
+        from repro.core.planner import recommend_cost_optimal
+
+        candidates = ("m3.medium", "m3.small", "private.small")
+        best = recommend_cost_optimal(candidates, 30.0, target_rmttf_s=600.0)
+        for name in candidates:
+            try:
+                plan = recommend_pool(name, 30.0, target_rmttf_s=600.0)
+            except ValueError:
+                continue
+            assert best.usd_per_mreq <= plan.usd_per_mreq
+
+    def test_cost_optimal_no_feasible_shape_raises(self):
+        from repro.core.planner import recommend_cost_optimal
+
+        with pytest.raises(ValueError, match="no candidate"):
+            recommend_cost_optimal(
+                ("private.small",), 50.0, target_rmttf_s=1e9, max_vms=8
+            )
+        with pytest.raises(ValueError, match="at least one"):
+            recommend_cost_optimal((), 10.0, 100.0)

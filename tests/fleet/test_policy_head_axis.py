@@ -85,8 +85,8 @@ class TestAggregation:
         plain = _job()
         headed = _job(seed=2, policy_head="static:uniform")
         assert cell_key(plain) != cell_key(headed)
-        assert cell_key(headed)[-1] == "static:uniform"
-        assert len(cell_key(plain)) == 7
+        assert cell_key(headed)[-2] == "static:uniform"
+        assert len(cell_key(plain)) == 8
 
     def test_cell_stats_label(self):
         plain = CellStats(

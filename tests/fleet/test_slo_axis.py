@@ -1,0 +1,135 @@
+"""The sweep's SLO axis: digest stability, cell naming, aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.aggregate import CellStats, aggregate, cell_key, frontier_report
+from repro.fleet.jobs import JobSpec
+from repro.fleet.spec import SweepSpec
+
+
+def _spec(**kw) -> SweepSpec:
+    defaults = dict(
+        scenarios=("two-region",),
+        policies=("sensible-routing",),
+        replicates=1,
+        eras=10,
+    )
+    defaults.update(kw)
+    return SweepSpec(**defaults)
+
+
+def _job(**kw) -> JobSpec:
+    defaults = dict(
+        kind="policy",
+        scenario="two-region",
+        policy="sensible-routing",
+        load=1.0,
+        seed=1,
+        replicate=0,
+        eras=10,
+    )
+    defaults.update(kw)
+    return JobSpec(**defaults)
+
+
+class TestSpecAxis:
+    def test_default_axis_preserves_digests_and_seeds(self):
+        base = {j.label: (j.seed, j.digest) for j in _spec().expand()}
+        widened = _spec(slo=("", "p95:0.5")).expand()
+        new = {j.label: (j.seed, j.digest) for j in widened}
+        for label, identity in base.items():
+            assert new[label] == identity
+
+    def test_slo_cells_get_suffix_and_distinct_seeds(self):
+        jobs = _spec(slo=("", "p95:0.5")).expand()
+        labels = [j.label for j in jobs]
+        assert "policy/two-region/sensible-routing/load1/rep0" in labels
+        assert (
+            "policy/two-region/sensible-routing/load1/slo:p95:0.5/rep0"
+            in labels
+        )
+        assert len({j.seed for j in jobs}) == len(jobs)
+
+    def test_config_keyed_only_when_axis_used(self):
+        assert "slo" not in _spec().config()
+        assert _spec(slo=("", "p95:0.5")).config()["slo"] == ["", "p95:0.5"]
+
+    def test_cell_count_multiplies(self):
+        assert _spec(slo=("", "p95:0.5")).cell_count == 2 * _spec().cell_count
+
+    def test_garbage_spec_rejected(self):
+        with pytest.raises(ValueError):
+            _spec(slo=("p95:abc",))
+        with pytest.raises(ValueError):
+            _spec(slo=())
+
+
+class TestJobSpec:
+    def test_config_round_trip(self):
+        job = _job(slo="p95:0.5+dwell:120")
+        assert JobSpec.from_config(job.config()) == job
+        assert job.config()["slo"] == "p95:0.5+dwell:120"
+
+    def test_no_slo_keeps_historical_config(self):
+        assert "slo" not in _job().config()
+
+    def test_garbage_slo_rejected(self):
+        with pytest.raises(ValueError):
+            _job(slo="nonsense")
+
+
+class TestAggregation:
+    def test_cell_key_separates_slo(self):
+        plain = _job()
+        gated = _job(seed=2, slo="p95:0.5")
+        assert cell_key(plain) != cell_key(gated)
+        assert cell_key(gated)[-1] == "p95:0.5"
+
+    def test_cell_label_carries_slo(self):
+        cells = aggregate(
+            [_job(slo="p95:0.5")], [{"mean_rmttf_s": 1.0}]
+        )
+        assert cells[0].label.endswith("slo:p95:0.5")
+
+
+class TestFrontierReport:
+    def _cell(self, policy, cost, avail, p95=0.1, n=3):
+        cell = CellStats(
+            kind="policy",
+            scenario="two-region",
+            policy=policy,
+            load=1.0,
+            n=n,
+        )
+        rows = [
+            {
+                "cost_per_mreq": cost,
+                "availability": avail,
+                "response_p95_s": p95,
+            }
+        ] * n
+        return aggregate([_job(policy=policy, seed=i) for i in range(n)], rows)[0]
+
+    def test_dominated_cell_not_marked(self):
+        cheap = self._cell("cost-aware", cost=2.0, avail=0.95)
+        pricey = self._cell("sensible-routing", cost=3.0, avail=0.95)
+        report = frontier_report([cheap, pricey])
+        lines = {
+            line.split("|")[1].strip(): line
+            for line in report.splitlines()[2:]
+        }
+        assert lines[cheap.label].rstrip("|").rstrip().endswith("*")
+        assert not lines[pricey.label].rstrip("|").rstrip().endswith("*")
+
+    def test_frontier_keeps_tradeoff_points(self):
+        cheap_low = self._cell("cost-aware", cost=2.0, avail=0.90)
+        pricey_high = self._cell("sensible-routing", cost=3.0, avail=0.99)
+        report = frontier_report([cheap_low, pricey_high])
+        # neither dominates: both are on the frontier
+        assert report.count("*") == 2
+
+    def test_empty_without_cost_metrics(self):
+        cells = aggregate([_job()], [{"mean_rmttf_s": 1.0}])
+        assert frontier_report(cells) == ""

@@ -115,7 +115,7 @@ class TestMttrAccounting:
 
 class TestHttpDispatch:
     def _body(self, result) -> dict:
-        status, content_type, raw = result
+        status, content_type, raw, _headers = result
         assert content_type == "application/json"
         return status, json.loads(raw)
 
@@ -144,7 +144,7 @@ class TestHttpDispatch:
     def test_metrics_is_prometheus_text_with_acm_prefix(self):
         ingress = HttpIngress(make_service())
         ingress.service.handle_request()
-        status, content_type, raw = ingress._dispatch("GET", "/metrics")
+        status, content_type, raw, _ = ingress._dispatch("GET", "/metrics")
         assert status == 200
         assert content_type.startswith("text/plain")
         text = raw.decode("utf-8")

@@ -1,0 +1,224 @@
+"""The serve-side SLO gate: 429 + Retry-After, ladder dwell, admin ops.
+
+The service's ``_mono`` attribute is an injectable monotonic clock, so
+dwell timing runs on a fake clock -- no sleeps, fully deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.scenarios import two_region_scenario
+from repro.serve.clock import WallClock
+from repro.serve.ingress import HttpIngress
+from repro.serve.service import AcmService, ServeConfig
+from repro.slo import SloConfig
+
+
+class FakeMono:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def make_service(slo: SloConfig | None = None, **cfg_kw) -> AcmService:
+    cfg = ServeConfig(seed=7, slo=slo, **cfg_kw)
+    service = AcmService(
+        two_region_scenario(), WallClock(speed=100.0), cfg
+    )
+    return service
+
+
+def slo_service(**slo_kw):
+    """Service with a fake mono clock and a p95 target requests do breach."""
+    defaults = dict(
+        p95_target_s=1e-9, window_s=30.0, min_dwell_s=10.0
+    )
+    defaults.update(slo_kw)
+    service = make_service(slo=SloConfig(**defaults))
+    mono = FakeMono()
+    service._mono = mono
+    return service, mono
+
+
+class TestSloGate:
+    def test_no_slo_config_means_no_gate(self):
+        service = make_service()
+        assert service._slo_gates is None
+        status, _ = service.handle_request(service.regions[0])
+        assert status == 200
+
+    def test_breach_sheds_with_retry_after(self):
+        service, mono = slo_service()
+        region = service.regions[0]
+        status, _ = service.handle_request(region)  # seeds a latency sample
+        assert status == 200
+        mono.advance(0.1)
+        status, body = service.handle_request(region)  # gate now breached
+        assert status == 429
+        assert body["error"] == "slo"
+        assert body["retry_after_s"] >= 1
+        # regression: every shed body carries the Retry-After hint
+        assert isinstance(body["retry_after_s"], int)
+
+    def test_retry_after_tracks_dwell_remainder(self):
+        service, mono = slo_service(min_dwell_s=10.0)
+        region = service.regions[0]
+        service.handle_request(region)
+        mono.advance(0.1)
+        status, body = service.handle_request(region)
+        assert status == 429
+        assert body["retry_after_s"] == pytest.approx(10, abs=1)
+        mono.advance(6.0)
+        status, body = service.handle_request(region)
+        assert status == 429
+        assert body["retry_after_s"] <= 4
+
+    def test_recovery_requires_dwell_and_drained_window(self):
+        service, mono = slo_service(min_dwell_s=10.0, window_s=5.0)
+        region = service.regions[0]
+        service.handle_request(region)
+        mono.advance(0.1)
+        assert service.handle_request(region)[0] == 429
+        # past the dwell AND past the window: the breach sample has aged
+        # out, the empty window counts as recovered
+        mono.advance(20.0)
+        status, _ = service.handle_request(region)
+        assert status == 200
+
+    def test_era_tick_recovers_idle_region(self):
+        service, mono = slo_service(min_dwell_s=10.0, window_s=5.0)
+        region = service.regions[0]
+        service.handle_request(region)
+        mono.advance(0.1)
+        assert service.handle_request(region)[0] == 429
+        mono.advance(20.0)
+        service._slo_refresh()  # era tick, no probe traffic needed
+        assert service._slo_levels[region] == "normal"
+
+    def test_slo_shed_metric_counts(self):
+        service, mono = slo_service()
+        region = service.regions[0]
+        service.handle_request(region)
+        mono.advance(0.1)
+        service.handle_request(region)
+        counters = service.telemetry.snapshot()["metrics"]["counters"]
+        by_name = {
+            (c["name"], c["labels"].get("region")): c["value"]
+            for c in counters
+        }
+        assert by_name[("slo_shed_total", region)] == 1
+
+
+class TestTokenBucketRetryAfter:
+    def test_shed_body_carries_refill_hint(self):
+        # satellite regression: the token-bucket 429 must include a
+        # Retry-After derived from the refill rate
+        service = make_service(admission_rps=1.0, admission_burst_s=2.0)
+        region = service.regions[0]
+        bodies = [service.handle_request(region) for _ in range(40)]
+        shed = [b for s, b in bodies if s == 429]
+        assert shed
+        for body in shed:
+            assert body["error"] == "shed"
+            assert body["retry_after_s"] >= 1
+            # deficit < 1 token at 1 rps -> at most ~1s, never huge
+            assert body["retry_after_s"] <= 2
+
+
+class TestAdminOps:
+    def test_kill_switch_sheds_and_lifts(self):
+        service, _ = slo_service(p95_target_s=10.0)  # healthy target
+        region = service.regions[0]
+        assert service.handle_request(region)[0] == 200
+        assert service.slo_kill(True)
+        status, body = service.handle_request(region)
+        assert status == 429
+        assert service.slo_snapshot()["kill_switch"] is True
+        service.slo_kill(False)
+        assert service.handle_request(region)[0] == 200
+
+    def test_override_pins_and_clears(self):
+        service, _ = slo_service(p95_target_s=10.0)
+        region = service.regions[0]
+        assert service.slo_override("degraded")
+        assert service.handle_request(region)[0] == 429
+        service.slo_override(None)
+        assert service.handle_request(region)[0] == 200
+        with pytest.raises(ValueError):
+            service.slo_override("panic")
+
+    def test_admin_ops_report_disabled_without_slo(self):
+        service = make_service()
+        assert service.slo_kill(True) is False
+        assert service.slo_override("degraded") is False
+        assert service.slo_snapshot() == {"enabled": False}
+
+    def test_snapshot_shape(self):
+        service, _ = slo_service(p95_target_s=10.0)
+        snap = service.slo_snapshot()
+        assert snap["enabled"] is True
+        assert snap["config"].startswith("p95:")
+        for region in service.regions:
+            entry = snap["regions"][region]
+            assert entry["level"] == "normal"
+            assert entry["source"] == "default"
+
+
+class TestHttpSloEndpoints:
+    def _body(self, result):
+        status, content_type, raw, headers = result
+        assert content_type == "application/json"
+        return status, json.loads(raw), headers
+
+    def test_shed_maps_retry_after_header(self):
+        service, mono = slo_service()
+        ingress = HttpIngress(service)
+        region = service.regions[0]
+        service.handle_request(region)
+        mono.advance(0.1)
+        status, body, headers = self._body(
+            ingress._dispatch("GET", f"/route?region={region}")
+        )
+        assert status == 429
+        assert headers is not None
+        assert headers["Retry-After"] == str(body["retry_after_s"])
+
+    def test_slo_endpoint(self):
+        service, _ = slo_service(p95_target_s=10.0)
+        ingress = HttpIngress(service)
+        status, body, _ = self._body(ingress._dispatch("GET", "/slo"))
+        assert status == 200
+        assert body["enabled"] is True
+
+    def test_kill_and_override_endpoints(self):
+        service, _ = slo_service(p95_target_s=10.0)
+        ingress = HttpIngress(service)
+        status, body, _ = self._body(
+            ingress._dispatch("POST", "/slo/kill?on=1")
+        )
+        assert status == 200
+        assert service.slo_snapshot()["kill_switch"] is True
+        status, _, _ = self._body(
+            ingress._dispatch("POST", "/slo/override?level=degraded")
+        )
+        assert status == 200
+        status, _, _ = self._body(
+            ingress._dispatch("POST", "/slo/override?level=panic")
+        )
+        assert status == 400
+
+    def test_endpoints_400_when_slo_disabled(self):
+        ingress = HttpIngress(make_service())
+        status, body, _ = self._body(
+            ingress._dispatch("POST", "/slo/kill?on=1")
+        )
+        assert status == 400
+        assert "disabled" in body["error"]

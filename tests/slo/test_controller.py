@@ -1,0 +1,90 @@
+"""Units for the sim-side SLO controller: shaping, stats, telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.obs.telemetry import Telemetry
+from repro.slo import SloConfig, SloController
+
+
+def make_controller(telemetry=None, **cfg_kw) -> SloController:
+    defaults = dict(
+        p95_target_s=1.0, window_s=10.0, min_dwell_s=5.0, shed_factor=0.5
+    )
+    defaults.update(cfg_kw)
+    return SloController(
+        ["r1", "r2"], SloConfig(**defaults), telemetry=telemetry
+    )
+
+
+class TestObserveAndShape:
+    def test_healthy_regions_leave_plan_unchanged(self):
+        ctl = make_controller()
+        ctl.observe(0.0, {"r1": 0.1, "r2": 0.1})
+        planned = np.array([0.6, 0.4])
+        shaped = ctl.shape(planned)
+        assert shaped is planned  # identity, not just equality
+
+    def test_degraded_region_is_scaled_and_renormalized(self):
+        ctl = make_controller()
+        ctl.observe(0.0, {"r1": 5.0, "r2": 0.1})  # r1 breaches
+        shaped = ctl.shape(np.array([0.5, 0.5]))
+        assert shaped.sum() == pytest.approx(1.0)
+        assert shaped[0] == pytest.approx(0.25 / 0.75)
+        assert shaped[1] > shaped[0]
+
+    def test_all_degraded_cancels_out(self):
+        ctl = make_controller()
+        ctl.observe(0.0, {"r1": 5.0, "r2": 5.0})
+        planned = np.array([0.7, 0.3])
+        # uniform scaling cancels in the renormalisation
+        assert ctl.shape(planned) == pytest.approx(planned)
+
+    def test_recovery_requires_dwell(self):
+        ctl = make_controller(min_dwell_s=5.0, window_s=1.0)
+        ctl.observe(0.0, {"r1": 5.0, "r2": 0.1})
+        # healthy again, but inside the dwell (breach sample aged out)
+        levels = ctl.observe(2.0, {"r1": 0.1, "r2": 0.1})
+        assert levels["r1"] == "degraded"
+        levels = ctl.observe(6.0, {"r1": 0.1, "r2": 0.1})
+        assert levels["r1"] == "normal"
+
+    def test_stats(self):
+        ctl = make_controller()
+        ctl.observe(0.0, {"r1": 5.0, "r2": 0.1})
+        ctl.observe(1.0, {"r1": 5.0, "r2": 0.1})
+        stats = ctl.stats()
+        assert stats["eras"] == 2
+        assert stats["degraded_eras"] == 2
+        assert stats["violation_rate"] == pytest.approx(1.0)
+        assert stats["transitions"] == 1
+
+    def test_level_codes(self):
+        ctl = make_controller()
+        ctl.observe(0.0, {"r1": 5.0, "r2": 0.1})
+        assert ctl.level_codes() == {"r1": 1, "r2": 0}
+
+    def test_non_finite_samples_ignored(self):
+        ctl = make_controller()
+        levels = ctl.observe(0.0, {"r1": float("inf"), "r2": float("nan")})
+        assert levels == {"r1": "normal", "r2": "normal"}
+
+
+class TestTelemetry:
+    def test_disabled_telemetry_is_dropped(self):
+        ctl = make_controller(telemetry=Telemetry(enabled=False))
+        assert ctl._tel is None
+
+    def test_enabled_telemetry_emits_transition_event(self):
+        tel = Telemetry(enabled=True)
+        ctl = make_controller(telemetry=tel)
+        ctl.observe(0.0, {"r1": 5.0, "r2": 0.1})
+        snap = tel.snapshot()
+        gauges = {
+            (g["name"], g["labels"].get("region")): g["value"]
+            for g in snap["metrics"]["gauges"]
+        }
+        assert gauges[("slo_level", "r1")] == 1
+        assert gauges[("slo_level", "r2")] == 0
+        kinds = [e["kind"] for e in snap["events"]["events"]]
+        assert "slo.transition" in kinds

@@ -1,0 +1,154 @@
+"""Units for the SLO evaluator: quantile estimator, spec grammar,
+rolling window, and hysteresis verdicts."""
+
+import math
+
+import pytest
+
+from repro.slo import SloConfig, SloEvaluator, nearest_rank_quantile, parse_slo_spec
+
+
+class TestNearestRankQuantile:
+    """Known-answer cases.  Nearest rank: the ceil(q*n)-th smallest."""
+
+    def test_known_answers_n10(self):
+        data = [float(v) for v in range(1, 11)]  # 1..10
+        assert nearest_rank_quantile(data, 0.50) == 5.0
+        assert nearest_rank_quantile(data, 0.95) == 10.0
+        assert nearest_rank_quantile(data, 0.99) == 10.0
+
+    def test_known_answers_n20(self):
+        data = [float(v) for v in range(1, 21)]  # 1..20
+        assert nearest_rank_quantile(data, 0.50) == 10.0
+        # 0.95 * 20 == 19.000000000000004 in floats: the epsilon guard
+        # must keep this at the 19th order statistic, not the max
+        assert nearest_rank_quantile(data, 0.95) == 19.0
+        assert nearest_rank_quantile(data, 0.99) == 20.0
+
+    def test_known_answers_n5(self):
+        data = [9.0, 1.0, 7.0, 3.0, 5.0]  # unsorted on purpose
+        assert nearest_rank_quantile(data, 0.50) == 5.0
+        assert nearest_rank_quantile(data, 0.95) == 9.0
+        assert nearest_rank_quantile(data, 0.99) == 9.0
+
+    def test_single_sample(self):
+        assert nearest_rank_quantile([4.2], 0.5) == 4.2
+        assert nearest_rank_quantile([4.2], 0.99) == 4.2
+
+    def test_extremes(self):
+        data = [3.0, 1.0, 2.0]
+        assert nearest_rank_quantile(data, 0.0) == 1.0
+        assert nearest_rank_quantile(data, 1.0) == 3.0
+
+    def test_empty_sample_is_nan(self):
+        assert math.isnan(nearest_rank_quantile([], 0.95))
+
+    def test_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            nearest_rank_quantile([1.0], 1.5)
+        with pytest.raises(ValueError):
+            nearest_rank_quantile([1.0], -0.1)
+
+
+class TestSpecGrammar:
+    def test_minimal_spec(self):
+        cfg = parse_slo_spec("p95:0.5")
+        assert cfg.p95_target_s == 0.5
+        assert cfg.min_dwell_s == 60.0  # default
+
+    def test_full_spec(self):
+        cfg = parse_slo_spec(
+            "p95:0.5+exit:0.7+queue:10+budget:0.05+window:30+dwell:120+shed:0.25"
+        )
+        assert cfg.p95_target_s == 0.5
+        assert cfg.exit_ratio == 0.7
+        assert cfg.queue_depth_max == 10.0
+        assert cfg.error_budget == 0.05
+        assert cfg.window_s == 30.0
+        assert cfg.min_dwell_s == 120.0
+        assert cfg.shed_factor == 0.25
+
+    def test_round_trip(self):
+        for spec in ("p95:0.5", "p95:0.5+dwell:120+shed:0.25"):
+            cfg = parse_slo_spec(spec)
+            assert parse_slo_spec(cfg.spec()) == cfg
+
+    def test_spec_omits_defaults(self):
+        assert SloConfig(p95_target_s=0.5).spec() == "p95:0.5"
+
+    def test_rejects_garbage(self):
+        for bad in ("", "p95", "p95:abc", "nope:1", "p95:0.5,dwell:3"):
+            with pytest.raises(ValueError):
+                parse_slo_spec(bad)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SloConfig(p95_target_s=0.0)
+        with pytest.raises(ValueError):
+            SloConfig(exit_ratio=1.5)
+        with pytest.raises(ValueError):
+            SloConfig(shed_factor=0.0)
+        with pytest.raises(ValueError):
+            SloConfig(window_s=-1.0)
+
+
+class TestEvaluator:
+    def make(self, **kw) -> SloEvaluator:
+        defaults = dict(p95_target_s=1.0, window_s=10.0)
+        defaults.update(kw)
+        return SloEvaluator(SloConfig(**defaults))
+
+    def test_empty_window_is_healthy(self):
+        ev = self.make()
+        status = ev.status(0.0)
+        assert not status.breach
+        assert status.recovered
+        assert math.isnan(status.p95_s)
+
+    def test_breach_on_slow_p95(self):
+        ev = self.make()
+        for i in range(20):
+            ev.observe_latency(float(i) * 0.1, 2.0)
+        status = ev.status(2.0)
+        assert status.breach
+        assert not status.recovered
+
+    def test_hysteresis_band_neither_breach_nor_recovered(self):
+        # p95 between exit (0.8) and enter (1.0) thresholds
+        ev = self.make()
+        for i in range(10):
+            ev.observe_latency(float(i) * 0.1, 0.9)
+        status = ev.status(1.0)
+        assert not status.breach
+        assert not status.recovered
+
+    def test_fast_p95_is_recovered(self):
+        ev = self.make()
+        for i in range(10):
+            ev.observe_latency(float(i) * 0.1, 0.1)
+        status = ev.status(1.0)
+        assert not status.breach
+        assert status.recovered
+
+    def test_window_trims_old_samples(self):
+        ev = self.make(window_s=5.0)
+        ev.observe_latency(0.0, 9.0)  # breach-worthy, but stale later
+        assert ev.status(1.0).breach
+        status = ev.status(10.0)  # sample aged out of the window
+        assert not status.breach
+        assert status.samples == 0
+
+    def test_error_budget_signal(self):
+        ev = self.make(error_budget=0.1)
+        for i in range(10):
+            ev.observe_outcome(float(i) * 0.1, ok=(i % 2 == 0))
+        status = ev.status(1.0)  # 50% errors against a 10% budget
+        assert status.error_rate == pytest.approx(0.5)
+        assert status.breach
+
+    def test_queue_depth_signal(self):
+        ev = self.make(queue_depth_max=10.0)
+        ev.set_queue_depth(50.0)
+        assert ev.status(0.0).breach
+        ev.set_queue_depth(1.0)
+        assert ev.status(0.0).recovered

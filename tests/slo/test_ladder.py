@@ -1,0 +1,106 @@
+"""Units for the priority ladder: rung precedence, dwell, hysteresis."""
+
+import pytest
+
+from repro.slo import (
+    LEVEL_DEGRADED,
+    LEVEL_NORMAL,
+    PriorityLadder,
+    SloConfig,
+    SloStatus,
+    SOURCE_ADAPTIVE,
+    SOURCE_DEFAULT,
+    SOURCE_KILL_SWITCH,
+    SOURCE_MANUAL,
+)
+
+
+def status(breach: bool = False, recovered: bool = False) -> SloStatus:
+    return SloStatus(
+        p95_s=0.0,
+        samples=1,
+        queue_depth=0.0,
+        error_rate=0.0,
+        breach=breach,
+        recovered=recovered,
+    )
+
+
+def make_ladder(dwell: float = 60.0) -> PriorityLadder:
+    return PriorityLadder(SloConfig(p95_target_s=1.0, min_dwell_s=dwell))
+
+
+class TestRungPrecedence:
+    def test_default_is_normal(self):
+        decision = make_ladder().decision(0.0)
+        assert decision.level == LEVEL_NORMAL
+        assert decision.source == SOURCE_DEFAULT
+
+    def test_kill_switch_beats_everything(self):
+        ladder = make_ladder()
+        ladder.set_override(LEVEL_NORMAL)  # manual says serve...
+        ladder.set_kill_switch(True)  # ...kill-switch says stop
+        decision = ladder.decision(0.0)
+        assert decision.level == LEVEL_DEGRADED
+        assert decision.source == SOURCE_KILL_SWITCH
+
+    def test_manual_override_beats_adaptive(self):
+        ladder = make_ladder()
+        ladder.update(0.0, status(breach=True))  # adaptive degrades
+        ladder.set_override(LEVEL_NORMAL)
+        decision = ladder.decision(1.0)
+        assert decision.level == LEVEL_NORMAL
+        assert decision.source == SOURCE_MANUAL
+
+    def test_clearing_override_exposes_adaptive(self):
+        ladder = make_ladder()
+        ladder.update(0.0, status(breach=True))
+        ladder.set_override(LEVEL_NORMAL)
+        ladder.set_override(None)
+        decision = ladder.decision(1.0)
+        assert decision.level == LEVEL_DEGRADED
+        assert decision.source == SOURCE_ADAPTIVE
+
+    def test_override_rejects_unknown_level(self):
+        with pytest.raises(ValueError):
+            make_ladder().set_override("panic")
+
+
+class TestAdaptiveDwell:
+    def test_breach_degrades_immediately(self):
+        ladder = make_ladder()
+        decision = ladder.update(5.0, status(breach=True))
+        assert decision.level == LEVEL_DEGRADED
+        assert decision.source == SOURCE_ADAPTIVE
+        assert decision.dwell_remaining_s == pytest.approx(60.0)
+
+    def test_no_recovery_before_dwell(self):
+        ladder = make_ladder(dwell=60.0)
+        ladder.update(0.0, status(breach=True))
+        # fully recovered signals, but only 30s into a 60s dwell
+        decision = ladder.update(30.0, status(recovered=True))
+        assert decision.level == LEVEL_DEGRADED
+        assert decision.dwell_remaining_s == pytest.approx(30.0)
+
+    def test_recovery_after_dwell_and_exit_threshold(self):
+        ladder = make_ladder(dwell=60.0)
+        ladder.update(0.0, status(breach=True))
+        decision = ladder.update(61.0, status(recovered=True))
+        assert decision.level == LEVEL_NORMAL
+        assert ladder.transitions == 2
+
+    def test_dwell_elapsed_but_not_recovered_stays_degraded(self):
+        ladder = make_ladder(dwell=60.0)
+        ladder.update(0.0, status(breach=True))
+        # hysteresis band: neither breach nor recovered -> hold degraded
+        decision = ladder.update(120.0, status())
+        assert decision.level == LEVEL_DEGRADED
+        assert decision.dwell_remaining_s == 0.0
+
+    def test_adaptive_advances_under_kill_switch(self):
+        ladder = make_ladder(dwell=10.0)
+        ladder.update(0.0, status(breach=True))
+        ladder.set_kill_switch(True)
+        ladder.update(20.0, status(recovered=True))  # recovers underneath
+        ladder.set_kill_switch(False)
+        assert ladder.decision(20.0).level == LEVEL_NORMAL
